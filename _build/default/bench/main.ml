@@ -1,0 +1,734 @@
+(* Benchmark harness reproducing every table and figure of
+   "The Wavelet Trie" (Grossi & Ottaviano, PODS 2012).
+
+   The paper is theoretical: its Table 1 gives asymptotic time/space
+   bounds and Figures 1-3 are worked examples.  Accordingly each group
+   below either (a) measures the empirical scaling shape predicted by a
+   Table 1 row, (b) reports measured space against the information-
+   theoretic lower bound LB = LT + nH0, or (c) re-derives a figure's
+   structure.  Experiment ids - T1.x, Fx, S5/S6, A.x - match DESIGN.md.
+
+   Per-operation micro-benchmarks use Bechamel (one Test.make per
+   operation and input size, grouped per experiment); bulk costs
+   (construction, Init, appends) use wall-clock batch timing. *)
+
+open Bechamel
+open Toolkit
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Xoshiro = Wt_bits.Xoshiro
+module Wavelet_trie = Wt_core.Wavelet_trie
+module Append_wt = Wt_core.Append_wt
+module Dynamic_wt = Wt_core.Dynamic_wt
+module Balanced = Wt_core.Balanced
+module Range = Wt_core.Range
+module Stats = Wt_core.Stats
+module Naive = Wt_core.Indexed_sequence.Naive
+module Urls = Wt_workload.Urls
+module Columns = Wt_workload.Columns
+module WTree = Wt_wavelet_tree.Wavelet_tree
+module Huffman_wt = Wt_wavelet_tree.Huffman_wt
+module Dyn_wavelet_tree = Wt_wavelet_tree.Dyn_wavelet_tree
+module Dyn_rle = Wt_bitvector.Dyn_rle
+module Dyn_gap = Wt_bitvector.Dyn_gap
+
+let quota =
+  match Sys.getenv_opt "BENCH_QUOTA_MS" with
+  | Some s -> float_of_string s /. 1000.
+  | None -> 0.25
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel plumbing: run a grouped test, return (name, ns/op) sorted. *)
+
+let run_group (test : Test.t) =
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~kde:None ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let res = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (x :: _) -> x | _ -> nan
+      in
+      (name, ns) :: acc)
+    res []
+  |> List.sort compare
+
+let print_group header note test =
+  Printf.printf "\n-- %s\n" header;
+  if note <> "" then Printf.printf "   %s\n" note;
+  List.iter
+    (fun (name, ns) -> Printf.printf "   %-46s %10.0f ns/op\n" name ns)
+    (run_group test);
+  flush stdout
+
+let now () = Unix.gettimeofday ()
+
+let time_batch f =
+  let t0 = now () in
+  f ();
+  now () -. t0
+
+(* ------------------------------------------------------------------ *)
+(* Shared workloads *)
+
+let url_sequence ~seed n =
+  let g = Urls.create ~seed () in
+  Urls.sequence g n
+
+let sizes = [ 4096; 16384; 65536 ]
+
+let pick rng arr = arr.(Xoshiro.int rng (Array.length arr))
+
+(* ------------------------------------------------------------------ *)
+(* T1 query rows: one grouped bench per variant; names embed n so the
+   scaling shape is visible in one table. *)
+
+type 'a variant_ops = {
+  v_build : Bitstring.t array -> 'a;
+  v_access : 'a -> int -> Bitstring.t;
+  v_rank : 'a -> Bitstring.t -> int -> int;
+  v_select : 'a -> Bitstring.t -> int -> int option;
+  v_rank_prefix : 'a -> Bitstring.t -> int -> int;
+  v_select_prefix : 'a -> Bitstring.t -> int -> int option;
+}
+
+let static_ops =
+  {
+    v_build = Wavelet_trie.of_array;
+    v_access = Wavelet_trie.access;
+    v_rank = Wavelet_trie.rank;
+    v_select = Wavelet_trie.select;
+    v_rank_prefix = Wavelet_trie.rank_prefix;
+    v_select_prefix = Wavelet_trie.select_prefix;
+  }
+
+let append_ops =
+  {
+    v_build = Append_wt.of_array;
+    v_access = Append_wt.access;
+    v_rank = Append_wt.rank;
+    v_select = Append_wt.select;
+    v_rank_prefix = Append_wt.rank_prefix;
+    v_select_prefix = Append_wt.select_prefix;
+  }
+
+let dynamic_ops =
+  {
+    v_build = Dynamic_wt.of_array;
+    v_access = Dynamic_wt.access;
+    v_rank = Dynamic_wt.rank;
+    v_select = Dynamic_wt.select;
+    v_rank_prefix = Dynamic_wt.rank_prefix;
+    v_select_prefix = Dynamic_wt.select_prefix;
+  }
+
+let query_tests (type a) (ops : a variant_ops) =
+  List.concat_map
+    (fun n ->
+      let seq = url_sequence ~seed:42 n in
+      let wt = ops.v_build seq in
+      let rng = Xoshiro.create 7 in
+      let g = Urls.create ~seed:42 () in
+      let prefixes = Array.init (Urls.host_count g) (Urls.host_prefix g) in
+      [
+        Test.make
+          ~name:(Printf.sprintf "access       n=%6d" n)
+          (Staged.stage (fun () -> ignore (ops.v_access wt (Xoshiro.int rng n))));
+        Test.make
+          ~name:(Printf.sprintf "rank         n=%6d" n)
+          (Staged.stage (fun () ->
+               ignore (ops.v_rank wt (pick rng seq) (Xoshiro.int rng (n + 1)))));
+        Test.make
+          ~name:(Printf.sprintf "select       n=%6d" n)
+          (Staged.stage (fun () ->
+               ignore (ops.v_select wt (pick rng seq) (Xoshiro.int rng 8))));
+        Test.make
+          ~name:(Printf.sprintf "rank_prefix  n=%6d" n)
+          (Staged.stage (fun () ->
+               ignore (ops.v_rank_prefix wt (pick rng prefixes) (Xoshiro.int rng (n + 1)))));
+        Test.make
+          ~name:(Printf.sprintf "selectprefix n=%6d" n)
+          (Staged.stage (fun () ->
+               ignore (ops.v_select_prefix wt (pick rng prefixes) (Xoshiro.int rng 8))));
+      ])
+    sizes
+
+let t1_static_query () =
+  print_group "T1.static.query — static Wavelet Trie, URL log"
+    "Paper: O(|s| + h_s), constant per bitvector op => flat in n."
+    (Test.make_grouped ~name:"static" (query_tests static_ops))
+
+let t1_append_query () =
+  print_group "T1.append.query — append-only Wavelet Trie, URL log"
+    "Paper: O(|s| + h_s), same shape as static."
+    (Test.make_grouped ~name:"append-only" (query_tests append_ops))
+
+let t1_dynamic_query () =
+  print_group "T1.dyn.query — fully-dynamic Wavelet Trie, URL log"
+    "Paper: O(|s| + h_s log n) => slow logarithmic growth with n."
+    (Test.make_grouped ~name:"dynamic" (query_tests dynamic_ops))
+
+(* T1 append column: amortized append cost as the sequence grows. *)
+let t1_append_append () =
+  Printf.printf
+    "\n-- T1.append.append — Append(s) amortized cost while streaming a log\n";
+  Printf.printf "   Paper: O(|s| + h_s) independent of n (Theorem 4.3).\n";
+  let g = Urls.create ~seed:17 () in
+  let wt = Append_wt.create () in
+  let batch = 16384 in
+  let lat = Array.make (8 * batch) 0. in
+  let li = ref 0 in
+  for step = 1 to 8 do
+    let strings = Array.init batch (fun _ -> Urls.next_encoded g) in
+    let dt =
+      time_batch (fun () ->
+          Array.iter
+            (fun s ->
+              let t0 = now () in
+              Append_wt.append wt s;
+              lat.(!li) <- now () -. t0;
+              incr li)
+            strings)
+    in
+    Printf.printf "   n=%7d .. %7d: %8.0f ns/append\n"
+      ((step - 1) * batch) (step * batch)
+      (dt *. 1e9 /. float_of_int batch)
+  done;
+  Array.sort compare lat;
+  let pct p = lat.(int_of_float (p *. float_of_int (Array.length lat - 1))) *. 1e9 in
+  Printf.printf
+    "   latency percentiles: p50 %.0f ns  p99 %.0f ns  p99.9 %.0f ns  max %.0f ns\n"
+    (pct 0.50) (pct 0.99) (pct 0.999) (pct 1.0);
+  Printf.printf
+    "   (segment freezing is de-amortized; remaining tail spikes are GC slices)\n";
+  flush stdout
+
+(* T1 insert/delete columns. *)
+let t1_dynamic_updates () =
+  Printf.printf "\n-- T1.dyn.insert / T1.dyn.delete — random-position updates\n";
+  Printf.printf
+    "   Paper: O(|s| + h_s log n); unseen strings also pay a node split (Init is O(log n)).\n";
+  List.iter
+    (fun n ->
+      let seq = url_sequence ~seed:5 n in
+      let wt = Dynamic_wt.of_array seq in
+      let rng = Xoshiro.create 23 in
+      (* mixed inserts: half existing strings, half fresh *)
+      let batch = 2000 in
+      let fresh_tag = ref 0 in
+      let dt_ins =
+        time_batch (fun () ->
+            for _ = 1 to batch do
+              let s =
+                if Xoshiro.bool rng then pick rng seq
+                else begin
+                  incr fresh_tag;
+                  Binarize.of_bytes (Printf.sprintf "fresh-%d-%d" n !fresh_tag)
+                end
+              in
+              Dynamic_wt.insert wt (Xoshiro.int rng (Dynamic_wt.length wt + 1)) s
+            done)
+      in
+      let dt_del =
+        time_batch (fun () ->
+            for _ = 1 to batch do
+              Dynamic_wt.delete wt (Xoshiro.int rng (Dynamic_wt.length wt))
+            done)
+      in
+      Printf.printf "   n=%7d: insert %8.0f ns/op   delete %8.0f ns/op\n" n
+        (dt_ins *. 1e9 /. float_of_int batch)
+        (dt_del *. 1e9 /. float_of_int batch))
+    sizes;
+  flush stdout
+
+(* Construction throughput (not in Table 1, but the practical companion
+   to the Append column): bulk of_array per variant. *)
+let t1_build () =
+  Printf.printf "\n-- T1.build — construction throughput (bulk of_array)\n";
+  let n = 65536 in
+  let seq = url_sequence ~seed:42 n in
+  let per name f =
+    let dt = time_batch (fun () -> ignore (f seq)) in
+    Printf.printf "   %-12s %7.0f ns/string  (%.2fs total)\n" name
+      (dt *. 1e9 /. float_of_int n) dt
+  in
+  per "static" Wavelet_trie.of_array;
+  per "succinct" Wt_core.Succinct_wt.of_array;
+  per "append-only" Append_wt.of_array;
+  per "dynamic" Dynamic_wt.of_array;
+  per "quad" Wt_wavelet_tree.Quad_wt.of_array;
+  (* incremental alternative for the dynamic variant *)
+  let dt =
+    time_batch (fun () ->
+        let wt = Dynamic_wt.create () in
+        Array.iter (Dynamic_wt.append wt) seq)
+  in
+  Printf.printf "   %-12s %7.0f ns/string  (one append at a time)\n" "dynamic-inc"
+    (dt *. 1e9 /. float_of_int n);
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* T1.space — measured space vs LB for each variant and the naive rep. *)
+
+let print_stats name (st : Stats.t) =
+  let lb = Stats.lower_bound st in
+  Printf.printf
+    "   %-12s total %9d bits  = %5.2fx LB   (LT %8.0f + nH0 %8.0f; h~=%5.2f, |Sset|=%d)\n"
+    name st.total_bits
+    (float_of_int st.total_bits /. lb)
+    st.trie_lb_bits st.seq_h0_bits st.avg_height st.distinct
+
+let t1_space () =
+  Printf.printf "\n-- T1.space — space vs information-theoretic lower bound\n";
+  Printf.printf
+    "   Paper: static = LB + o(h~ n); append-only adds PT = O(|Sset| w); dynamic adds O(nH0).\n";
+  let report title seq =
+    Printf.printf "   [%s] n=%d\n" title (Array.length seq);
+    let st = Wavelet_trie.stats (Wavelet_trie.of_array seq) in
+    print_stats "static" st;
+    print_stats "succinct" (Wt_core.Succinct_wt.stats (Wt_core.Succinct_wt.of_array seq));
+    print_stats "append-only" (Append_wt.stats (Append_wt.of_array seq));
+    print_stats "dynamic" (Dynamic_wt.stats (Dynamic_wt.of_array seq));
+    let naive = Naive.of_array seq in
+    Printf.printf
+      "   %-12s total %9d bits  = %5.2fx LB   (array of strings + pointers)\n" "naive"
+      (Naive.space_bits naive)
+      (float_of_int (Naive.space_bits naive) /. Stats.lower_bound st)
+  in
+  report "URL access log" (url_sequence ~seed:42 65536);
+  let col, _ = Columns.categorical ~cardinality:64 65536 in
+  report "categorical column (64 values)" col;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* Figures: recompute and verify the golden structures. *)
+
+let f_figures () =
+  Printf.printf "\n-- F1/F2/F3 — figure reproductions (structural)\n";
+  (* Figure 2 *)
+  let fig2 =
+    List.map Bitstring.of_string
+      [ "0001"; "0011"; "0100"; "00100"; "0100"; "00100"; "0100" ]
+  in
+  let wt = Wavelet_trie.of_list fig2 in
+  let expected =
+    [
+      ("0", Some "0010101");
+      ("", Some "0111");
+      ("1", None);
+      ("", Some "100");
+      ("0", None);
+      ("", None);
+      ("00", None);
+    ]
+  in
+  Printf.printf "   F2 wavelet trie of <0001,0011,0100,00100,0100,00100,0100>: %s\n"
+    (if Wavelet_trie.dump wt = expected then "matches the paper" else "MISMATCH");
+  (* Figure 1 *)
+  let code = function
+    | 'a' -> "00"
+    | 'b' -> "01"
+    | 'c' -> "10"
+    | 'd' -> "110"
+    | 'r' -> "111"
+    | _ -> assert false
+  in
+  let seq =
+    List.map
+      (fun c -> Bitstring.of_string (code c))
+      (List.init 11 (String.get "abracadabra"))
+  in
+  let wt1 = Wavelet_trie.of_list seq in
+  let betas = List.filter_map snd (Wavelet_trie.dump wt1) in
+  Printf.printf "   F1 wavelet tree of abracadabra: betas %s => %s\n"
+    (String.concat "," betas)
+    (if betas = [ "00101010010"; "0100010"; "1011"; "101" ] then "matches the paper"
+     else "MISMATCH");
+  (* Figure 3 *)
+  let dwt = Dynamic_wt.of_array (Array.of_list fig2) in
+  Dynamic_wt.insert dwt 3 (Bitstring.of_string "0110");
+  let split_ok =
+    Dynamic_wt.dump dwt
+    = [
+        ("0", Some "00110101");
+        ("", Some "0111");
+        ("1", None);
+        ("", Some "100");
+        ("0", None);
+        ("", None);
+        ("", Some "0100");
+        ("0", None);
+        ("0", None);
+      ]
+  in
+  Printf.printf "   F3 node split on inserting 0110: %s\n"
+    (if split_ok then "new internal node with constant bitvector, as in the paper"
+     else "MISMATCH");
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* S5.range — range algorithms scale with output, not n. *)
+
+let s5_range () =
+  Printf.printf "\n-- S5.range — Section 5 range algorithms\n";
+  Printf.printf
+    "   Paper: costs depend on the range/output (distinct values, majority path), not on n.\n";
+  List.iter
+    (fun n ->
+      let seq = url_sequence ~seed:42 n in
+      let wt = Wavelet_trie.of_array seq in
+      let rng = Xoshiro.create 31 in
+      let width = 1024 in
+      let batch = 200 in
+      let bench name f =
+        let dt =
+          time_batch (fun () ->
+              for _ = 1 to batch do
+                let lo = Xoshiro.int rng (n - width) in
+                f ~lo ~hi:(lo + width)
+              done)
+        in
+        Printf.printf "   n=%7d %-28s %9.1f us/query\n" n name
+          (dt *. 1e6 /. float_of_int batch)
+      in
+      bench "distinct (range 1024)" (fun ~lo ~hi -> ignore (Range.Static.distinct wt ~lo ~hi));
+      bench "majority (range 1024)" (fun ~lo ~hi -> ignore (Range.Static.majority wt ~lo ~hi));
+      bench "at_least 32 (range 1024)" (fun ~lo ~hi ->
+          ignore (Range.Static.at_least wt ~lo ~hi ~threshold:32));
+      bench "top_k 10 (range 1024)" (fun ~lo ~hi ->
+          ignore (Range.Static.top_k wt ~lo ~hi 10));
+      bench "iter_range (range 1024)" (fun ~lo ~hi ->
+          Range.Static.iter_range wt ~lo ~hi (fun _ -> ())))
+    [ 16384; 131072 ];
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* S6.balanced — height independent of the universe. *)
+
+let s6_balanced () =
+  Printf.printf "\n-- S6.balanced — randomized Wavelet Tree on a 2^60 universe\n";
+  Printf.printf
+    "   Paper (Thm 6.2): height <= (alpha+2) log |Sigma| w.h.p., vs log u = 60 unhashed.\n";
+  List.iter
+    (fun sigma ->
+      let heights = ref [] in
+      for seed = 1 to 10 do
+        let rng = Xoshiro.create (900 + seed) in
+        let b = Balanced.create ~seed ~width:60 () in
+        for _ = 1 to sigma do
+          Balanced.append b (Xoshiro.next rng land Wt_bits.Broadword.mask 60)
+        done;
+        heights := Balanced.height b :: !heights
+      done;
+      let heights = List.sort compare !heights in
+      let max_h = List.nth heights (List.length heights - 1) in
+      let avg =
+        float_of_int (List.fold_left ( + ) 0 heights)
+        /. float_of_int (List.length heights)
+      in
+      let log_sigma = log (float_of_int sigma) /. log 2. in
+      Printf.printf
+        "   |Sigma|=%5d: height avg %5.1f max %2d   (log|Sigma|=%4.1f, 3log=%4.1f, log u=60)\n"
+        sigma avg max_h log_sigma (3. *. log_sigma))
+    [ 16; 256; 4096 ];
+  (* per-op cost on the hashed trie *)
+  let rng = Xoshiro.create 77 in
+  let b = Balanced.create ~seed:3 ~width:60 () in
+  let alphabet =
+    Array.init 1024 (fun _ -> Xoshiro.next rng land Wt_bits.Broadword.mask 60)
+  in
+  for _ = 1 to 65536 do
+    Balanced.append b (pick rng alphabet)
+  done;
+  print_group "S6.balanced — ops at n=65536, |Sigma|=1024, u=2^60"
+    "access/rank/select in O(log u + h log n)."
+    (Test.make_grouped ~name:"balanced"
+       [
+         Test.make ~name:"access"
+           (Staged.stage (fun () -> ignore (Balanced.access b (Xoshiro.int rng 65536))));
+         Test.make ~name:"rank"
+           (Staged.stage (fun () ->
+                ignore (Balanced.rank b (pick rng alphabet) (Xoshiro.int rng 65536))));
+         Test.make ~name:"select"
+           (Staged.stage (fun () ->
+                ignore (Balanced.select b (pick rng alphabet) (Xoshiro.int rng 16))));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* S7.cache — simulated cache behaviour (the paper's closing question). *)
+
+let s7_cache () =
+  Printf.printf "\n-- S7.cache — simulated LRU cache misses per query (Section 7 question)\n";
+  Printf.printf
+    "   Bit-buffer reads replayed through a set-associative LRU cache (Cache_sim);\n";
+  Printf.printf
+    "   counts cover bitvector/label storage only, so they are comparative, not absolute.\n";
+  let n = 65536 in
+  let seq = url_sequence ~seed:42 n in
+  let b = Wavelet_trie.of_array seq in
+  let sWt = Wt_core.Succinct_wt.of_array seq in
+  let q = Wt_wavelet_tree.Quad_wt.of_array seq in
+  List.iter
+    (fun (label, line_bytes, ways, sets) ->
+      let measure name f =
+        let cache = Wt_workload.Cache_sim.create ~line_bytes ~ways ~sets () in
+        let rng = Xoshiro.create 99 in
+        (* warm up *)
+        let (), _ = Wt_workload.Cache_sim.run cache (fun () ->
+            for _ = 1 to 500 do
+              f (Xoshiro.int rng n)
+            done)
+        in
+        Wt_workload.Cache_sim.reset_stats cache;
+        let reps = 2000 in
+        let (), m =
+          Wt_workload.Cache_sim.run cache (fun () ->
+              for _ = 1 to reps do
+                f (Xoshiro.int rng n)
+              done)
+        in
+        Printf.printf "   %-10s %-18s %7.1f misses/access (miss rate %4.1f%%)\n" label
+          name
+          (float_of_int m /. float_of_int reps)
+          (100. *. Wt_workload.Cache_sim.miss_rate cache)
+      in
+      measure "binary trie" (fun pos -> ignore (Wavelet_trie.access b pos));
+      measure "succinct trie" (fun pos -> ignore (Wt_core.Succinct_wt.access sWt pos));
+      measure "quad trie" (fun pos -> ignore (Wt_wavelet_tree.Quad_wt.access q pos)))
+    [ ("L1-32K", 64, 8, 64); ("L2-1M", 64, 16, 1024) ];
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* A.init — Remark 4.2: Init on RLE+gamma vs gap+delta. *)
+
+let a_init () =
+  Printf.printf "\n-- A.init — Remark 4.2: Init(1, n) cost by bitvector encoding\n";
+  Printf.printf
+    "   Paper: RLE+gamma supports Init in O(log n); gap encoding is Omega(n) words.\n";
+  List.iter
+    (fun n ->
+      let reps = 200 in
+      let dt_rle =
+        time_batch (fun () ->
+            for _ = 1 to reps do
+              ignore (Dyn_rle.init true n)
+            done)
+      in
+      let dt_gap = time_batch (fun () -> ignore (Dyn_gap.init true n)) in
+      Printf.printf
+        "   n=%8d: rle+gamma %8.2f us/init (%6d bits)   gap+delta %10.0f us/init (%9d bits)\n"
+        n
+        (dt_rle *. 1e6 /. float_of_int reps)
+        (Dyn_rle.space_bits (Dyn_rle.init true n))
+        (dt_gap *. 1e6)
+        (Dyn_gap.space_bits (Dyn_gap.init true n)))
+    [ 10_000; 100_000; 1_000_000 ];
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* A.rrr — RRR vs plain bitvectors in a classic wavelet tree. *)
+
+let a_rrr () =
+  Printf.printf "\n-- A.rrr — bitvector choice: RRR (compressed) vs plain\n";
+  let rng = Xoshiro.create 3 in
+  let sigma = 64 in
+  let zipf = Wt_workload.Zipf.create ~s:1.3 sigma in
+  let n = 262144 in
+  let a = Array.init n (fun _ -> Wt_workload.Zipf.sample zipf rng) in
+  let wp = WTree.Over_plain.of_array ~sigma a in
+  let wr = WTree.Over_rrr.of_array ~sigma a in
+  let h0 =
+    Wt_bits.Entropy.h0_of_counts
+      (let f = Array.make sigma 0 in
+       Array.iter (fun x -> f.(x) <- f.(x) + 1) a;
+       f)
+  in
+  Printf.printf "   space: plain %d bits (%.2f/sym)   rrr %d bits (%.2f/sym)  [H0=%.2f]\n"
+    (WTree.Over_plain.space_bits wp)
+    (float_of_int (WTree.Over_plain.space_bits wp) /. float_of_int n)
+    (WTree.Over_rrr.space_bits wr)
+    (float_of_int (WTree.Over_rrr.space_bits wr) /. float_of_int n)
+    h0;
+  print_group "A.rrr — rank over 262144 symbols" ""
+    (Test.make_grouped ~name:"bitvectors"
+       [
+         Test.make ~name:"plain rank"
+           (Staged.stage (fun () ->
+                ignore (WTree.Over_plain.rank wp (Xoshiro.int rng sigma) (Xoshiro.int rng n))));
+         Test.make ~name:"rrr   rank"
+           (Staged.stage (fun () ->
+                ignore (WTree.Over_rrr.rank wr (Xoshiro.int rng sigma) (Xoshiro.int rng n))));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* A.dynwt — Wavelet Trie vs fixed-alphabet dynamic Wavelet Tree. *)
+
+let a_dynwt () =
+  Printf.printf
+    "\n-- A.dynwt — dynamic alphabet (Wavelet Trie) vs fixed alphabet ([12,18])\n";
+  Printf.printf
+    "   Same integer workload; the fixed-alphabet WT must know sigma upfront and cannot grow it.\n";
+  let sigma = 256 in
+  let n = 32768 in
+  let rng = Xoshiro.create 8 in
+  let data = Array.init n (fun _ -> Xoshiro.int rng sigma) in
+  let width = 8 in
+  let trie = Dynamic_wt.create () in
+  let dt_trie =
+    time_batch (fun () ->
+        Array.iter (fun x -> Dynamic_wt.append trie (Binarize.of_int_msb ~width x)) data)
+  in
+  let fixed = Dyn_wavelet_tree.create ~sigma in
+  let dt_fixed = time_batch (fun () -> Array.iter (Dyn_wavelet_tree.append fixed) data) in
+  Printf.printf "   build by appends: trie %7.0f ns/op   fixed %7.0f ns/op\n"
+    (dt_trie *. 1e9 /. float_of_int n)
+    (dt_fixed *. 1e9 /. float_of_int n);
+  Printf.printf "   space: trie %d bits   fixed %d bits\n" (Dynamic_wt.space_bits trie)
+    (Dyn_wavelet_tree.space_bits fixed);
+  print_group "A.dynwt — point ops at n=32768, sigma=256" ""
+    (Test.make_grouped ~name:"dyn"
+       [
+         Test.make ~name:"trie  rank"
+           (Staged.stage (fun () ->
+                ignore
+                  (Dynamic_wt.rank trie
+                     (Binarize.of_int_msb ~width (Xoshiro.int rng sigma))
+                     (Xoshiro.int rng n))));
+         Test.make ~name:"fixed rank"
+           (Staged.stage (fun () ->
+                ignore
+                  (Dyn_wavelet_tree.rank fixed (Xoshiro.int rng sigma) (Xoshiro.int rng n))));
+         Test.make ~name:"trie  access"
+           (Staged.stage (fun () -> ignore (Dynamic_wt.access trie (Xoshiro.int rng n))));
+         Test.make ~name:"fixed access"
+           (Staged.stage (fun () -> ignore (Dyn_wavelet_tree.access fixed (Xoshiro.int rng n))));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* A.dict — related-work approach (1): dictionary-mapped wavelet tree. *)
+
+let a_dict () =
+  Printf.printf
+    "\n-- A.dict — Wavelet Trie vs dictionary-mapped wavelet tree (approach (1))\n";
+  Printf.printf
+    "   Paper: lexicographic mapping gives RankPrefix via 2-D range count, but no\n";
+  Printf.printf "   efficient SelectPrefix, and the alphabet is frozen at build time.\n";
+  let n = 32768 in
+  let seq = url_sequence ~seed:42 n in
+  let trie = Wavelet_trie.of_array seq in
+  let dict = Wt_wavelet_tree.Dict_sequence.of_array seq in
+  let g = Urls.create ~seed:42 () in
+  let prefixes = Array.init (Urls.host_count g) (Urls.host_prefix g) in
+  Printf.printf "   space: trie %d bits   dict-mapped %d bits\n"
+    (Wavelet_trie.space_bits trie)
+    (Wt_wavelet_tree.Dict_sequence.space_bits dict);
+  let rng = Xoshiro.create 1 in
+  print_group "A.dict — prefix ops at n=32768" ""
+    (Test.make_grouped ~name:"dict"
+       [
+         Test.make ~name:"trie rank_prefix"
+           (Staged.stage (fun () ->
+                ignore (Wavelet_trie.rank_prefix trie (pick rng prefixes) (Xoshiro.int rng n))));
+         Test.make ~name:"dict rank_prefix"
+           (Staged.stage (fun () ->
+                ignore
+                  (Wt_wavelet_tree.Dict_sequence.rank_prefix dict (pick rng prefixes)
+                     (Xoshiro.int rng n))));
+         Test.make ~name:"trie select_prefix"
+           (Staged.stage (fun () ->
+                ignore (Wavelet_trie.select_prefix trie (pick rng prefixes) (Xoshiro.int rng 32))));
+         Test.make ~name:"dict select_prefix"
+           (Staged.stage (fun () ->
+                ignore
+                  (Wt_wavelet_tree.Dict_sequence.select_prefix dict (pick rng prefixes)
+                     (Xoshiro.int rng 32))));
+       ])
+
+(* ------------------------------------------------------------------ *)
+(* A.huffman — Huffman-shaped Wavelet Trie vs balanced wavelet tree. *)
+
+let a_huffman () =
+  Printf.printf "\n-- A.huffman — Huffman-shaped Wavelet Trie (paper, Section 3 remark)\n";
+  let rng = Xoshiro.create 12 in
+  let sigma = 256 in
+  let zipf = Wt_workload.Zipf.create ~s:1.5 sigma in
+  let n = 131072 in
+  let a = Array.init n (fun _ -> Wt_workload.Zipf.sample zipf rng) in
+  let h = Huffman_wt.of_array ~sigma a in
+  let bal = WTree.Over_rrr.of_array ~sigma a in
+  let freqs = Array.make sigma 0 in
+  Array.iter (fun x -> freqs.(x) <- freqs.(x) + 1) a;
+  Printf.printf
+    "   avg depth: huffman h~ = %.2f vs balanced log sigma = %d   (H0 = %.2f)\n"
+    (Huffman_wt.avg_code_length h)
+    (WTree.Over_rrr.levels bal)
+    (Wt_bits.Entropy.h0_of_counts freqs);
+  Printf.printf "   space: huffman %d bits   balanced+rrr %d bits\n"
+    (Huffman_wt.space_bits h) (WTree.Over_rrr.space_bits bal);
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
+(* A.quad — fanout-4 Wavelet Trie (Section 7 future work, prototyped). *)
+
+let a_quad () =
+  Printf.printf "\n-- A.quad — binary vs 4-ary Wavelet Trie (Section 7 future work)\n";
+  Printf.printf
+    "   Doubling the fanout halves the trie height; per-node sequences become 6-ary.\n";
+  let n = 65536 in
+  let seq = url_sequence ~seed:42 n in
+  let b = Wavelet_trie.of_array seq in
+  let q = Wt_wavelet_tree.Quad_wt.of_array seq in
+  let module N = Wavelet_trie.Node in
+  let rec h node =
+    if N.is_leaf node then 0 else 1 + max (h (N.child node false)) (h (N.child node true))
+  in
+  let hb = match N.root b with None -> 0 | Some r -> h r in
+  Printf.printf "   height: binary %d   quad %d\n" hb (Wt_wavelet_tree.Quad_wt.height q);
+  Printf.printf "   space:  binary %d bits   quad %d bits\n" (Wavelet_trie.space_bits b)
+    (Wt_wavelet_tree.Quad_wt.space_bits q);
+  let rng = Xoshiro.create 4 in
+  print_group "A.quad — ops at n=65536" ""
+    (Test.make_grouped ~name:"quad"
+       [
+         Test.make ~name:"binary access"
+           (Staged.stage (fun () -> ignore (Wavelet_trie.access b (Xoshiro.int rng n))));
+         Test.make ~name:"quad   access"
+           (Staged.stage (fun () ->
+                ignore (Wt_wavelet_tree.Quad_wt.access q (Xoshiro.int rng n))));
+         Test.make ~name:"binary rank"
+           (Staged.stage (fun () ->
+                ignore (Wavelet_trie.rank b (pick rng seq) (Xoshiro.int rng n))));
+         Test.make ~name:"quad   rank"
+           (Staged.stage (fun () ->
+                ignore (Wt_wavelet_tree.Quad_wt.rank q (pick rng seq) (Xoshiro.int rng n))));
+       ])
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Printf.printf "wavelet-trie benchmark harness (experiment ids match DESIGN.md)\n";
+  Printf.printf "bechamel quota per microbench: %.2fs\n" quota;
+  f_figures ();
+  t1_build ();
+  t1_space ();
+  t1_static_query ();
+  t1_append_query ();
+  t1_dynamic_query ();
+  t1_append_append ();
+  t1_dynamic_updates ();
+  s5_range ();
+  s6_balanced ();
+  s7_cache ();
+  a_init ();
+  a_rrr ();
+  a_dynwt ();
+  a_dict ();
+  a_quad ();
+  a_huffman ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,224 @@
+(* wtrie — index a file of lines as a compressed sequence of strings and
+   query it: the paper's Access/Rank/Select/RankPrefix/SelectPrefix plus
+   the Section 5 range analytics, from the command line.
+
+     dune exec bin/wtrie_cli.exe -- stats mylog.txt
+     dune exec bin/wtrie_cli.exe -- rank mylog.txt "GET /index.html"
+     dune exec bin/wtrie_cli.exe -- prefix-count mylog.txt "GET /api/"
+     dune exec bin/wtrie_cli.exe -- majority mylog.txt --lo 1000 --hi 2000
+
+   Each line of the file is one element of the sequence, in order. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Append_wt = Wt_core.Append_wt
+module Range = Wt_core.Range
+module Stats = Wt_core.Stats
+open Cmdliner
+
+let read_lines path =
+  let ic = if path = "-" then stdin else open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  if path <> "-" then close_in ic;
+  Array.of_list (List.rev !lines)
+
+(* Build from a line file, or load directly when given a saved index. *)
+let build path =
+  if path <> "-" && Sys.file_exists path && Wt_core.Persist.is_index_file path then
+    Wt_core.Persist.load_append path
+  else begin
+    let lines = read_lines path in
+    let wt = Append_wt.create () in
+    Array.iter (fun l -> Append_wt.append wt (Binarize.of_bytes l)) lines;
+    wt
+  end
+
+let prefix_of_string p =
+  let e = Binarize.of_bytes p in
+  Bitstring.prefix e (Bitstring.length e - 1)
+
+(* common arguments *)
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input file; one string per line ('-' for stdin).")
+
+let lo_arg =
+  Arg.(value & opt int 0 & info [ "lo" ] ~docv:"LO" ~doc:"Range start position (inclusive).")
+
+let hi_arg =
+  Arg.(value & opt (some int) None & info [ "hi" ] ~docv:"HI" ~doc:"Range end position (exclusive; default: sequence length).")
+
+let clamp_hi wt = function None -> Append_wt.length wt | Some h -> min h (Append_wt.length wt)
+
+let index_cmd =
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output index file.")
+  in
+  let run file out =
+    let wt = build file in
+    Wt_core.Persist.save_append wt out;
+    Printf.printf "indexed %d strings into %s\n" (Append_wt.length wt) out
+  in
+  Cmd.v
+    (Cmd.info "index" ~doc:"Build the index once and save it; query commands accept it in place of the text file.")
+    Term.(const run $ file_arg $ out)
+
+let stats_cmd =
+  let run file =
+    let wt = build file in
+    Format.printf "%a@." Stats.pp (Append_wt.stats wt);
+    Printf.printf "distinct strings: %d\n" (Append_wt.distinct_count wt)
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Build the index and report its space against the LB.")
+    Term.(const run $ file_arg)
+
+let access_cmd =
+  let pos = Arg.(required & pos 1 (some int) None & info [] ~docv:"POS") in
+  let run file pos =
+    let wt = build file in
+    if pos < 0 || pos >= Append_wt.length wt then (prerr_endline "position out of range"; exit 1);
+    print_endline (Binarize.to_bytes (Append_wt.access wt pos))
+  in
+  Cmd.v (Cmd.info "access" ~doc:"Print the string at a position.") Term.(const run $ file_arg $ pos)
+
+let rank_cmd =
+  let s = Arg.(required & pos 1 (some string) None & info [] ~docv:"STRING") in
+  let run file s lo hi =
+    let wt = build file in
+    let hi = clamp_hi wt hi in
+    let e = Binarize.of_bytes s in
+    Printf.printf "%d\n" (Append_wt.rank wt e hi - Append_wt.rank wt e lo)
+  in
+  Cmd.v (Cmd.info "rank" ~doc:"Count occurrences of STRING in [--lo, --hi).")
+    Term.(const run $ file_arg $ s $ lo_arg $ hi_arg)
+
+let select_cmd =
+  let s = Arg.(required & pos 1 (some string) None & info [] ~docv:"STRING") in
+  let idx = Arg.(required & pos 2 (some int) None & info [] ~docv:"IDX") in
+  let run file s idx =
+    let wt = build file in
+    match Append_wt.select wt (Binarize.of_bytes s) idx with
+    | Some pos -> Printf.printf "%d\n" pos
+    | None ->
+        prerr_endline "no such occurrence";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "select" ~doc:"Position of the IDX-th (0-based) occurrence of STRING.")
+    Term.(const run $ file_arg $ s $ idx)
+
+let prefix_count_cmd =
+  let p = Arg.(required & pos 1 (some string) None & info [] ~docv:"PREFIX") in
+  let run file p lo hi =
+    let wt = build file in
+    let hi = clamp_hi wt hi in
+    Printf.printf "%d\n" (Range.Append.count_range wt ~prefix:(prefix_of_string p) ~lo ~hi)
+  in
+  Cmd.v
+    (Cmd.info "prefix-count" ~doc:"Count strings starting with PREFIX in [--lo, --hi).")
+    Term.(const run $ file_arg $ p $ lo_arg $ hi_arg)
+
+let prefix_list_cmd =
+  let p = Arg.(required & pos 1 (some string) None & info [] ~docv:"PREFIX") in
+  let limit = Arg.(value & opt int 20 & info [ "limit" ] ~docv:"K" ~doc:"Print at most K matches.") in
+  let run file p limit =
+    let wt = build file in
+    let prefix = prefix_of_string p in
+    let rec go k =
+      if k < limit then
+        match Append_wt.select_prefix wt prefix k with
+        | Some pos ->
+            Printf.printf "%8d  %s\n" pos (Binarize.to_bytes (Append_wt.access wt pos));
+            go (k + 1)
+        | None -> ()
+    in
+    go 0
+  in
+  Cmd.v
+    (Cmd.info "prefix-list"
+       ~doc:"List the first occurrences of strings starting with PREFIX (SelectPrefix).")
+    Term.(const run $ file_arg $ p $ limit)
+
+let distinct_cmd =
+  let run file lo hi =
+    let wt = build file in
+    let hi = clamp_hi wt hi in
+    List.iter
+      (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
+      (Range.Append.distinct wt ~lo ~hi)
+  in
+  Cmd.v
+    (Cmd.info "distinct" ~doc:"Distinct strings (with counts) in [--lo, --hi).")
+    Term.(const run $ file_arg $ lo_arg $ hi_arg)
+
+let majority_cmd =
+  let run file lo hi =
+    let wt = build file in
+    let hi = clamp_hi wt hi in
+    match Range.Append.majority wt ~lo ~hi with
+    | Some (s, c) -> Printf.printf "%s (%d of %d)\n" (Binarize.to_bytes s) c (hi - lo)
+    | None ->
+        print_endline "no majority";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "majority" ~doc:"The majority string of [--lo, --hi), if any.")
+    Term.(const run $ file_arg $ lo_arg $ hi_arg)
+
+let top_k_cmd =
+  let k = Arg.(required & pos 1 (some int) None & info [] ~docv:"K") in
+  let run file k lo hi =
+    let wt = build file in
+    let hi = clamp_hi wt hi in
+    List.iter
+      (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
+      (Range.Append.top_k wt ~lo ~hi k)
+  in
+  Cmd.v
+    (Cmd.info "top-k" ~doc:"The K most frequent strings in [--lo, --hi) (exact).")
+    Term.(const run $ file_arg $ k $ lo_arg $ hi_arg)
+
+let quantile_cmd =
+  let k = Arg.(required & pos 1 (some int) None & info [] ~docv:"K") in
+  let run file k lo hi =
+    let wt = build file in
+    let hi = clamp_hi wt hi in
+    match Range.Append.quantile wt ~lo ~hi k with
+    | Some s -> print_endline (Binarize.to_bytes s)
+    | None ->
+        prerr_endline "k out of range";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "quantile"
+       ~doc:"The K-th lexicographically smallest string in [--lo, --hi).")
+    Term.(const run $ file_arg $ k $ lo_arg $ hi_arg)
+
+let at_least_cmd =
+  let t = Arg.(required & pos 1 (some int) None & info [] ~docv:"T") in
+  let run file t lo hi =
+    let wt = build file in
+    let hi = clamp_hi wt hi in
+    List.iter
+      (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
+      (Range.Append.at_least wt ~lo ~hi ~threshold:t)
+  in
+  Cmd.v
+    (Cmd.info "at-least" ~doc:"Strings occurring at least T times in [--lo, --hi).")
+    Term.(const run $ file_arg $ t $ lo_arg $ hi_arg)
+
+let () =
+  let doc = "compressed indexed sequences of strings (Wavelet Trie)" in
+  let info = Cmd.info "wtrie" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            index_cmd; stats_cmd; access_cmd; rank_cmd; select_cmd; prefix_count_cmd;
+            prefix_list_cmd; distinct_cmd; majority_cmd; at_least_cmd; top_k_cmd;
+            quantile_cmd;
+          ]))

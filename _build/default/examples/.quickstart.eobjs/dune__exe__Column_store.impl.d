@@ -1,0 +1,1 @@
+examples/column_store.ml: Array List Printf Wt_bits Wt_core Wt_strings Wt_workload

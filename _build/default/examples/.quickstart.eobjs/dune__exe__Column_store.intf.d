@@ -1,0 +1,1 @@
+examples/column_store.mli:

@@ -1,0 +1,1 @@
+examples/numeric_balanced.ml: Array Printf Wt_bits Wt_core Wt_strings

@@ -1,0 +1,1 @@
+examples/numeric_balanced.mli:

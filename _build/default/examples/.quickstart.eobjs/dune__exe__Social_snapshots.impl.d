@@ -1,0 +1,1 @@
+examples/social_snapshots.ml: List Printf String Wt_core Wt_strings

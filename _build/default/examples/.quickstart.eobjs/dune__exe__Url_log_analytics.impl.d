@@ -1,0 +1,1 @@
+examples/url_log_analytics.ml: List Printf Unix Wt_core Wt_strings Wt_workload

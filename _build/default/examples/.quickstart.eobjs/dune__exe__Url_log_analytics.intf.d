@@ -1,0 +1,1 @@
+examples/url_log_analytics.mli:

@@ -1,0 +1,70 @@
+(* Numeric columns on a huge universe: Section 6 in action.
+
+   A sequence of 60-bit integers cannot be handled by a classical
+   dynamic Wavelet Tree without building the full 60-level tree.  The
+   Wavelet Trie alone already avoids that via path compression — but an
+   adversarial (or just unlucky) value set can still produce a deep
+   trie.  Hashing values with a random odd multiplier first
+   (Balanced, Theorem 6.2) bounds the height by ~(alpha+2) log |Sigma|
+   with high probability, at the price of losing prefix/range queries.
+
+   Build:  dune exec examples/numeric_balanced.exe *)
+
+module Binarize = Wt_strings.Binarize
+module Dynamic_wt = Wt_core.Dynamic_wt
+module Balanced = Wt_core.Balanced
+module Xoshiro = Wt_bits.Xoshiro
+
+let width = 60
+
+(* Trie height of the unhashed representation, for comparison. *)
+let unhashed_height values =
+  let wt = Dynamic_wt.create () in
+  Array.iter (fun v -> Dynamic_wt.append wt (Binarize.of_int_msb ~width v)) values;
+  let module N = Dynamic_wt.Node in
+  let rec go node =
+    if N.is_leaf node then 0
+    else 1 + max (go (N.child node false)) (go (N.child node true))
+  in
+  match N.root wt with None -> 0 | Some r -> go r
+
+let () =
+  let rng = Xoshiro.create 2026 in
+
+  (* An adversarial working alphabet: powers of two.  Under the MSB-first
+     binarization they form a single degenerate spine — the unhashed trie
+     has height |Sigma| — while the hashed trie stays ~log |Sigma|. *)
+  let sigma = 59 in
+  let alphabet = Array.init sigma (fun i -> 1 lsl i) in
+
+  let b = Balanced.create ~seed:7 ~width () in
+  let n = 50_000 in
+  let values = Array.init n (fun _ -> alphabet.(Xoshiro.int rng sigma)) in
+  Array.iter (Balanced.append b) values;
+
+  Printf.printf "n = %d values from |Sigma| = %d timestamps in a 2^%d universe\n" n sigma
+    width;
+  Printf.printf "hashed trie height   : %d (log2 |Sigma| = %.1f)\n" (Balanced.height b)
+    (log (float_of_int sigma) /. log 2.);
+  Printf.printf "unhashed trie height : %d\n" (unhashed_height alphabet);
+
+  (* The full dynamic interface works on values, transparently hashed. *)
+  let v = alphabet.(13) in
+  Printf.printf "\nvalue %d:\n" v;
+  Printf.printf "  occurrences in first 10000 positions: %d\n" (Balanced.rank b v 10_000);
+  (match Balanced.select b v 0 with
+  | Some pos ->
+      Printf.printf "  first occurrence at %d; access -> %d\n" pos (Balanced.access b pos)
+  | None -> ());
+
+  (* Updates, including values never seen before. *)
+  Balanced.insert b 0 ((1 lsl 59) + 12345);
+  Printf.printf "\ninserted a fresh value at t=0: access 0 = %d, |Sigma| = %d\n"
+    (Balanced.access b 0) (Balanced.distinct_count b);
+  Balanced.delete b 0;
+  Printf.printf "deleted it: |Sigma| = %d\n" (Balanced.distinct_count b);
+
+  let st = Balanced.stats b in
+  Printf.printf "\nspace: %.1f bits per value (nH0 = %.1f bits/value)\n"
+    (float_of_int st.total_bits /. float_of_int n)
+    (st.seq_h0_bits /. float_of_int n)

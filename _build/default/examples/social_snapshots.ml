@@ -1,0 +1,92 @@
+(* Evolving-graph snapshots with the fully-dynamic Wavelet Trie.
+
+   The paper's social-network motivation: edges of a graph arrive and
+   disappear over time; storing the chronological sequence of edge
+   events as strings "src>dst" lets us answer, with prefix queries,
+   "how did the adjacency list of a vertex change in a given time
+   frame?" — producing snapshots on the fly.  The alphabet (the set of
+   edges ever seen) grows and shrinks dynamically, which is exactly what
+   the Wavelet Trie supports and fixed-alphabet wavelet trees do not.
+
+   Build:  dune exec examples/social_snapshots.exe *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Dynamic_wt = Wt_core.Dynamic_wt
+module Range = Wt_core.Range
+
+let edge src dst = Binarize.of_bytes (Printf.sprintf "%s>%s" src dst)
+
+(* prefix meaning "any edge out of src" *)
+let out_edges src =
+  let e = Binarize.of_bytes (src ^ ">") in
+  Bitstring.prefix e (Bitstring.length e - 1)
+
+let () =
+  let wt = Dynamic_wt.create () in
+  let log = ref [] in
+  let add s d =
+    Dynamic_wt.append wt (edge s d);
+    log := Printf.sprintf "t=%2d  +%s>%s" (Dynamic_wt.length wt - 1) s d :: !log
+  in
+
+  (* A small friendship timeline. *)
+  add "ada" "bob";
+  add "ada" "cyd";
+  add "bob" "cyd";
+  add "ada" "bob"; (* re-befriended: repeated edge event *)
+  add "cyd" "ada";
+  add "bob" "ada";
+  add "ada" "dan";
+  add "dan" "ada";
+  add "bob" "dan";
+  add "ada" "cyd";
+  List.iter print_endline (List.rev !log);
+
+  let n = Dynamic_wt.length wt in
+  Printf.printf "\n%d events, %d distinct edges\n" n (Dynamic_wt.distinct_count wt);
+
+  (* Snapshot question: what were ada's outgoing edge events during
+     "winter vacation" (positions [2, 8))? *)
+  Printf.printf "\nada's edge events in window [2, 8):\n";
+  List.iter
+    (fun (s, c) -> Printf.printf "  %s x%d\n" (Binarize.to_bytes s) c)
+    (Range.Dynamic.distinct wt ~prefix:(out_edges "ada") ~lo:2 ~hi:8);
+
+  (* Count per vertex over the whole timeline: one rank_prefix each. *)
+  Printf.printf "\nout-degree event counts:\n";
+  List.iter
+    (fun v ->
+      Printf.printf "  %-4s %d\n" v (Dynamic_wt.rank_prefix wt (out_edges v) n))
+    [ "ada"; "bob"; "cyd"; "dan" ];
+
+  (* GDPR moment: cyd leaves the network.  Delete every event that
+     involves cyd — deleting the last occurrence of an edge removes it
+     from the alphabet (the trie reshapes itself). *)
+  let involves_cyd s =
+    let w = Binarize.to_bytes s in
+    w = "cyd" || String.length w > 3
+                 && (String.sub w 0 4 = "cyd>"
+                    || String.length w > 4
+                       && String.sub w (String.length w - 4) 4 = ">cyd")
+  in
+  let removed = ref 0 in
+  let pos = ref 0 in
+  while !pos < Dynamic_wt.length wt do
+    if involves_cyd (Dynamic_wt.access wt !pos) then begin
+      Dynamic_wt.delete wt !pos;
+      incr removed
+    end
+    else incr pos
+  done;
+  Printf.printf "\nremoved %d events involving cyd; %d distinct edges remain:\n" !removed
+    (Dynamic_wt.distinct_count wt);
+  Range.Dynamic.iter_range wt ~lo:0 ~hi:(Dynamic_wt.length wt) (fun s ->
+      Printf.printf "  %s\n" (Binarize.to_bytes s));
+  Dynamic_wt.check_invariants wt;
+
+  (* Back-dated correction: it turns out ada befriended eve before
+     everything else — insert at position 0, a brand-new edge. *)
+  Dynamic_wt.insert wt 0 (edge "ada" "eve");
+  Printf.printf "\nafter back-dated insert, first event: %s\n"
+    (Binarize.to_bytes (Dynamic_wt.access wt 0))

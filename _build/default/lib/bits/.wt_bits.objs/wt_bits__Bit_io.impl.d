@@ -1,0 +1,1 @@
+lib/bits/bit_io.ml: Bitbuf

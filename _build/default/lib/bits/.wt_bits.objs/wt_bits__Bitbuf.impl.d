@@ -1,0 +1,1 @@
+lib/bits/bitbuf.ml: Broadword Bytes Char Format Printf String

@@ -1,0 +1,1 @@
+lib/bits/bitbuf.mli: Format

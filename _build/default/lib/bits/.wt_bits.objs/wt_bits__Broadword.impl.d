@@ -1,0 +1,1 @@
+lib/bits/broadword.ml: Bytes Char

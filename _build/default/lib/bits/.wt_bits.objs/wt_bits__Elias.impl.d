@@ -1,0 +1,1 @@
+lib/bits/elias.ml: Bit_io Broadword

@@ -1,0 +1,1 @@
+lib/bits/elias.mli: Bit_io

@@ -1,0 +1,1 @@
+lib/bits/entropy.ml: Array List

@@ -1,0 +1,1 @@
+lib/bits/rle.ml: Array Bit_io Elias List

@@ -1,0 +1,1 @@
+lib/bits/rle.mli: Bitbuf

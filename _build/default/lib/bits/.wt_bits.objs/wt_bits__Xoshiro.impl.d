@@ -1,0 +1,1 @@
+lib/bits/xoshiro.ml: Int64

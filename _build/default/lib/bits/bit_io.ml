@@ -1,0 +1,38 @@
+module Writer = struct
+  type t = { buf : Bitbuf.t }
+
+  let create ?capacity_bits () = { buf = Bitbuf.create ?capacity_bits () }
+  let over buf = { buf }
+  let bit t b = Bitbuf.add t.buf b
+  let bits t len v = Bitbuf.add_bits t.buf len v
+  let pos t = Bitbuf.length t.buf
+  let buffer t = t.buf
+end
+
+module Reader = struct
+  type t = { buf : Bitbuf.t; mutable pos : int }
+
+  let create ?(pos = 0) buf =
+    if pos < 0 || pos > Bitbuf.length buf then invalid_arg "Reader.create";
+    { buf; pos }
+
+  let bit t =
+    let b = Bitbuf.get t.buf t.pos in
+    t.pos <- t.pos + 1;
+    b
+
+  let bits t len =
+    let v = Bitbuf.get_bits t.buf t.pos len in
+    t.pos <- t.pos + len;
+    v
+
+  let peek_bit t = Bitbuf.get t.buf t.pos
+  let pos t = t.pos
+
+  let seek t pos =
+    if pos < 0 || pos > Bitbuf.length t.buf then invalid_arg "Reader.seek";
+    t.pos <- pos
+
+  let remaining t = Bitbuf.length t.buf - t.pos
+  let at_end t = remaining t = 0
+end

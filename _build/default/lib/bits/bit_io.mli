@@ -1,0 +1,43 @@
+(** Streaming readers and writers over {!Bitbuf}.
+
+    A {!Writer.t} appends to the end of a buffer; a {!Reader.t} keeps a
+    cursor into an existing buffer.  Both are thin conveniences used by the
+    universal-code modules ({!Elias}, {!Rle}). *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity_bits:int -> unit -> t
+  (** A writer over a fresh buffer. *)
+
+  val over : Bitbuf.t -> t
+  (** A writer appending to an existing buffer. *)
+
+  val bit : t -> bool -> unit
+  val bits : t -> int -> int -> unit
+  (** [bits w len v] appends the low [len] bits of [v], LSB first. *)
+
+  val pos : t -> int
+  (** Number of bits written so far to the underlying buffer. *)
+
+  val buffer : t -> Bitbuf.t
+end
+
+module Reader : sig
+  type t
+
+  val create : ?pos:int -> Bitbuf.t -> t
+  (** A reader starting at bit [pos] (default 0). *)
+
+  val bit : t -> bool
+  val bits : t -> int -> int
+  (** [bits r len] reads the next [len] bits as an integer, LSB first. *)
+
+  val peek_bit : t -> bool
+  (** Read the next bit without consuming it. *)
+
+  val pos : t -> int
+  val seek : t -> int -> unit
+  val remaining : t -> int
+  val at_end : t -> bool
+end

@@ -1,0 +1,44 @@
+(** Broadword (word-parallel) bit manipulation primitives.
+
+    All functions operate on OCaml native [int] values, treated as words of
+    up to 62 data bits (the sign bit is never used by callers in this
+    library).  Table-driven byte decompositions are used instead of SWAR
+    constants because the canonical 64-bit masks do not fit in OCaml's
+    63-bit literals. *)
+
+val popcount : int -> int
+(** [popcount x] is the number of set bits in [x].  [x] must be
+    non-negative. *)
+
+val popcount_byte : int -> int
+(** [popcount_byte b] is the number of set bits in the low 8 bits of [b].
+    Bits above position 7 are ignored. *)
+
+val select_in_word : int -> int -> int
+(** [select_in_word x k] is the position (from bit 0, LSB first) of the
+    [k]-th set bit of [x], counting from [k = 0].
+    Requires [0 <= k < popcount x]; raises [Invalid_argument] otherwise. *)
+
+val select0_in_word : int -> int -> int -> int
+(** [select0_in_word x len k] is the position of the [k]-th zero bit of [x]
+    among its low [len] bits, counting from [k = 0].
+    Requires [0 <= k < len - popcount (low len bits of x)]. *)
+
+val lowest_bit : int -> int
+(** [lowest_bit x] is the position of the least significant set bit of [x].
+    Requires [x <> 0]. *)
+
+val highest_bit : int -> int
+(** [highest_bit x] is the position of the most significant set bit of [x].
+    Requires [x > 0].  Equivalently [floor (log2 x)]. *)
+
+val bit_width : int -> int
+(** [bit_width x] is the number of bits needed to represent [x]:
+    [0] for [x = 0], else [highest_bit x + 1]. *)
+
+val mask : int -> int
+(** [mask n] is an [int] with the low [n] bits set, for [0 <= n <= 62]. *)
+
+val reverse_bits : int -> int -> int
+(** [reverse_bits x len] reverses the low [len] bits of [x] (bit 0 swaps
+    with bit [len-1]); bits above [len] are dropped.  [0 <= len <= 62]. *)

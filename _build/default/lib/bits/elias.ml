@@ -1,0 +1,43 @@
+let gamma_length x =
+  if x < 1 then invalid_arg "Elias.gamma_length";
+  (2 * Broadword.highest_bit x) + 1
+
+let delta_length x =
+  if x < 1 then invalid_arg "Elias.delta_length";
+  let n = Broadword.highest_bit x in
+  gamma_length (n + 1) + n
+
+let write_gamma w x =
+  if x < 1 then invalid_arg "Elias.write_gamma";
+  let n = Broadword.highest_bit x in
+  Bit_io.Writer.bits w n 0;
+  (* Value bits MSB first so the leading 1 terminates the zero run. *)
+  Bit_io.Writer.bits w (n + 1) (Broadword.reverse_bits x (n + 1))
+
+let read_gamma r =
+  let n = ref 0 in
+  while not (Bit_io.Reader.bit r) do
+    incr n
+  done;
+  let n = !n in
+  if n = 0 then 1
+  else begin
+    let low = Bit_io.Reader.bits r n in
+    (1 lsl n) lor Broadword.reverse_bits low n
+  end
+
+let write_delta w x =
+  if x < 1 then invalid_arg "Elias.write_delta";
+  let n = Broadword.highest_bit x in
+  write_gamma w (n + 1);
+  (* The n bits of x below its leading one, MSB first. *)
+  if n > 0 then
+    Bit_io.Writer.bits w n (Broadword.reverse_bits (x land Broadword.mask n) n)
+
+let read_delta r =
+  let n = read_gamma r - 1 in
+  if n = 0 then 1
+  else begin
+    let low = Bit_io.Reader.bits r n in
+    (1 lsl n) lor Broadword.reverse_bits low n
+  end

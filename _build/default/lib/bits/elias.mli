@@ -1,0 +1,22 @@
+(** Elias γ and δ universal codes for positive integers [5].
+
+    γ(x) encodes [x >= 1] as [floor(log2 x)] zeros followed by the
+    [floor(log2 x) + 1] bits of [x], most significant bit first.
+    δ(x) encodes [x >= 1] as γ of the bit length of [x] followed by the
+    bits of [x] below the most significant one.
+
+    These are the codes used by the dynamic bitvectors of Section 4.2 of
+    the paper: run lengths are γ-coded (RLE+γ) and gaps are δ-coded
+    (the Mäkinen–Navarro baseline). *)
+
+val gamma_length : int -> int
+(** Bit length of γ(x).  Requires [x >= 1]. *)
+
+val delta_length : int -> int
+(** Bit length of δ(x).  Requires [x >= 1]. *)
+
+val write_gamma : Bit_io.Writer.t -> int -> unit
+val read_gamma : Bit_io.Reader.t -> int
+
+val write_delta : Bit_io.Writer.t -> int -> unit
+val read_delta : Bit_io.Reader.t -> int

@@ -1,0 +1,45 @@
+let log2 x = log x /. log 2.
+
+let h p =
+  if p <= 0. || p >= 1. then 0.
+  else (-.p *. log2 p) -. ((1. -. p) *. log2 (1. -. p))
+
+let bitvector_h0_bits ~ones ~len =
+  if len = 0 then 0. else float_of_int len *. h (float_of_int ones /. float_of_int len)
+
+let binomial_bound m n =
+  if m < 0 || m > n then invalid_arg "Entropy.binomial_bound";
+  let m = min m (n - m) in
+  let acc = ref 0. in
+  for i = 1 to m do
+    acc := !acc +. log2 (float_of_int (n - m + i) /. float_of_int i)
+  done;
+  !acc
+
+let h0_of_counts counts =
+  let n = Array.fold_left ( + ) 0 counts in
+  if n = 0 then 0.
+  else begin
+    let nf = float_of_int n in
+    Array.fold_left
+      (fun acc c ->
+        if c = 0 then acc
+        else
+          let p = float_of_int c /. nf in
+          acc -. (p *. log2 p))
+      0. counts
+  end
+
+let sequence_h0_bits counts =
+  let n = Array.fold_left ( + ) 0 counts in
+  float_of_int n *. h0_of_counts counts
+
+let counts_of_list compare xs =
+  let sorted = List.sort compare xs in
+  let rec go acc run = function
+    | [] -> if run > 0 then run :: acc else acc
+    | [ _ ] -> (run + 1) :: acc
+    | x :: (y :: _ as rest) ->
+        if compare x y = 0 then go acc (run + 1) rest else go ((run + 1) :: acc) 0 rest
+  in
+  Array.of_list (go [] 0 sorted)

@@ -1,0 +1,32 @@
+(** Information-theoretic accounting used by the space experiments.
+
+    Conventions follow Section 2 of the paper: logarithms are base 2;
+    [H0] is the zero-order empirical entropy; [B(m,n) = ceil(log2 (n choose m))]
+    is the lower bound in bits for a set of [m] elements out of [n]. *)
+
+val log2 : float -> float
+
+val h : float -> float
+(** Binary entropy function [H(p) = -p log p - (1-p) log (1-p)], with
+    [H 0. = H 1. = 0.]. *)
+
+val bitvector_h0_bits : ones:int -> len:int -> float
+(** [len * H(ones/len)]: the zero-order entropy, in bits, of a bitvector of
+    [len] bits with [ones] ones.  0 for the empty bitvector. *)
+
+val binomial_bound : int -> int -> float
+(** [binomial_bound m n] is [log2 (n choose m)] (not rounded up), computed
+    in [O(min m (n-m))] floating point steps.  Requires [0 <= m <= n]. *)
+
+val h0_of_counts : int array -> float
+(** Zero-order entropy per symbol, in bits, of a sequence whose symbol
+    frequencies are given (zeros allowed).  Returns 0 for empty input. *)
+
+val sequence_h0_bits : int array -> float
+(** [n * h0_of_counts counts] where [n] is the total count: total
+    zero-order entropy of the sequence in bits. *)
+
+val counts_of_list : ('a -> 'a -> int) -> 'a list -> int array
+(** Frequency table of a list under a comparison function (order of the
+    resulting array is unspecified; only the multiset of counts matters
+    for entropy). *)

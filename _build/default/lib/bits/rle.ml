@@ -1,0 +1,85 @@
+type runs = { first_bit : bool; lengths : int array }
+
+let total_bits r = Array.fold_left ( + ) 0 r.lengths
+
+let ones r =
+  let acc = ref 0 in
+  Array.iteri
+    (fun i len ->
+      let bit = if i land 1 = 0 then r.first_bit else not r.first_bit in
+      if bit then acc := !acc + len)
+    r.lengths;
+  !acc
+
+let check r =
+  Array.iter
+    (fun len -> if len <= 0 then invalid_arg "Rle.check: non-positive run")
+    r.lengths
+
+let of_bits bits =
+  let n = Array.length bits in
+  if n = 0 then { first_bit = false; lengths = [||] }
+  else begin
+    let lengths = ref [] in
+    let cur = ref bits.(0) in
+    let run = ref 1 in
+    for i = 1 to n - 1 do
+      if bits.(i) = !cur then incr run
+      else begin
+        lengths := !run :: !lengths;
+        cur := bits.(i);
+        run := 1
+      end
+    done;
+    lengths := !run :: !lengths;
+    { first_bit = bits.(0); lengths = Array.of_list (List.rev !lengths) }
+  end
+
+let to_bits r =
+  let bits = Array.make (total_bits r) false in
+  let pos = ref 0 in
+  Array.iteri
+    (fun i len ->
+      let bit = if i land 1 = 0 then r.first_bit else not r.first_bit in
+      for _ = 1 to len do
+        bits.(!pos) <- bit;
+        incr pos
+      done)
+    r.lengths;
+  bits
+
+let encode r =
+  let w = Bit_io.Writer.create () in
+  if Array.length r.lengths > 0 then begin
+    Bit_io.Writer.bit w r.first_bit;
+    Array.iter (fun len -> Elias.write_gamma w len) r.lengths
+  end;
+  Bit_io.Writer.buffer w
+
+let encoded_length r =
+  if Array.length r.lengths = 0 then 0
+  else Array.fold_left (fun acc len -> acc + Elias.gamma_length len) 1 r.lengths
+
+let decode ~total buf =
+  if total = 0 then { first_bit = false; lengths = [||] }
+  else begin
+    let r = Bit_io.Reader.create buf in
+    let first_bit = Bit_io.Reader.bit r in
+    let lengths = ref (Array.make 16 0) in
+    let count = ref 0 in
+    let seen = ref 0 in
+    while !seen < total do
+      let len = Elias.read_gamma r in
+      if len <= 0 || !seen + len > total then
+        invalid_arg "Rle.decode: inconsistent stream";
+      if !count >= Array.length !lengths then begin
+        let bigger = Array.make (2 * !count) 0 in
+        Array.blit !lengths 0 bigger 0 !count;
+        lengths := bigger
+      end;
+      !lengths.(!count) <- len;
+      incr count;
+      seen := !seen + len
+    done;
+    { first_bit; lengths = Array.sub !lengths 0 !count }
+  end

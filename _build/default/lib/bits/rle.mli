@@ -1,0 +1,39 @@
+(** Run-length representation of bitvectors.
+
+    A bitvector [b0^r0 b1^r1 ...] with [b_{i+1} = not b_i] is represented as
+    its first bit plus the sequence of positive run lengths.  {!encode}
+    γ-codes the runs into a bit buffer ([RLE+γ], the leaf encoding of the
+    paper's fully-dynamic bitvector); {!decode} inverts it. *)
+
+type runs = {
+  first_bit : bool;  (** Bit value of the first run. *)
+  lengths : int array;  (** Strictly positive, alternating run lengths. *)
+}
+
+val total_bits : runs -> int
+(** Sum of the run lengths. *)
+
+val ones : runs -> int
+(** Number of 1 bits described. *)
+
+val of_bits : bool array -> runs
+(** Runs of an explicit bit array.  The empty array yields
+    [{ first_bit = false; lengths = [||] }]. *)
+
+val to_bits : runs -> bool array
+
+val encode : runs -> Bitbuf.t
+(** γ-coded encoding: one bit for [first_bit] (when non-empty), then each
+    run length as γ.  The number of runs is not stored; decoding stops at a
+    caller-supplied bit count. *)
+
+val encoded_length : runs -> int
+(** Bit length of [encode] without materializing it. *)
+
+val decode : total:int -> Bitbuf.t -> runs
+(** [decode ~total buf] decodes runs until their lengths sum to [total].
+    Raises [Invalid_argument] if the stream is inconsistent. *)
+
+val check : runs -> unit
+(** Validate the alternation/positivity invariants; raises
+    [Invalid_argument] when violated.  Used by tests and debug assertions. *)

@@ -1,0 +1,38 @@
+(* splitmix64, computed in Int64 then truncated to 62 bits.  Int64 boxing is
+   acceptable here: random numbers are never on the hot query paths. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Xoshiro.int";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = (1 lsl 62) - 1 - (((1 lsl 62) - 1) mod bound) in
+  let rec go () =
+    let v = next t in
+    if v >= limit then go () else v mod bound
+  in
+  go ()
+
+let bool t = next t land 1 = 1
+
+let float t = float_of_int (next t) /. ldexp 1.0 62
+
+let odd t ~bits =
+  if bits < 1 || bits > 62 then invalid_arg "Xoshiro.odd";
+  let m = if bits = 62 then max_int else (1 lsl bits) - 1 in
+  next t land m lor 1
+
+let split t = { state = next64 t }

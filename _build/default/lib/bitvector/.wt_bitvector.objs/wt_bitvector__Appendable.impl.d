@@ -1,0 +1,1 @@
+lib/bitvector/appendable.ml: Array Fid Format Rrr Wt_bits

@@ -1,0 +1,1 @@
+lib/bitvector/appendable.mli: Fid Wt_bits

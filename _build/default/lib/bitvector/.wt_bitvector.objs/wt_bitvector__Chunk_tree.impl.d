@@ -1,0 +1,1 @@
+lib/bitvector/chunk_tree.ml: Array Fid Format Wt_bits

@@ -1,0 +1,1 @@
+lib/bitvector/chunk_tree.mli: Fid Wt_bits

@@ -1,0 +1,1 @@
+lib/bitvector/dyn_gap.ml: Array Chunk_tree List Wt_bits

@@ -1,0 +1,1 @@
+lib/bitvector/dyn_gap.mli: Chunk_tree

@@ -1,0 +1,1 @@
+lib/bitvector/dyn_rle.ml: Chunk_tree Wt_bits

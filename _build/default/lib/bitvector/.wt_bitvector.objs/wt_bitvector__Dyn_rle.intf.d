@@ -1,0 +1,1 @@
+lib/bitvector/dyn_rle.mli: Chunk_tree

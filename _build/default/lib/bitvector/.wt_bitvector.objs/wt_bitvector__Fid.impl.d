@@ -1,0 +1,1 @@
+lib/bitvector/fid.ml: Printf

@@ -1,0 +1,1 @@
+lib/bitvector/plain.ml: Array Fid Format Wt_bits

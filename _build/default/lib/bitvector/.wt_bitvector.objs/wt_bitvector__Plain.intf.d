@@ -1,0 +1,1 @@
+lib/bitvector/plain.mli: Fid Format Wt_bits

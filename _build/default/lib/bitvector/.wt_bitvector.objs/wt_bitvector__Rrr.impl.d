@@ -1,0 +1,1 @@
+lib/bitvector/rrr.ml: Array Fid Format Wt_bits

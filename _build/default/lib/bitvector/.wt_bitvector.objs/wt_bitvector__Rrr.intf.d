@@ -1,0 +1,1 @@
+lib/bitvector/rrr.mli: Fid Format Wt_bits

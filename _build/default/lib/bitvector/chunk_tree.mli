@@ -1,0 +1,85 @@
+(** Dynamic bitvector as a balanced tree of encoded chunks.
+
+    This is the skeleton shared by the paper's two dynamic bitvector
+    encodings (Section 4.2): leaves hold a compressed encoding of a few
+    hundred bits of the bitvector; internal AVL nodes cache the total bit
+    and one counts of their subtree, giving O(log n) [access], [rank],
+    [select], [insert] and [delete].  Leaves are split when their encoding
+    outgrows a threshold and merged with a neighbour when it underflows,
+    so the number of tree nodes stays proportional to the total encoded
+    size.
+
+    The leaf encoding is supplied by a {!CODEC}:
+    - {!Dyn_rle} instantiates it with RLE+γ, for which a constant run
+      encodes in O(log n) bits, making [init] O(log n) — the property the
+      Wavelet Trie needs (Remark 4.2);
+    - {!Dyn_gap} instantiates it with gap+δ encoding (the
+      Mäkinen–Navarro [18] layout), for which [init true n] necessarily
+      materializes Θ(n) code words. *)
+
+module type CODEC = sig
+  val name : string
+
+  val encode : Wt_bits.Rle.runs -> Wt_bits.Bitbuf.t
+  (** Encode a run sequence. *)
+
+  val decode : total:int -> ones:int -> Wt_bits.Bitbuf.t -> Wt_bits.Rle.runs
+  (** Decode an encoding produced by [encode] describing [total] bits of
+      which [ones] are set. *)
+
+  val reader : total:int -> ones:int -> Wt_bits.Bitbuf.t -> unit -> bool * int
+  (** Lazy decoding: each call yields the next run as [(bit, length)].
+      Callers never request runs past [total] bits.  Point queries use
+      this to scan a leaf with early exit and no allocation. *)
+
+  val encoded_length : Wt_bits.Rle.runs -> int
+  (** Bit length of [encode runs], without materializing it. *)
+end
+
+module type S = sig
+  type t
+
+  include Fid.DYNAMIC with type t := t
+
+  val create : unit -> t
+  (** The empty bitvector. *)
+
+  val init : bool -> int -> t
+  (** [init b n] is the constant bitvector [b^n] — the [Init] operation of
+      Section 4 of the paper.  Cost is dominated by the codec: O(log n)
+      for RLE+γ, Θ(n) code words for gap encoding. *)
+
+  val of_bits : bool array -> t
+  val append : t -> bool -> unit
+  (** [append t b] is [insert t (length t) b]. *)
+
+  val zeros : t -> int
+  val is_constant : t -> bool
+  (** True when the bitvector is empty, all zeros, or all ones — the
+      trigger for Wavelet Trie node merging on delete. *)
+
+  val access_rank : t -> int -> bool * int
+  (** [access_rank t pos] is [(b, rank t b pos)] for [b = access t pos],
+      in a single descent. *)
+
+  val check_invariants : t -> unit
+  (** Validate tree balance, cached counts and leaf sizing; raises
+      [Failure] on violation.  For tests. *)
+
+  val leaf_count : t -> int
+  (** Number of leaves (for space/invariant tests). *)
+
+  module Iter : sig
+    type bv := t
+    type t
+
+    val create : bv -> int -> t
+    val next : t -> bool
+    (** Amortized O(1) after O(log n) creation; raises at the end. *)
+
+    val has_next : t -> bool
+    val pos : t -> int
+  end
+end
+
+module Make (_ : CODEC) : S

@@ -1,0 +1,134 @@
+module Bitbuf = Wt_bits.Bitbuf
+module Rle = Wt_bits.Rle
+module Elias = Wt_bits.Elias
+module Bit_io = Wt_bits.Bit_io
+
+(* Gap encoding: one δ code per 1 bit, holding (preceding zeros + 1).
+   Trailing zeros are implied by the [total]/[ones] metadata the chunk
+   tree keeps per leaf. *)
+module Codec = struct
+  let name = "Dyn_gap"
+
+  let encode (runs : Rle.runs) =
+    let w = Bit_io.Writer.create () in
+    let gap = ref 0 in
+    Array.iteri
+      (fun i len ->
+        let bit = if i land 1 = 0 then runs.first_bit else not runs.first_bit in
+        if not bit then gap := !gap + len
+        else
+          for _ = 1 to len do
+            Elias.write_delta w (!gap + 1);
+            gap := 0
+          done)
+      runs.lengths;
+    Bit_io.Writer.buffer w
+
+  let decode ~total ~ones buf =
+    if total = 0 then { Rle.first_bit = false; lengths = [||] }
+    else begin
+      let r = Bit_io.Reader.create buf in
+      let lengths = ref [] in
+      let covered = ref 0 in
+      let pending_ones = ref 0 in
+      for _ = 1 to ones do
+        let gap = Elias.read_delta r - 1 in
+        if gap = 0 then incr pending_ones
+        else begin
+          if !pending_ones > 0 then begin
+            lengths := !pending_ones :: !lengths;
+            covered := !covered + !pending_ones
+          end;
+          lengths := gap :: !lengths;
+          covered := !covered + gap;
+          pending_ones := 1
+        end
+      done;
+      if !pending_ones > 0 then begin
+        lengths := !pending_ones :: !lengths;
+        covered := !covered + !pending_ones
+      end;
+      let trailing = total - !covered in
+      if trailing < 0 then invalid_arg "Dyn_gap.decode: inconsistent stream";
+      if trailing > 0 then lengths := trailing :: !lengths;
+      let lengths = Array.of_list (List.rev !lengths) in
+      let first_bit =
+        if Array.length lengths = 0 then false
+        else if ones = 0 then false
+        else
+          (* The first run is a 1 run iff the first gap was 0. *)
+          Bitbuf.length buf > 0
+          &&
+          let r0 = Bit_io.Reader.create buf in
+          Elias.read_delta r0 = 1
+      in
+      { Rle.first_bit; lengths }
+    end
+
+  (* Lazy run reader.  δ codes each carry (gap zeros, then one 1); ones
+     with gap 0 extend the current 1-run; trailing zeros are implied by
+     [total]. *)
+  let reader ~total ~ones buf =
+    let r = Bit_io.Reader.create buf in
+    let ones_left = ref ones in
+    let covered = ref 0 in
+    let pending_ones = ref 0 in
+    let queued_zeros = ref 0 in
+    let emit (b, len) =
+      covered := !covered + len;
+      (b, len)
+    in
+    fun () ->
+      if !queued_zeros > 0 then begin
+        let z = !queued_zeros in
+        queued_zeros := 0;
+        pending_ones := 1;
+        emit (false, z)
+      end
+      else begin
+        let rec grow () =
+          if !ones_left = 0 then
+            if !pending_ones > 0 then begin
+              let o = !pending_ones in
+              pending_ones := 0;
+              emit (true, o)
+            end
+            else emit (false, total - !covered)
+          else begin
+            let gap = Elias.read_delta r - 1 in
+            decr ones_left;
+            if gap = 0 then begin
+              incr pending_ones;
+              grow ()
+            end
+            else if !pending_ones > 0 then begin
+              queued_zeros := gap;
+              let o = !pending_ones in
+              pending_ones := 0;
+              emit (true, o)
+            end
+            else begin
+              pending_ones := 1;
+              emit (false, gap)
+            end
+          end
+        in
+        grow ()
+      end
+
+  let encoded_length (runs : Rle.runs) =
+    let acc = ref 0 in
+    let gap = ref 0 in
+    Array.iteri
+      (fun i len ->
+        let bit = if i land 1 = 0 then runs.first_bit else not runs.first_bit in
+        if not bit then gap := !gap + len
+        else begin
+          acc := !acc + Elias.delta_length (!gap + 1) + (len - 1) * Elias.delta_length 1;
+          gap := 0
+        end)
+      runs.lengths;
+    !acc
+end
+
+include Chunk_tree.Make (Codec)

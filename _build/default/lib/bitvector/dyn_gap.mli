@@ -1,0 +1,10 @@
+(** Fully-dynamic gap+δ bitvector — the Mäkinen–Navarro [18] encoding the
+    paper starts from in Section 4.2.
+
+    The positions of 1 bits are represented by δ-coded gaps inside the
+    leaves of a balanced chunk tree.  [access]/[rank]/[select]/[insert]/
+    [delete] run in O(log n) like {!Dyn_rle}, but a constant bitvector
+    [1^n] has a Θ(n)-bit encoding, so [init true n] is Θ(n): this module
+    exists to demonstrate Remark 4.2 (see the [ablation/init] bench). *)
+
+include Chunk_tree.S

@@ -1,0 +1,23 @@
+module Bit_io = Wt_bits.Bit_io
+module Elias = Wt_bits.Elias
+
+module Codec = struct
+  let name = "Dyn_rle"
+  let encode = Wt_bits.Rle.encode
+  let decode ~total ~ones:_ buf = Wt_bits.Rle.decode ~total buf
+
+  let reader ~total ~ones:_ buf =
+    if total = 0 then fun () -> invalid_arg "Dyn_rle.reader: empty"
+    else begin
+      let r = Bit_io.Reader.create buf in
+      let first = Bit_io.Reader.bit r in
+      let cur = ref (not first) in
+      fun () ->
+        cur := not !cur;
+        (!cur, Elias.read_gamma r)
+    end
+
+  let encoded_length = Wt_bits.Rle.encoded_length
+end
+
+include Chunk_tree.Make (Codec)

@@ -1,0 +1,10 @@
+(** Fully-dynamic RLE+γ bitvector (Section 4.2 of the paper, Theorem 4.9).
+
+    Runs are γ-coded inside the leaves of a balanced chunk tree
+    ({!Chunk_tree}).  All of [access], [rank], [select], [insert],
+    [delete] run in O(log n); crucially [init b n] builds a constant
+    bitvector in O(log n) time, the property (Remark 4.2) that makes this
+    encoding suitable for Wavelet Trie node splits.  Space is
+    O(n H0 + log n) bits. *)
+
+include Chunk_tree.S

@@ -1,0 +1,66 @@
+(** Module types for Fully Indexable Dictionaries (bitvectors with
+    rank/select), in the terminology of Raman–Raman–Rao [22].
+
+    Conventions used across the whole library:
+    - positions are 0-based;
+    - [rank t b pos] counts occurrences of bit [b] in positions [0, pos)
+      — so [rank t b 0 = 0] and [rank t b (length t)] is the total count;
+    - [select t b k] is the position of the [k]-th occurrence of [b],
+      counting from [k = 0]; it raises [Invalid_argument] when fewer than
+      [k + 1] occurrences exist. *)
+
+module type STATIC = sig
+  type t
+
+  val length : t -> int
+  (** Number of bits. *)
+
+  val ones : t -> int
+  (** Number of set bits. *)
+
+  val access : t -> int -> bool
+  (** [access t pos] is the bit at [pos].  O(1) (amortized for compressed
+      representations). *)
+
+  val rank : t -> bool -> int -> int
+  (** [rank t b pos] counts occurrences of [b] in [0, pos). *)
+
+  val select : t -> bool -> int -> int
+  (** [select t b k] is the position of the [k]-th occurrence of [b]. *)
+
+  val space_bits : t -> int
+  (** Total space of the encoding, including all directories, in bits.
+      Used by the space experiments. *)
+end
+
+module type APPENDABLE = sig
+  include STATIC
+
+  val append : t -> bool -> unit
+  (** Append a bit at position [length t]. *)
+end
+
+module type DYNAMIC = sig
+  include STATIC
+
+  val insert : t -> int -> bool -> unit
+  (** [insert t pos b] inserts [b] immediately before position [pos]
+      ([0 <= pos <= length t]). *)
+
+  val delete : t -> int -> unit
+  (** [delete t pos] removes the bit at [pos]. *)
+end
+
+(* Shared argument-checking helpers for implementations. *)
+
+let check_rank_pos ~who ~len pos =
+  if pos < 0 || pos > len then
+    invalid_arg (Printf.sprintf "%s.rank: position %d out of [0, %d]" who pos len)
+
+let check_access_pos ~who ~len pos =
+  if pos < 0 || pos >= len then
+    invalid_arg (Printf.sprintf "%s.access: position %d out of [0, %d)" who pos len)
+
+let check_select_idx ~who ~count k =
+  if k < 0 || k >= count then
+    invalid_arg (Printf.sprintf "%s.select: index %d out of [0, %d)" who k count)

@@ -1,0 +1,117 @@
+module Bitbuf = Wt_bits.Bitbuf
+module Broadword = Wt_bits.Broadword
+
+(* Geometry: words of 56 bits (so any word fits a single Bitbuf.get_bits
+   call), superblocks of 8 words = 448 bits.  Per superblock we store the
+   absolute cumulative ones count (l1) and, packed into one int, the seven
+   9-bit cumulative subcounts for words 1..7 (l2). *)
+
+let word_bits = 56
+let sb_words = 8
+let sb_bits = word_bits * sb_words
+
+type t = {
+  data : Bitbuf.t;
+  len : int;
+  ones : int;
+  l1 : int array; (* cumulative ones before each superblock; length nsb + 1 *)
+  l2 : int array; (* packed subcounts per superblock; length nsb *)
+}
+
+let length t = t.len
+let ones t = t.ones
+let zeros t = t.len - t.ones
+
+let word_pop data pos len =
+  if len = 0 then 0 else Broadword.popcount (Bitbuf.get_bits data pos len)
+
+let of_bitbuf buf =
+  let data = Bitbuf.copy buf in
+  let len = Bitbuf.length data in
+  let nsb = (len + sb_bits - 1) / sb_bits in
+  let l1 = Array.make (nsb + 1) 0 in
+  let l2 = Array.make (max nsb 1) 0 in
+  let total = ref 0 in
+  for sb = 0 to nsb - 1 do
+    l1.(sb) <- !total;
+    let base = sb * sb_bits in
+    let packed = ref 0 in
+    let within = ref 0 in
+    for w = 0 to sb_words - 1 do
+      if w > 0 then packed := !packed lor (!within lsl (9 * (w - 1)));
+      let wpos = base + (w * word_bits) in
+      let wlen = min word_bits (len - wpos) in
+      if wlen > 0 then within := !within + word_pop data wpos wlen
+    done;
+    l2.(sb) <- !packed;
+    total := !total + !within
+  done;
+  l1.(nsb) <- !total;
+  { data; len; ones = !total; l1; l2 }
+
+let of_string s = of_bitbuf (Bitbuf.of_string s)
+let to_bitbuf t = Bitbuf.copy t.data
+
+let access t pos =
+  Fid.check_access_pos ~who:"Plain" ~len:t.len pos;
+  Bitbuf.get t.data pos
+
+let get_bits t pos len = Bitbuf.get_bits t.data pos len
+
+let rank1 t pos =
+  let sb = pos / sb_bits in
+  let rem = pos mod sb_bits in
+  let w = rem / word_bits in
+  let r = rem mod word_bits in
+  let sub = if w = 0 then 0 else (t.l2.(sb) lsr (9 * (w - 1))) land 511 in
+  t.l1.(sb) + sub + word_pop t.data (pos - r) r
+
+let rank t b pos =
+  Fid.check_rank_pos ~who:"Plain" ~len:t.len pos;
+  if b then rank1 t pos else pos - rank1 t pos
+
+(* Binary search for the superblock whose cumulative count of [b] first
+   exceeds [k], then scan words. *)
+let select t b k =
+  let count = if b then t.ones else zeros t in
+  Fid.check_select_idx ~who:"Plain" ~count k;
+  let nsb = Array.length t.l1 - 1 in
+  let count_before sb = if b then t.l1.(sb) else (sb * sb_bits) - t.l1.(sb) in
+  (* Invariant: count_before lo <= k < count_before hi (hi exclusive end). *)
+  let lo = ref 0 and hi = ref nsb in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if count_before mid <= k then lo := mid else hi := mid
+  done;
+  let sb = !lo in
+  let base = sb * sb_bits in
+  let remaining = ref (k - count_before sb) in
+  let w = ref 0 in
+  let word_count w =
+    let wpos = base + (w * word_bits) in
+    let wlen = min word_bits (t.len - wpos) in
+    if wlen <= 0 then 0
+    else
+      let p = word_pop t.data wpos wlen in
+      if b then p else wlen - p
+  in
+  let c = ref (word_count 0) in
+  while !remaining >= !c do
+    remaining := !remaining - !c;
+    incr w;
+    c := word_count !w
+  done;
+  let wpos = base + (!w * word_bits) in
+  let wlen = min word_bits (t.len - wpos) in
+  let bits = Bitbuf.get_bits t.data wpos wlen in
+  let inword =
+    if b then Broadword.select_in_word bits !remaining
+    else Broadword.select0_in_word bits wlen !remaining
+  in
+  wpos + inword
+
+let space_bits t =
+  t.len + (64 * (Array.length t.l1 + Array.length t.l2 + 3))
+
+let pp fmt t =
+  Format.fprintf fmt "%s" (Bitbuf.to_string t.data)

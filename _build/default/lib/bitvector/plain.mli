@@ -1,0 +1,29 @@
+(** Uncompressed static bitvector with O(1) rank and O(log n) select.
+
+    The bit data is stored verbatim; a two-level rank directory in the
+    style of rank9 adds ~14% overhead: absolute cumulative counts every
+    448 bits plus seven 9-bit relative subcounts packed into one word per
+    superblock.  Select binary-searches the directory.
+
+    Used as the baseline FID, inside Wavelet Trees, and as the building
+    block of succinct tree shapes. *)
+
+type t
+
+include Fid.STATIC with type t := t
+
+val of_bitbuf : Wt_bits.Bitbuf.t -> t
+(** Build from a bit buffer (the bits are copied). *)
+
+val of_string : string -> t
+(** Build from an ASCII ["0101..."] description. *)
+
+val zeros : t -> int
+
+val get_bits : t -> int -> int -> int
+(** Direct multi-bit read of the underlying data, as {!Wt_bits.Bitbuf.get_bits}. *)
+
+val to_bitbuf : t -> Wt_bits.Bitbuf.t
+(** A copy of the underlying bits. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,428 @@
+module Bitbuf = Wt_bits.Bitbuf
+module Broadword = Wt_bits.Broadword
+
+let block_bits = 62
+let class_bits = 6
+let sb_blocks = 16
+let sb_bits = block_bits * sb_blocks
+
+(* Pascal's triangle up to n = 62.  C(62,31) = 4.7e17 < max_int. *)
+let binom =
+  let t = Array.make_matrix (block_bits + 1) (block_bits + 1) 0 in
+  for n = 0 to block_bits do
+    t.(n).(0) <- 1;
+    for k = 1 to n do
+      t.(n).(k) <- t.(n - 1).(k - 1) + (if k <= n - 1 then t.(n - 1).(k) else 0)
+    done
+  done;
+  t
+
+(* Offset field width for each class: ceil(log2 C(62, c)), 0 for the
+   singleton classes. *)
+let offset_width =
+  Array.init (block_bits + 1) (fun c ->
+      let count = binom.(block_bits).(c) in
+      if count <= 1 then 0 else Broadword.bit_width (count - 1))
+
+(* Rank of [bits] (a 62-bit pattern with popcount [c]) in the combinatorial
+   enumeration: scanning positions from 0, a set bit at position i with r
+   ones still to place skips C(62-1-i, r) patterns. *)
+let encode_offset bits c =
+  let off = ref 0 in
+  let r = ref c in
+  let i = ref 0 in
+  let bits = ref bits in
+  while !r > 0 do
+    if !bits land 1 = 1 then begin
+      (* patterns with a 0 here and r ones in the remaining 61-i bits *)
+      off := !off + binom.(block_bits - 1 - !i).(!r);
+      decr r
+    end;
+    bits := !bits lsr 1;
+    incr i
+  done;
+  !off
+
+let decode_offset off c =
+  let bits = ref 0 in
+  let off = ref off in
+  let r = ref c in
+  let i = ref 0 in
+  while !r > 0 do
+    let skip = binom.(block_bits - 1 - !i).(!r) in
+    if !off >= skip then begin
+      off := !off - skip;
+      bits := !bits lor (1 lsl !i);
+      decr r
+    end;
+    incr i
+  done;
+  !bits
+
+type t = {
+  len : int;
+  total_ones : int;
+  classes : Bitbuf.t; (* 6 bits per block *)
+  offsets : Bitbuf.t; (* variable-width offsets, concatenated *)
+  sb_ones : int array; (* cumulative ones before each superblock *)
+  sb_off : int array; (* offset-stream bit position at superblock start *)
+}
+
+let length t = t.len
+let ones t = t.total_ones
+let zeros t = t.len - t.total_ones
+
+let nblocks_of_len len = (len + block_bits - 1) / block_bits
+
+let of_bitbuf buf =
+  let len = Bitbuf.length buf in
+  let nblocks = nblocks_of_len len in
+  let nsb = (nblocks + sb_blocks - 1) / sb_blocks in
+  let classes = Bitbuf.create ~capacity_bits:(nblocks * class_bits) () in
+  let offsets = Bitbuf.create ~capacity_bits:len () in
+  let sb_ones = Array.make (nsb + 1) 0 in
+  let sb_off = Array.make (nsb + 1) 0 in
+  let total = ref 0 in
+  for blk = 0 to nblocks - 1 do
+    if blk mod sb_blocks = 0 then begin
+      let sb = blk / sb_blocks in
+      sb_ones.(sb) <- !total;
+      sb_off.(sb) <- Bitbuf.length offsets
+    end;
+    let pos = blk * block_bits in
+    let blen = min block_bits (len - pos) in
+    let bits = Bitbuf.get_bits buf pos blen in
+    let c = Broadword.popcount bits in
+    Bitbuf.add_bits classes class_bits c;
+    let w = offset_width.(c) in
+    if w > 0 then Bitbuf.add_bits offsets w (encode_offset bits c);
+    total := !total + c
+  done;
+  sb_ones.(nsb) <- !total;
+  sb_off.(nsb) <- Bitbuf.length offsets;
+  { len; total_ones = !total; classes; offsets; sb_ones; sb_off }
+
+let of_string s = of_bitbuf (Bitbuf.of_string s)
+
+let class_of t blk = Bitbuf.get_bits t.classes (blk * class_bits) class_bits
+
+let decode_block t off_pos c =
+  let w = offset_width.(c) in
+  if w = 0 then if c = 0 then 0 else Broadword.mask block_bits
+  else decode_offset (Bitbuf.get_bits t.offsets off_pos w) c
+
+(* Ones among the first [r] positions of a block with class [c] and
+   offset stream position [off_pos], stopping the unranking at position
+   [r] (cheaper than decoding the whole block). *)
+let rank1_in_block t off_pos c r =
+  let w = offset_width.(c) in
+  if w = 0 then if c = 0 then 0 else min r c
+  else begin
+    let off = ref (Bitbuf.get_bits t.offsets off_pos w) in
+    let rem = ref c in
+    let ones = ref 0 in
+    let i = ref 0 in
+    while !i < r && !rem > 0 do
+      let skip = binom.(block_bits - 1 - !i).(!rem) in
+      if !off >= skip then begin
+        off := !off - skip;
+        incr ones;
+        decr rem
+      end;
+      incr i
+    done;
+    !ones
+  end
+
+(* Bit at position [r] of a block (same early exit). *)
+let access_in_block t off_pos c r =
+  let w = offset_width.(c) in
+  if w = 0 then c <> 0
+  else begin
+    let off = ref (Bitbuf.get_bits t.offsets off_pos w) in
+    let rem = ref c in
+    let i = ref 0 in
+    let bit = ref false in
+    let continue = ref true in
+    while !continue do
+      let hit =
+        !rem > 0
+        &&
+        let skip = binom.(block_bits - 1 - !i).(!rem) in
+        if !off >= skip then begin
+          off := !off - skip;
+          decr rem;
+          true
+        end
+        else false
+      in
+      if !i = r then begin
+        bit := hit;
+        continue := false
+      end
+      else if !rem = 0 then begin
+        bit := false;
+        continue := false
+      end
+      else incr i
+    done;
+    !bit
+  end
+
+(* Walk blocks of superblock [sb] up to block [target]; returns
+   (ones before target within walk + sb base, offset position of target). *)
+let walk_to_block t target =
+  let sb = target / sb_blocks in
+  let ones = ref t.sb_ones.(sb) in
+  let off = ref t.sb_off.(sb) in
+  for blk = sb * sb_blocks to target - 1 do
+    let c = class_of t blk in
+    ones := !ones + c;
+    off := !off + offset_width.(c)
+  done;
+  (!ones, !off)
+
+let block_len t blk = min block_bits (t.len - (blk * block_bits))
+
+let rank1 t pos =
+  if pos = 0 then 0
+  else begin
+    let blk = pos / block_bits in
+    let nblocks = nblocks_of_len t.len in
+    if blk >= nblocks then t.total_ones
+    else begin
+      let ones, off = walk_to_block t blk in
+      let r = pos mod block_bits in
+      if r = 0 then ones else ones + rank1_in_block t off (class_of t blk) r
+    end
+  end
+
+let rank t b pos =
+  Fid.check_rank_pos ~who:"Rrr" ~len:t.len pos;
+  if b then rank1 t pos else pos - rank1 t pos
+
+let access t pos =
+  Fid.check_access_pos ~who:"Rrr" ~len:t.len pos;
+  let blk = pos / block_bits in
+  let _, off = walk_to_block t blk in
+  access_in_block t off (class_of t blk) (pos mod block_bits)
+
+(* (bit at pos, rank of that bit before pos): one walk + one partial
+   unranking that also captures the bit at [pos]. *)
+let access_rank t pos =
+  Fid.check_access_pos ~who:"Rrr" ~len:t.len pos;
+  let blk = pos / block_bits in
+  let ones, off_pos = walk_to_block t blk in
+  let c = class_of t blk in
+  let r = pos mod block_bits in
+  let w = offset_width.(c) in
+  let b, in_block =
+    if w = 0 then (c <> 0, if c = 0 then 0 else r)
+    else begin
+      let off = ref (Bitbuf.get_bits t.offsets off_pos w) in
+      let rem = ref c in
+      let cnt = ref 0 in
+      let i = ref 0 in
+      let bit = ref false in
+      let continue = ref true in
+      while !continue do
+        let hit =
+          !rem > 0
+          &&
+          let skip = binom.(block_bits - 1 - !i).(!rem) in
+          if !off >= skip then begin
+            off := !off - skip;
+            decr rem;
+            true
+          end
+          else false
+        in
+        if !i = r then begin
+          bit := hit;
+          continue := false
+        end
+        else begin
+          if hit then incr cnt;
+          if !rem = 0 then begin
+            bit := false;
+            continue := false
+          end
+          else incr i
+        end
+      done;
+      (!bit, !cnt)
+    end
+  in
+  let r1 = ones + in_block in
+  (b, if b then r1 else pos - r1)
+
+let select t b k =
+  let count = if b then t.total_ones else zeros t in
+  Fid.check_select_idx ~who:"Rrr" ~count k;
+  let nsb = Array.length t.sb_ones - 1 in
+  (* count of b strictly before superblock sb *)
+  let count_before sb =
+    if b then t.sb_ones.(sb) else min t.len (sb * sb_bits) - t.sb_ones.(sb)
+  in
+  let lo = ref 0 and hi = ref nsb in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if count_before mid <= k then lo := mid else hi := mid
+  done;
+  let sb = !lo in
+  let remaining = ref (k - count_before sb) in
+  let blk = ref (sb * sb_blocks) in
+  let off = ref (t.sb_off.(sb)) in
+  let block_count blk =
+    let c = class_of t blk in
+    if b then c else block_len t blk - c
+  in
+  let c = ref (block_count !blk) in
+  while !remaining >= !c do
+    remaining := !remaining - !c;
+    off := !off + offset_width.(class_of t !blk);
+    incr blk;
+    c := block_count !blk
+  done;
+  let cls = class_of t !blk in
+  let bits = decode_block t !off cls in
+  let inblock =
+    if b then Broadword.select_in_word bits !remaining
+    else Broadword.select0_in_word bits (block_len t !blk) !remaining
+  in
+  (!blk * block_bits) + inblock
+
+let to_bitbuf t =
+  let out = Bitbuf.create ~capacity_bits:t.len () in
+  let nblocks = nblocks_of_len t.len in
+  let off = ref 0 in
+  for blk = 0 to nblocks - 1 do
+    let c = class_of t blk in
+    let bits = decode_block t !off c in
+    off := !off + offset_width.(c);
+    Bitbuf.add_bits out (block_len t blk) bits
+  done;
+  out
+
+let space_bits t =
+  Bitbuf.length t.classes + Bitbuf.length t.offsets
+  + (64 * (Array.length t.sb_ones + Array.length t.sb_off + 2))
+
+(* Resumable construction: the paper's Section 4.1 de-amortization needs
+   RRR built "in O(n'/log n) steps ... interleaved with other operations".
+   A builder encodes a bounded number of blocks per [step] call. *)
+module Builder = struct
+  type rrr = t
+
+  type t = {
+    src : Bitbuf.t;
+    len : int;
+    nblocks : int;
+    nsb : int;
+    classes : Bitbuf.t;
+    offsets : Bitbuf.t;
+    sb_ones : int array;
+    sb_off : int array;
+    mutable blk : int; (* next block to encode *)
+    mutable total : int; (* ones so far *)
+  }
+
+  let create src =
+    let len = Bitbuf.length src in
+    let nblocks = nblocks_of_len len in
+    let nsb = (nblocks + sb_blocks - 1) / sb_blocks in
+    {
+      src;
+      len;
+      nblocks;
+      nsb;
+      classes = Bitbuf.create ~capacity_bits:(nblocks * class_bits) ();
+      offsets = Bitbuf.create ~capacity_bits:len ();
+      sb_ones = Array.make (nsb + 1) 0;
+      sb_off = Array.make (nsb + 1) 0;
+      blk = 0;
+      total = 0;
+    }
+
+  let finished b = b.blk >= b.nblocks
+
+  let step b k =
+    let target = min b.nblocks (b.blk + k) in
+    while b.blk < target do
+      let blk = b.blk in
+      if blk mod sb_blocks = 0 then begin
+        let sb = blk / sb_blocks in
+        b.sb_ones.(sb) <- b.total;
+        b.sb_off.(sb) <- Bitbuf.length b.offsets
+      end;
+      let pos = blk * block_bits in
+      let blen = min block_bits (b.len - pos) in
+      let bits = Bitbuf.get_bits b.src pos blen in
+      let c = Broadword.popcount bits in
+      Bitbuf.add_bits b.classes class_bits c;
+      let w = offset_width.(c) in
+      if w > 0 then Bitbuf.add_bits b.offsets w (encode_offset bits c);
+      b.total <- b.total + c;
+      b.blk <- blk + 1
+    done
+
+  let finalize b : rrr =
+    if not (finished b) then invalid_arg "Rrr.Builder.finalize: not finished";
+    b.sb_ones.(b.nsb) <- b.total;
+    b.sb_off.(b.nsb) <- Bitbuf.length b.offsets;
+    {
+      len = b.len;
+      total_ones = b.total;
+      classes = b.classes;
+      offsets = b.offsets;
+      sb_ones = b.sb_ones;
+      sb_off = b.sb_off;
+    }
+end
+
+module Iter = struct
+  type nonrec bv = t [@@warning "-34"]
+
+  type t = {
+    bv : bv;
+    mutable cursor : int; (* global bit position *)
+    mutable blk : int; (* decoded block index, or -1 *)
+    mutable bits : int; (* decoded block contents *)
+    mutable off : int; (* offset-stream position of block [blk] *)
+  }
+
+  let create bv pos =
+    if pos < 0 || pos > bv.len then invalid_arg "Rrr.Iter.create";
+    (* Position the offset cursor at the block containing [pos]. *)
+    if pos >= bv.len then { bv; cursor = pos; blk = -1; bits = 0; off = 0 }
+    else begin
+      let blk = pos / block_bits in
+      let _, off = walk_to_block bv blk in
+      let c = class_of bv blk in
+      let bits = decode_block bv off c in
+      { bv; cursor = pos; blk; bits; off }
+    end
+
+  let pos t = t.cursor
+  let has_next t = t.cursor < t.bv.len
+
+  let next t =
+    if t.cursor >= t.bv.len then invalid_arg "Rrr.Iter.next: exhausted";
+    let blk = t.cursor / block_bits in
+    if blk <> t.blk then begin
+      (* Crossed into the next block: advance the offset cursor. *)
+      if t.blk >= 0 && blk = t.blk + 1 then
+        t.off <- t.off + offset_width.(class_of t.bv t.blk)
+      else begin
+        let _, off = walk_to_block t.bv blk in
+        t.off <- off
+      end;
+      t.blk <- blk;
+      t.bits <- decode_block t.bv t.off (class_of t.bv blk)
+    end;
+    let b = t.bits land (1 lsl (t.cursor mod block_bits)) <> 0 in
+    t.cursor <- t.cursor + 1;
+    b
+end
+
+let pp fmt t = Format.fprintf fmt "%s" (Bitbuf.to_string (to_bitbuf t))

@@ -1,0 +1,71 @@
+(** RRR compressed static bitvector (Raman–Raman–Rao [22]).
+
+    The bitvector is split into blocks of 62 bits.  Each block is encoded
+    as a 6-bit class (its popcount) plus a variable-length offset: the
+    index of the block's bit pattern in the enumeration of all 62-bit
+    patterns of that class (combinatorial number system).  Superblocks of
+    16 blocks carry absolute rank and offset-stream position samples.
+
+    Space is [B(m,n) + O(n / 16) + directories] bits — entropy-compressed —
+    with O(1)-block rank/select walks (at most 16 class reads per query)
+    exactly as required by Sections 3 and 4.1 of the paper.
+
+    {!Iter} provides the sequential O(1)-amortized bit iterator needed by
+    the Section 5 range algorithms. *)
+
+type t
+
+include Fid.STATIC with type t := t
+
+val of_bitbuf : Wt_bits.Bitbuf.t -> t
+val of_string : string -> t
+
+val zeros : t -> int
+
+val access_rank : t -> int -> bool * int
+(** [access_rank t pos] is [(b, rank t b pos)] with [b = access t pos],
+    decoding the block once. *)
+
+val to_bitbuf : t -> Wt_bits.Bitbuf.t
+(** Decode the whole bitvector back to a buffer. *)
+
+val block_bits : int
+(** The block size (62). *)
+
+(** Resumable construction, for the Section 4.1 de-amortization: encode a
+    filled segment a few blocks at a time, interleaved with appends. *)
+module Builder : sig
+  type rrr := t
+  type t
+
+  val create : Wt_bits.Bitbuf.t -> t
+  (** Snapshot the buffer reference (the caller must not mutate it until
+      [finalize]). *)
+
+  val step : t -> int -> unit
+  (** [step b k] encodes up to [k] further blocks (62 bits each). *)
+
+  val finished : t -> bool
+
+  val finalize : t -> rrr
+  (** Requires [finished]. *)
+end
+
+module Iter : sig
+  type bv := t
+  type t
+
+  val create : bv -> int -> t
+  (** [create bv pos] is an iterator positioned at [pos]
+      ([0 <= pos <= length bv]). *)
+
+  val next : t -> bool
+  (** Return the bit under the cursor and advance.  Amortized O(1): blocks
+      are decoded once per 62 consumed bits.  Raises [Invalid_argument] at
+      the end of the bitvector. *)
+
+  val pos : t -> int
+  val has_next : t -> bool
+end
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/append_wt.ml: Array Format Fun Query Wt_bitvector Wt_strings

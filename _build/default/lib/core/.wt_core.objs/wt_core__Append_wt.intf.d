@@ -1,0 +1,1 @@
+lib/core/append_wt.mli: Format Indexed_sequence Node_view Stats Wt_strings

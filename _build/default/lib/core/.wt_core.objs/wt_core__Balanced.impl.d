@@ -1,0 +1,1 @@
+lib/core/balanced.ml: Dynamic_wt Wt_bits Wt_strings

@@ -1,0 +1,1 @@
+lib/core/indexed_sequence.ml: Array List Wt_strings

@@ -1,0 +1,1 @@
+lib/core/node_view.ml: Wt_strings

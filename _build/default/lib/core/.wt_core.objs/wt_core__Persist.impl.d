@@ -1,0 +1,1 @@
+lib/core/persist.ml: Append_wt Dynamic_wt Fun Marshal Printf String Wavelet_trie

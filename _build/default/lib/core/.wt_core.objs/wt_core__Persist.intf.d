@@ -1,0 +1,1 @@
+lib/core/persist.mli: Append_wt Dynamic_wt Wavelet_trie

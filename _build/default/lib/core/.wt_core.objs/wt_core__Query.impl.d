@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Format List Node_view Stats String Wt_bits Wt_strings

@@ -1,0 +1,1 @@
+lib/core/range.ml: Append_wt Array Dynamic_wt List Node_view Query Wavelet_trie Wt_strings

@@ -1,0 +1,1 @@
+lib/core/string_api.ml: Append_wt Array Dynamic_wt Indexed_sequence List Wavelet_trie Wt_strings

@@ -1,0 +1,1 @@
+lib/core/succinct_wt.ml: Array List Option Query Wavelet_trie Wt_bits Wt_bitvector Wt_strings Wt_trie

@@ -1,0 +1,1 @@
+lib/core/succinct_wt.mli: Indexed_sequence Node_view Stats Wavelet_trie Wt_strings

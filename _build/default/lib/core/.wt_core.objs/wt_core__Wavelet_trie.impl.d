@@ -1,0 +1,1 @@
+lib/core/wavelet_trie.ml: Array Fun Query Wt_bits Wt_bitvector Wt_strings

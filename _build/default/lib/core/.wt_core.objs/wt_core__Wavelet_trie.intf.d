@@ -1,0 +1,1 @@
+lib/core/wavelet_trie.mli: Format Indexed_sequence Node_view Stats Wt_strings

@@ -1,0 +1,207 @@
+module Bitstring = Wt_strings.Bitstring
+module Appendable = Wt_bitvector.Appendable
+
+type node = { mutable label : Bitstring.t; mutable kind : kind }
+
+and kind =
+  | Leaf of { mutable count : int }
+  | Internal of { bv : Appendable.t; mutable zero : node; mutable one : node }
+
+type t = { mutable root : node option; mutable n : int }
+
+let create () = { root = None; n = 0 }
+let length t = t.n
+
+let append t s =
+  (match t.root with
+  | None -> t.root <- Some { label = s; kind = Leaf { count = 1 } }
+  | Some root ->
+      (* Descend, appending the discriminating bit at every internal node;
+         [cnt] is the length of the subsequence at the current node
+         (before this append). *)
+      let rec go node off cnt =
+        let rest = Bitstring.drop s off in
+        let label = node.label in
+        let l = Bitstring.lcp label rest in
+        if l < Bitstring.length label then begin
+          if l = Bitstring.length rest then
+            invalid_arg "Append_wt.append: string is a proper prefix of a stored string";
+          (* Split: the new internal node's bitvector is Init(c, cnt)
+             followed by the new string's bit b — realized as a left
+             offset, O(1) (Section 4.1). *)
+          let b = Bitstring.get rest l in
+          let c = Bitstring.get label l in
+          let old_half = { label = Bitstring.drop label (l + 1); kind = node.kind } in
+          let new_leaf =
+            { label = Bitstring.drop rest (l + 1); kind = Leaf { count = 1 } }
+          in
+          let bv = Appendable.init c cnt in
+          Appendable.append bv b;
+          node.label <- Bitstring.prefix label l;
+          node.kind <-
+            (if b then Internal { bv; zero = old_half; one = new_leaf }
+             else Internal { bv; zero = new_leaf; one = old_half })
+        end
+        else begin
+          match node.kind with
+          | Leaf lf ->
+              if l = Bitstring.length rest then lf.count <- lf.count + 1
+              else
+                invalid_arg
+                  "Append_wt.append: a stored string is a proper prefix of the string"
+          | Internal { bv; zero; one } ->
+              if l = Bitstring.length rest then
+                invalid_arg
+                  "Append_wt.append: string is a proper prefix of a stored string";
+              let b = Bitstring.get rest l in
+              Appendable.append bv b;
+              let cnt' = (if b then Appendable.ones bv else Appendable.zeros bv) - 1 in
+              go (if b then one else zero) (off + l + 1) cnt'
+        end
+      in
+      go root 0 t.n);
+  t.n <- t.n + 1
+
+(* Bulk construction by recursive partitioning, with the bitvectors
+   streamed into Appendable segments — O(total bits). *)
+let of_array strings =
+  let n = Array.length strings in
+  if n = 0 then create ()
+  else begin
+    let rec build (idxs : int array) off =
+      let m = Array.length idxs in
+      let first = strings.(idxs.(0)) in
+      let alpha_len = ref (Bitstring.length first - off) in
+      for k = 1 to m - 1 do
+        let l =
+          Bitstring.lcp (Bitstring.drop first off) (Bitstring.drop strings.(idxs.(k)) off)
+        in
+        if l < !alpha_len then alpha_len := l
+      done;
+      let alpha = Bitstring.sub first off !alpha_len in
+      let stop = off + !alpha_len in
+      let ends = ref 0 in
+      for k = 0 to m - 1 do
+        if Bitstring.length strings.(idxs.(k)) = stop then incr ends
+      done;
+      if !ends = m then { label = alpha; kind = Leaf { count = m } }
+      else if !ends > 0 then
+        invalid_arg "Append_wt.append: a stored string is a proper prefix of the string"
+      else begin
+        let bv = Appendable.create () in
+        let ones = ref 0 in
+        for k = 0 to m - 1 do
+          let b = Bitstring.get strings.(idxs.(k)) stop in
+          Appendable.append bv b;
+          if b then incr ones
+        done;
+        let zeros_idx = Array.make (m - !ones) 0 in
+        let ones_idx = Array.make !ones 0 in
+        let zi = ref 0 and oi = ref 0 in
+        for k = 0 to m - 1 do
+          if Bitstring.get strings.(idxs.(k)) stop then begin
+            ones_idx.(!oi) <- idxs.(k);
+            incr oi
+          end
+          else begin
+            zeros_idx.(!zi) <- idxs.(k);
+            incr zi
+          end
+        done;
+        {
+          label = alpha;
+          kind =
+            Internal
+              {
+                bv;
+                zero = build zeros_idx (stop + 1);
+                one = build ones_idx (stop + 1);
+              };
+        }
+      end
+    in
+    { root = Some (build (Array.init n Fun.id) 0); n }
+  end
+
+(* ------------------------------------------------------------------ *)
+
+module Node = struct
+  type trie = t
+  type nonrec node = node
+
+  let root (trie : trie) = trie.root
+  let length (trie : trie) = trie.n
+  let label node = node.label
+  let is_leaf node = match node.kind with Leaf _ -> true | Internal _ -> false
+
+  let count node =
+    match node.kind with Leaf { count } -> count | Internal { bv; _ } -> Appendable.length bv
+
+  let child node b =
+    match node.kind with
+    | Leaf _ -> invalid_arg "Append_wt.Node.child: leaf"
+    | Internal { zero; one; _ } -> if b then one else zero
+
+  let bv_of node =
+    match node.kind with
+    | Leaf _ -> invalid_arg "Append_wt.Node: leaf has no bitvector"
+    | Internal { bv; _ } -> bv
+
+  let bv_rank node b pos = Appendable.rank (bv_of node) b pos
+  let bv_select node b k = Appendable.select (bv_of node) b k
+  let bv_access node pos = Appendable.access (bv_of node) pos
+
+  let bv_access_rank node pos = Appendable.access_rank (bv_of node) pos
+
+  let iter_bits node pos =
+    let it = Appendable.Iter.create (bv_of node) pos in
+    fun () -> Appendable.Iter.next it
+
+  let bv_space_bits node = Appendable.space_bits (bv_of node)
+end
+
+module Q = Query.Make (Node)
+
+let access = Q.access
+let rank = Q.rank
+let select = Q.select
+let rank_prefix = Q.rank_prefix
+let select_prefix = Q.select_prefix
+let distinct_count = Q.distinct_count
+let to_array = Q.to_array
+let dump = Q.dump
+let pp = Q.pp_tree
+
+let space_bits t =
+  let rec go node =
+    Bitstring.length node.label
+    +
+    match node.kind with
+    | Leaf _ -> 3 * 64
+    | Internal { bv; zero; one } -> Appendable.space_bits bv + (5 * 64) + go zero + go one
+  in
+  (match t.root with None -> 0 | Some root -> go root) + (2 * 64)
+
+let stats t = Q.stats ~space_bits t
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let rec go node =
+    match node.kind with
+    | Leaf { count } ->
+        if count <= 0 then fail "leaf with count %d" count;
+        count
+    | Internal { bv; zero; one } ->
+        Appendable.check_invariants bv;
+        let cz = go zero and co = go one in
+        if Appendable.zeros bv <> cz then
+          fail "zero-child count %d but bv has %d zeros" cz (Appendable.zeros bv);
+        if Appendable.ones bv <> co then
+          fail "one-child count %d but bv has %d ones" co (Appendable.ones bv);
+        cz + co
+  in
+  match t.root with
+  | None -> if t.n <> 0 then fail "empty root but n = %d" t.n
+  | Some root ->
+      let c = go root in
+      if c <> t.n then fail "root count %d but n = %d" c t.n

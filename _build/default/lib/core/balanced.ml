@@ -1,0 +1,63 @@
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Broadword = Wt_bits.Broadword
+module Xoshiro = Wt_bits.Xoshiro
+
+type t = {
+  w : int;
+  a : int; (* odd multiplier *)
+  a_inv : int; (* a^-1 mod 2^w *)
+  wt : Dynamic_wt.t;
+}
+
+(* Inverse of an odd number modulo 2^w by Newton iteration: each step
+   doubles the number of correct low bits. *)
+let mod_inverse a w =
+  let m = Broadword.mask w in
+  let x = ref a in
+  for _ = 1 to 6 do
+    x := !x * (2 - (a * !x)) land m
+  done;
+  !x land m
+
+let create ?(seed = 0x5eed) ~width () =
+  if width < 1 || width > 62 then invalid_arg "Balanced.create: bad width";
+  let rng = Xoshiro.create seed in
+  let a = Xoshiro.odd rng ~bits:width in
+  { w = width; a; a_inv = mod_inverse a width; wt = Dynamic_wt.create () }
+
+let width t = t.w
+let length t = Dynamic_wt.length t.wt
+
+let check_value t x =
+  if x < 0 || (t.w < 62 && x >= 1 lsl t.w) then invalid_arg "Balanced: value out of universe"
+
+(* The hash is written MOST-significant bit first.  The paper says
+   "LSB-to-MSB", but the low bits of [a*x mod 2^w] only depend on
+   [x mod 2^l] — a set of values congruent modulo a small power of two
+   (e.g. the powers of two themselves) collides on every low prefix with
+   probability 1, and the trie degenerates.  The Dietzfelbinger et
+   al. [4] guarantee is for the HIGH bits of the product, so those must
+   come first on the root-to-leaf paths.  See DESIGN.md. *)
+let encode t x =
+  check_value t x;
+  Binarize.of_int_msb ~width:t.w (t.a * x land Broadword.mask t.w)
+
+let decode t bits = t.a_inv * Binarize.to_int_msb bits land Broadword.mask t.w
+
+let access t pos = decode t (Dynamic_wt.access t.wt pos)
+let rank t x pos = Dynamic_wt.rank t.wt (encode t x) pos
+let select t x idx = Dynamic_wt.select t.wt (encode t x) idx
+let insert t pos x = Dynamic_wt.insert t.wt pos (encode t x)
+let delete t pos = Dynamic_wt.delete t.wt pos
+let append t x = insert t (length t) x
+let distinct_count t = Dynamic_wt.distinct_count t.wt
+
+let height t =
+  let module N = Dynamic_wt.Node in
+  let rec go node = if N.is_leaf node then 0 else 1 + max (go (N.child node false)) (go (N.child node true)) in
+  match N.root t.wt with None -> 0 | Some root -> go root
+
+let space_bits t = Dynamic_wt.space_bits t.wt + (4 * 64)
+let stats t = Dynamic_wt.stats t.wt
+let check_invariants t = Dynamic_wt.check_invariants t.wt

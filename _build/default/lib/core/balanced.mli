@@ -1,0 +1,53 @@
+(** Probabilistically-balanced dynamic Wavelet Tree (Section 6 of the
+    paper, Theorem 6.2).
+
+    Maintains a dynamic sequence of integers drawn from a universe
+    [0, 2^width) whose working alphabet Σ (the set of distinct values
+    actually present) is unknown in advance and typically much smaller
+    than the universe.  Values are permuted by the multiplicative hash
+    [h_a(x) = a·x mod 2^width] (a random odd [a], Dietzfelbinger et
+    al. [4]), written MSB-first, and stored in a fully-dynamic Wavelet
+    Trie; path compression then keeps the trie height at most
+    [(α+2)·log |Σ|] with probability [1 − |Σ|^−α], independent of the
+    universe size.
+
+    Deviation from the paper's text: Section 6 writes the hash
+    "LSB-to-MSB", but the low bits of [a·x mod 2^w] depend only on
+    [x mod 2^l], so any value set congruent modulo a power of two (e.g.
+    the powers of two) degenerates the trie with probability 1.  The
+    underlying lemma of [4] bounds collisions of the {e high} bits of the
+    product, so this implementation puts them first (see DESIGN.md).
+
+    Operations are [O(log u + h log n)] with [h] the trie height. *)
+
+type t
+
+val create : ?seed:int -> width:int -> unit -> t
+(** [create ~width ()] handles values in [0, 2^width), [1 <= width <= 62].
+    [seed] fixes the hash choice (reproducibility). *)
+
+val width : t -> int
+val length : t -> int
+
+val access : t -> int -> int
+val rank : t -> int -> int -> int
+(** [rank t x pos]: occurrences of value [x] in positions [0, pos). *)
+
+val select : t -> int -> int -> int option
+val insert : t -> int -> int -> unit
+(** [insert t pos x]. *)
+
+val delete : t -> int -> unit
+val append : t -> int -> unit
+
+val distinct_count : t -> int
+(** |Σ|: number of distinct values currently stored. *)
+
+val height : t -> int
+(** Current trie height (internal nodes on the deepest path) — the
+    quantity bounded by Theorem 6.2. *)
+
+val space_bits : t -> int
+val stats : t -> Stats.t
+
+val check_invariants : t -> unit

@@ -1,0 +1,39 @@
+(** Fully-dynamic Wavelet Trie (Section 4 of the paper, Theorem 4.4) —
+    the first compressed dynamic sequence with a dynamic alphabet.
+
+    A dynamic Patricia Trie skeleton whose internal nodes carry
+    fully-dynamic RLE+γ bitvectors ({!Wt_bitvector.Dyn_rle}).
+
+    - [insert pos s] supports previously unseen strings: the trie node
+      where [s] diverges is split, and the fresh internal node receives a
+      constant bitvector built with the O(log n) [Init] of Theorem 4.9
+      (Figure 3 of the paper).
+    - [delete pos] removes the string at [pos]; deleting the last
+      occurrence of a string merges its parent with the sibling subtree,
+      shrinking the alphabet.
+
+    All operations run in O(|s| + h_s log n) (delete of a last occurrence
+    pays the label merge, O(l̂ + h_s log n)).  Space is
+    [LB(S) + PT(Sset) + O(n H0)] bits. *)
+
+type t
+
+include Indexed_sequence.DYNAMIC with type t := t
+
+val create : unit -> t
+val of_array : Wt_strings.Bitstring.t array -> t
+val to_array : t -> Wt_strings.Bitstring.t array
+
+val dump : t -> (string * string option) list
+val stats : t -> Stats.t
+
+val pp : Format.formatter -> t -> unit
+(** Render the trie in the style of the paper's Figure 2 (labels α and
+    bitvectors β per node; β truncated past 64 bits). *)
+
+val check_invariants : t -> unit
+(** Validate per-node counts, bitvector internal invariants, and that no
+    internal node has a constant bitvector (such nodes must have been
+    merged away).  Raises [Failure]. *)
+
+module Node : Node_view.S with type trie = t

@@ -1,0 +1,121 @@
+(** The indexed-sequence-of-strings interface (Section 1 of the paper) and
+    a naive reference implementation used as the testing oracle.
+
+    All strings are prefix-free bitstrings (binarize byte strings or
+    integers with {!Wt_strings.Binarize} first).  Conventions:
+    - [rank t s pos] counts occurrences of [s] in positions [0, pos);
+    - [select t s idx] is the position of the [idx]-th occurrence
+      (0-based), or [None] when there are at most [idx] occurrences;
+    - [rank_prefix]/[select_prefix] are the same over strings that start
+      with the given prefix. *)
+
+module Bitstring = Wt_strings.Bitstring
+
+module type S = sig
+  type t
+
+  val length : t -> int
+  val access : t -> int -> Bitstring.t
+  val rank : t -> Bitstring.t -> int -> int
+  val select : t -> Bitstring.t -> int -> int option
+  val rank_prefix : t -> Bitstring.t -> int -> int
+  val select_prefix : t -> Bitstring.t -> int -> int option
+
+  val distinct_count : t -> int
+  (** |Sset|: number of distinct strings present. *)
+
+  val space_bits : t -> int
+end
+
+module type DYNAMIC = sig
+  include S
+
+  val insert : t -> int -> Bitstring.t -> unit
+  (** [insert t pos s] places [s] immediately before position [pos]. *)
+
+  val delete : t -> int -> unit
+  val append : t -> Bitstring.t -> unit
+end
+
+(** Array-backed oracle: every operation is a linear scan. *)
+module Naive = struct
+  type t = { mutable xs : Bitstring.t array; mutable n : int }
+
+  let create () = { xs = [||]; n = 0 }
+  let of_array xs = { xs = Array.copy xs; n = Array.length xs }
+  let length t = t.n
+
+  let access t pos =
+    if pos < 0 || pos >= t.n then invalid_arg "Naive.access";
+    t.xs.(pos)
+
+  let count_below t pred pos =
+    let acc = ref 0 in
+    for i = 0 to pos - 1 do
+      if pred t.xs.(i) then incr acc
+    done;
+    !acc
+
+  let find_nth t pred idx =
+    let seen = ref 0 in
+    let res = ref None in
+    (try
+       for i = 0 to t.n - 1 do
+         if pred t.xs.(i) then begin
+           if !seen = idx then begin
+             res := Some i;
+             raise Exit
+           end;
+           incr seen
+         end
+       done
+     with Exit -> ());
+    !res
+
+  let rank t s pos =
+    if pos < 0 || pos > t.n then invalid_arg "Naive.rank";
+    count_below t (Bitstring.equal s) pos
+
+  let select t s idx = if idx < 0 then invalid_arg "Naive.select" else find_nth t (Bitstring.equal s) idx
+
+  let rank_prefix t p pos =
+    if pos < 0 || pos > t.n then invalid_arg "Naive.rank_prefix";
+    count_below t (fun s -> Bitstring.is_prefix ~prefix:p s) pos
+
+  let select_prefix t p idx =
+    if idx < 0 then invalid_arg "Naive.select_prefix"
+    else find_nth t (fun s -> Bitstring.is_prefix ~prefix:p s) idx
+
+  let distinct_count t =
+    let l = Array.to_list (Array.sub t.xs 0 t.n) in
+    List.length (List.sort_uniq Bitstring.compare l)
+
+  let space_bits t =
+    let acc = ref (64 * (t.n + 2)) in
+    for i = 0 to t.n - 1 do
+      acc := !acc + Bitstring.length t.xs.(i)
+    done;
+    !acc
+
+  let ensure t n =
+    if n > Array.length t.xs then begin
+      let xs = Array.make (max 8 (2 * n)) Bitstring.empty in
+      Array.blit t.xs 0 xs 0 t.n;
+      t.xs <- xs
+    end
+
+  let insert t pos s =
+    if pos < 0 || pos > t.n then invalid_arg "Naive.insert";
+    ensure t (t.n + 1);
+    Array.blit t.xs pos t.xs (pos + 1) (t.n - pos);
+    t.xs.(pos) <- s;
+    t.n <- t.n + 1
+
+  let delete t pos =
+    if pos < 0 || pos >= t.n then invalid_arg "Naive.delete";
+    Array.blit t.xs (pos + 1) t.xs pos (t.n - pos - 1);
+    t.n <- t.n - 1
+
+  let append t s = insert t t.n s
+  let to_array t = Array.sub t.xs 0 t.n
+end

@@ -1,0 +1,46 @@
+(** The node interface shared by all Wavelet Trie variants.
+
+    The query algorithms of Sections 3–5 (access/rank/select, the prefix
+    variants, and the range algorithms) only need trie navigation plus
+    rank/select/access/iteration on each node's bitvector β; this module
+    type abstracts over the static (RRR), append-only, and fully-dynamic
+    (RLE+γ) node representations so {!Query} and {!Range} are written
+    once. *)
+
+module type S = sig
+  type trie
+  type node
+
+  val root : trie -> node option
+  (** [None] iff the sequence is empty. *)
+
+  val length : trie -> int
+  (** Sequence length [n]. *)
+
+  val label : node -> Wt_strings.Bitstring.t
+  (** The node's α. *)
+
+  val is_leaf : node -> bool
+
+  val count : node -> int
+  (** Length of the subsequence this node represents (for internal nodes,
+      the length of β; for leaves, the number of occurrences). *)
+
+  val child : node -> bool -> node
+  (** [child v b]: the [b]-labeled child of an internal node. *)
+
+  val bv_rank : node -> bool -> int -> int
+  val bv_select : node -> bool -> int -> int
+  val bv_access : node -> int -> bool
+
+  val bv_access_rank : node -> int -> bool * int
+  (** [(b, rank b pos)] with [b] the bit at [pos], in one pass over β. *)
+
+  val iter_bits : node -> int -> unit -> bool
+  (** [iter_bits v pos] returns a cursor yielding β's bits from position
+      [pos], one per call, amortized O(1). *)
+
+  val bv_space_bits : node -> int
+  (** Measured footprint of an internal node's bitvector (space
+      accounting). *)
+end

@@ -1,0 +1,22 @@
+(** Save/load Wavelet Tries to disk.
+
+    The on-disk format is a small header (magic, format version, variant
+    tag) followed by the OCaml [Marshal] encoding of the structure.  Like
+    all [Marshal]-based formats it is not portable across incompatible
+    compiler versions; the header makes such mismatches fail loudly
+    instead of silently misbehaving.  Intended for index caches (see the
+    [wtrie] CLI), not archival storage. *)
+
+exception Format_error of string
+(** Raised by the [load_*] functions on a bad magic, version or variant
+    tag. *)
+
+val save_static : Wavelet_trie.t -> string -> unit
+val load_static : string -> Wavelet_trie.t
+val save_append : Append_wt.t -> string -> unit
+val load_append : string -> Append_wt.t
+val save_dynamic : Dynamic_wt.t -> string -> unit
+val load_dynamic : string -> Dynamic_wt.t
+
+val is_index_file : string -> bool
+(** Whether the file starts with this library's magic bytes. *)

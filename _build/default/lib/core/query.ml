@@ -1,0 +1,210 @@
+(** Query algorithms of the Wavelet Trie (Lemmas 3.2 and 3.3), written
+    once over {!Node_view.S} and shared by the static, append-only and
+    fully-dynamic variants.
+
+    Each operation performs O(h_s) bitvector operations along the
+    root-to-node path of the queried string [s] (or prefix [p]), plus the
+    O(|s|) label comparisons of a Patricia Trie search. *)
+
+module Bitstring = Wt_strings.Bitstring
+
+module Make (N : Node_view.S) = struct
+  let access trie pos =
+    if pos < 0 || pos >= N.length trie then invalid_arg "Wavelet_trie.access";
+    let rec go node pos acc =
+      if N.is_leaf node then Bitstring.concat (List.rev (N.label node :: acc))
+      else begin
+        let b, pos' = N.bv_access_rank node pos in
+        go (N.child node b) pos' (Bitstring.of_bool_list [ b ] :: N.label node :: acc)
+      end
+    in
+    match N.root trie with None -> assert false | Some root -> go root pos []
+
+  let rank trie s pos =
+    if pos < 0 || pos > N.length trie then invalid_arg "Wavelet_trie.rank";
+    let rec go node off pos =
+      if pos = 0 then 0
+      else begin
+        let rest = Bitstring.drop s off in
+        let label = N.label node in
+        let l = Bitstring.lcp label rest in
+        if N.is_leaf node then
+          if l = Bitstring.length label && l = Bitstring.length rest then pos else 0
+        else if l < Bitstring.length label || l >= Bitstring.length rest then 0
+        else begin
+          let b = Bitstring.get rest l in
+          go (N.child node b) (off + l + 1) (N.bv_rank node b pos)
+        end
+      end
+    in
+    match N.root trie with None -> 0 | Some root -> go root 0 pos
+
+  (* Descend to the leaf spelling s, recording the (node, bit) trail;
+     returns the occurrence count and the trail, deepest node first. *)
+  let trail_of trie s =
+    let rec go node off acc =
+      let rest = Bitstring.drop s off in
+      let label = N.label node in
+      let l = Bitstring.lcp label rest in
+      if N.is_leaf node then
+        if l = Bitstring.length label && l = Bitstring.length rest then
+          Some (N.count node, acc)
+        else None
+      else if l < Bitstring.length label || l >= Bitstring.length rest then None
+      else begin
+        let b = Bitstring.get rest l in
+        go (N.child node b) (off + l + 1) ((node, b) :: acc)
+      end
+    in
+    match N.root trie with None -> None | Some root -> go root 0 []
+
+  let select trie s idx =
+    if idx < 0 then invalid_arg "Wavelet_trie.select";
+    match trail_of trie s with
+    | None -> None
+    | Some (count, trail) ->
+        if idx >= count then None
+        else Some (List.fold_left (fun i (node, b) -> N.bv_select node b i) idx trail)
+
+  let rank_prefix trie p pos =
+    if pos < 0 || pos > N.length trie then invalid_arg "Wavelet_trie.rank_prefix";
+    let rec go node off pos =
+      if pos = 0 then 0
+      else begin
+        let rest = Bitstring.drop p off in
+        if Bitstring.is_empty rest then pos
+        else begin
+          let label = N.label node in
+          let l = Bitstring.lcp label rest in
+          if l = Bitstring.length rest then pos
+          else if l < Bitstring.length label || N.is_leaf node then 0
+          else begin
+            let b = Bitstring.get rest l in
+            go (N.child node b) (off + l + 1) (N.bv_rank node b pos)
+          end
+        end
+      end
+    in
+    match N.root trie with None -> 0 | Some root -> go root 0 pos
+
+  (* Descend to the node np covering prefix p (Lemma 3.3). *)
+  let prefix_trail trie p =
+    let rec go node off acc =
+      let rest = Bitstring.drop p off in
+      if Bitstring.is_empty rest then Some (node, acc)
+      else begin
+        let label = N.label node in
+        let l = Bitstring.lcp label rest in
+        if l = Bitstring.length rest then Some (node, acc)
+        else if l < Bitstring.length label || N.is_leaf node then None
+        else begin
+          let b = Bitstring.get rest l in
+          go (N.child node b) (off + l + 1) ((node, b) :: acc)
+        end
+      end
+    in
+    match N.root trie with None -> None | Some root -> go root 0 []
+
+  let select_prefix trie p idx =
+    if idx < 0 then invalid_arg "Wavelet_trie.select_prefix";
+    match prefix_trail trie p with
+    | None -> None
+    | Some (np, trail) ->
+        if idx >= N.count np then None
+        else Some (List.fold_left (fun i (node, b) -> N.bv_select node b i) idx trail)
+
+  let distinct_count trie =
+    let rec go node =
+      if N.is_leaf node then 1 else go (N.child node false) + go (N.child node true)
+    in
+    match N.root trie with None -> 0 | Some root -> go root
+
+  let to_array trie = Array.init (N.length trie) (access trie)
+
+  (* Preorder dump of (α, β) pairs, for golden structure tests. *)
+  let dump trie =
+    let out = ref [] in
+    let rec go node =
+      if N.is_leaf node then
+        out := (Bitstring.to_string (N.label node), None) :: !out
+      else begin
+        let m = N.count node in
+        let next = N.iter_bits node 0 in
+        let beta = String.init m (fun _ -> if next () then '1' else '0') in
+        out := (Bitstring.to_string (N.label node), Some beta) :: !out;
+        go (N.child node false);
+        go (N.child node true)
+      end
+    in
+    (match N.root trie with None -> () | Some root -> go root);
+    List.rev !out
+
+  (* Figure-2-style tree rendering. *)
+  let pp_tree fmt trie =
+    let label_str node =
+      let l = Bitstring.to_string (N.label node) in
+      if l = "" then "{e}" else l
+    in
+    let rec go fmt prefix node =
+      if N.is_leaf node then
+        Format.fprintf fmt "a=%s  (leaf x%d)" (label_str node) (N.count node)
+      else begin
+        let m = N.count node in
+        let next = N.iter_bits node 0 in
+        let beta =
+          String.init (min m 64) (fun _ -> if next () then '1' else '0')
+          ^ if m > 64 then "..." else ""
+        in
+        Format.fprintf fmt "a=%s  b=%s" (label_str node) beta;
+        Format.fprintf fmt "@,%s+-0: " prefix;
+        go fmt (prefix ^ "|    ") (N.child node false);
+        Format.fprintf fmt "@,%s+-1: " prefix;
+        go fmt (prefix ^ "     ") (N.child node true)
+      end
+    in
+    match N.root trie with
+    | None -> Format.pp_print_string fmt "<empty sequence>"
+    | Some root ->
+        Format.fprintf fmt "@[<v>";
+        go fmt "" root;
+        Format.fprintf fmt "@]"
+
+  (* Generic space accounting (Stats).  [space_bits] supplies the
+     variant's measured total (node overheads differ across variants). *)
+  let stats ~space_bits trie : Stats.t =
+    let bv_len = ref 0 in
+    let bv_bits = ref 0 in
+    let label_bits = ref 0 in
+    let leaf_counts = ref [] in
+    let nodes = ref 0 in
+    let rec go node =
+      incr nodes;
+      label_bits := !label_bits + Bitstring.length (N.label node);
+      if N.is_leaf node then leaf_counts := N.count node :: !leaf_counts
+      else begin
+        bv_len := !bv_len + N.count node;
+        bv_bits := !bv_bits + N.bv_space_bits node;
+        go (N.child node false);
+        go (N.child node true)
+      end
+    in
+    (match N.root trie with None -> () | Some root -> go root);
+    let e = max 0 (!nodes - 1) in
+    let trie_lb_bits =
+      if !nodes = 0 then 0.
+      else
+        float_of_int (!label_bits + e)
+        +. Wt_bits.Entropy.binomial_bound e (!label_bits + e)
+    in
+    let n = N.length trie in
+    {
+      n;
+      distinct = List.length !leaf_counts;
+      avg_height = (if n = 0 then 0. else float_of_int !bv_len /. float_of_int n);
+      seq_h0_bits = Wt_bits.Entropy.sequence_h0_bits (Array.of_list !leaf_counts);
+      trie_lb_bits;
+      bv_bits = !bv_bits;
+      label_bits = !label_bits;
+      total_bits = space_bits trie;
+    }
+end

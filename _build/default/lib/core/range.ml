@@ -1,0 +1,338 @@
+(** Range query algorithms on the Wavelet Trie (Section 5 of the paper).
+
+    All operations work on the positions [lo, hi) of the sequence and are
+    generic over the trie variant through {!Node_view.S}; [Cop] (the cost
+    of one bitvector operation) is O(1) for the static and append-only
+    tries and O(log n) for the fully dynamic one.
+
+    - {!Make.iter_range}: sequential enumeration using per-node bit
+      iterators — one rank per traversed node, then O(1) amortized per
+      emitted bit (the paper's "Sequential access").
+    - {!Make.distinct}: distinct values (with counts) in the range, in
+      lexicographic order, touching only subtrees that contain range
+      elements.
+    - {!Make.majority}: the range majority element, O(h · Cop).
+    - {!Make.at_least}: all values occurring at least [threshold] times in
+      the range — the paper's pruning heuristic for frequent values.
+    - {!Make.top_k}: the k most frequent values, exactly (best-first by
+      range count).
+    - {!Make.quantile}: the k-th lexicographically smallest string in the
+      range (the range-quantile algorithm of [11], which Section 5 cites).
+
+    Each operation takes an optional [?prefix] restricting it to the
+    subtree of strings starting with that prefix (the traversal starts at
+    the node [n_p] of Lemma 3.3). *)
+
+module Bitstring = Wt_strings.Bitstring
+
+module Make (N : Node_view.S) = struct
+  module Q = Query.Make (N)
+
+  (* Resolve the optional prefix: the start node, the root-to-node string
+     (including the node's own label for internal recursions that emit
+     strings), and [lo, hi) mapped into the node's subsequence.  Returns
+     None when no stored string has the prefix. *)
+  let resolve ?prefix trie ~lo ~hi =
+    let n = N.length trie in
+    if lo < 0 || hi > n || lo > hi then invalid_arg "Range: bad range";
+    match N.root trie with
+    | None -> None
+    | Some root -> (
+        match prefix with
+        | None -> Some (root, [], lo, hi)
+        | Some p -> (
+            match Q.prefix_trail trie p with
+            | None -> None
+            | Some (np, trail) ->
+                let trail = List.rev trail (* root first *) in
+                let map pos =
+                  List.fold_left (fun pos (node, b) -> N.bv_rank node b pos) pos trail
+                in
+                let base =
+                  List.concat_map
+                    (fun (node, b) -> [ N.label node; Bitstring.of_bool_list [ b ] ])
+                    trail
+                in
+                Some (np, base, map lo, map hi)))
+
+  (* Lazily-built cursor tree for sequential access. *)
+  type cursor = {
+    node : N.node;
+    path : Bitstring.t; (* full string prefix incl. this node's label *)
+    next_bit : (unit -> bool) option; (* None for leaves *)
+    mutable zero : cursor option;
+    mutable one : cursor option;
+    mutable zero_start : int; (* subsequence position where the child
+                                 cursor starts when first created *)
+    mutable one_start : int;
+  }
+
+  let make_cursor node path start =
+    {
+      node;
+      path;
+      next_bit = (if N.is_leaf node then None else Some (N.iter_bits node start));
+      zero = None;
+      one = None;
+      zero_start = (if N.is_leaf node then 0 else N.bv_rank node false start);
+      one_start = (if N.is_leaf node then 0 else N.bv_rank node true start);
+    }
+
+  let rec cursor_next c =
+    match c.next_bit with
+    | None -> c.path
+    | Some next ->
+        let b = next () in
+        let child =
+          if b then (
+            match c.one with
+            | Some x -> x
+            | None ->
+                let ch = N.child c.node true in
+                let x =
+                  make_cursor ch
+                    (Bitstring.concat
+                       [ c.path; Bitstring.of_bool_list [ true ]; N.label ch ])
+                    c.one_start
+                in
+                c.one <- Some x;
+                x)
+          else
+            match c.zero with
+            | Some x -> x
+            | None ->
+                let ch = N.child c.node false in
+                let x =
+                  make_cursor ch
+                    (Bitstring.concat
+                       [ c.path; Bitstring.of_bool_list [ false ]; N.label ch ])
+                    c.zero_start
+                in
+                c.zero <- Some x;
+                x
+        in
+        cursor_next child
+
+  let iter_range ?prefix trie ~lo ~hi f =
+    match resolve ?prefix trie ~lo ~hi with
+    | None -> ()
+    | Some (node, base, lo, hi) ->
+        if lo < hi then begin
+          let path = Bitstring.concat (base @ [ N.label node ]) in
+          let c = make_cursor node path lo in
+          for _ = lo to hi - 1 do
+            f (cursor_next c)
+          done
+        end
+
+  let to_list ?prefix trie ~lo ~hi =
+    let acc = ref [] in
+    iter_range ?prefix trie ~lo ~hi (fun s -> acc := s :: !acc);
+    List.rev !acc
+
+  let distinct ?prefix trie ~lo ~hi =
+    match resolve ?prefix trie ~lo ~hi with
+    | None -> []
+    | Some (node, base, lo, hi) ->
+        let acc = ref [] in
+        let rec go node parts lo hi =
+          if hi > lo then
+            if N.is_leaf node then
+              acc := (Bitstring.concat (List.rev parts), hi - lo) :: !acc
+            else begin
+              let z_lo = N.bv_rank node false lo and z_hi = N.bv_rank node false hi in
+              go (N.child node false)
+                (N.label (N.child node false) :: Bitstring.of_bool_list [ false ] :: parts)
+                z_lo z_hi;
+              go (N.child node true)
+                (N.label (N.child node true) :: Bitstring.of_bool_list [ true ] :: parts)
+                (lo - z_lo) (hi - z_hi)
+            end
+        in
+        go node (N.label node :: List.rev base) lo hi;
+        List.rev !acc
+
+  let majority ?prefix trie ~lo ~hi =
+    match resolve ?prefix trie ~lo ~hi with
+    | None -> None
+    | Some (node, base, lo, hi) ->
+        if hi <= lo then None
+        else begin
+          let total = hi - lo in
+          let rec go node parts lo hi =
+            if N.is_leaf node then begin
+              let count = hi - lo in
+              if 2 * count > total then
+                Some (Bitstring.concat (List.rev parts), count)
+              else None
+            end
+            else begin
+              let z_lo = N.bv_rank node false lo and z_hi = N.bv_rank node false hi in
+              let zeros = z_hi - z_lo in
+              let ones = hi - lo - zeros in
+              if 2 * zeros > total then
+                go (N.child node false)
+                  (N.label (N.child node false)
+                  :: Bitstring.of_bool_list [ false ]
+                  :: parts)
+                  z_lo z_hi
+              else if 2 * ones > total then
+                go (N.child node true)
+                  (N.label (N.child node true) :: Bitstring.of_bool_list [ true ] :: parts)
+                  (lo - z_lo) (hi - z_hi)
+              else None
+            end
+          in
+          go node (N.label node :: List.rev base) lo hi
+        end
+
+  let at_least ?prefix trie ~lo ~hi ~threshold =
+    if threshold < 1 then invalid_arg "Range.at_least: threshold must be >= 1";
+    match resolve ?prefix trie ~lo ~hi with
+    | None -> []
+    | Some (node, base, lo, hi) ->
+        let acc = ref [] in
+        let rec go node parts lo hi =
+          if hi - lo >= threshold then
+            if N.is_leaf node then
+              acc := (Bitstring.concat (List.rev parts), hi - lo) :: !acc
+            else begin
+              let z_lo = N.bv_rank node false lo and z_hi = N.bv_rank node false hi in
+              go (N.child node false)
+                (N.label (N.child node false) :: Bitstring.of_bool_list [ false ] :: parts)
+                z_lo z_hi;
+              go (N.child node true)
+                (N.label (N.child node true) :: Bitstring.of_bool_list [ true ] :: parts)
+                (lo - z_lo) (hi - z_hi)
+            end
+        in
+        go node (N.label node :: List.rev base) lo hi;
+        List.rev !acc
+
+  let count_range trie ~prefix ~lo ~hi =
+    let n = N.length trie in
+    if lo < 0 || hi > n || lo > hi then invalid_arg "Range.count_range";
+    Q.rank_prefix trie prefix hi - Q.rank_prefix trie prefix lo
+
+  (* k-th lexicographically smallest string in the range — the range
+     quantile algorithm of Gagie-Navarro-Puglisi [11], which Section 5
+     builds on: descend taking the 0-branch while it holds more than k
+     range elements, else discount them and go right.  O(h * Cop). *)
+  let quantile ?prefix trie ~lo ~hi k =
+    if k < 0 then invalid_arg "Range.quantile";
+    match resolve ?prefix trie ~lo ~hi with
+    | None -> None
+    | Some (node, base, lo, hi) ->
+        if k >= hi - lo then None
+        else begin
+          let rec go node parts lo hi k =
+            if N.is_leaf node then Some (Bitstring.concat (List.rev parts))
+            else begin
+              let z_lo = N.bv_rank node false lo and z_hi = N.bv_rank node false hi in
+              let zeros = z_hi - z_lo in
+              if k < zeros then
+                go (N.child node false)
+                  (N.label (N.child node false)
+                  :: Bitstring.of_bool_list [ false ]
+                  :: parts)
+                  z_lo z_hi k
+              else
+                go (N.child node true)
+                  (N.label (N.child node true) :: Bitstring.of_bool_list [ true ] :: parts)
+                  (lo - z_lo) (hi - z_hi) (k - zeros)
+            end
+          in
+          go node (N.label node :: List.rev base) lo hi k
+        end
+
+  (* Exact top-k most frequent values in the range, by best-first search:
+     a node's range count upper-bounds every value below it, so expanding
+     nodes in decreasing count order pops leaves in decreasing frequency
+     (the classic wavelet-tree top-k of Gagie–Navarro–Puglisi, which the
+     paper's Section 5 heuristic approximates).  Touches only the nodes
+     whose count exceeds the k-th answer. *)
+  let top_k ?prefix trie ~lo ~hi k =
+    if k < 0 then invalid_arg "Range.top_k";
+    match resolve ?prefix trie ~lo ~hi with
+    | None -> []
+    | Some (node, base, lo, hi) ->
+        if hi <= lo || k = 0 then []
+        else begin
+          (* binary max-heap on (count, node, parts, lo, hi) *)
+          let heap = ref [||] in
+          let size = ref 0 in
+          let swap i j =
+            let t = !heap.(i) in
+            !heap.(i) <- !heap.(j);
+            !heap.(j) <- t
+          in
+          let count_of (c, _, _, _, _) = c in
+          let push entry =
+            if !size >= Array.length !heap then begin
+              let bigger = Array.make (max 8 (2 * !size)) entry in
+              Array.blit !heap 0 bigger 0 !size;
+              heap := bigger
+            end;
+            !heap.(!size) <- entry;
+            incr size;
+            let i = ref (!size - 1) in
+            while !i > 0 && count_of !heap.(!i) > count_of !heap.((!i - 1) / 2) do
+              swap !i ((!i - 1) / 2);
+              i := (!i - 1) / 2
+            done
+          in
+          let pop () =
+            let top = !heap.(0) in
+            decr size;
+            !heap.(0) <- !heap.(!size);
+            let i = ref 0 in
+            let continue = ref true in
+            while !continue do
+              let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+              let best = ref !i in
+              if l < !size && count_of !heap.(l) > count_of !heap.(!best) then best := l;
+              if r < !size && count_of !heap.(r) > count_of !heap.(!best) then best := r;
+              if !best = !i then continue := false
+              else begin
+                swap !i !best;
+                i := !best
+              end
+            done;
+            top
+          in
+          push (hi - lo, node, N.label node :: List.rev base, lo, hi);
+          let out = ref [] in
+          let found = ref 0 in
+          while !found < k && !size > 0 do
+            let c, node, parts, lo, hi = pop () in
+            if N.is_leaf node then begin
+              out := (Bitstring.concat (List.rev parts), c) :: !out;
+              incr found
+            end
+            else begin
+              let z_lo = N.bv_rank node false lo and z_hi = N.bv_rank node false hi in
+              let zeros = z_hi - z_lo in
+              let ones = hi - lo - zeros in
+              if zeros > 0 then begin
+                let ch = N.child node false in
+                push
+                  (zeros, ch, N.label ch :: Bitstring.of_bool_list [ false ] :: parts,
+                   z_lo, z_hi)
+              end;
+              if ones > 0 then begin
+                let ch = N.child node true in
+                push
+                  (ones, ch, N.label ch :: Bitstring.of_bool_list [ true ] :: parts,
+                   lo - z_lo, hi - z_hi)
+              end
+            end
+          done;
+          List.rev !out
+        end
+end
+
+(** Pre-applied instances for the three Wavelet Trie variants. *)
+module Static = Make (Wavelet_trie.Node)
+
+module Append = Make (Append_wt.Node)
+module Dynamic = Make (Dynamic_wt.Node)

@@ -1,0 +1,30 @@
+(** Space-accounting record shared by all Wavelet Trie variants.
+
+    Reports each term of the paper's space bounds (Theorems 3.7, 4.3,
+    4.4) next to the measured footprint:
+    [LB(S) = LT(Sset) + n H0(S)] is the information-theoretic lower bound;
+    [avg_height] is h̃ (Definition 3.4), so h̃·n is the total bitvector
+    length. *)
+
+type t = {
+  n : int;  (** sequence length *)
+  distinct : int;  (** |Sset| *)
+  avg_height : float;  (** h̃: mean internal nodes per string *)
+  seq_h0_bits : float;  (** n H0(S) *)
+  trie_lb_bits : float;  (** LT(Sset) (Theorem 3.6) *)
+  bv_bits : int;  (** measured bitvector payloads incl. directories *)
+  label_bits : int;  (** measured label bits |L| *)
+  total_bits : int;  (** measured total incl. node overhead *)
+}
+
+let lower_bound t = t.trie_lb_bits +. t.seq_h0_bits
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>n=%d distinct=%d h~=%.2f@,\
+     LB = LT + nH0 = %.0f + %.0f = %.0f bits@,\
+     measured: labels=%d bv=%d total=%d bits (%.2fx LB, %.2f bits/string)@]"
+    t.n t.distinct t.avg_height t.trie_lb_bits t.seq_h0_bits (lower_bound t)
+    t.label_bits t.bv_bits t.total_bits
+    (if lower_bound t > 0. then float_of_int t.total_bits /. lower_bound t else 0.)
+    (if t.n > 0 then float_of_int t.total_bits /. float_of_int t.n else 0.)

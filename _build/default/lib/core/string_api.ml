@@ -1,0 +1,66 @@
+(** Byte-string façade over any Wavelet Trie variant.
+
+    The core structures work on prefix-free bitstrings; these functors
+    apply {!Wt_strings.Binarize.of_bytes} on the way in (and its inverse
+    on the way out) so applications can speak plain OCaml [string]s.
+    Prefix arguments are byte-string prefixes: ["site.com/"] matches every
+    stored string that starts with those bytes. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+
+let encode = Binarize.of_bytes
+
+(* A byte prefix is the encoding without its terminator bit. *)
+let encode_prefix p =
+  let e = Binarize.of_bytes p in
+  Bitstring.prefix e (Bitstring.length e - 1)
+
+module Make (I : Indexed_sequence.S) = struct
+  type t = I.t
+
+  let length = I.length
+  let distinct_count = I.distinct_count
+  let space_bits = I.space_bits
+  let access t pos = Binarize.to_bytes (I.access t pos)
+  let rank t s pos = I.rank t (encode s) pos
+  let select t s idx = I.select t (encode s) idx
+  let rank_prefix t p pos = I.rank_prefix t (encode_prefix p) pos
+  let select_prefix t p idx = I.select_prefix t (encode_prefix p) idx
+
+  let count_prefix t p = rank_prefix t p (length t)
+  (** Total number of stored strings starting with [p]. *)
+
+  let count t s = rank t s (length t)
+  (** Total occurrences of [s]. *)
+end
+
+module Make_dynamic (I : Indexed_sequence.DYNAMIC) = struct
+  include Make (I)
+
+  let insert t pos s = I.insert t pos (encode s)
+  let delete = I.delete
+  let append t s = I.append t (encode s)
+end
+
+module Static = struct
+  include Make (Wavelet_trie)
+
+  let of_list l = Wavelet_trie.of_list (List.map encode l)
+  let of_array a = Wavelet_trie.of_array (Array.map encode a)
+end
+
+module Append = struct
+  include Make (Append_wt)
+
+  let create = Append_wt.create
+  let append t s = Append_wt.append t (encode s)
+  let of_array a = Append_wt.of_array (Array.map encode a)
+end
+
+module Dynamic = struct
+  include Make_dynamic (Dynamic_wt)
+
+  let create = Dynamic_wt.create
+  let of_array a = Dynamic_wt.of_array (Array.map encode a)
+end

@@ -1,0 +1,122 @@
+module Bitstring = Wt_strings.Bitstring
+module Bitbuf = Wt_bits.Bitbuf
+module Rrr = Wt_bitvector.Rrr
+module Static_trie = Wt_trie.Static_trie
+
+type rep = {
+  trie : Static_trie.t;
+  bvs : Rrr.t array; (* indexed by internal rank *)
+  leaf_counts : int array; (* indexed by leaf rank *)
+  n : int;
+}
+
+type t = rep option (* None for the empty sequence *)
+
+let leaf_rank trie v = v - Static_trie.internal_rank trie v
+
+(* Conversion from the pointer-based trie: both trees are the Patricia
+   Trie of Sset, so a preorder walk lines the pointer nodes up with the
+   succinct trie's internal/leaf ranks, and the (immutable) RRR
+   bitvectors are shared rather than rebuilt. *)
+let of_wavelet_trie wt =
+  let module N = Wavelet_trie.Node in
+  match N.root wt with
+  | None -> None
+  | Some root ->
+      let bvs = ref [] in
+      let leaf_counts = ref [] in
+      let strings = ref [] in
+      let rec go node parts =
+        let parts = N.label node :: parts in
+        if N.is_leaf node then begin
+          leaf_counts := N.count node :: !leaf_counts;
+          strings := Bitstring.concat (List.rev parts) :: !strings
+        end
+        else begin
+          bvs := node :: !bvs;
+          go (N.child node false) (Bitstring.of_bool_list [ false ] :: parts);
+          go (N.child node true) (Bitstring.of_bool_list [ true ] :: parts)
+        end
+      in
+      go root [];
+      let strings = Array.of_list (List.rev !strings) in
+      let trie = Static_trie.of_strings strings in
+      (* Extract the shared RRR payloads in preorder = internal rank
+         order. *)
+      let bvs =
+        Array.of_list
+          (List.rev_map
+             (fun node ->
+               (* the Node view hides the Rrr; rebuild from its bits via
+                  the iterator, cheap relative to construction *)
+               let m = N.count node in
+               let next = N.iter_bits node 0 in
+               let buf = Bitbuf.create ~capacity_bits:m () in
+               for _ = 1 to m do
+                 Bitbuf.add buf (next ())
+               done;
+               Rrr.of_bitbuf buf)
+             !bvs)
+      in
+      Some
+        {
+          trie;
+          bvs;
+          leaf_counts = Array.of_list (List.rev !leaf_counts);
+          n = N.length wt;
+        }
+
+let of_array strings = of_wavelet_trie (Wavelet_trie.of_array strings)
+
+(* ------------------------------------------------------------------ *)
+
+module Node = struct
+  type trie = t
+  type node = { st : rep; v : int }
+
+  let root (t : trie) = Option.map (fun st -> { st; v = Static_trie.root st.trie }) t
+  let length (t : trie) = match t with None -> 0 | Some st -> st.n
+  let label { st; v } = Static_trie.label st.trie v
+  let is_leaf { st; v } = Static_trie.is_leaf st.trie v
+
+  let bv_of { st; v } = st.bvs.(Static_trie.internal_rank st.trie v)
+
+  let count ({ st; v } as node) =
+    if Static_trie.is_leaf st.trie v then st.leaf_counts.(leaf_rank st.trie v)
+    else Rrr.length (bv_of node)
+
+  let child { st; v } b = { st; v = Static_trie.child st.trie v b }
+  let bv_rank node b pos = Rrr.rank (bv_of node) b pos
+  let bv_select node b k = Rrr.select (bv_of node) b k
+  let bv_access node pos = Rrr.access (bv_of node) pos
+  let bv_access_rank node pos = Rrr.access_rank (bv_of node) pos
+
+  let iter_bits node pos =
+    let it = Rrr.Iter.create (bv_of node) pos in
+    fun () -> Rrr.Iter.next it
+
+  let bv_space_bits node = Rrr.space_bits (bv_of node)
+end
+
+module Q = Query.Make (Node)
+
+let length t = Node.length t
+let access = Q.access
+let rank = Q.rank
+let select = Q.select
+let rank_prefix = Q.rank_prefix
+let select_prefix = Q.select_prefix
+let distinct_count = Q.distinct_count
+let to_array = Q.to_array
+
+let space_bits t =
+  match t with
+  | None -> 64
+  | Some st ->
+      let bv = Array.fold_left (fun acc bv -> acc + Rrr.space_bits bv) 0 st.bvs in
+      Static_trie.space_bits st.trie + bv
+      + (64 * (Array.length st.bvs + Array.length st.leaf_counts + 4))
+
+let stats t = Q.stats ~space_bits t
+
+

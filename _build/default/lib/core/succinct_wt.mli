@@ -1,0 +1,27 @@
+(** Pointerless static Wavelet Trie — the exact Theorem 3.7 layout.
+
+    Where {!Wavelet_trie} keeps the trie as linked nodes (fast, but
+    O(|Sset| w) pointer bits), this variant stores:
+    - the trie shape and labels in the succinct
+      {!Wt_trie.Static_trie} (Theorem 3.6: [LT(Sset) + o(|Sset|)] bits);
+    - the per-internal-node RRR bitvectors indexed by the node's
+      internal rank ([nH0(S) + o(h̃ n)] bits).
+
+    Queries cost the same O(|s| + h_s) bitvector operations as the
+    pointer-based variant plus O(1) succinct-tree navigation per node.
+    Used by the space study to show the static Wavelet Trie reaching
+    within a small factor of [LB(S) = LT + nH0]. *)
+
+type t
+
+include Indexed_sequence.S with type t := t
+
+val of_array : Wt_strings.Bitstring.t array -> t
+val to_array : t -> Wt_strings.Bitstring.t array
+val stats : t -> Stats.t
+
+val of_wavelet_trie : Wavelet_trie.t -> t
+(** Convert from the pointer-based representation (the bulk-construction
+    path: the RRR payload bits are reused rather than re-derived). *)
+
+module Node : Node_view.S with type trie = t

@@ -1,0 +1,1 @@
+lib/strings/binarize.ml: Bitstring Buffer Char String Wt_bits

@@ -1,0 +1,1 @@
+lib/strings/binarize.mli: Bitstring

@@ -1,0 +1,1 @@
+lib/strings/bitstring.ml: Format List String Wt_bits

@@ -1,0 +1,1 @@
+lib/strings/bitstring.mli: Format Wt_bits

@@ -1,0 +1,57 @@
+module Bitbuf = Wt_bits.Bitbuf
+module Broadword = Wt_bits.Broadword
+
+let of_bytes s =
+  let n = String.length s in
+  let out = Bitbuf.create ~capacity_bits:((9 * n) + 1) () in
+  String.iter
+    (fun c ->
+      Bitbuf.add out true;
+      (* MSB first preserves byte order under bit-lexicographic compare *)
+      Bitbuf.add_bits out 8 (Broadword.reverse_bits (Char.code c) 8))
+    s;
+  Bitbuf.add out false;
+  Bitstring.of_bitbuf out
+
+let to_bytes bs =
+  let buf = Buffer.create 16 in
+  let n = Bitstring.length bs in
+  let rec go pos =
+    if pos >= n then invalid_arg "Binarize.to_bytes: missing terminator"
+    else if not (Bitstring.get bs pos) then
+      if pos + 1 = n then Buffer.contents buf
+      else invalid_arg "Binarize.to_bytes: trailing bits"
+    else if pos + 9 > n then invalid_arg "Binarize.to_bytes: truncated byte"
+    else begin
+      let v = Bitstring.get_bits bs (pos + 1) 8 in
+      Buffer.add_char buf (Char.chr (Broadword.reverse_bits v 8));
+      go (pos + 9)
+    end
+  in
+  go 0
+
+let of_int_msb ~width v =
+  if width < 1 || width > 62 then invalid_arg "Binarize.of_int_msb: bad width";
+  if v < 0 || (width < 62 && v >= 1 lsl width) then
+    invalid_arg "Binarize.of_int_msb: value out of range";
+  let out = Bitbuf.create ~capacity_bits:width () in
+  Bitbuf.add_bits out width (Broadword.reverse_bits v width);
+  Bitstring.of_bitbuf out
+
+let to_int_msb bs =
+  let w = Bitstring.length bs in
+  if w < 1 || w > 62 then invalid_arg "Binarize.to_int_msb: bad width";
+  Broadword.reverse_bits (Bitstring.get_bits bs 0 w) w
+
+let of_int_lsb ~width v =
+  if width < 1 || width > 62 then invalid_arg "Binarize.of_int_lsb: bad width";
+  if v < 0 || (width < 62 && v >= 1 lsl width) then
+    invalid_arg "Binarize.of_int_lsb: value out of range";
+  let out = Bitbuf.create ~capacity_bits:width () in
+  Bitbuf.add_bits out width v;
+  Bitstring.of_bitbuf out
+
+let to_int_lsb bs =
+  let w = Bitstring.length bs in
+  if w < 1 || w > 62 then invalid_arg "Binarize.to_int_lsb: bad width";
+  Bitstring.get_bits bs 0 w

@@ -1,0 +1,36 @@
+(** Codecs from user-facing values to prefix-free binary strings.
+
+    The Wavelet Trie requires the underlying string set to be prefix-free
+    (Section 3 of the paper): "any set of strings can be made prefix-free
+    by appending a terminator".  These codecs realize that:
+
+    - {!of_bytes} encodes an arbitrary OCaml [string] (any bytes,
+      including NUL) as a self-delimiting bitstring: each byte becomes a
+      [1] marker bit followed by the 8 data bits (MSB first) and the
+      string ends with a single [0] bit.  No codeword is a prefix of
+      another, and the encoding preserves the lexicographic order of the
+      underlying byte strings.
+    - {!of_int_msb} encodes an integer as a fixed-width, MSB-first
+      bitstring; fixed width makes the code trivially prefix-free and
+      order-preserving.
+    - {!of_int_lsb} is the LSB-first fixed-width encoding used by the
+      randomized balanced Wavelet Tree of Section 6. *)
+
+val of_bytes : string -> Bitstring.t
+(** Self-delimiting byte-string encoding, 9 bits per byte plus one. *)
+
+val to_bytes : Bitstring.t -> string
+(** Inverse of {!of_bytes}; raises [Invalid_argument] on a bitstring not
+    produced by it. *)
+
+val of_int_msb : width:int -> int -> Bitstring.t
+(** [of_int_msb ~width v]: [width] bits of [v], most significant first.
+    Requires [0 <= v < 2^width], [1 <= width <= 62]. *)
+
+val to_int_msb : Bitstring.t -> int
+(** Read back a fixed-width MSB-first integer (width = length). *)
+
+val of_int_lsb : width:int -> int -> Bitstring.t
+(** Least-significant-bit-first fixed-width encoding (Section 6). *)
+
+val to_int_lsb : Bitstring.t -> int

@@ -1,0 +1,1 @@
+lib/succinct/bintree.ml: Array Format Wt_bits Wt_bitvector

@@ -1,0 +1,1 @@
+lib/succinct/bintree.mli: Format Wt_bits

@@ -1,0 +1,1 @@
+lib/succinct/elias_fano.ml: Array Format Wt_bits Wt_bitvector

@@ -1,0 +1,1 @@
+lib/succinct/elias_fano.mli: Format

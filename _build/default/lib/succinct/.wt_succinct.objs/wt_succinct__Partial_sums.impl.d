@@ -1,0 +1,1 @@
+lib/succinct/partial_sums.ml: Array Elias_fano

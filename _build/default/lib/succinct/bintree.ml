@@ -1,0 +1,221 @@
+module Bitbuf = Wt_bits.Bitbuf
+module Plain = Wt_bitvector.Plain
+
+(* Excess convention: +1 for an internal node (bit 1), -1 for a leaf
+   (bit 0).  prefix_excess p = excess of bits [0..p].  For a valid strictly
+   binary tree in preorder, every proper prefix has excess >= 0 and the
+   whole sequence has excess -1.  The subtree rooted at v spans [v, j]
+   where j is the first position with
+   prefix_excess j = prefix_excess (v-1) - 1.
+
+   A segment tree over 62-bit blocks stores, per segment, the total excess
+   and the min/max of the within-segment prefix excess; since prefix
+   excess moves in +-1 steps, a segment contains an absolute value T iff
+   T lies within [base+min, base+max]. *)
+
+let block = 62
+
+type t = {
+  bits : Plain.t;
+  n : int;
+  nblocks : int;
+  size : int; (* number of segment-tree leaves (power of two) *)
+  tot : int array;
+  mn : int array;
+  mx : int array;
+}
+
+let node_count t = t.n
+let internal_count t = Plain.ones t.bits
+let leaf_count t = Plain.zeros t.bits
+let root _ = 0
+
+let is_leaf t v =
+  if v < 0 || v >= t.n then invalid_arg "Bintree.is_leaf";
+  not (Plain.access t.bits v)
+
+let internal_rank t v = Plain.rank t.bits true v
+
+let prefix_excess t p = if p < 0 then 0 else (2 * Plain.rank t.bits true (p + 1)) - (p + 1)
+
+let bit_delta b = if b then 1 else -1
+
+let of_bitbuf buf =
+  let n = Bitbuf.length buf in
+  if n = 0 then invalid_arg "Bintree.of_bitbuf: empty shape";
+  let bits = Plain.of_bitbuf buf in
+  (* Validate the Zaks-sequence invariant. *)
+  let e = ref 0 in
+  for i = 0 to n - 1 do
+    e := !e + bit_delta (Plain.access bits i);
+    if !e < 0 && i < n - 1 then invalid_arg "Bintree.of_bitbuf: invalid shape (early close)"
+  done;
+  if !e <> -1 then invalid_arg "Bintree.of_bitbuf: invalid shape (unbalanced)";
+  let nblocks = (n + block - 1) / block in
+  let size =
+    let rec go s = if s >= nblocks then s else go (s * 2) in
+    go 1
+  in
+  let tot = Array.make (2 * size) 0 in
+  let mn = Array.make (2 * size) max_int in
+  let mx = Array.make (2 * size) min_int in
+  for b = 0 to nblocks - 1 do
+    let node = size + b in
+    let e = ref 0 in
+    let lo = ref max_int and hi = ref min_int in
+    for i = b * block to min n ((b + 1) * block) - 1 do
+      e := !e + bit_delta (Plain.access bits i);
+      if !e < !lo then lo := !e;
+      if !e > !hi then hi := !e
+    done;
+    tot.(node) <- !e;
+    mn.(node) <- !lo;
+    mx.(node) <- !hi
+  done;
+  for node = size - 1 downto 1 do
+    let l = 2 * node and r = (2 * node) + 1 in
+    tot.(node) <- tot.(l) + tot.(r);
+    mn.(node) <- min mn.(l) (if mn.(r) = max_int then max_int else tot.(l) + mn.(r));
+    mx.(node) <- max mx.(l) (if mx.(r) = min_int then min_int else tot.(l) + mx.(r))
+  done;
+  { bits; n; nblocks; size; tot; mn; mx }
+
+(* Forward search: smallest position j >= pos with prefix_excess j = target.
+   Raises Not_found when none exists. *)
+let fwd_search t pos target =
+  let n = t.n in
+  (* Scan the rest of pos's block. *)
+  let b0 = pos / block in
+  let e = ref (prefix_excess t (pos - 1)) in
+  let hit = ref (-1) in
+  let i = ref pos in
+  let bend = min n ((b0 + 1) * block) in
+  while !hit < 0 && !i < bend do
+    e := !e + bit_delta (Plain.access t.bits !i);
+    if !e = target then hit := !i else incr i
+  done;
+  if !hit >= 0 then !hit
+  else begin
+    (* Descend the segment tree over full blocks > b0. *)
+    let k1 = b0 + 1 in
+    let rec go node l r base =
+      if r < k1 || l >= t.nblocks then None
+      else if
+        l >= k1
+        && (t.mn.(node) = max_int || base + t.mn.(node) > target
+          || base + t.mx.(node) < target)
+      then None
+      else if l = r then begin
+        (* scan block l from its start with absolute base excess *)
+        let e = ref base in
+        let res = ref None in
+        let i = ref (l * block) in
+        let bend = min n ((l + 1) * block) in
+        while !res = None && !i < bend do
+          e := !e + bit_delta (Plain.access t.bits !i);
+          if !e = target then res := Some !i else incr i
+        done;
+        !res
+      end
+      else begin
+        let m = (l + r) / 2 in
+        match go (2 * node) l m base with
+        | Some _ as s -> s
+        | None -> go ((2 * node) + 1) (m + 1) r (base + t.tot.(2 * node))
+      end
+    in
+    match go 1 0 (t.size - 1) 0 with Some j -> j | None -> raise Not_found
+  end
+
+(* Backward search: largest position x <= pos with prefix_excess x = target
+   and (when [only_internal]) an internal node at x.  The internal-node
+   restriction is what [parent] needs: leaves strictly inside a subtree can
+   share the parent's prefix excess, but internal nodes inside it always
+   sit at relative excess >= +1, so the rightmost internal match is the
+   parent. *)
+let bwd_search ?(only_internal = false) t pos target =
+  let admissible i = (not only_internal) || Plain.access t.bits i in
+  let b0 = pos / block in
+  (* Scan pos's block backwards down to its start. *)
+  let e = ref (prefix_excess t pos) in
+  let hit = ref (-1) in
+  let i = ref pos in
+  let bstart = b0 * block in
+  while !hit < 0 && !i >= bstart do
+    if !e = target && admissible !i then hit := !i
+    else begin
+      e := !e - bit_delta (Plain.access t.bits !i);
+      decr i
+    end
+  done;
+  if !hit >= 0 then !hit
+  else begin
+    let k1 = b0 - 1 in
+    (* Search full blocks <= k1, rightmost match first. *)
+    let rec go node l r base =
+      if l > k1 then None
+      else if
+        t.mn.(node) = max_int
+        || (r <= k1 && (base + t.mn.(node) > target || base + t.mx.(node) < target))
+      then None
+      else if l = r then begin
+        (* Forward-compute the within-block prefix excesses, then find the
+           rightmost match. *)
+        let bend = min t.n ((l + 1) * block) in
+        let vals = Array.make (bend - (l * block)) 0 in
+        let acc = ref base in
+        for i = l * block to bend - 1 do
+          acc := !acc + bit_delta (Plain.access t.bits i);
+          vals.(i - (l * block)) <- !acc
+        done;
+        let res = ref None in
+        let i = ref (bend - 1) in
+        while !res = None && !i >= l * block do
+          if vals.(!i - (l * block)) = target && admissible !i then res := Some !i
+          else decr i
+        done;
+        !res
+      end
+      else begin
+        let m = (l + r) / 2 in
+        match go ((2 * node) + 1) (m + 1) r (base + t.tot.(2 * node)) with
+        | Some _ as s -> s
+        | None -> go (2 * node) l m base
+      end
+    in
+    match go 1 0 (t.size - 1) 0 with Some j -> j | None -> raise Not_found
+  end
+
+let subtree_end t v =
+  if v < 0 || v >= t.n then invalid_arg "Bintree.subtree_end";
+  let target = prefix_excess t (v - 1) - 1 in
+  fwd_search t v target + 1
+
+let left_child t v =
+  if is_leaf t v then invalid_arg "Bintree.left_child: leaf";
+  v + 1
+
+let right_child t v =
+  if is_leaf t v then invalid_arg "Bintree.right_child: leaf";
+  subtree_end t (v + 1)
+
+let is_left_child t v =
+  if v <= 0 || v >= t.n then invalid_arg "Bintree.is_left_child";
+  Plain.access t.bits (v - 1)
+
+let parent t v =
+  if v < 0 || v >= t.n then invalid_arg "Bintree.parent";
+  if v = 0 then None
+  else if Plain.access t.bits (v - 1) then Some (v - 1)
+  else begin
+    (* v is the right child: its parent is the largest x < v with
+       prefix_excess x = prefix_excess (v-1) + 1. *)
+    Some (bwd_search ~only_internal:true t (v - 1) (prefix_excess t (v - 1) + 1))
+  end
+
+let space_bits t =
+  Plain.space_bits t.bits
+  + (64 * (Array.length t.tot + Array.length t.mn + Array.length t.mx + 4))
+
+let pp fmt t =
+  Format.pp_print_string fmt (Bitbuf.to_string (Plain.to_bitbuf t.bits))

@@ -1,0 +1,55 @@
+(** Succinct shape of a strictly binary tree (every internal node has
+    exactly two children).
+
+    Nodes are identified by their preorder position in a bit sequence
+    where internal nodes are written as [1] and leaves as [0] (a Zaks
+    sequence).  A tree with [e/2 + 1] leaves uses [e + 1] bits plus o(n)
+    directories — the same budget as the first-child/next-sibling DFUDS
+    encoding the paper uses in Theorem 3.7 for the static Patricia Trie.
+
+    Navigation:
+    - the root is node [0];
+    - [left_child v = v + 1];
+    - [right_child v] is found with an excess search (the first position
+      where leaves outnumber internal nodes in the left subtree);
+    - [parent] uses the symmetric backward search.
+
+    [internal_rank v] numbers the internal nodes in preorder — the index
+    of a node's bitvector β in the Wavelet Trie — and [node_rank] is the
+    identity on preorder numbers used to address labels. *)
+
+type t
+
+val of_bitbuf : Wt_bits.Bitbuf.t -> t
+(** Build from the preorder 1/0 shape sequence.  Raises
+    [Invalid_argument] if the sequence is not a valid strictly binary
+    tree (it must be non-empty and have exactly one more leaf than
+    internal nodes, with every proper prefix having at most as many
+    leaves as internal nodes). *)
+
+val node_count : t -> int
+val internal_count : t -> int
+val leaf_count : t -> int
+
+val root : t -> int
+val is_leaf : t -> int -> bool
+val left_child : t -> int -> int
+val right_child : t -> int -> int
+
+val parent : t -> int -> int option
+(** [None] for the root. *)
+
+val is_left_child : t -> int -> bool
+(** Whether node [v] is the left child of its parent.  Requires [v <> root]. *)
+
+val internal_rank : t -> int -> int
+(** Number of internal nodes before [v] in preorder; for internal [v]
+    this is its index among internal nodes. *)
+
+val subtree_end : t -> int -> int
+(** [subtree_end t v] is one past the last preorder position of the
+    subtree rooted at [v]. *)
+
+val space_bits : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,85 @@
+module Bitbuf = Wt_bits.Bitbuf
+module Broadword = Wt_bits.Broadword
+module Plain = Wt_bitvector.Plain
+
+type t = {
+  k : int; (* number of values *)
+  u : int; (* universe upper bound *)
+  low_bits : int; (* width of the explicit low part *)
+  lows : Bitbuf.t;
+  highs : Plain.t; (* value i contributes a 1 at (v_i >> low_bits) + i *)
+}
+
+let length t = t.k
+let universe t = t.u
+
+let of_array ~universe values =
+  if universe < 0 then invalid_arg "Elias_fano.of_array: negative universe";
+  let k = Array.length values in
+  let low_bits =
+    if k = 0 || universe <= k then 0
+    else Broadword.bit_width ((universe / k) - 1)
+  in
+  let lows = Bitbuf.create ~capacity_bits:(k * max low_bits 1) () in
+  let high_len = (if k = 0 then 0 else (universe lsr low_bits) + k + 1) in
+  let highs = Bitbuf.create ~capacity_bits:high_len () in
+  Bitbuf.add_run highs false high_len;
+  let prev = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v < !prev then invalid_arg "Elias_fano.of_array: not monotone";
+      if v > universe then invalid_arg "Elias_fano.of_array: value beyond universe";
+      prev := v;
+      if low_bits > 0 then Bitbuf.add_bits lows low_bits (v land Broadword.mask low_bits);
+      Bitbuf.set highs ((v lsr low_bits) + i) true)
+    values;
+  { k; u = universe; low_bits; lows; highs = Plain.of_bitbuf highs }
+
+let get t i =
+  if i < 0 || i >= t.k then invalid_arg "Elias_fano.get: out of bounds";
+  let high = Plain.select t.highs true i - i in
+  if t.low_bits = 0 then high
+  else (high lsl t.low_bits) lor Bitbuf.get_bits t.lows (i * t.low_bits) t.low_bits
+
+let rank_le t x =
+  if t.k = 0 || x < 0 then 0
+  else if x >= t.u then t.k
+  else begin
+    (* Values with high part < xh are all <= x; those with high part > xh
+       all exceed x; binary-search the low parts of the xh group.  The ones
+       of group h lie strictly between the (h-1)-th and h-th zeros of the
+       high bitvector, so select0 delimits groups. *)
+    let xh = x lsr t.low_bits in
+    let boundary = Plain.select t.highs false xh in
+    let upto = Plain.rank t.highs true boundary in
+    let start =
+      if xh = 0 then 0
+      else Plain.rank t.highs true (Plain.select t.highs false (xh - 1))
+    in
+    let xl = if t.low_bits = 0 then 0 else x land Broadword.mask t.low_bits in
+    let lo = ref start and hi = ref upto in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let vl =
+        if t.low_bits = 0 then 0
+        else Bitbuf.get_bits t.lows (mid * t.low_bits) t.low_bits
+      in
+      if vl <= xl then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  end
+
+let predecessor t x =
+  let r = rank_le t x in
+  if r = 0 then None else Some (r - 1, get t (r - 1))
+
+let space_bits t =
+  Bitbuf.length t.lows + Plain.space_bits t.highs + (5 * 64)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<h>[";
+  for i = 0 to t.k - 1 do
+    if i > 0 then Format.fprintf fmt "; ";
+    Format.fprintf fmt "%d" (get t i)
+  done;
+  Format.fprintf fmt "]@]"

@@ -1,0 +1,36 @@
+(** Elias–Fano encoding of a monotone integer sequence.
+
+    A non-decreasing sequence of [k] integers in [0, u] is stored in
+    [k * (2 + ceil (log2 (u / k)))] bits, close to the information-
+    theoretic bound [B(k, u)]: the low [l = log2 (u/k)] bits of each value
+    verbatim, the high bits as a unary-coded bitvector.
+
+    This realizes the partial-sum structures of Raman–Raman–Rao [22] used
+    throughout Section 3 of the paper to delimit variable-length
+    encodings (trie labels, per-node RRR bitvectors). *)
+
+type t
+
+val of_array : universe:int -> int array -> t
+(** [of_array ~universe values] encodes [values], which must be
+    non-decreasing with every element in [0, universe]. *)
+
+val length : t -> int
+(** Number of encoded values. *)
+
+val universe : t -> int
+
+val get : t -> int -> int
+(** [get t i] is the [i]-th value. *)
+
+val rank_le : t -> int -> int
+(** [rank_le t x] is the number of values [<= x]. *)
+
+val predecessor : t -> int -> (int * int) option
+(** [predecessor t x] is [Some (i, v)] where [v = get t i] is the largest
+    value [<= x] with the largest such index [i]; [None] when all values
+    exceed [x]. *)
+
+val space_bits : t -> int
+
+val pp : Format.formatter -> t -> unit

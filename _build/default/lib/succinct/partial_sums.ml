@@ -1,0 +1,31 @@
+type t = { ef : Elias_fano.t; count : int; total : int }
+
+(* We store the sums s_1 .. s_k (s_0 = 0 is implicit): sum of the first i
+   lengths for i >= 1. *)
+let of_lengths lens =
+  let k = Array.length lens in
+  let sums = Array.make k 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i len ->
+      if len < 0 then invalid_arg "Partial_sums.of_lengths: negative length";
+      acc := !acc + len;
+      sums.(i) <- !acc)
+    lens;
+  { ef = Elias_fano.of_array ~universe:!acc sums; count = k; total = !acc }
+
+let count t = t.count
+let total t = t.total
+
+let sum t i =
+  if i < 0 || i > t.count then invalid_arg "Partial_sums.sum: out of bounds";
+  if i = 0 then 0 else Elias_fano.get t.ef (i - 1)
+
+let length_of t i = sum t (i + 1) - sum t i
+
+let find t pos =
+  if pos < 0 || pos >= t.total then invalid_arg "Partial_sums.find: out of bounds";
+  (* smallest i with sum(i+1) > pos, i.e. number of sums <= pos *)
+  Elias_fano.rank_le t.ef pos
+
+let space_bits t = Elias_fano.space_bits t.ef + (2 * 64)

@@ -1,0 +1,34 @@
+(** Static partial sums over non-negative lengths.
+
+    Stores the prefix sums of an array of lengths in compressed form
+    (Elias–Fano), supporting the two operations needed to delimit
+    concatenated variable-length encodings (labels [L] and per-node
+    bitvectors of the static Wavelet Trie, Section 3):
+
+    - [sum t i]: the total length of the first [i] items (so item [i]
+      occupies bits [sum t i, sum t (i+1))]);
+    - [find t pos]: which item the global bit position [pos] falls in. *)
+
+type t
+
+val of_lengths : int array -> t
+(** [of_lengths lens] requires every length [>= 0]. *)
+
+val count : t -> int
+(** Number of items. *)
+
+val total : t -> int
+(** Sum of all lengths. *)
+
+val sum : t -> int -> int
+(** [sum t i] is the sum of the first [i] lengths ([0 <= i <= count]). *)
+
+val length_of : t -> int -> int
+(** [length_of t i] is the [i]-th length. *)
+
+val find : t -> int -> int
+(** [find t pos] is the item index [i] such that
+    [sum t i <= pos < sum t (i + 1)].  Requires [0 <= pos < total t].
+    Items of length 0 are skipped (they contain no positions). *)
+
+val space_bits : t -> int

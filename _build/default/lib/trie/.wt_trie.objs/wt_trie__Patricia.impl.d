@@ -1,0 +1,1 @@
+lib/trie/patricia.ml: Format List Wt_strings

@@ -1,0 +1,1 @@
+lib/trie/patricia.mli: Format Wt_strings

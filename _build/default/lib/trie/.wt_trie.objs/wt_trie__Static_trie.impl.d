@@ -1,0 +1,1 @@
+lib/trie/static_trie.ml: Array Format List Wt_bits Wt_strings Wt_succinct

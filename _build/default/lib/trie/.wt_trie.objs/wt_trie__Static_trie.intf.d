@@ -1,0 +1,1 @@
+lib/trie/static_trie.mli: Format Wt_strings

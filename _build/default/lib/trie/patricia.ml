@@ -1,0 +1,222 @@
+module Bitstring = Wt_strings.Bitstring
+
+type node = { mutable label : Bitstring.t; mutable kind : kind }
+and kind = Leaf | Internal of { mutable zero : node; mutable one : node }
+
+type t = { mutable root : node option; mutable size : int }
+
+let create () = { root = None; size = 0 }
+let size t = t.size
+let is_empty t = t.size = 0
+
+let child n b =
+  match n.kind with
+  | Leaf -> invalid_arg "Patricia.child: leaf"
+  | Internal c -> if b then c.one else c.zero
+
+(* Descend matching [s]; returns [true] iff s is stored. *)
+let mem t s =
+  let rec go node s =
+    let l = Bitstring.lcp node.label s in
+    if l < Bitstring.length node.label then false
+    else begin
+      let rest = Bitstring.drop s l in
+      match node.kind with
+      | Leaf -> Bitstring.is_empty rest
+      | Internal _ ->
+          if Bitstring.is_empty rest then false
+          else go (child node (Bitstring.get rest 0)) (Bitstring.drop rest 1)
+    end
+  in
+  match t.root with None -> false | Some root -> go root s
+
+let insert t s =
+  match t.root with
+  | None ->
+      t.root <- Some { label = s; kind = Leaf };
+      t.size <- t.size + 1;
+      `Added
+  | Some root ->
+      let rec go node s =
+        let l = Bitstring.lcp node.label s in
+        let llen = Bitstring.length node.label in
+        if l < llen then begin
+          if l = Bitstring.length s then
+            invalid_arg "Patricia.insert: string is a proper prefix of a stored string";
+          (* Split [node] at offset l: a new internal node keeps the
+             common prefix, the old node keeps the label suffix past the
+             discriminating bit, and a new leaf holds the rest of [s]. *)
+          let b = Bitstring.get s l in
+          let old_half =
+            { label = Bitstring.drop node.label (l + 1); kind = node.kind }
+          in
+          let new_leaf = { label = Bitstring.drop s (l + 1); kind = Leaf } in
+          node.label <- Bitstring.prefix node.label l;
+          node.kind <-
+            (if b then Internal { zero = old_half; one = new_leaf }
+             else Internal { zero = new_leaf; one = old_half });
+          `Added
+        end
+        else begin
+          let rest = Bitstring.drop s l in
+          match node.kind with
+          | Leaf ->
+              if Bitstring.is_empty rest then `Already_present
+              else
+                invalid_arg
+                  "Patricia.insert: a stored string is a proper prefix of the string"
+          | Internal _ ->
+              if Bitstring.is_empty rest then
+                invalid_arg
+                  "Patricia.insert: string is a proper prefix of a stored string"
+              else go (child node (Bitstring.get rest 0)) (Bitstring.drop rest 1)
+        end
+      in
+      let r = go root s in
+      if r = `Added then t.size <- t.size + 1;
+      r
+
+let remove t s =
+  let rec go parent branch node s =
+    let l = Bitstring.lcp node.label s in
+    if l < Bitstring.length node.label then false
+    else begin
+      let rest = Bitstring.drop s l in
+      match node.kind with
+      | Leaf ->
+          if not (Bitstring.is_empty rest) then false
+          else begin
+            (match (parent, branch) with
+            | None, _ -> t.root <- None
+            | Some p, Some b -> (
+                (* Merge the parent with the surviving sibling. *)
+                let sibling = child p (not b) in
+                let merged_label =
+                  Bitstring.concat
+                    [ p.label; Bitstring.of_bool_list [ not b ]; sibling.label ]
+                in
+                p.label <- merged_label;
+                p.kind <- sibling.kind)
+            | Some _, None -> assert false);
+            true
+          end
+      | Internal _ ->
+          if Bitstring.is_empty rest then false
+          else begin
+            let b = Bitstring.get rest 0 in
+            go (Some node) (Some b) (child node b) (Bitstring.drop rest 1)
+          end
+    end
+  in
+  match t.root with
+  | None -> false
+  | Some root ->
+      let removed = go None None root s in
+      if removed then t.size <- t.size - 1;
+      removed
+
+let iter f t =
+  let rec go acc node =
+    let acc = acc @ [ node.label ] in
+    match node.kind with
+    | Leaf -> f (Bitstring.concat acc)
+    | Internal { zero; one } ->
+        go (acc @ [ Bitstring.of_bool_list [ false ] ]) zero;
+        go (acc @ [ Bitstring.of_bool_list [ true ] ]) one
+  in
+  match t.root with None -> () | Some root -> go [] root
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun s -> acc := s :: !acc) t;
+  List.rev !acc
+
+(* Locate the node whose path covers prefix [p]; returns the node and the
+   full path-string down to (and including) its label, or None. *)
+let locate_prefix t p =
+  let rec go path node p =
+    let l = Bitstring.lcp node.label p in
+    let rest = Bitstring.drop p l in
+    if Bitstring.is_empty rest then Some (node, List.rev (node.label :: path))
+    else if l < Bitstring.length node.label then None
+    else
+      match node.kind with
+      | Leaf -> None
+      | Internal _ ->
+          let b = Bitstring.get rest 0 in
+          go
+            (Bitstring.of_bool_list [ b ] :: node.label :: path)
+            (child node b) (Bitstring.drop rest 1)
+  in
+  match t.root with None -> None | Some root -> go [] root p
+
+let iter_with_prefix f t p =
+  match locate_prefix t p with
+  | None -> ()
+  | Some (node, path) ->
+      (* [acc] holds, deepest-first, all labels and branch bits down to and
+         including the current node's label. *)
+      let rec under acc node =
+        match node.kind with
+        | Leaf -> f (Bitstring.concat (List.rev acc))
+        | Internal { zero; one } ->
+            under (zero.label :: Bitstring.of_bool_list [ false ] :: acc) zero;
+            under (one.label :: Bitstring.of_bool_list [ true ] :: acc) one
+      in
+      under (List.rev path) node
+
+let count_prefix t p =
+  let n = ref 0 in
+  iter_with_prefix (fun _ -> incr n) t p;
+  !n
+
+let label_bits t =
+  let acc = ref 0 in
+  let rec go node =
+    acc := !acc + Bitstring.length node.label;
+    match node.kind with
+    | Leaf -> ()
+    | Internal { zero; one } ->
+        go zero;
+        go one
+  in
+  (match t.root with None -> () | Some root -> go root);
+  !acc
+
+let node_count t =
+  let acc = ref 0 in
+  let rec go node =
+    incr acc;
+    match node.kind with
+    | Leaf -> ()
+    | Internal { zero; one } ->
+        go zero;
+        go one
+  in
+  (match t.root with None -> () | Some root -> go root);
+  !acc
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let leaves = ref 0 in
+  let rec go node =
+    match node.kind with
+    | Leaf -> incr leaves
+    | Internal { zero; one } ->
+        go zero;
+        go one
+  in
+  (match t.root with None -> () | Some root -> go root);
+  if !leaves <> t.size then fail "size %d but %d leaves" t.size !leaves
+
+let pp fmt t =
+  let rec go fmt node =
+    match node.kind with
+    | Leaf -> Format.fprintf fmt "@[<h>Leaf(%a)@]" Bitstring.pp node.label
+    | Internal { zero; one } ->
+        Format.fprintf fmt "@[<v 2>Node(%a)@,0:%a@,1:%a@]" Bitstring.pp node.label go
+          zero go one
+  in
+  match t.root with
+  | None -> Format.pp_print_string fmt "<empty>"
+  | Some root -> go fmt root

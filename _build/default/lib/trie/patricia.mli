@@ -1,0 +1,52 @@
+(** Dynamic binary Patricia Trie (Appendix B of the paper).
+
+    Stores a prefix-free set of bitstrings.  Nodes hold bitstring labels;
+    internal nodes have exactly two children (0 and 1).  Insertion of [s]
+    runs in O(|s|) and splits at most one node; deletion runs in O(l)
+    where [l] is the length of the removed string's path, merging the
+    removed leaf's parent with its sibling.  Space is O(k w) + |L| bits
+    for [k] strings with [L] the concatenated labels.
+
+    This standalone module covers the string-set semantics; the dynamic
+    Wavelet Tries carry their own Patricia skeleton because every
+    structural step there interleaves with bitvector maintenance. *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+(** Number of stored strings. *)
+
+val is_empty : t -> bool
+
+val mem : t -> Wt_strings.Bitstring.t -> bool
+
+val insert : t -> Wt_strings.Bitstring.t -> [ `Added | `Already_present ]
+(** Raises [Invalid_argument] if adding [s] would violate prefix-freeness
+    (i.e. [s] is a proper prefix of a stored string or vice versa). *)
+
+val remove : t -> Wt_strings.Bitstring.t -> bool
+(** [remove t s] deletes [s]; returns whether it was present. *)
+
+val iter : (Wt_strings.Bitstring.t -> unit) -> t -> unit
+(** In lexicographic (0-before-1) order.  Strings are reconstructed, so
+    the full traversal costs O(|L| + k). *)
+
+val to_list : t -> Wt_strings.Bitstring.t list
+
+val iter_with_prefix : (Wt_strings.Bitstring.t -> unit) -> t -> Wt_strings.Bitstring.t -> unit
+(** Enumerate the stored strings that start with the given prefix. *)
+
+val count_prefix : t -> Wt_strings.Bitstring.t -> int
+
+val label_bits : t -> int
+(** Total bits across all node labels: the [|L|] of Theorem 3.6. *)
+
+val node_count : t -> int
+
+val check_invariants : t -> unit
+(** Validate label alternation-free structure: internal nodes have two
+    children and no node (except possibly the root) has an empty
+    mergeable shape.  Raises [Failure] on violation. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,137 @@
+module Bitbuf = Wt_bits.Bitbuf
+module Bitstring = Wt_strings.Bitstring
+module Bintree = Wt_succinct.Bintree
+module Partial_sums = Wt_succinct.Partial_sums
+module Entropy = Wt_bits.Entropy
+
+type t = {
+  shape : Bintree.t;
+  labels : Bitstring.t; (* concatenated labels in preorder: the stream L *)
+  delims : Partial_sums.t; (* label lengths in preorder *)
+}
+
+(* Build directly in preorder by recursive partitioning of the sorted,
+   deduplicated string set (Definition 3.1 shape = Patricia shape). *)
+let of_strings strings =
+  if Array.length strings = 0 then invalid_arg "Static_trie.of_strings: empty set";
+  let shape = Bitbuf.create () in
+  let labels = Bitbuf.create () in
+  let lens = ref [] in
+  let sorted =
+    let l = Array.to_list strings in
+    let l = List.sort_uniq Bitstring.compare l in
+    Array.of_list l
+  in
+  (* Check prefix-freeness: in sorted order a violation is adjacent. *)
+  for i = 0 to Array.length sorted - 2 do
+    if Bitstring.is_prefix ~prefix:sorted.(i) sorted.(i + 1) then
+      invalid_arg "Static_trie.of_strings: set is not prefix-free"
+  done;
+  (* Recursive construction mirroring Definition 3.1 / the Patricia
+     definition: each call handles sorted[lo, hi) sharing a common prefix
+     of [off] consumed bits. *)
+  let rec build lo hi off =
+    (* longest common prefix of the group beyond [off] *)
+    let first = sorted.(lo) and last = sorted.(hi - 1) in
+    let l = Bitstring.lcp (Bitstring.drop first off) (Bitstring.drop last off) in
+    let alpha = Bitstring.sub first off l in
+    if hi - lo = 1 then begin
+      Bitbuf.add shape false;
+      Bitstring.append_to_bitbuf alpha labels;
+      lens := Bitstring.length alpha :: !lens
+    end
+    else begin
+      Bitbuf.add shape true;
+      Bitstring.append_to_bitbuf alpha labels;
+      lens := Bitstring.length alpha :: !lens;
+      (* Partition on the discriminating bit at off + l. *)
+      let split = ref lo in
+      while !split < hi && not (Bitstring.get sorted.(!split) (off + l)) do
+        incr split
+      done;
+      build lo !split (off + l + 1);
+      build !split hi (off + l + 1)
+    end
+  in
+  build 0 (Array.length sorted) 0;
+  {
+    shape = Bintree.of_bitbuf shape;
+    labels = Bitstring.of_bitbuf labels;
+    delims = Partial_sums.of_lengths (Array.of_list (List.rev !lens));
+  }
+
+let node_count t = Bintree.node_count t.shape
+let internal_count t = Bintree.internal_count t.shape
+let leaf_count t = Bintree.leaf_count t.shape
+let root t = Bintree.root t.shape
+let is_leaf t v = Bintree.is_leaf t.shape v
+let left_child t v = Bintree.left_child t.shape v
+let right_child t v = Bintree.right_child t.shape v
+let child t v b = if b then right_child t v else left_child t v
+let parent t v = Bintree.parent t.shape v
+let internal_rank t v = Bintree.internal_rank t.shape v
+
+let label t v =
+  let start = Partial_sums.sum t.delims v in
+  Bitstring.sub t.labels start (Partial_sums.length_of t.delims v)
+
+(* Generic descent: returns the path of nodes consumed while matching s
+   exactly to a leaf, or None. *)
+let find_path t s =
+  let rec go v s acc =
+    let alpha = label t v in
+    let l = Bitstring.lcp alpha s in
+    if l < Bitstring.length alpha then None
+    else begin
+      let rest = Bitstring.drop s l in
+      if is_leaf t v then if Bitstring.is_empty rest then Some (List.rev (v :: acc)) else None
+      else if Bitstring.is_empty rest then None
+      else go (child t v (Bitstring.get rest 0)) (Bitstring.drop rest 1) (v :: acc)
+    end
+  in
+  go (root t) s []
+
+let mem t s = find_path t s <> None
+
+let prefix_node t p =
+  let rec go v p acc =
+    let alpha = label t v in
+    let l = Bitstring.lcp alpha p in
+    let rest = Bitstring.drop p l in
+    if Bitstring.is_empty rest then Some (v, List.rev (v :: acc))
+    else if l < Bitstring.length alpha then None
+    else if is_leaf t v then None
+    else go (child t v (Bitstring.get rest 0)) (Bitstring.drop rest 1) (v :: acc)
+  in
+  go (root t) p []
+
+let string_of_leaf t v =
+  if not (is_leaf t v) then invalid_arg "Static_trie.string_of_leaf: not a leaf";
+  let rec up v acc =
+    match parent t v with
+    | None -> label t v :: acc
+    | Some p ->
+        let bit = Bitstring.of_bool_list [ not (Bintree.is_left_child t.shape v) ] in
+        up p (bit :: label t v :: acc)
+  in
+  Bitstring.concat (up v [])
+
+let label_stream_bits t = Bitstring.length t.labels
+let edge_count t = node_count t - 1
+
+let space_bits t =
+  Bintree.space_bits t.shape + Bitstring.length t.labels
+  + Partial_sums.space_bits t.delims
+
+let lower_bound_bits t =
+  let l = label_stream_bits t and e = edge_count t in
+  float_of_int (l + e) +. Entropy.binomial_bound e (l + e)
+
+let pp fmt t =
+  let rec go fmt v =
+    if is_leaf t v then Format.fprintf fmt "@[<h>Leaf(%a)@]" Bitstring.pp (label t v)
+    else
+      Format.fprintf fmt "@[<v 2>Node(%a)@,0:%a@,1:%a@]" Bitstring.pp (label t v) go
+        (left_child t v) go (right_child t v)
+  in
+  go fmt (root t)

@@ -1,0 +1,66 @@
+(** Static succinct Patricia Trie — the Theorem 3.6 layout.
+
+    The trie over a prefix-free set [Sset] is stored as:
+    - the tree shape, one bit per node in preorder ({!Wt_succinct.Bintree}),
+      [e + 1] bits plus o(·) directories where [e = 2 (|Sset| - 1)] is the
+      number of edges;
+    - the node labels α concatenated in preorder into a single bit
+      sequence [L];
+    - a partial-sum directory ({!Wt_succinct.Partial_sums}) delimiting the
+      labels, [B(e, |L| + e) + o(·)] bits.
+
+    Total: [|L| + e + B(e, |L| + e) + o(·)] — the lower bound [LT(Sset)]
+    of Ferragina et al. [7] plus negligible overhead.
+
+    Nodes are preorder identifiers as in {!Wt_succinct.Bintree}. *)
+
+type t
+
+val of_strings : Wt_strings.Bitstring.t array -> t
+(** Build from a non-empty prefix-free set (duplicates allowed and
+    ignored).  Raises [Invalid_argument] on an empty array or a
+    prefix-freeness violation. *)
+
+val node_count : t -> int
+val internal_count : t -> int
+val leaf_count : t -> int
+(** Number of stored strings. *)
+
+val root : t -> int
+val is_leaf : t -> int -> bool
+val left_child : t -> int -> int
+val right_child : t -> int -> int
+val child : t -> int -> bool -> int
+val parent : t -> int -> int option
+val internal_rank : t -> int -> int
+
+val label : t -> int -> Wt_strings.Bitstring.t
+(** The label α of a node.  O(1), shares the label stream. *)
+
+val mem : t -> Wt_strings.Bitstring.t -> bool
+
+val find_path : t -> Wt_strings.Bitstring.t -> int list option
+(** [find_path t s] is the root-to-leaf path of node ids spelling exactly
+    [s], or [None] if [s] is not stored.  O(|s|). *)
+
+val prefix_node : t -> Wt_strings.Bitstring.t -> (int * int list) option
+(** [prefix_node t p] finds the highest node [v] whose root-to-[v] path
+    [covers] the prefix [p] (every stored string below [v] starts with
+    [p], and all strings with prefix [p] live below [v]).  Returns the
+    node and the internal-node path from the root down to and including
+    [v] (when internal); [None] when no stored string starts with [p]. *)
+
+val string_of_leaf : t -> int -> Wt_strings.Bitstring.t
+(** Reconstruct the stored string ending at a leaf.  O(path length). *)
+
+val label_stream_bits : t -> int
+(** [|L|]: total label bits. *)
+
+val edge_count : t -> int
+(** [e = node_count - 1]. *)
+
+val space_bits : t -> int
+val lower_bound_bits : t -> float
+(** The [LT(Sset)] value [|L| + e + B(e, |L| + e)] for this set. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/wavelet_tree/dict_sequence.ml: Array List Wavelet_tree Wt_strings

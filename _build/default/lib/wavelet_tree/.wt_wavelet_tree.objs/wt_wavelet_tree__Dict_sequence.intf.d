@@ -1,0 +1,1 @@
+lib/wavelet_tree/dict_sequence.mli: Wt_strings

@@ -1,0 +1,1 @@
+lib/wavelet_tree/dyn_wavelet_tree.ml: Format List Wt_bitvector

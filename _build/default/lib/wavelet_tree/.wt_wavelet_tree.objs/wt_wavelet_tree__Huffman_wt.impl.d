@@ -1,0 +1,1 @@
+lib/wavelet_tree/huffman_wt.ml: Array Fun Hashtbl List Queue Wt_core Wt_strings

@@ -1,0 +1,1 @@
+lib/wavelet_tree/huffman_wt.mli: Wt_core Wt_strings

@@ -1,0 +1,1 @@
+lib/wavelet_tree/quad_wt.ml: Array Bool Fun List Wavelet_tree Wt_strings

@@ -1,0 +1,1 @@
+lib/wavelet_tree/quad_wt.mli: Wt_core Wt_strings

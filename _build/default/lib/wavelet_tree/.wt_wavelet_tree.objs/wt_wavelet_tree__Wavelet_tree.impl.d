@@ -1,0 +1,1 @@
+lib/wavelet_tree/wavelet_tree.ml: Array String Wt_bits Wt_bitvector

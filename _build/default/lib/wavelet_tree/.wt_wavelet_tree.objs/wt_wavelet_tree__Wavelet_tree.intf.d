@@ -1,0 +1,1 @@
+lib/wavelet_tree/wavelet_tree.mli: Wt_bits Wt_bitvector

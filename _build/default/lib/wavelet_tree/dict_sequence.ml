@@ -1,0 +1,121 @@
+module Bitstring = Wt_strings.Bitstring
+module WT = Wavelet_tree.Over_rrr
+
+type t = {
+  dict : Bitstring.t array; (* lexicographically sorted distinct strings *)
+  wt : WT.t;
+  n : int;
+}
+
+let of_array strings =
+  let dict =
+    Array.of_list (List.sort_uniq Bitstring.compare (Array.to_list strings))
+  in
+  let sigma = max 1 (Array.length dict) in
+  (* exact-match binary search *)
+  let id_of s =
+    let lo = ref 0 and hi = ref (Array.length dict) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if Bitstring.compare dict.(mid) s <= 0 then lo := mid else hi := mid
+    done;
+    !lo
+  in
+  let ids = Array.map id_of strings in
+  { dict; wt = WT.of_array ~sigma ids; n = Array.length strings }
+
+let length t = t.n
+let distinct_count t = Array.length t.dict
+
+let find t s =
+  let lo = ref (-1) and hi = ref (Array.length t.dict) in
+  (* invariant: dict[lo] < s <= ... ; find exact match *)
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if Bitstring.compare t.dict.(mid) s < 0 then lo := mid else hi := mid
+  done;
+  if !hi < Array.length t.dict && Bitstring.equal t.dict.(!hi) s then Some !hi else None
+
+(* Dictionary ids whose string starts with [p] form a contiguous range
+   because the order is lexicographic and a prefix sorts before (and every
+   non-extension >= p sorts after) all its extensions. *)
+let prefix_id_range t p =
+  (* classify: -1 below the block, 0 inside, 1 above *)
+  let classify s =
+    if Bitstring.is_prefix ~prefix:p s then 0 else Bitstring.compare s p
+  in
+  let first_not_below () =
+    let lo = ref (-1) and hi = ref (Array.length t.dict) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if classify t.dict.(mid) < 0 then lo := mid else hi := mid
+    done;
+    !hi
+  in
+  let first_above () =
+    let lo = ref (-1) and hi = ref (Array.length t.dict) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if classify t.dict.(mid) <= 0 then lo := mid else hi := mid
+    done;
+    !hi
+  in
+  (first_not_below (), first_above ())
+
+let access t pos =
+  if pos < 0 || pos >= t.n then invalid_arg "Dict_sequence.access";
+  t.dict.(WT.access t.wt pos)
+
+let rank t s pos =
+  match find t s with None -> 0 | Some id -> WT.rank t.wt id pos
+
+let select t s idx =
+  match find t s with None -> None | Some id -> WT.select t.wt id idx
+
+let rank_prefix t p pos =
+  if pos < 0 || pos > t.n then invalid_arg "Dict_sequence.rank_prefix";
+  let lo, hi = prefix_id_range t p in
+  if lo >= hi then 0 else WT.range_count t.wt ~lo:0 ~hi:pos ~sym_lo:lo ~sym_hi:hi
+
+(* The operation this representation cannot support efficiently: merge the
+   occurrence streams of every dictionary id in the prefix range. *)
+let select_prefix t p idx =
+  if idx < 0 then invalid_arg "Dict_sequence.select_prefix";
+  let lo, hi = prefix_id_range t p in
+  if lo >= hi then None
+  else begin
+    (* per-id cursor into its occurrence list *)
+    let cursors = Array.make (hi - lo) 0 in
+    let next_pos i =
+      match WT.select t.wt (lo + i) cursors.(i) with
+      | Some p -> Some p
+      | None -> None
+    in
+    let rec pop k =
+      (* find the id with the smallest next occurrence *)
+      let best = ref None in
+      for i = 0 to hi - lo - 1 do
+        match next_pos i with
+        | None -> ()
+        | Some p -> (
+            match !best with
+            | Some (_, bp) when bp <= p -> ()
+            | _ -> best := Some (i, p))
+      done;
+      match !best with
+      | None -> None
+      | Some (i, p) ->
+          if k = 0 then Some p
+          else begin
+            cursors.(i) <- cursors.(i) + 1;
+            pop (k - 1)
+          end
+    in
+    pop idx
+  end
+
+let space_bits t =
+  let dict_bits =
+    Array.fold_left (fun acc s -> acc + Bitstring.length s + 64) 0 t.dict
+  in
+  WT.space_bits t.wt + dict_bits + (3 * 64)

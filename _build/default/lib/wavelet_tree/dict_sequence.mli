@@ -1,0 +1,41 @@
+(** Dictionary-mapped sequence — "approach (1)" of the paper's related
+    work, the traditional way to index a string sequence.
+
+    The distinct strings are collected into a lexicographically sorted
+    dictionary, each string is replaced by its dictionary id, and the id
+    sequence is stored in a classic balanced Wavelet Tree.  Consequences,
+    exactly as the paper describes:
+
+    - [access]/[rank]/[select] work in O(log σ) bitvector operations plus
+      a dictionary lookup;
+    - because the mapping is lexicographic, prefixes map to contiguous id
+      ranges, so [rank_prefix] reduces to the 2-dimensional
+      {!Wavelet_tree.Make.range_count} of Mäkinen–Navarro [17];
+    - [select_prefix] has no efficient implementation (this module
+      provides a documented O(answer · log σ) fallback that walks
+      candidate ids) — the gap the Wavelet Trie closes;
+    - the dictionary is {e frozen}: the structure is static and cannot
+      accept unseen strings, which is what rules this approach out for
+      logs and database columns with open value sets.
+
+    Used as a baseline in tests and the [ablation/dict] bench. *)
+
+type t
+
+val of_array : Wt_strings.Bitstring.t array -> t
+val length : t -> int
+val distinct_count : t -> int
+
+val access : t -> int -> Wt_strings.Bitstring.t
+val rank : t -> Wt_strings.Bitstring.t -> int -> int
+val select : t -> Wt_strings.Bitstring.t -> int -> int option
+
+val rank_prefix : t -> Wt_strings.Bitstring.t -> int -> int
+(** Via lexicographic id-range + 2-D range counting. *)
+
+val select_prefix : t -> Wt_strings.Bitstring.t -> int -> int option
+(** Inefficient by construction: merges per-id [select] streams over the
+    id range of the prefix.  O(k · r · log σ) for the [k]-th answer over
+    [r] matching dictionary entries. *)
+
+val space_bits : t -> int

@@ -1,0 +1,126 @@
+module Dyn_rle = Wt_bitvector.Dyn_rle
+
+(* Balanced symbol-range tree, fixed at creation. *)
+type node =
+  | Leaf of int
+  | Node of { bv : Dyn_rle.t; mid : int; left : node; right : node }
+
+type t = { mutable n : int; sigma : int; root : node }
+
+let rec build lo hi =
+  if hi - lo = 1 then Leaf lo
+  else begin
+    let mid = (lo + hi + 1) / 2 in
+    Node { bv = Dyn_rle.create (); mid; left = build lo mid; right = build mid hi }
+  end
+
+let create ~sigma =
+  if sigma < 1 then invalid_arg "Dyn_wavelet_tree.create: sigma < 1";
+  { n = 0; sigma; root = build 0 sigma }
+
+let length t = t.n
+let sigma t = t.sigma
+
+let access t pos =
+  if pos < 0 || pos >= t.n then invalid_arg "Dyn_wavelet_tree.access";
+  let rec go node pos =
+    match node with
+    | Leaf s -> s
+    | Node { bv; left; right; _ } ->
+        let b, pos' = Dyn_rle.access_rank bv pos in
+        go (if b then right else left) pos'
+  in
+  go t.root pos
+
+let rank t sym pos =
+  if pos < 0 || pos > t.n then invalid_arg "Dyn_wavelet_tree.rank";
+  if sym < 0 || sym >= t.sigma then 0
+  else begin
+    let rec go node pos =
+      if pos = 0 then 0
+      else
+        match node with
+        | Leaf _ -> pos
+        | Node { bv; mid; left; right } ->
+            let b = sym >= mid in
+            go (if b then right else left) (Dyn_rle.rank bv b pos)
+    in
+    go t.root pos
+  end
+
+let select t sym idx =
+  if idx < 0 then invalid_arg "Dyn_wavelet_tree.select";
+  if sym < 0 || sym >= t.sigma then None
+  else begin
+    let rec down node acc =
+      match node with
+      | Leaf _ -> Some acc
+      | Node { bv; mid; left; right } ->
+          let b = sym >= mid in
+          let cnt = if b then Dyn_rle.ones bv else Dyn_rle.zeros bv in
+          if cnt = 0 then None else down (if b then right else left) ((bv, b) :: acc)
+    in
+    match down t.root [] with
+    | None -> None
+    | Some trail ->
+        (* count at the leaf = count of b in the deepest bitvector *)
+        let leaf_count =
+          match trail with
+          | [] -> t.n
+          | (bv, b) :: _ -> if b then Dyn_rle.ones bv else Dyn_rle.zeros bv
+        in
+        if idx >= leaf_count then None
+        else
+          Some (List.fold_left (fun i (bv, b) -> Dyn_rle.select bv b i) idx trail)
+  end
+
+let insert t pos sym =
+  if pos < 0 || pos > t.n then invalid_arg "Dyn_wavelet_tree.insert";
+  if sym < 0 || sym >= t.sigma then
+    invalid_arg "Dyn_wavelet_tree.insert: symbol outside the fixed alphabet";
+  let rec go node pos =
+    match node with
+    | Leaf _ -> ()
+    | Node { bv; mid; left; right } ->
+        let b = sym >= mid in
+        Dyn_rle.insert bv pos b;
+        go (if b then right else left) (Dyn_rle.rank bv b pos)
+  in
+  go t.root pos;
+  t.n <- t.n + 1
+
+let append t sym = insert t t.n sym
+
+let delete t pos =
+  if pos < 0 || pos >= t.n then invalid_arg "Dyn_wavelet_tree.delete";
+  let rec go node pos =
+    match node with
+    | Leaf _ -> ()
+    | Node { bv; left; right; _ } ->
+        let b, pos' = Dyn_rle.access_rank bv pos in
+        go (if b then right else left) pos';
+        Dyn_rle.delete bv pos
+  in
+  go t.root pos;
+  t.n <- t.n - 1
+
+let space_bits t =
+  let rec go = function
+    | Leaf _ -> 64
+    | Node { bv; left; right; _ } -> Dyn_rle.space_bits bv + (4 * 64) + go left + go right
+  in
+  go t.root + (3 * 64)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let rec go node expected =
+    match node with
+    | Leaf _ -> ()
+    | Node { bv; left; right; _ } ->
+        Dyn_rle.check_invariants bv;
+        if Dyn_rle.length bv <> expected then
+          fail "node length %d, expected %d" (Dyn_rle.length bv) expected;
+        go left (Dyn_rle.zeros bv);
+        go right (Dyn_rle.ones bv)
+  in
+  go t.root t.n

@@ -1,0 +1,30 @@
+(** Dynamic Wavelet Tree over a {e fixed} integer alphabet — the prior
+    state of the art the paper improves on ([12], [16], [18]).
+
+    The tree shape over [0, sigma) is fixed at creation; each internal
+    node holds a fully-dynamic RLE+γ bitvector, so [insert]/[delete] of
+    symbols run in O(log σ · log n).  Unlike the Wavelet Trie, the
+    alphabet must be known in advance: inserting a symbol outside
+    [0, sigma) is an error, and space is paid for the fixed tree shape
+    even for symbols that never occur.  Used by the [ablation/fixed-
+    alphabet] bench. *)
+
+type t
+
+val create : sigma:int -> t
+(** [sigma >= 1]. *)
+
+val length : t -> int
+val sigma : t -> int
+
+val access : t -> int -> int
+val rank : t -> int -> int -> int
+val select : t -> int -> int -> int option
+val insert : t -> int -> int -> unit
+(** [insert t pos sym]. *)
+
+val delete : t -> int -> unit
+val append : t -> int -> unit
+
+val space_bits : t -> int
+val check_invariants : t -> unit

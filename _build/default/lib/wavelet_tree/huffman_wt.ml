@@ -1,0 +1,104 @@
+module Bitstring = Wt_strings.Bitstring
+module Wavelet_trie = Wt_core.Wavelet_trie
+
+type t = {
+  codes : Bitstring.t option array; (* symbol -> codeword *)
+  decode : (string, int) Hashtbl.t; (* codeword bits -> symbol *)
+  wt : Wavelet_trie.t;
+}
+
+(* Huffman tree by two-queue merging over sorted leaf weights. *)
+let huffman_codes ~sigma freqs =
+  let symbols =
+    Array.to_list (Array.init sigma Fun.id)
+    |> List.filter (fun s -> freqs.(s) > 0)
+  in
+  let codes = Array.make sigma None in
+  (match symbols with
+  | [] -> ()
+  | [ s ] ->
+      (* single distinct symbol: 1-bit code keeps the set prefix-free *)
+      codes.(s) <- Some (Bitstring.of_string "0")
+  | _ ->
+      let module Q = struct
+        type tree = Leaf of int | Node of tree * tree
+
+        let weight_sorted =
+          List.sort
+            (fun a b -> compare freqs.(a) freqs.(b))
+            symbols
+      end in
+      let open Q in
+      (* two-queue O(sigma log sigma) construction *)
+      let leaves = Queue.create () and merged = Queue.create () in
+      List.iter (fun s -> Queue.add (Leaf s, freqs.(s)) leaves) weight_sorted;
+      let pop_min () =
+        match (Queue.peek_opt leaves, Queue.peek_opt merged) with
+        | None, None -> assert false
+        | Some x, None -> ignore (Queue.pop leaves); x
+        | None, Some y -> ignore (Queue.pop merged); y
+        | Some (_, wx), Some (_, wy) ->
+            if wx <= wy then (let x = Queue.pop leaves in x)
+            else (let y = Queue.pop merged in y)
+      in
+      let rec build () =
+        let a, wa = pop_min () in
+        if Queue.is_empty leaves && Queue.is_empty merged then a
+        else begin
+          let b, wb = pop_min () in
+          Queue.add (Node (a, b), wa + wb) merged;
+          build ()
+        end
+      in
+      let root = build () in
+      let rec assign path = function
+        | Leaf s -> codes.(s) <- Some (Bitstring.of_bool_list (List.rev path))
+        | Node (a, b) ->
+            assign (false :: path) a;
+            assign (true :: path) b
+      in
+      assign [] root);
+  codes
+
+let of_array ~sigma a =
+  if Array.length a = 0 then invalid_arg "Huffman_wt.of_array: empty input";
+  if sigma < 1 then invalid_arg "Huffman_wt.of_array: sigma < 1";
+  let freqs = Array.make sigma 0 in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= sigma then invalid_arg "Huffman_wt.of_array: symbol out of range";
+      freqs.(x) <- freqs.(x) + 1)
+    a;
+  let codes = huffman_codes ~sigma freqs in
+  let decode = Hashtbl.create 64 in
+  Array.iteri
+    (fun s c ->
+      match c with Some c -> Hashtbl.replace decode (Bitstring.to_string c) s | None -> ())
+    codes;
+  let encoded =
+    Array.map
+      (fun x -> match codes.(x) with Some c -> c | None -> assert false)
+      a
+  in
+  { codes; decode; wt = Wavelet_trie.of_array encoded }
+
+let length t = Wavelet_trie.length t.wt
+let code_of t sym = t.codes.(sym)
+
+let access t pos =
+  let c = Wavelet_trie.access t.wt pos in
+  match Hashtbl.find_opt t.decode (Bitstring.to_string c) with
+  | Some s -> s
+  | None -> assert false
+
+let rank t sym pos =
+  if sym < 0 || sym >= Array.length t.codes then 0
+  else match t.codes.(sym) with None -> 0 | Some c -> Wavelet_trie.rank t.wt c pos
+
+let select t sym idx =
+  if sym < 0 || sym >= Array.length t.codes then None
+  else match t.codes.(sym) with None -> None | Some c -> Wavelet_trie.select t.wt c idx
+
+let stats t = Wavelet_trie.stats t.wt
+let avg_code_length t = (stats t).avg_height
+let space_bits t = Wavelet_trie.space_bits t.wt + (64 * (Array.length t.codes + 4))

@@ -1,0 +1,28 @@
+(** Huffman-shaped Wavelet Tree, realized as a Wavelet Trie.
+
+    Section 3 of the paper observes that "the Huffman-tree shaped Wavelet
+    Tree can be obtained as a Wavelet Trie by mapping each symbol to its
+    Huffman code".  This module does exactly that: it computes a Huffman
+    code for the input's symbol frequencies, binarizes the sequence
+    through it, and stores the result in the static {!Wt_core.Wavelet_trie}.
+    The average root-to-leaf depth h̃ then equals the average codeword
+    length, within one bit of H0. *)
+
+type t
+
+val of_array : sigma:int -> int array -> t
+(** Requires a non-empty array with symbols in [0, sigma). *)
+
+val length : t -> int
+val access : t -> int -> int
+val rank : t -> int -> int -> int
+val select : t -> int -> int -> int option
+
+val code_of : t -> int -> Wt_strings.Bitstring.t option
+(** The Huffman codeword of a symbol ([None] if the symbol never occurs). *)
+
+val avg_code_length : t -> float
+(** h̃ of the underlying Wavelet Trie = average codeword length. *)
+
+val stats : t -> Wt_core.Stats.t
+val space_bits : t -> int

@@ -1,0 +1,296 @@
+module Bitstring = Wt_strings.Bitstring
+module WT = Wavelet_tree.Over_rrr
+
+(* Per-node symbols: 0..3 = two-bit branches (hi*2 + lo), 4|5 = the string
+   ends with one more bit (0|1).  Prefix-freeness guarantees terminal
+   symbols never coexist with extensions of the same bit at the same
+   node (that situation lengthens the lcp and is caught as a violation
+   one level down). *)
+let sigma = 6
+
+type node =
+  | Leaf of { label : Bitstring.t; count : int }
+  | Node of {
+      label : Bitstring.t;
+      seq : WT.t; (* the node's 6-ary sequence *)
+      children : node option array; (* length 4, for symbols 0..3 *)
+    }
+
+type t = { root : node option; n : int }
+
+let length t = t.n
+
+let node_len = function Leaf l -> l.count | Node nd -> WT.length nd.seq
+
+(* ------------------------------------------------------------------ *)
+
+let of_array strings =
+  let n = Array.length strings in
+  let rec build (idxs : int array) off =
+    let m = Array.length idxs in
+    let first = strings.(idxs.(0)) in
+    let alpha_len = ref (Bitstring.length first - off) in
+    for k = 1 to m - 1 do
+      let l =
+        Bitstring.lcp (Bitstring.drop first off) (Bitstring.drop strings.(idxs.(k)) off)
+      in
+      if l < !alpha_len then alpha_len := l
+    done;
+    let alpha = Bitstring.sub first off !alpha_len in
+    let stop = off + !alpha_len in
+    let ends = ref 0 in
+    for k = 0 to m - 1 do
+      if Bitstring.length strings.(idxs.(k)) = stop then incr ends
+    done;
+    if !ends = m then Leaf { label = alpha; count = m }
+    else if !ends > 0 then
+      invalid_arg "Quad_wt.of_array: string set is not prefix-free"
+    else begin
+      let sym_of s =
+        if Bitstring.length s = stop + 1 then 4 + Bool.to_int (Bitstring.get s stop)
+        else
+          (2 * Bool.to_int (Bitstring.get s stop))
+          + Bool.to_int (Bitstring.get s (stop + 1))
+      in
+      let syms = Array.map (fun i -> sym_of strings.(i)) idxs in
+      let counts = Array.make sigma 0 in
+      Array.iter (fun s -> counts.(s) <- counts.(s) + 1) syms;
+      let groups = Array.init 4 (fun s -> Array.make counts.(s) 0) in
+      let fill = Array.make 4 0 in
+      Array.iteri
+        (fun k s ->
+          if s < 4 then begin
+            groups.(s).(fill.(s)) <- idxs.(k);
+            fill.(s) <- fill.(s) + 1
+          end)
+        syms;
+      Node
+        {
+          label = alpha;
+          seq = WT.of_array ~sigma syms;
+          children =
+            Array.init 4 (fun s ->
+                if counts.(s) = 0 then None else Some (build groups.(s) (stop + 2)));
+        }
+    end
+  in
+  if n = 0 then { root = None; n = 0 }
+  else { root = Some (build (Array.init n Fun.id) 0); n }
+
+(* ------------------------------------------------------------------ *)
+
+let bit_string b = Bitstring.of_bool_list [ b ]
+let sym_bits s = Bitstring.of_bool_list [ s land 2 <> 0; s land 1 <> 0 ]
+
+let access t pos =
+  if pos < 0 || pos >= t.n then invalid_arg "Quad_wt.access";
+  let rec go node pos acc =
+    match node with
+    | Leaf { label; _ } -> Bitstring.concat (List.rev (label :: acc))
+    | Node { label; seq; children } -> (
+        let sym = WT.access seq pos in
+        if sym >= 4 then
+          Bitstring.concat (List.rev (bit_string (sym = 5) :: label :: acc))
+        else
+          let pos' = WT.rank seq sym pos in
+          match children.(sym) with
+          | Some ch -> go ch pos' (sym_bits sym :: label :: acc)
+          | None -> assert false)
+  in
+  match t.root with None -> assert false | Some root -> go root pos []
+
+(* Shared descent pieces: at a node, classify the remaining suffix. *)
+type step =
+  | Mismatch
+  | Ends_here (* rest consumed exactly at the end of the label *)
+  | Terminal of int (* one bit left: terminal symbol 4|5 *)
+  | Branch of int (* >= two bits left: symbol 0..3 *)
+
+let classify label rest =
+  let l = Bitstring.lcp label rest in
+  if l < Bitstring.length label then
+    if l = Bitstring.length rest then Ends_here (* prefix stops inside label *)
+    else Mismatch
+  else begin
+    let rest_len = Bitstring.length rest - l in
+    if rest_len = 0 then Ends_here
+    else if rest_len = 1 then Terminal (4 + Bool.to_int (Bitstring.get rest l))
+    else
+      Branch
+        ((2 * Bool.to_int (Bitstring.get rest l))
+        + Bool.to_int (Bitstring.get rest (l + 1)))
+  end
+
+let rank t s pos =
+  if pos < 0 || pos > t.n then invalid_arg "Quad_wt.rank";
+  let rec go node off pos =
+    if pos = 0 then 0
+    else begin
+      let rest = Bitstring.drop s off in
+      match node with
+      | Leaf { label; count = _ } ->
+          if Bitstring.equal rest label then pos else 0
+      | Node { label; seq; children } -> (
+          match classify label rest with
+          | Mismatch | Ends_here -> 0
+          | Terminal sym -> WT.rank seq sym pos
+          | Branch sym -> (
+              match children.(sym) with
+              | None -> 0
+              | Some ch ->
+                  go ch (off + Bitstring.length label + 2) (WT.rank seq sym pos)))
+    end
+  in
+  match t.root with None -> 0 | Some root -> go root 0 pos
+
+(* Descent recording the (seq, sym) trail; returns occurrence count. *)
+let trail_of t s =
+  let rec go node off acc =
+    let rest = Bitstring.drop s off in
+    match node with
+    | Leaf { label; count } -> if Bitstring.equal rest label then Some (count, acc) else None
+    | Node { label; seq; children } -> (
+        match classify label rest with
+        | Mismatch | Ends_here -> None
+        | Terminal sym ->
+            Some (WT.rank seq sym (WT.length seq), (seq, sym) :: acc)
+        | Branch sym -> (
+            match children.(sym) with
+            | None -> None
+            | Some ch ->
+                go ch (off + Bitstring.length label + 2) ((seq, sym) :: acc)))
+  in
+  match t.root with None -> None | Some root -> go root 0 []
+
+let unwind trail idx =
+  List.fold_left
+    (fun i (seq, sym) ->
+      match WT.select seq sym i with Some p -> p | None -> assert false)
+    idx trail
+
+let select t s idx =
+  if idx < 0 then invalid_arg "Quad_wt.select";
+  match trail_of t s with
+  | None -> None
+  | Some (count, trail) -> if idx >= count then None else Some (unwind trail idx)
+
+(* Symbols covered by a prefix that stops after one bit of a branching
+   step. *)
+let half_step_syms b = if b then [ 2; 3; 5 ] else [ 0; 1; 4 ]
+
+let rank_prefix t p pos =
+  if pos < 0 || pos > t.n then invalid_arg "Quad_wt.rank_prefix";
+  let rec go node off pos =
+    if pos = 0 then 0
+    else begin
+      let rest = Bitstring.drop p off in
+      if Bitstring.is_empty rest then pos
+      else
+        match node with
+        | Leaf { label; _ } -> if Bitstring.is_prefix ~prefix:rest label then pos else 0
+        | Node { label; seq; children } -> (
+            match classify label rest with
+            | Ends_here -> pos
+            | Mismatch ->
+                (* classify says mismatch also when rest stops inside the
+                   label; distinguish via is_prefix *)
+                if Bitstring.is_prefix ~prefix:rest label then pos else 0
+            | Terminal tsym ->
+                let b = tsym = 5 in
+                List.fold_left
+                  (fun acc sym -> acc + WT.rank seq sym pos)
+                  0 (half_step_syms b)
+            | Branch sym -> (
+                match children.(sym) with
+                | None -> 0
+                | Some ch ->
+                    go ch (off + Bitstring.length label + 2) (WT.rank seq sym pos)))
+    end
+  in
+  match t.root with None -> 0 | Some root -> go root 0 pos
+
+(* Position (within a node's sequence) of the k-th element whose symbol is
+   in [syms], by binary search over monotone rank sums. *)
+let select_among seq syms k =
+  let len = WT.length seq in
+  let count_before x = List.fold_left (fun acc s -> acc + WT.rank seq s x) 0 syms in
+  if k >= count_before len then None
+  else begin
+    (* smallest x in [1, len] with count_before x >= k + 1; answer x - 1 *)
+    let lo = ref 0 and hi = ref len in
+    (* invariant: count_before lo <= k < count_before hi *)
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if count_before mid <= k then lo := mid else hi := mid
+    done;
+    Some !lo
+  end
+
+let select_prefix t p idx =
+  if idx < 0 then invalid_arg "Quad_wt.select_prefix";
+  let rec go node off acc =
+    let rest = Bitstring.drop p off in
+    if Bitstring.is_empty rest then
+      (* whole node covered *)
+      if idx >= node_len node then None else Some (unwind acc idx)
+    else
+      match node with
+      | Leaf { label; count } ->
+          if Bitstring.is_prefix ~prefix:rest label && idx < count then
+            Some (unwind acc idx)
+          else None
+      | Node { label; seq; children } -> (
+          match classify label rest with
+          | Ends_here ->
+              if idx >= node_len node then None else Some (unwind acc idx)
+          | Mismatch ->
+              if Bitstring.is_prefix ~prefix:rest label then
+                if idx >= node_len node then None else Some (unwind acc idx)
+              else None
+          | Terminal tsym -> (
+              let b = tsym = 5 in
+              match select_among seq (half_step_syms b) idx with
+              | None -> None
+              | Some q -> Some (unwind acc q))
+          | Branch sym -> (
+              match children.(sym) with
+              | None -> None
+              | Some ch -> go ch (off + Bitstring.length label + 2) ((seq, sym) :: acc)))
+  in
+  match t.root with None -> None | Some root -> go root 0 []
+
+let distinct_count t =
+  let rec go = function
+    | Leaf _ -> 1
+    | Node { seq; children; _ } ->
+        let terminals =
+          Bool.to_int (WT.rank seq 4 (WT.length seq) > 0)
+          + Bool.to_int (WT.rank seq 5 (WT.length seq) > 0)
+        in
+        Array.fold_left
+          (fun acc c -> match c with None -> acc | Some ch -> acc + go ch)
+          terminals children
+  in
+  match t.root with None -> 0 | Some root -> go root
+
+let height t =
+  let rec go = function
+    | Leaf _ -> 0
+    | Node { children; _ } ->
+        1
+        + Array.fold_left
+            (fun acc c -> match c with None -> acc | Some ch -> max acc (go ch))
+            0 children
+  in
+  match t.root with None -> 0 | Some root -> go root
+
+let space_bits t =
+  let rec go = function
+    | Leaf { label; _ } -> Bitstring.length label + (2 * 64)
+    | Node { label; seq; children } ->
+        Bitstring.length label + WT.space_bits seq + (6 * 64)
+        + Array.fold_left
+            (fun acc c -> match c with None -> acc | Some ch -> acc + go ch)
+            0 children
+  in
+  (match t.root with None -> 0 | Some root -> go root) + 64

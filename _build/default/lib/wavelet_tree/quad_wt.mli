@@ -1,0 +1,40 @@
+(** Static 4-ary Wavelet Trie — the paper's Section 7 future-work
+    direction, prototyped.
+
+    "It is an open question how the Wavelet Trie would perform in
+    external or cache-oblivious models. A starting point would be a
+    fanout larger than 2 in the trie, but internal nodes would require
+    vectors with non-binary alphabet."
+
+    This module implements that starting point for the static case: the
+    trie consumes {e two} bits per branching step, so internal nodes have
+    up to four subtrie children, and each node stores a small non-binary
+    sequence.  Because the binary strings are arbitrary, a string may run
+    out after a single bit beyond the node's label; prefix-freeness
+    guarantees such a string has no extensions, so it is represented by
+    one of two extra "terminal" symbols.  Per-node sequences therefore
+    range over a 6-symbol alphabet
+
+      {v 0,1,2,3 = two-bit branches 00,01,10,11;  4,5 = final single bit 0,1 v}
+
+    and are stored in a per-node RRR-backed Wavelet Tree.
+
+    Halving the number of trie levels roughly halves the bitvector
+    operations per query (each now costing two levels of the per-node
+    mini tree, but with better locality).  The [ablation/quad] bench
+    compares it against the binary Wavelet Trie. *)
+
+type t
+
+include Wt_core.Indexed_sequence.S with type t := t
+(** Prefix notes: a prefix ending between the two bits of a branching
+    step covers three sibling symbols — [rank_prefix] sums their counts
+    and [select_prefix] merges their streams by a binary search over rank
+    sums (O(log n) per answer). *)
+
+val of_array : Wt_strings.Bitstring.t array -> t
+(** Same contract as {!Wt_core.Wavelet_trie.of_array}. *)
+
+val height : t -> int
+(** Number of internal nodes on the deepest path — compare with the
+    binary trie's. *)

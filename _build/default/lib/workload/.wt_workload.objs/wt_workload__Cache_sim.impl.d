@@ -1,0 +1,1 @@
+lib/workload/cache_sim.ml: Array Fun Wt_bits

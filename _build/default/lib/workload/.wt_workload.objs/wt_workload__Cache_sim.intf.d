@@ -1,0 +1,1 @@
+lib/workload/cache_sim.mli:

@@ -1,0 +1,1 @@
+lib/workload/columns.ml: Array Char String Wt_bits Wt_strings Zipf

@@ -1,0 +1,1 @@
+lib/workload/columns.mli: Wt_strings

@@ -1,0 +1,1 @@
+lib/workload/text.ml: Array Char String Wt_bits Wt_strings Zipf

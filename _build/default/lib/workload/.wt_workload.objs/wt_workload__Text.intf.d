@@ -1,0 +1,1 @@
+lib/workload/text.mli: Wt_strings

@@ -1,0 +1,1 @@
+lib/workload/urls.ml: Array List Printf String Wt_bits Wt_strings Zipf

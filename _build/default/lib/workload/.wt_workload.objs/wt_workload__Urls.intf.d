@@ -1,0 +1,1 @@
+lib/workload/urls.mli: Wt_strings

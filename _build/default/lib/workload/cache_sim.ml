@@ -1,0 +1,74 @@
+type t = {
+  line_bytes : int;
+  ways : int;
+  sets : int;
+  tags : int array; (* sets * ways; -1 = empty *)
+  stamps : int array; (* LRU timestamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ?(line_bytes = 64) ?(ways = 8) ?(sets = 64) () =
+  if line_bytes < 1 || ways < 1 || sets < 1 then invalid_arg "Cache_sim.create";
+  {
+    line_bytes;
+    ways;
+    sets;
+    tags = Array.make (sets * ways) (-1);
+    stamps = Array.make (sets * ways) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let touch_line t line =
+  t.clock <- t.clock + 1;
+  t.accesses <- t.accesses + 1;
+  let set = line mod t.sets in
+  let base = set * t.ways in
+  (* hit? *)
+  let hit = ref false in
+  for w = 0 to t.ways - 1 do
+    if t.tags.(base + w) = line then begin
+      hit := true;
+      t.stamps.(base + w) <- t.clock
+    end
+  done;
+  if not !hit then begin
+    t.misses <- t.misses + 1;
+    (* evict the LRU way *)
+    let victim = ref base in
+    for w = 1 to t.ways - 1 do
+      if t.stamps.(base + w) < t.stamps.(!victim) then victim := base + w
+    done;
+    t.tags.(!victim) <- line;
+    t.stamps.(!victim) <- t.clock
+  end
+
+let access t buffer_id byte_off nbytes =
+  (* synthesize distinct address spaces per buffer: 1 MiB apart *)
+  let addr = (buffer_id * 1_048_576) + byte_off in
+  let first = addr / t.line_bytes in
+  let last = (addr + max 1 nbytes - 1) / t.line_bytes in
+  for line = first to last do
+    touch_line t line
+  done
+
+let install t = Wt_bits.Bitbuf.set_probe (Some (access t))
+let uninstall () = Wt_bits.Bitbuf.set_probe None
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0
+
+let accesses t = t.accesses
+let misses t = t.misses
+let miss_rate t = if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses
+
+let run t f =
+  install t;
+  let before = t.misses in
+  Fun.protect ~finally:uninstall (fun () ->
+      let r = f () in
+      (r, t.misses - before))

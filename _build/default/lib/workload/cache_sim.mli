@@ -1,0 +1,38 @@
+(** Set-associative LRU cache simulator over {!Wt_bits.Bitbuf} reads.
+
+    The paper closes with an open question: "it is an open question how
+    the Wavelet Trie would perform in external or cache-oblivious
+    models".  We do not have a hardware cache to instrument in this
+    environment, so we simulate one (per DESIGN.md's substitution rule):
+    {!Wt_bits.Bitbuf.set_probe} reports every read of every bit buffer,
+    and this module replays those accesses through a classic
+    set-associative LRU cache, counting hits and misses.
+
+    Addresses are synthesized as [(buffer id, byte offset)]; distinct
+    buffers never share a line, which models each succinct structure
+    living in its own allocation.  This ignores non-bitvector memory
+    (node records, directories stored in OCaml arrays), so absolute miss
+    counts are lower bounds; comparisons between layouts touching the
+    same kinds of data remain meaningful. *)
+
+type t
+
+val create : ?line_bytes:int -> ?ways:int -> ?sets:int -> unit -> t
+(** Defaults model a small L1: 64-byte lines, 8 ways, 64 sets (32 KiB). *)
+
+val install : t -> unit
+(** Route the global bit-buffer probe into this cache.  Replaces any
+    previously installed probe. *)
+
+val uninstall : unit -> unit
+(** Remove the probe (no tracing overhead afterwards). *)
+
+val reset_stats : t -> unit
+
+val accesses : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+
+val run : t -> (unit -> 'a) -> 'a * int
+(** [run t f] installs the cache, runs [f], uninstalls, and returns
+    [f ()]'s result with the number of misses incurred during the call. *)

@@ -1,0 +1,33 @@
+module Xoshiro = Wt_bits.Xoshiro
+module Binarize = Wt_strings.Binarize
+
+let vocab rng k =
+  Array.init k (fun i ->
+      let len = 2 + Xoshiro.int rng 8 in
+      String.init len (fun _ -> Char.chr (Char.code 'a' + Xoshiro.int rng 26))
+      ^ string_of_int i)
+
+let categorical ?(seed = 7) ?(cardinality = 64) n =
+  let rng = Xoshiro.create seed in
+  let words = vocab rng cardinality in
+  let dist = Zipf.create ~s:1.2 cardinality in
+  let col = Array.init n (fun _ -> Binarize.of_bytes words.(Zipf.sample dist rng)) in
+  (col, words)
+
+let identifiers ?(seed = 8) ?(universe = 1 lsl 24) n =
+  let rng = Xoshiro.create seed in
+  let width = Wt_bits.Broadword.bit_width (universe - 1) in
+  let dist = Zipf.create ~s:0.9 4096 in
+  Array.init n (fun _ ->
+      (* skewed base plus noise, clamped to the universe *)
+      let v = (Zipf.sample dist rng * 37) + Xoshiro.int rng 17 in
+      Binarize.of_int_msb ~width (v mod universe))
+
+let numeric ?(seed = 9) ?(bits = 40) ?(distinct = 256) n =
+  let rng = Xoshiro.create seed in
+  (* a sparse working alphabet scattered across the whole universe *)
+  let alphabet =
+    Array.init distinct (fun _ -> Xoshiro.next rng land Wt_bits.Broadword.mask bits)
+  in
+  let dist = Zipf.create ~s:1.0 distinct in
+  Array.init n (fun _ -> alphabet.(Zipf.sample dist rng))

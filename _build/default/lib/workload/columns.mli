@@ -1,0 +1,19 @@
+(** Column-store workload generators.
+
+    Models the paper's database motivation: columns of a relation stored
+    as indexed sequences.  Provides a low-cardinality categorical column
+    (country codes, status strings), a skewed identifier column, and a
+    numeric column for the Section 6 balanced Wavelet Tree. *)
+
+val categorical :
+  ?seed:int -> ?cardinality:int -> int -> Wt_strings.Bitstring.t array * string array
+(** [categorical n] draws a Zipf-distributed column of [n] values from a
+    generated vocabulary; returns the encoded column and the vocabulary. *)
+
+val identifiers : ?seed:int -> ?universe:int -> int -> Wt_strings.Bitstring.t array
+(** Skewed numeric identifiers, binarized MSB-first at fixed width (so
+    numeric range queries map to prefix queries). *)
+
+val numeric : ?seed:int -> ?bits:int -> ?distinct:int -> int -> int array
+(** Raw integers from a sparse working alphabet of [distinct] values
+    inside a [2^bits] universe (the Section 6 scenario). *)

@@ -1,0 +1,43 @@
+module Xoshiro = Wt_bits.Xoshiro
+module Binarize = Wt_strings.Binarize
+
+type t = {
+  rng : Xoshiro.t;
+  mutable vocab : string array;
+  mutable used : int;
+  dist : Zipf.t;
+  fresh_every : int;
+  mutable counter : int;
+}
+
+let make_word rng n =
+  String.init (2 + Xoshiro.int rng 7) (fun _ ->
+      Char.chr (Char.code 'a' + Xoshiro.int rng 26))
+  ^ string_of_int n
+
+let create ?(seed = 11) ?(base_vocab = 512) ?(fresh_every = 64) () =
+  if base_vocab < 1 then invalid_arg "Text.create";
+  let rng = Xoshiro.create seed in
+  let vocab = Array.init (2 * base_vocab) (fun i -> make_word rng i) in
+  { rng; vocab; used = base_vocab; dist = Zipf.create ~s:1.05 base_vocab; fresh_every; counter = 0 }
+
+let next t =
+  t.counter <- t.counter + 1;
+  if t.fresh_every > 0 && Xoshiro.int t.rng t.fresh_every = 0 then begin
+    (* introduce a brand-new word *)
+    if t.used >= Array.length t.vocab then begin
+      let bigger = Array.make (2 * t.used) "" in
+      Array.blit t.vocab 0 bigger 0 t.used;
+      t.vocab <- bigger;
+      for i = t.used to (2 * t.used) - 1 do
+        t.vocab.(i) <- make_word t.rng i
+      done
+    end;
+    let w = t.vocab.(t.used) in
+    t.used <- t.used + 1;
+    w
+  end
+  else t.vocab.(Zipf.sample t.dist t.rng)
+
+let next_encoded t = Binarize.of_bytes (next t)
+let sequence t n = Array.init n (fun _ -> next_encoded t)

@@ -1,0 +1,15 @@
+(** Word-sequence generator for the document-store motivation.
+
+    Produces a "text" as a sequence of words drawn from a Zipfian
+    vocabulary with occasional fresh words (so the alphabet keeps growing,
+    as with unseen words arriving in new documents). *)
+
+type t
+
+val create : ?seed:int -> ?base_vocab:int -> ?fresh_every:int -> unit -> t
+(** [fresh_every = k]: roughly one word in [k] is brand new (default 64;
+    0 disables fresh words). *)
+
+val next : t -> string
+val next_encoded : t -> Wt_strings.Bitstring.t
+val sequence : t -> int -> Wt_strings.Bitstring.t array

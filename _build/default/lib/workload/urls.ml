@@ -1,0 +1,62 @@
+module Xoshiro = Wt_bits.Xoshiro
+module Binarize = Wt_strings.Binarize
+module Bitstring = Wt_strings.Bitstring
+
+type t = {
+  rng : Xoshiro.t;
+  hosts : string array;
+  paths : string array array; (* per host *)
+  host_dist : Zipf.t;
+  path_dist : Zipf.t;
+}
+
+let syllables = [| "ka"; "lo"; "mi"; "ta"; "ren"; "zu"; "pol"; "da"; "vex"; "or" |]
+
+let word rng =
+  String.concat ""
+    (List.init (1 + Xoshiro.int rng 3) (fun _ ->
+         syllables.(Xoshiro.int rng (Array.length syllables))))
+
+let create ?(seed = 42) ?(hosts = 50) ?(paths_per_host = 40) ?(depth = 3) () =
+  if hosts < 1 || paths_per_host < 1 || depth < 1 then invalid_arg "Urls.create";
+  let rng = Xoshiro.create seed in
+  let host_names =
+    Array.init hosts (fun i -> Printf.sprintf "http://%s%02d.example.com/" (word rng) i)
+  in
+  let paths =
+    Array.map
+      (fun _ ->
+        (* a small directory tree: directories shared across the host's paths *)
+        let dirs = Array.init 6 (fun _ -> word rng) in
+        Array.init paths_per_host (fun i ->
+            let d = 1 + Xoshiro.int rng depth in
+            let parts =
+              List.init d (fun _ -> dirs.(Xoshiro.int rng (Array.length dirs)))
+            in
+            String.concat "/" parts ^ Printf.sprintf "/file%d" i))
+      host_names
+  in
+  {
+    rng;
+    hosts = host_names;
+    paths;
+    host_dist = Zipf.create ~s:1.1 hosts;
+    path_dist = Zipf.create ~s:1.0 paths_per_host;
+  }
+
+let next t =
+  let h = Zipf.sample t.host_dist t.rng in
+  let p = Zipf.sample t.path_dist t.rng in
+  t.hosts.(h) ^ t.paths.(h).(p)
+
+let next_encoded t = Binarize.of_bytes (next t)
+let sequence t n = Array.init n (fun _ -> next_encoded t)
+let raw_sequence t n = Array.init n (fun _ -> next t)
+let host_count t = Array.length t.hosts
+
+let host_prefix t i =
+  if i < 0 || i >= Array.length t.hosts then invalid_arg "Urls.host_prefix";
+  let enc = Binarize.of_bytes t.hosts.(i) in
+  (* Drop the terminator bit: what remains is a bit-prefix of every URL
+     encoding that extends this host string. *)
+  Bitstring.prefix enc (Bitstring.length enc - 1)

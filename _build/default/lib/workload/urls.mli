@@ -1,0 +1,34 @@
+(** Synthetic hierarchical URL/path log generator.
+
+    Models the paper's motivating workloads (query logs, access logs,
+    URL sequences): a power-law distribution over a fixed set of hosts,
+    per-host directory trees, and power-law path popularity.  The
+    resulting string sequences have skewed frequencies (low H0), long
+    shared prefixes (small h̃) and an alphabet that grows over time —
+    exactly the structure the Wavelet Trie exploits.
+
+    Strings are returned both as raw text and pre-binarized
+    ({!Wt_strings.Binarize.of_bytes}), and the generator is fully
+    deterministic given its seed. *)
+
+type t
+
+val create : ?seed:int -> ?hosts:int -> ?paths_per_host:int -> ?depth:int -> unit -> t
+(** Defaults: 50 hosts, 40 paths per host, max directory depth 3. *)
+
+val next : t -> string
+(** The next log line, e.g. ["http://host07.example.com/a/b/file4"]. *)
+
+val next_encoded : t -> Wt_strings.Bitstring.t
+
+val sequence : t -> int -> Wt_strings.Bitstring.t array
+(** [sequence t n] draws [n] encoded log lines. *)
+
+val raw_sequence : t -> int -> string array
+
+val host_prefix : t -> int -> Wt_strings.Bitstring.t
+(** [host_prefix t i] is the encoded bit-prefix shared by every URL of
+    host [i] (for prefix-query experiments: "all accesses to this
+    domain"). *)
+
+val host_count : t -> int

@@ -1,0 +1,25 @@
+type t = { cum : float array }
+
+let create ?(s = 1.0) n =
+  if n < 1 then invalid_arg "Zipf.create";
+  let cum = Array.make n 0. in
+  let acc = ref 0. in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (r + 1)) s);
+    cum.(r) <- !acc
+  done;
+  let total = !acc in
+  Array.iteri (fun i v -> cum.(i) <- v /. total) cum;
+  { cum }
+
+let size t = Array.length t.cum
+
+let sample t rng =
+  let u = Wt_bits.Xoshiro.float rng in
+  (* first index with cum >= u *)
+  let lo = ref 0 and hi = ref (Array.length t.cum - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cum.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo

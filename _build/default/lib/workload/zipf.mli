@@ -1,0 +1,14 @@
+(** Zipfian rank sampler.
+
+    Draws ranks in [0, n) with probability proportional to
+    [1 / (rank+1)^s], via an explicit cumulative table (O(n) setup,
+    O(log n) per sample).  Used to give the synthetic logs the skewed
+    frequency profile (low H0) the paper's motivation relies on. *)
+
+type t
+
+val create : ?s:float -> int -> t
+(** [create ?s n] over ranks [0, n); default exponent [s = 1.0]. *)
+
+val sample : t -> Wt_bits.Xoshiro.t -> int
+val size : t -> int

@@ -1,0 +1,24 @@
+  $ cat > log.txt <<STOP
+  > site.com/home
+  > site.com/login
+  > blog.net/post
+  > site.com/home
+  > shop.org/cart
+  > site.com/home
+  > STOP
+  $ wtrie access log.txt 2
+  $ wtrie rank log.txt site.com/home
+  $ wtrie rank log.txt site.com/home --hi 3
+  $ wtrie select log.txt site.com/home 1
+  $ wtrie select log.txt nope 0
+  $ wtrie prefix-count log.txt site.com/
+  $ wtrie prefix-list log.txt site.com/ --limit 2
+  $ wtrie distinct log.txt
+  $ wtrie majority log.txt --lo 3 --hi 6
+  $ wtrie at-least log.txt 3
+  $ wtrie top-k log.txt 2
+  $ wtrie quantile log.txt 0
+  $ wtrie quantile log.txt 5
+  $ wtrie index log.txt log.wtx
+  $ wtrie rank log.wtx site.com/home
+  $ wtrie access log.wtx 4

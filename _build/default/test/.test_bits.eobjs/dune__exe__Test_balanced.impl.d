@@ -1,0 +1,1 @@
+test/test_balanced.ml: Alcotest Array List Printf Wt_bits Wt_core

@@ -1,0 +1,1 @@
+test/test_balanced.mli:

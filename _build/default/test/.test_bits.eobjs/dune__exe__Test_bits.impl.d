@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Array Gen List QCheck QCheck_alcotest String Test Wt_bits

@@ -1,0 +1,1 @@
+test/test_bitvector.ml: Alcotest Array Fun Gen List Printf QCheck QCheck_alcotest Test Wt_bits Wt_bitvector

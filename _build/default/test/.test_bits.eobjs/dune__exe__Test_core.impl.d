@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Char Gen List Printf QCheck QCheck_alcotest String Test Wt_bits Wt_core Wt_strings

@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Array Char List Printf String Wt_bits Wt_bitvector Wt_core Wt_strings

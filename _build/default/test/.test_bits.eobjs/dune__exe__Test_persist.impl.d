@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Char Filename In_channel Out_channel Printexc String Sys Wt_bits Wt_core Wt_strings

@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Gen List QCheck QCheck_alcotest String Test Wt_bits Wt_bitvector Wt_core Wt_strings

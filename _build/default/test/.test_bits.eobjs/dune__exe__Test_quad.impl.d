@@ -1,0 +1,1 @@
+test/test_quad.ml: Alcotest Array Char List Printf String Wt_bits Wt_core Wt_strings Wt_wavelet_tree

@@ -1,0 +1,1 @@
+test/test_range.ml: Alcotest Array Hashtbl List Option String Wt_bits Wt_core Wt_strings

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Hashtbl List Option Printf Wt_bits Wt_core Wt_strings Wt_workload

@@ -1,0 +1,1 @@
+test/test_strings.ml: Alcotest Array Char List Printf QCheck QCheck_alcotest String Test Wt_bits Wt_strings

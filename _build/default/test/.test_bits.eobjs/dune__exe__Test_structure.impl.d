@@ -1,0 +1,1 @@
+test/test_structure.ml: Alcotest Array Char Format List Printf String Wt_bits Wt_core Wt_strings Wt_wavelet_tree

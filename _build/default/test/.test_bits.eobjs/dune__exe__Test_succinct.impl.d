@@ -1,0 +1,1 @@
+test/test_succinct.ml: Alcotest Array List Printf Wt_bits Wt_succinct

@@ -1,0 +1,1 @@
+test/test_trie.ml: Alcotest Array Char List Printf Set String Wt_bits Wt_strings Wt_trie

@@ -1,0 +1,1 @@
+test/test_wavelet_tree.ml: Alcotest Array List Option Printf String Wt_bits Wt_core Wt_strings Wt_wavelet_tree Wt_workload

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Printf String Wt_bits Wt_core Wt_strings Wt_workload

@@ -1,0 +1,72 @@
+The wtrie CLI over a small line file.
+
+  $ cat > log.txt <<STOP
+  > site.com/home
+  > site.com/login
+  > blog.net/post
+  > site.com/home
+  > shop.org/cart
+  > site.com/home
+  > STOP
+
+Point queries:
+
+  $ wtrie access log.txt 2
+  blog.net/post
+
+  $ wtrie rank log.txt site.com/home
+  3
+
+  $ wtrie rank log.txt site.com/home --hi 3
+  1
+
+  $ wtrie select log.txt site.com/home 1
+  3
+
+  $ wtrie select log.txt nope 0
+  no such occurrence
+  [1]
+
+Prefix queries:
+
+  $ wtrie prefix-count log.txt site.com/
+  4
+
+  $ wtrie prefix-list log.txt site.com/ --limit 2
+         0  site.com/home
+         1  site.com/login
+
+Range analytics:
+
+  $ wtrie distinct log.txt
+         1  blog.net/post
+         1  shop.org/cart
+         3  site.com/home
+         1  site.com/login
+
+  $ wtrie majority log.txt --lo 3 --hi 6
+  site.com/home (2 of 3)
+
+  $ wtrie at-least log.txt 3
+         3  site.com/home
+
+  $ wtrie top-k log.txt 2
+         3  site.com/home
+         1  site.com/login
+
+  $ wtrie quantile log.txt 0
+  blog.net/post
+
+  $ wtrie quantile log.txt 5
+  site.com/login
+
+Index caching:
+
+  $ wtrie index log.txt log.wtx
+  indexed 6 strings into log.wtx
+
+  $ wtrie rank log.wtx site.com/home
+  3
+
+  $ wtrie access log.wtx 4
+  shop.org/cart

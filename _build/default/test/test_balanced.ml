@@ -1,0 +1,162 @@
+(* Tests for the Section 6 probabilistically-balanced dynamic Wavelet
+   Tree on integers: oracle agreement, inverse-hash correctness, and the
+   Theorem 6.2 height bound. *)
+
+module Balanced = Wt_core.Balanced
+module Xoshiro = Wt_bits.Xoshiro
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* naive integer-sequence oracle *)
+module M = struct
+  type t = int list ref
+
+  let create () : t = ref []
+  let length (t : t) = List.length !t
+  let access (t : t) pos = List.nth !t pos
+
+  let insert (t : t) pos x =
+    let rec go i = function
+      | rest when i = pos -> x :: rest
+      | [] -> invalid_arg "M.insert"
+      | y :: rest -> y :: go (i + 1) rest
+    in
+    t := go 0 !t
+
+  let delete (t : t) pos = t := List.filteri (fun i _ -> i <> pos) !t
+  let rank (t : t) x pos = List.length (List.filteri (fun i y -> i < pos && y = x) !t)
+
+  let select (t : t) x idx =
+    let rec go i k = function
+      | [] -> None
+      | y :: rest -> if y = x then if k = idx then Some i else go (i + 1) (k + 1) rest else go (i + 1) k rest
+    in
+    go 0 0 !t
+
+  let distinct (t : t) = List.length (List.sort_uniq compare !t)
+end
+
+let test_oracle () =
+  let rng = Xoshiro.create 606 in
+  let width = 40 in
+  let b = Balanced.create ~seed:77 ~width () in
+  let m = M.create () in
+  (* sparse working alphabet inside a huge universe *)
+  let alphabet = Array.init 50 (fun _ -> Xoshiro.next rng land Wt_bits.Broadword.mask width) in
+  for step = 1 to 1500 do
+    let n = M.length m in
+    let c = Xoshiro.int rng 10 in
+    if c < 6 || n = 0 then begin
+      let x = alphabet.(Xoshiro.int rng 50) in
+      let pos = Xoshiro.int rng (n + 1) in
+      M.insert m pos x;
+      Balanced.insert b pos x
+    end
+    else begin
+      let pos = Xoshiro.int rng n in
+      M.delete m pos;
+      Balanced.delete b pos
+    end;
+    if step mod 150 = 0 then begin
+      Balanced.check_invariants b;
+      check_int "length" (M.length m) (Balanced.length b);
+      check_int "distinct" (M.distinct m) (Balanced.distinct_count b);
+      let n = M.length m in
+      for _ = 1 to 30 do
+        if n > 0 then begin
+          let pos = Xoshiro.int rng n in
+          check_int "access" (M.access m pos) (Balanced.access b pos)
+        end;
+        let x = alphabet.(Xoshiro.int rng 50) in
+        let pos = Xoshiro.int rng (n + 1) in
+        check_int "rank" (M.rank m x pos) (Balanced.rank b x pos);
+        let idx = Xoshiro.int rng 20 in
+        Alcotest.(check (option int)) "select" (M.select m x idx) (Balanced.select b x idx)
+      done
+    end
+  done
+
+let test_out_of_universe () =
+  let b = Balanced.create ~width:8 () in
+  Alcotest.check_raises "too large" (Invalid_argument "Balanced: value out of universe")
+    (fun () -> Balanced.append b 256);
+  Alcotest.check_raises "negative" (Invalid_argument "Balanced: value out of universe")
+    (fun () -> Balanced.append b (-1));
+  Balanced.append b 255;
+  Balanced.append b 0;
+  check_int "access 255" 255 (Balanced.access b 0);
+  check_int "access 0" 0 (Balanced.access b 1)
+
+let test_height_bound () =
+  (* Theorem 6.2: height <= (alpha+2) log2 |Sigma| with probability
+     1 - |Sigma|^-alpha, independent of the universe (width 60 here).
+     With alpha = 3 the failure probability is ~1/|Sigma|^3; check over
+     several seeds that the bound essentially always holds and is far
+     below the worst case log2(u) = 60. *)
+  let width = 60 in
+  let failures = ref 0 in
+  let trials = 20 in
+  for seed = 1 to trials do
+    let rng = Xoshiro.create (1000 + seed) in
+    let sigma = 128 in
+    let alphabet =
+      Array.init sigma (fun _ -> Xoshiro.next rng land Wt_bits.Broadword.mask width)
+    in
+    let b = Balanced.create ~seed ~width () in
+    Array.iter (Balanced.append b) alphabet;
+    (* add repeats; they do not change the trie shape *)
+    for _ = 1 to 500 do
+      Balanced.append b alphabet.(Xoshiro.int rng sigma)
+    done;
+    let h = Balanced.height b in
+    let bound = int_of_float (5. *. (log (float_of_int sigma) /. log 2.)) in
+    if h > bound then incr failures;
+    check_bool "far below log u" true (h < width)
+  done;
+  check_bool (Printf.sprintf "height bound failures: %d/%d" !failures trials) true
+    (!failures = 0)
+
+let test_dyadic_adversary () =
+  (* Powers of two collide on every low-bit prefix of a*x mod 2^w, so the
+     LSB-first writing the paper describes degenerates; MSB-first (what we
+     implement) must stay ~log |Sigma|.  Regression for the deviation
+     documented in Balanced's interface. *)
+  let width = 60 in
+  let sigma = 59 in
+  let worst = ref 0 in
+  for seed = 1 to 10 do
+    let b = Balanced.create ~seed ~width () in
+    for i = 0 to sigma - 1 do
+      Balanced.append b (1 lsl i)
+    done;
+    worst := max !worst (Balanced.height b)
+  done;
+  check_bool
+    (Printf.sprintf "powers-of-two height %d <= 30" !worst)
+    true (!worst <= 30)
+
+let test_determinism () =
+  let mk seed =
+    let b = Balanced.create ~seed ~width:32 () in
+    List.iter (Balanced.append b) [ 5; 17; 5; 1000000; 42 ];
+    b
+  in
+  let a = mk 3 and b = mk 3 in
+  check_int "same height" (Balanced.height a) (Balanced.height b);
+  for i = 0 to 4 do
+    check_int "same content" (Balanced.access a i) (Balanced.access b i)
+  done
+
+let () =
+  Alcotest.run "wt_balanced"
+    [
+      ( "balanced",
+        [
+          Alcotest.test_case "oracle agreement" `Quick test_oracle;
+          Alcotest.test_case "universe bounds" `Quick test_out_of_universe;
+          Alcotest.test_case "height bound (Thm 6.2)" `Quick test_height_bound;
+          Alcotest.test_case "dyadic adversary (MSB-first fix)" `Quick test_dyadic_adversary;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+    ]

@@ -1,0 +1,575 @@
+(* Tests for wt_bitvector: every implementation is validated against a
+   naive reference model on random and adversarial bit sequences. *)
+
+module Bitbuf = Wt_bits.Bitbuf
+module Xoshiro = Wt_bits.Xoshiro
+module Plain = Wt_bitvector.Plain
+module Rrr = Wt_bitvector.Rrr
+module Appendable = Wt_bitvector.Appendable
+module Dyn_rle = Wt_bitvector.Dyn_rle
+module Dyn_gap = Wt_bitvector.Dyn_gap
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Reference model *)
+
+module Model = struct
+  type t = { mutable bits : bool array }
+
+  let create () = { bits = [||] }
+  let of_array bits = { bits = Array.copy bits }
+  let length t = Array.length t.bits
+  let access t pos = t.bits.(pos)
+
+  let rank t b pos =
+    let acc = ref 0 in
+    for i = 0 to pos - 1 do
+      if t.bits.(i) = b then incr acc
+    done;
+    !acc
+
+  let select t b k =
+    let seen = ref 0 in
+    let res = ref (-1) in
+    Array.iteri
+      (fun i bit ->
+        if bit = b then begin
+          if !seen = k && !res < 0 then res := i;
+          incr seen
+        end)
+      t.bits;
+    if !res < 0 then raise Not_found else !res
+
+  let count t b = rank t b (length t)
+
+  let insert t pos b =
+    let n = Array.length t.bits in
+    let out = Array.make (n + 1) false in
+    Array.blit t.bits 0 out 0 pos;
+    out.(pos) <- b;
+    Array.blit t.bits pos out (pos + 1) (n - pos);
+    t.bits <- out
+
+  let delete t pos =
+    let n = Array.length t.bits in
+    let out = Array.make (n - 1) false in
+    Array.blit t.bits 0 out 0 pos;
+    Array.blit t.bits (pos + 1) out pos (n - 1 - pos);
+    t.bits <- out
+
+  let append t b = insert t (Array.length t.bits) b
+end
+
+(* Interesting bit distributions, including the adversarial ones for the
+   compressed encodings: very sparse, very dense, long runs. *)
+let patterns rng n =
+  [
+    ("uniform", Array.init n (fun _ -> Xoshiro.bool rng));
+    ("sparse", Array.init n (fun _ -> Xoshiro.int rng 64 = 0));
+    ("dense", Array.init n (fun _ -> Xoshiro.int rng 64 <> 0));
+    ("all-zero", Array.make n false);
+    ("all-one", Array.make n true);
+    ( "runs",
+      let bits = Array.make n false in
+      let i = ref 0 in
+      let b = ref false in
+      while !i < n do
+        let run = 1 + Xoshiro.int rng 200 in
+        for j = !i to min (n - 1) (!i + run - 1) do
+          bits.(j) <- !b
+        done;
+        i := !i + run;
+        b := not !b
+      done;
+      bits );
+    ("alternating", Array.init n (fun i -> i land 1 = 0));
+  ]
+
+(* Full agreement check between a static implementation and the model. *)
+let agree ~name ~access ~rank ~select ~length ~rng model =
+  let n = Model.length model in
+  check_int (name ^ " length") n (length ());
+  (* all positions for small inputs, random sample for large *)
+  let positions =
+    if n <= 300 then List.init n Fun.id
+    else List.init 300 (fun _ -> Xoshiro.int rng n)
+  in
+  List.iter
+    (fun pos ->
+      check_bool (name ^ " access") (Model.access model pos) (access pos);
+      check_int (name ^ " rank1") (Model.rank model true pos) (rank true pos);
+      check_int (name ^ " rank0") (Model.rank model false pos) (rank false pos))
+    positions;
+  check_int (name ^ " rank1 end") (Model.count model true) (rank true n);
+  check_int (name ^ " rank0 end") (Model.count model false) (rank false n);
+  List.iter
+    (fun b ->
+      let total = Model.count model b in
+      let idxs =
+        if total = 0 then []
+        else if total <= 100 then List.init total Fun.id
+        else List.init 100 (fun _ -> Xoshiro.int rng total)
+      in
+      List.iter
+        (fun k -> check_int (name ^ " select") (Model.select model b k) (select b k))
+        idxs)
+    [ true; false ]
+
+(* ------------------------------------------------------------------ *)
+(* Plain *)
+
+let test_plain_patterns () =
+  let rng = Xoshiro.create 101 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (pname, bits) ->
+          let model = Model.of_array bits in
+          let buf = Bitbuf.create () in
+          Array.iter (Bitbuf.add buf) bits;
+          let bv = Plain.of_bitbuf buf in
+          agree
+            ~name:(Printf.sprintf "plain/%s/%d" pname n)
+            ~access:(Plain.access bv) ~rank:(Plain.rank bv) ~select:(Plain.select bv)
+            ~length:(fun () -> Plain.length bv)
+            ~rng model;
+          check_int "ones" (Model.count model true) (Plain.ones bv);
+          check_int "zeros" (Model.count model false) (Plain.zeros bv))
+        (patterns rng n))
+    [ 0; 1; 2; 55; 56; 57; 447; 448; 449; 1000; 5000 ]
+
+let test_plain_bounds () =
+  let bv = Plain.of_string "0110" in
+  Alcotest.check_raises "access -1" (Invalid_argument "Plain.access: position -1 out of [0, 4)")
+    (fun () -> ignore (Plain.access bv (-1)));
+  Alcotest.check_raises "rank 5" (Invalid_argument "Plain.rank: position 5 out of [0, 4]")
+    (fun () -> ignore (Plain.rank bv true 5));
+  Alcotest.check_raises "select 2" (Invalid_argument "Plain.select: index 2 out of [0, 2)")
+    (fun () -> ignore (Plain.select bv true 2))
+
+(* ------------------------------------------------------------------ *)
+(* Rrr *)
+
+let test_rrr_patterns () =
+  let rng = Xoshiro.create 202 in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (pname, bits) ->
+          let model = Model.of_array bits in
+          let buf = Bitbuf.create () in
+          Array.iter (Bitbuf.add buf) bits;
+          let bv = Rrr.of_bitbuf buf in
+          agree
+            ~name:(Printf.sprintf "rrr/%s/%d" pname n)
+            ~access:(Rrr.access bv) ~rank:(Rrr.rank bv) ~select:(Rrr.select bv)
+            ~length:(fun () -> Rrr.length bv)
+            ~rng model;
+          (* decoding gives back the input *)
+          check_bool "roundtrip" true (Bitbuf.equal buf (Rrr.to_bitbuf bv)))
+        (patterns rng n))
+    [ 0; 1; 61; 62; 63; 991; 992; 993; 3000 ]
+
+let test_rrr_compression () =
+  (* A sparse bitvector must compress far below its plain length. *)
+  let n = 100_000 in
+  let rng = Xoshiro.create 7 in
+  let buf = Bitbuf.create () in
+  for _ = 1 to n do
+    Bitbuf.add buf (Xoshiro.int rng 100 = 0)
+  done;
+  let bv = Rrr.of_bitbuf buf in
+  let h0 = Wt_bits.Entropy.bitvector_h0_bits ~ones:(Rrr.ones bv) ~len:n in
+  let space = float_of_int (Rrr.space_bits bv) in
+  check_bool
+    (Printf.sprintf "space %.0f within 4x of entropy %.0f and below plain %d" space h0 n)
+    true
+    (space < float_of_int n *. 0.75 && space < 4. *. h0 +. 10_000.)
+
+let test_rrr_iterator () =
+  let rng = Xoshiro.create 303 in
+  List.iter
+    (fun n ->
+      let bits = Array.init n (fun _ -> Xoshiro.int rng 10 < 3) in
+      let buf = Bitbuf.create () in
+      Array.iter (Bitbuf.add buf) bits;
+      let bv = Rrr.of_bitbuf buf in
+      (* from 0 *)
+      let it = Rrr.Iter.create bv 0 in
+      Array.iteri
+        (fun i b ->
+          check_bool "has_next" true (Rrr.Iter.has_next it);
+          check_int "iter pos" i (Rrr.Iter.pos it);
+          check_bool "iter bit" b (Rrr.Iter.next it))
+        bits;
+      check_bool "exhausted" false (Rrr.Iter.has_next it);
+      (* from random positions *)
+      for _ = 1 to 20 do
+        let start = Xoshiro.int rng (n + 1) in
+        let it = Rrr.Iter.create bv start in
+        for i = start to min (n - 1) (start + 100) do
+          check_bool "iter bit from start" bits.(i) (Rrr.Iter.next it)
+        done
+      done)
+    [ 1; 62; 200; 2000 ]
+
+(* ------------------------------------------------------------------ *)
+(* Appendable *)
+
+let test_appendable_incremental () =
+  let rng = Xoshiro.create 404 in
+  let model = Model.create () in
+  let bv = Appendable.create () in
+  (* Append enough to cross several segment boundaries (seg = 4096). *)
+  for i = 0 to 13_000 do
+    let b = Xoshiro.int rng 5 = 0 in
+    Model.append model b;
+    Appendable.append bv b;
+    if i mod 1379 = 0 then begin
+      Appendable.check_invariants bv;
+      agree
+        ~name:(Printf.sprintf "appendable@%d" i)
+        ~access:(Appendable.access bv) ~rank:(Appendable.rank bv)
+        ~select:(Appendable.select bv)
+        ~length:(fun () -> Appendable.length bv)
+        ~rng model
+    end
+  done;
+  Appendable.check_invariants bv
+
+let test_appendable_init_offset () =
+  let rng = Xoshiro.create 405 in
+  List.iter
+    (fun (b0, off) ->
+      let model = Model.create () in
+      for _ = 1 to off do
+        Model.append model b0
+      done;
+      let bv = Appendable.init b0 off in
+      check_bool "constant" true (Appendable.is_constant bv);
+      for _ = 1 to 5000 do
+        let b = Xoshiro.bool rng in
+        Model.append model b;
+        Appendable.append bv b
+      done;
+      Appendable.check_invariants bv;
+      agree
+        ~name:(Printf.sprintf "appendable-init(%b,%d)" b0 off)
+        ~access:(Appendable.access bv) ~rank:(Appendable.rank bv)
+        ~select:(Appendable.select bv)
+        ~length:(fun () -> Appendable.length bv)
+        ~rng model)
+    [ (false, 1); (true, 1); (false, 777); (true, 777); (true, 10_000); (false, 0) ]
+
+let test_appendable_pending_window () =
+  (* Immediately after a segment boundary, the segment's RRR encoding is
+     still under construction (the Section 4.1 de-amortization): queries
+     in that window must be served correctly from the raw bits. *)
+  let rng = Xoshiro.create 909 in
+  let model = Model.create () in
+  let bv = Appendable.create () in
+  for _ = 1 to 4096 do
+    let b = Xoshiro.int rng 3 = 0 in
+    Model.append model b;
+    Appendable.append bv b
+  done;
+  (* right at the boundary: one full pending segment, empty tail *)
+  Appendable.check_invariants bv;
+  agree ~name:"pending@boundary" ~access:(Appendable.access bv)
+    ~rank:(Appendable.rank bv) ~select:(Appendable.select bv)
+    ~length:(fun () -> Appendable.length bv)
+    ~rng model;
+  (* every single append through the construction window *)
+  for i = 1 to 80 do
+    let b = Xoshiro.bool rng in
+    Model.append model b;
+    Appendable.append bv b;
+    Appendable.check_invariants bv;
+    if i mod 7 = 0 then
+      agree
+        ~name:(Printf.sprintf "pending+%d" i)
+        ~access:(Appendable.access bv) ~rank:(Appendable.rank bv)
+        ~select:(Appendable.select bv)
+        ~length:(fun () -> Appendable.length bv)
+        ~rng model
+  done;
+  (* access_rank coherence inside and around the pending region *)
+  for pos = 4050 to min (Appendable.length bv - 1) 4176 do
+    let b, r = Appendable.access_rank bv pos in
+    check_bool "ar bit" (Appendable.access bv pos) b;
+    check_int "ar rank" (Appendable.rank bv b pos) r
+  done
+
+let test_appendable_iterator () =
+  let rng = Xoshiro.create 406 in
+  let bits = Array.init 9000 (fun _ -> Xoshiro.int rng 3 = 0) in
+  let buf = Bitbuf.create () in
+  Array.iter (Bitbuf.add buf) bits;
+  let bv = Appendable.of_bitbuf buf in
+  let it = Appendable.Iter.create bv 0 in
+  Array.iteri (fun i b -> check_bool (string_of_int i) b (Appendable.Iter.next it)) bits;
+  check_bool "end" false (Appendable.Iter.has_next it);
+  (* with an init offset *)
+  let bv = Appendable.init true 100 in
+  Array.iter (Appendable.append bv) bits;
+  let it = Appendable.Iter.create bv 0 in
+  for _ = 1 to 100 do
+    check_bool "offset bit" true (Appendable.Iter.next it)
+  done;
+  Array.iter (fun b -> check_bool "body bit" b (Appendable.Iter.next it)) bits
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic bitvectors (shared scenarios over both codecs) *)
+
+module type DYN = sig
+  include Wt_bitvector.Chunk_tree.S
+end
+
+let dyn_random_ops (module D : DYN) codec_name seed =
+  let rng = Xoshiro.create seed in
+  let model = Model.create () in
+  let bv = D.create () in
+  for step = 1 to 4000 do
+    let n = Model.length model in
+    let choice = Xoshiro.int rng 10 in
+    if choice < 5 || n = 0 then begin
+      (* biased towards runs to exercise run merging *)
+      let b = Xoshiro.int rng 4 < 3 in
+      let pos = Xoshiro.int rng (n + 1) in
+      Model.insert model pos b;
+      D.insert bv pos b
+    end
+    else if choice < 7 then begin
+      let pos = Xoshiro.int rng n in
+      Model.delete model pos;
+      D.delete bv pos
+    end
+    else begin
+      let b = Xoshiro.bool rng in
+      Model.append model b;
+      D.append bv b
+    end;
+    if step mod 500 = 0 then begin
+      D.check_invariants bv;
+      agree
+        ~name:(Printf.sprintf "%s@%d" codec_name step)
+        ~access:(D.access bv) ~rank:(D.rank bv) ~select:(D.select bv)
+        ~length:(fun () -> D.length bv)
+        ~rng model
+    end
+  done;
+  D.check_invariants bv
+
+let dyn_init (module D : DYN) codec_name =
+  List.iter
+    (fun (b, n) ->
+      let bv = D.init b n in
+      check_int (codec_name ^ " init length") n (D.length bv);
+      check_int (codec_name ^ " init ones") (if b then n else 0) (D.ones bv);
+      check_bool (codec_name ^ " constant") true (D.is_constant bv);
+      D.check_invariants bv;
+      if n > 0 then begin
+        check_bool "first" b (D.access bv 0);
+        check_bool "last" b (D.access bv (n - 1));
+        check_int "rank mid" (if b then n / 2 else 0) (D.rank bv true (n / 2))
+      end)
+    [ (false, 0); (true, 0); (false, 1); (true, 1); (false, 100_000); (true, 100_000) ]
+
+let dyn_bulk (module D : DYN) codec_name seed =
+  let rng = Xoshiro.create seed in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (pname, bits) ->
+          let model = Model.of_array bits in
+          let bv = D.of_bits bits in
+          D.check_invariants bv;
+          agree
+            ~name:(Printf.sprintf "%s/%s/%d" codec_name pname n)
+            ~access:(D.access bv) ~rank:(D.rank bv) ~select:(D.select bv)
+            ~length:(fun () -> D.length bv)
+            ~rng model)
+        (patterns rng n))
+    [ 0; 1; 2; 100; 2048 ]
+
+let dyn_delete_to_empty (module D : DYN) _codec_name seed =
+  let rng = Xoshiro.create seed in
+  let bits = Array.init 500 (fun _ -> Xoshiro.bool rng) in
+  let model = Model.of_array bits in
+  let bv = D.of_bits bits in
+  while D.length bv > 0 do
+    let pos = Xoshiro.int rng (D.length bv) in
+    Model.delete model pos;
+    D.delete bv pos;
+    D.check_invariants bv;
+    if D.length bv > 0 then begin
+      let p = Xoshiro.int rng (D.length bv) in
+      check_bool "access after delete" (Model.access model p) (D.access bv p)
+    end
+  done;
+  check_int "empty" 0 (D.length bv)
+
+let dyn_iterator (module D : DYN) codec_name seed =
+  let rng = Xoshiro.create seed in
+  let bits = Array.init 3000 (fun _ -> Xoshiro.int rng 4 = 0) in
+  let bv = D.of_bits bits in
+  let it = D.Iter.create bv 0 in
+  Array.iteri
+    (fun i b -> check_bool (Printf.sprintf "%s iter %d" codec_name i) b (D.Iter.next it))
+    bits;
+  check_bool "end" false (D.Iter.has_next it);
+  for _ = 1 to 20 do
+    let start = Xoshiro.int rng (Array.length bits + 1) in
+    let it = D.Iter.create bv start in
+    for i = start to min (Array.length bits - 1) (start + 64) do
+      check_bool "iter from start" bits.(i) (D.Iter.next it)
+    done
+  done
+
+let dyn_leaf_count (module D : DYN) codec_name =
+  (* Leaf count must stay proportional to content, not operation count:
+     insert many then delete most, and check the tree shrank. *)
+  let bv = D.create () in
+  let rng = Xoshiro.create 17 in
+  for _ = 1 to 20_000 do
+    D.insert bv (Xoshiro.int rng (D.length bv + 1)) (Xoshiro.bool rng)
+  done;
+  let full = D.leaf_count bv in
+  for _ = 1 to 19_900 do
+    D.delete bv (Xoshiro.int rng (D.length bv))
+  done;
+  D.check_invariants bv;
+  let small = D.leaf_count bv in
+  check_bool
+    (Printf.sprintf "%s leaves shrink (%d -> %d)" codec_name full small)
+    true
+    (small <= 4 && small < full)
+
+let dyn_suite (module D : DYN) codec_name seed =
+  [
+    Alcotest.test_case "random ops vs model" `Quick (fun () ->
+        dyn_random_ops (module D) codec_name seed);
+    Alcotest.test_case "init" `Quick (fun () -> dyn_init (module D) codec_name);
+    Alcotest.test_case "bulk patterns" `Quick (fun () ->
+        dyn_bulk (module D) codec_name (seed + 1));
+    Alcotest.test_case "delete to empty" `Quick (fun () ->
+        dyn_delete_to_empty (module D) codec_name (seed + 2));
+    Alcotest.test_case "iterator" `Quick (fun () ->
+        dyn_iterator (module D) codec_name (seed + 3));
+    Alcotest.test_case "leaf count shrinks" `Quick (fun () ->
+        dyn_leaf_count (module D) codec_name);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Space sanity: RLE on runs beats plain; gap Init(1,n) is heavy. *)
+
+let test_rle_space_on_runs () =
+  let n = 50_000 in
+  let bits = Array.init n (fun i -> i mod 2000 < 1000) in
+  let bv = Dyn_rle.of_bits bits in
+  check_bool
+    (Printf.sprintf "rle compresses long runs: %d bits for %d" (Dyn_rle.space_bits bv) n)
+    true
+    (Dyn_rle.space_bits bv < n / 10)
+
+let test_gap_init_is_linear () =
+  (* Not a timing test: check the representation size blows up, which is
+     the structural reason Init is slow (Remark 4.2). *)
+  let n = 20_000 in
+  let rle = Dyn_rle.init true n in
+  let gap = Dyn_gap.init true n in
+  check_bool
+    (Printf.sprintf "rle init tiny (%d bits), gap init linear (%d bits)"
+       (Dyn_rle.space_bits rle) (Dyn_gap.space_bits gap))
+    true
+    (Dyn_rle.space_bits rle < 1024 && Dyn_gap.space_bits gap > n / 2)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties *)
+
+let bits_gen = QCheck.(list_of_size Gen.(int_range 0 400) bool)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"rrr rank1(select1(k)) = k" ~count:100 bits_gen (fun l ->
+        let bits = Array.of_list l in
+        let buf = Bitbuf.create () in
+        Array.iter (Bitbuf.add buf) bits;
+        let bv = Rrr.of_bitbuf buf in
+        let ok = ref true in
+        for k = 0 to Rrr.ones bv - 1 do
+          let p = Rrr.select bv true k in
+          if Rrr.rank bv true p <> k || not (Rrr.access bv p) then ok := false
+        done;
+        !ok);
+    Test.make ~name:"plain rank0 + rank1 = pos" ~count:100 bits_gen (fun l ->
+        let bits = Array.of_list l in
+        let buf = Bitbuf.create () in
+        Array.iter (Bitbuf.add buf) bits;
+        let bv = Plain.of_bitbuf buf in
+        let ok = ref true in
+        for pos = 0 to Plain.length bv do
+          if Plain.rank bv true pos + Plain.rank bv false pos <> pos then ok := false
+        done;
+        !ok);
+    Test.make ~name:"dyn_rle insert then delete is identity" ~count:100
+      (pair bits_gen (pair small_nat bool))
+      (fun (l, (pos0, b)) ->
+        let bits = Array.of_list l in
+        let bv = Dyn_rle.of_bits bits in
+        let pos = if Array.length bits = 0 then 0 else pos0 mod (Array.length bits + 1) in
+        Dyn_rle.insert bv pos b;
+        Dyn_rle.delete bv pos;
+        Dyn_rle.check_invariants bv;
+        Dyn_rle.length bv = Array.length bits
+        && Array.for_all Fun.id (Array.mapi (fun i x -> Dyn_rle.access bv i = x) bits));
+    Test.make ~name:"dyn_gap matches dyn_rle under same ops" ~count:50
+      (list_of_size Gen.(int_range 1 200) (pair (int_bound 1000) bool))
+      (fun ops ->
+        let a = Dyn_rle.create () and b = Dyn_gap.create () in
+        List.iter
+          (fun (p, bit) ->
+            let pos = p mod (Dyn_rle.length a + 1) in
+            Dyn_rle.insert a pos bit;
+            Dyn_gap.insert b pos bit)
+          ops;
+        let n = Dyn_rle.length a in
+        Dyn_gap.length b = n
+        && List.for_all
+             (fun pos -> Dyn_rle.access a pos = Dyn_gap.access b pos)
+             (List.init n Fun.id));
+  ]
+
+let () =
+  Alcotest.run "wt_bitvector"
+    [
+      ( "plain",
+        [
+          Alcotest.test_case "patterns vs model" `Quick test_plain_patterns;
+          Alcotest.test_case "bounds checking" `Quick test_plain_bounds;
+        ] );
+      ( "rrr",
+        [
+          Alcotest.test_case "patterns vs model" `Quick test_rrr_patterns;
+          Alcotest.test_case "compression" `Quick test_rrr_compression;
+          Alcotest.test_case "iterator" `Quick test_rrr_iterator;
+        ] );
+      ( "appendable",
+        [
+          Alcotest.test_case "incremental vs model" `Quick test_appendable_incremental;
+          Alcotest.test_case "init offset" `Quick test_appendable_init_offset;
+          Alcotest.test_case "pending construction window" `Quick test_appendable_pending_window;
+          Alcotest.test_case "iterator" `Quick test_appendable_iterator;
+        ] );
+      ("dyn_rle", dyn_suite (module Dyn_rle) "dyn_rle" 1000);
+      ("dyn_gap", dyn_suite (module Dyn_gap) "dyn_gap" 2000);
+      ( "space",
+        [
+          Alcotest.test_case "rle compresses runs" `Quick test_rle_space_on_runs;
+          Alcotest.test_case "gap init blows up" `Quick test_gap_init_is_linear;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,380 @@
+(* Tests for wt_core: the static, append-only and fully-dynamic Wavelet
+   Tries, validated against the Naive oracle and against the paper's
+   worked examples (Figures 2 and 3). *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Xoshiro = Wt_bits.Xoshiro
+module Naive = Wt_core.Indexed_sequence.Naive
+module Wavelet_trie = Wt_core.Wavelet_trie
+module Append_wt = Wt_core.Append_wt
+module Dynamic_wt = Wt_core.Dynamic_wt
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let bs = Bitstring.of_string
+
+let fig2_seq =
+  List.map bs [ "0001"; "0011"; "0100"; "00100"; "0100"; "00100"; "0100" ]
+
+let fig2_dump =
+  [
+    ("0", Some "0010101");
+    ("", Some "0111");
+    ("1", None);
+    ("", Some "100");
+    ("0", None);
+    ("", None);
+    ("00", None);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden structure tests *)
+
+let dump_testable =
+  Alcotest.(list (pair string (option string)))
+
+let test_figure2_static () =
+  let wt = Wavelet_trie.of_list fig2_seq in
+  Alcotest.check dump_testable "figure 2 structure" fig2_dump (Wavelet_trie.dump wt)
+
+let test_figure2_append () =
+  let wt = Append_wt.of_array (Array.of_list fig2_seq) in
+  Alcotest.check dump_testable "figure 2 structure" fig2_dump (Append_wt.dump wt)
+
+let test_figure2_dynamic () =
+  let wt = Dynamic_wt.of_array (Array.of_list fig2_seq) in
+  Alcotest.check dump_testable "figure 2 structure" fig2_dump (Dynamic_wt.dump wt)
+
+(* Figure 3: inserting a new string splits a node; the new internal node
+   gets a constant bitvector (plus the new string's bit).  We insert 0110
+   at position 3 into the Figure 2 sequence: its path diverges inside the
+   leaf α=00 reached by 0·1 (i.e. the stored string 0100). *)
+let test_figure3_split () =
+  let wt = Dynamic_wt.of_array (Array.of_list fig2_seq) in
+  Dynamic_wt.insert wt 3 (bs "0110");
+  (* The 1-child of the root was the leaf α=00 holding the three
+     occurrences of 0100 at sequence positions 2, 4, 6.  Inserting 0110 at
+     position 3 reaches that subtree at local position 1, so the split
+     node's bitvector is 0 1 0 0: Init(0, cnt=1) then insert 1, then the
+     remaining occurrences... the bitvector discriminates 0100 (bit 0)
+     from 0110 (bit 1) in subtree order. *)
+  let expected =
+    [
+      ("0", Some "00110101");
+      ("", Some "0111");
+      ("1", None);
+      ("", Some "100");
+      ("0", None);
+      ("", None);
+      ("", Some "0100");
+      ("0", None);
+      ("0", None);
+    ]
+  in
+  Alcotest.check dump_testable "figure 3 structure" expected (Dynamic_wt.dump wt);
+  Dynamic_wt.check_invariants wt;
+  (* and deleting it merges the node back *)
+  (match Dynamic_wt.select wt (bs "0110") 0 with
+  | None -> Alcotest.fail "inserted string not found"
+  | Some pos ->
+      check_int "inserted at 3" 3 pos;
+      Dynamic_wt.delete wt pos);
+  Alcotest.check dump_testable "merged back to figure 2" fig2_dump (Dynamic_wt.dump wt);
+  Dynamic_wt.check_invariants wt
+
+(* ------------------------------------------------------------------ *)
+(* Oracle-based agreement *)
+
+(* A pool of binarized words plus some raw fixed-width strings. *)
+let word_pool rng n_words =
+  Array.init n_words (fun _ ->
+      let w =
+        String.init (1 + Xoshiro.int rng 6) (fun _ ->
+            Char.chr (Char.code 'a' + Xoshiro.int rng 3))
+      in
+      Binarize.of_bytes w)
+
+let random_sequence rng pool n = Array.init n (fun _ -> pool.(Xoshiro.int rng (Array.length pool)))
+
+(* Check full agreement between an implementation and the oracle. *)
+let agree (type a) (module I : Wt_core.Indexed_sequence.S with type t = a) (wt : a)
+    (oracle : Naive.t) rng ~queries =
+  let n = Naive.length oracle in
+  check_int "length" n (I.length wt);
+  check_int "distinct" (Naive.distinct_count oracle) (I.distinct_count wt);
+  let some_string () =
+    if n > 0 && Xoshiro.bool rng then Naive.access oracle (Xoshiro.int rng n)
+    else
+      (* a string unlikely to be present *)
+      Binarize.of_bytes
+        (String.init 3 (fun _ -> Char.chr (Char.code 'a' + Xoshiro.int rng 5)))
+  in
+  for _ = 1 to queries do
+    if n > 0 then begin
+      let pos = Xoshiro.int rng n in
+      check_bool "access" true
+        (Bitstring.equal (Naive.access oracle pos) (I.access wt pos))
+    end;
+    let s = some_string () in
+    let pos = Xoshiro.int rng (n + 1) in
+    check_int "rank" (Naive.rank oracle s pos) (I.rank wt s pos);
+    let idx = Xoshiro.int rng (max 1 (n / 2)) in
+    Alcotest.(check (option int)) "select" (Naive.select oracle s idx) (I.select wt s idx);
+    (* prefix ops on bit-prefixes of present strings *)
+    let p =
+      let s = some_string () in
+      Bitstring.prefix s (Xoshiro.int rng (Bitstring.length s + 1))
+    in
+    check_int "rank_prefix" (Naive.rank_prefix oracle p pos) (I.rank_prefix wt p pos);
+    Alcotest.(check (option int))
+      "select_prefix"
+      (Naive.select_prefix oracle p idx)
+      (I.select_prefix wt p idx)
+  done
+
+let test_static_oracle () =
+  let rng = Xoshiro.create 1001 in
+  List.iter
+    (fun (n_words, n) ->
+      let pool = word_pool rng n_words in
+      let seq = random_sequence rng pool n in
+      let oracle = Naive.of_array seq in
+      let wt = Wavelet_trie.of_array seq in
+      agree (module Wavelet_trie) wt oracle rng ~queries:150;
+      (* full decode *)
+      let decoded = Wavelet_trie.to_array wt in
+      Array.iteri
+        (fun i s -> check_bool "to_array" true (Bitstring.equal s decoded.(i)))
+        seq)
+    [ (1, 1); (1, 50); (5, 100); (40, 500); (200, 1000) ]
+
+let test_static_empty () =
+  let wt = Wavelet_trie.of_array [||] in
+  check_int "empty length" 0 (Wavelet_trie.length wt);
+  check_int "empty distinct" 0 (Wavelet_trie.distinct_count wt);
+  check_int "rank on empty" 0 (Wavelet_trie.rank wt (bs "01") 0);
+  Alcotest.(check (option int)) "select on empty" None (Wavelet_trie.select wt (bs "01") 0)
+
+let test_append_oracle () =
+  let rng = Xoshiro.create 2002 in
+  let pool = word_pool rng 60 in
+  let oracle = Naive.create () in
+  let wt = Append_wt.create () in
+  for i = 1 to 1200 do
+    let s = pool.(Xoshiro.int rng (Array.length pool)) in
+    Naive.append oracle s;
+    Append_wt.append wt s;
+    if i mod 200 = 0 then begin
+      Append_wt.check_invariants wt;
+      agree (module Append_wt) wt oracle rng ~queries:60
+    end
+  done;
+  Append_wt.check_invariants wt
+
+let test_dynamic_oracle () =
+  let rng = Xoshiro.create 3003 in
+  let pool = word_pool rng 40 in
+  let oracle = Naive.create () in
+  let wt = Dynamic_wt.create () in
+  for step = 1 to 2500 do
+    let n = Naive.length oracle in
+    let c = Xoshiro.int rng 10 in
+    if c < 5 || n = 0 then begin
+      let s = pool.(Xoshiro.int rng (Array.length pool)) in
+      let pos = Xoshiro.int rng (n + 1) in
+      Naive.insert oracle pos s;
+      Dynamic_wt.insert wt pos s
+    end
+    else if c < 8 then begin
+      let pos = Xoshiro.int rng n in
+      Naive.delete oracle pos;
+      Dynamic_wt.delete wt pos
+    end
+    else begin
+      let s = pool.(Xoshiro.int rng (Array.length pool)) in
+      Naive.append oracle s;
+      Dynamic_wt.append wt s
+    end;
+    if step mod 250 = 0 then begin
+      Dynamic_wt.check_invariants wt;
+      agree (module Dynamic_wt) wt oracle rng ~queries:50
+    end
+  done
+
+let test_dynamic_alphabet_lifecycle () =
+  (* Insert fresh strings (growing the alphabet), then delete every
+     occurrence (shrinking it back), checking distinct_count and structure
+     at each stage. *)
+  let rng = Xoshiro.create 4004 in
+  let wt = Dynamic_wt.create () in
+  let words = Array.init 120 (fun i -> Binarize.of_bytes (Printf.sprintf "w%03d" i)) in
+  Array.iteri
+    (fun i w ->
+      Dynamic_wt.insert wt (Xoshiro.int rng (Dynamic_wt.length wt + 1)) w;
+      check_int "distinct grows" (i + 1) (Dynamic_wt.distinct_count wt))
+    words;
+  Dynamic_wt.check_invariants wt;
+  (* duplicate a few *)
+  for _ = 1 to 200 do
+    let w = words.(Xoshiro.int rng 120) in
+    Dynamic_wt.insert wt (Xoshiro.int rng (Dynamic_wt.length wt + 1)) w
+  done;
+  check_int "distinct stable" 120 (Dynamic_wt.distinct_count wt);
+  Dynamic_wt.check_invariants wt;
+  (* delete everything *)
+  while Dynamic_wt.length wt > 0 do
+    Dynamic_wt.delete wt (Xoshiro.int rng (Dynamic_wt.length wt))
+  done;
+  check_int "alphabet emptied" 0 (Dynamic_wt.distinct_count wt);
+  Dynamic_wt.check_invariants wt
+
+let test_variants_agree () =
+  (* The three variants built from the same sequence have identical
+     structure dumps. *)
+  let rng = Xoshiro.create 5005 in
+  let pool = word_pool rng 30 in
+  let seq = random_sequence rng pool 400 in
+  let s = Wavelet_trie.of_array seq in
+  let a = Append_wt.of_array seq in
+  let d = Dynamic_wt.of_array seq in
+  Alcotest.check dump_testable "static = append" (Wavelet_trie.dump s) (Append_wt.dump a);
+  Alcotest.check dump_testable "static = dynamic" (Wavelet_trie.dump s) (Dynamic_wt.dump d)
+
+let test_prefix_free_violations () =
+  let wt = Dynamic_wt.create () in
+  Dynamic_wt.append wt (bs "0100");
+  Alcotest.check_raises "proper prefix"
+    (Invalid_argument "Dynamic_wt.insert: string is a proper prefix of a stored string")
+    (fun () -> Dynamic_wt.append wt (bs "01"));
+  Alcotest.check_raises "extension"
+    (Invalid_argument "Dynamic_wt.insert: a stored string is a proper prefix of the string")
+    (fun () -> Dynamic_wt.append wt (bs "01001"));
+  let awt = Append_wt.create () in
+  Append_wt.append awt (bs "0100");
+  Alcotest.check_raises "append-only proper prefix"
+    (Invalid_argument "Append_wt.append: string is a proper prefix of a stored string")
+    (fun () -> Append_wt.append awt (bs "01"));
+  Alcotest.check_raises "static violation"
+    (Invalid_argument "Wavelet_trie.of_array: string set is not prefix-free") (fun () ->
+      ignore (Wavelet_trie.of_array [| bs "01"; bs "011" |]))
+
+(* ------------------------------------------------------------------ *)
+(* Space accounting *)
+
+let test_stats_bounds () =
+  let rng = Xoshiro.create 6006 in
+  let pool = word_pool rng 50 in
+  let seq = random_sequence rng pool 3000 in
+  let check_stats name (st : Wt_core.Stats.t) =
+    check_int (name ^ " n") 3000 st.n;
+    check_bool (name ^ " distinct") true (st.distinct <= 50 && st.distinct > 0);
+    (* Lemma 3.5: H0(S) <= h~ <= max string length *)
+    let h0_per = st.seq_h0_bits /. float_of_int st.n in
+    check_bool
+      (Printf.sprintf "%s H0 %.2f <= h~ %.2f" name h0_per st.avg_height)
+      true
+      (h0_per <= st.avg_height +. 1e-9);
+    check_bool (name ^ " h~ bounded by max len") true (st.avg_height <= 64.);
+    (* measured total is within a small constant of the lower bound *)
+    let lb = Wt_core.Stats.lower_bound st in
+    check_bool
+      (Printf.sprintf "%s total %d vs LB %.0f" name st.total_bits lb)
+      true
+      (float_of_int st.total_bits >= lb *. 0.5
+      && float_of_int st.total_bits <= (8. *. lb) +. 200_000.)
+  in
+  check_stats "static" (Wavelet_trie.stats (Wavelet_trie.of_array seq));
+  check_stats "append" (Append_wt.stats (Append_wt.of_array seq));
+  check_stats "dynamic" (Dynamic_wt.stats (Dynamic_wt.of_array seq))
+
+let test_static_more_compact_than_naive () =
+  let rng = Xoshiro.create 7007 in
+  (* highly repetitive sequence: few distinct long strings *)
+  let pool =
+    Array.init 8 (fun i -> Binarize.of_bytes (Printf.sprintf "/var/log/service-%d/access.log" i))
+  in
+  let seq = random_sequence rng pool 20_000 in
+  let naive = Naive.of_array seq in
+  let wt = Wavelet_trie.of_array seq in
+  check_bool
+    (Printf.sprintf "wt %d bits < 20%% of naive %d bits" (Wavelet_trie.space_bits wt)
+       (Naive.space_bits naive))
+    true
+    (Wavelet_trie.space_bits wt * 5 < Naive.space_bits naive)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  let word_gen = Gen.(string_size ~gen:(char_range 'a' 'c') (int_range 1 4)) in
+  let seq_gen = Gen.(list_size (int_range 0 80) word_gen) in
+  [
+    Test.make ~name:"static: rank(s, select(s,k)) = k" ~count:100 (make seq_gen)
+      (fun words ->
+        let seq = Array.of_list (List.map Binarize.of_bytes words) in
+        let wt = Wavelet_trie.of_array seq in
+        let ok = ref true in
+        Array.iter
+          (fun s ->
+            let total = Wavelet_trie.rank wt s (Array.length seq) in
+            for k = 0 to total - 1 do
+              match Wavelet_trie.select wt s k with
+              | None -> ok := false
+              | Some pos ->
+                  if Wavelet_trie.rank wt s pos <> k then ok := false;
+                  if not (Bitstring.equal (Wavelet_trie.access wt pos) s) then ok := false
+            done)
+          seq;
+        !ok);
+    Test.make ~name:"dynamic insert/delete roundtrip" ~count:100
+      (pair (make seq_gen) (make word_gen))
+      (fun (words, w) ->
+        assume (words <> []);
+        let seq = Array.of_list (List.map Binarize.of_bytes words) in
+        let wt = Dynamic_wt.of_array seq in
+        let before = Dynamic_wt.dump wt in
+        let pos = Array.length seq / 2 in
+        Dynamic_wt.insert wt pos (Binarize.of_bytes w);
+        Dynamic_wt.delete wt pos;
+        Dynamic_wt.check_invariants wt;
+        Dynamic_wt.dump wt = before);
+    Test.make ~name:"rank_prefix of empty prefix = pos" ~count:100 (make seq_gen)
+      (fun words ->
+        let seq = Array.of_list (List.map Binarize.of_bytes words) in
+        let wt = Wavelet_trie.of_array seq in
+        let n = Array.length seq in
+        List.for_all
+          (fun pos -> Wavelet_trie.rank_prefix wt Bitstring.empty pos = pos)
+          [ 0; n / 2; n ]);
+  ]
+
+let () =
+  Alcotest.run "wt_core"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "figure 2 static" `Quick test_figure2_static;
+          Alcotest.test_case "figure 2 append-only" `Quick test_figure2_append;
+          Alcotest.test_case "figure 2 dynamic" `Quick test_figure2_dynamic;
+          Alcotest.test_case "figure 3 split/merge" `Quick test_figure3_split;
+        ] );
+      ( "oracle",
+        [
+          Alcotest.test_case "static vs naive" `Quick test_static_oracle;
+          Alcotest.test_case "static empty" `Quick test_static_empty;
+          Alcotest.test_case "append-only vs naive" `Quick test_append_oracle;
+          Alcotest.test_case "dynamic vs naive" `Quick test_dynamic_oracle;
+          Alcotest.test_case "dynamic alphabet lifecycle" `Quick test_dynamic_alphabet_lifecycle;
+          Alcotest.test_case "variants agree" `Quick test_variants_agree;
+          Alcotest.test_case "prefix-free violations" `Quick test_prefix_free_violations;
+        ] );
+      ( "space",
+        [
+          Alcotest.test_case "stats bounds" `Quick test_stats_bounds;
+          Alcotest.test_case "compresses repetitive data" `Quick test_static_more_compact_than_naive;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,116 @@
+(* Tests for index serialization (Persist): roundtrips for each variant,
+   header validation, post-load mutability. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Xoshiro = Wt_bits.Xoshiro
+module Wavelet_trie = Wt_core.Wavelet_trie
+module Append_wt = Wt_core.Append_wt
+module Dynamic_wt = Wt_core.Dynamic_wt
+module Persist = Wt_core.Persist
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("wt_persist_" ^ name)
+
+let sample_seq n =
+  let rng = Xoshiro.create 4 in
+  Array.init n (fun _ ->
+      Binarize.of_bytes
+        (String.init (1 + Xoshiro.int rng 6) (fun _ ->
+             Char.chr (Char.code 'a' + Xoshiro.int rng 4))))
+
+let test_static_roundtrip () =
+  let seq = sample_seq 500 in
+  let wt = Wavelet_trie.of_array seq in
+  let path = tmp "static.wtx" in
+  Persist.save_static wt path;
+  check_bool "recognized" true (Persist.is_index_file path);
+  let wt' = Persist.load_static path in
+  check_int "length" (Wavelet_trie.length wt) (Wavelet_trie.length wt');
+  Alcotest.(check (list (pair string (option string))))
+    "structure" (Wavelet_trie.dump wt) (Wavelet_trie.dump wt');
+  for i = 0 to 499 do
+    check_bool "content" true (Bitstring.equal seq.(i) (Wavelet_trie.access wt' i))
+  done;
+  Sys.remove path
+
+let test_append_roundtrip_and_growth () =
+  let seq = sample_seq 300 in
+  let wt = Append_wt.of_array seq in
+  let path = tmp "append.wtx" in
+  Persist.save_append wt path;
+  let wt' = Persist.load_append path in
+  Append_wt.check_invariants wt';
+  (* the loaded index keeps accepting appends *)
+  Append_wt.append wt' (Binarize.of_bytes "post-load");
+  check_int "grown" 301 (Append_wt.length wt');
+  check_int "found" 1 (Append_wt.rank wt' (Binarize.of_bytes "post-load") 301);
+  Sys.remove path
+
+let test_dynamic_roundtrip_and_updates () =
+  let seq = sample_seq 300 in
+  let wt = Dynamic_wt.of_array seq in
+  let path = tmp "dynamic.wtx" in
+  Persist.save_dynamic wt path;
+  let wt' = Persist.load_dynamic path in
+  Dynamic_wt.check_invariants wt';
+  Dynamic_wt.insert wt' 150 (Binarize.of_bytes "fresh");
+  Dynamic_wt.delete wt' 0;
+  Dynamic_wt.check_invariants wt';
+  check_int "length" 300 (Dynamic_wt.length wt');
+  Sys.remove path
+
+let test_header_validation () =
+  let seq = sample_seq 10 in
+  let path = tmp "mix.wtx" in
+  Persist.save_static (Wavelet_trie.of_array seq) path;
+  (* loading as the wrong variant fails loudly *)
+  (match Persist.load_append path with
+  | exception Persist.Format_error _ -> ()
+  | _ -> Alcotest.fail "expected Format_error on variant mismatch");
+  Sys.remove path;
+  (* garbage is rejected *)
+  let garbage = tmp "garbage.bin" in
+  let oc = open_out_bin garbage in
+  output_string oc "not an index at all";
+  close_out oc;
+  check_bool "not recognized" false (Persist.is_index_file garbage);
+  (match Persist.load_static garbage with
+  | exception Persist.Format_error _ -> ()
+  | _ -> Alcotest.fail "expected Format_error on garbage");
+  Sys.remove garbage
+
+let test_truncated_payload () =
+  (* failure injection: chop a valid index mid-payload *)
+  let path = tmp "trunc.wtx" in
+  Persist.save_static (Wavelet_trie.of_array (sample_seq 200)) path;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let cut = String.sub full 0 (String.length full * 2 / 3) in
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc cut);
+  (match Persist.load_static path with
+  | exception Persist.Format_error _ -> ()
+  | exception e -> Alcotest.fail ("unexpected exception " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Format_error on truncated payload");
+  (* chop inside the header *)
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 5));
+  (match Persist.load_static path with
+  | exception Persist.Format_error _ -> ()
+  | exception e -> Alcotest.fail ("unexpected exception " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Format_error on truncated header");
+  Sys.remove path
+
+let () =
+  Alcotest.run "wt_persist"
+    [
+      ( "persist",
+        [
+          Alcotest.test_case "static roundtrip" `Quick test_static_roundtrip;
+          Alcotest.test_case "append roundtrip + growth" `Quick test_append_roundtrip_and_growth;
+          Alcotest.test_case "dynamic roundtrip + updates" `Quick test_dynamic_roundtrip_and_updates;
+          Alcotest.test_case "header validation" `Quick test_header_validation;
+          Alcotest.test_case "truncated files" `Quick test_truncated_payload;
+        ] );
+    ]

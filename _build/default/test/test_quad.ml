@@ -1,0 +1,114 @@
+(* Tests for the 4-ary Wavelet Trie prototype (Section 7 future work):
+   full agreement with the binary static Wavelet Trie, plus the
+   terminal-symbol and half-step prefix corner cases specific to fanout 4. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Xoshiro = Wt_bits.Xoshiro
+module Wavelet_trie = Wt_core.Wavelet_trie
+module Quad_wt = Wt_wavelet_tree.Quad_wt
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bs = Bitstring.of_string
+
+let test_agrees_with_binary () =
+  let rng = Xoshiro.create 11 in
+  List.iter
+    (fun (n_words, n) ->
+      let pool =
+        Array.init n_words (fun _ ->
+            Binarize.of_bytes
+              (String.init (1 + Xoshiro.int rng 6) (fun _ ->
+                   Char.chr (Char.code 'a' + Xoshiro.int rng 3))))
+      in
+      let seq = Array.init n (fun _ -> pool.(Xoshiro.int rng n_words)) in
+      let b = Wavelet_trie.of_array seq in
+      let q = Quad_wt.of_array seq in
+      check_int "length" (Wavelet_trie.length b) (Quad_wt.length q);
+      check_int "distinct" (Wavelet_trie.distinct_count b) (Quad_wt.distinct_count q);
+      for _ = 1 to 400 do
+        let pos = Xoshiro.int rng n in
+        check_bool "access" true
+          (Bitstring.equal (Wavelet_trie.access b pos) (Quad_wt.access q pos));
+        let s = pool.(Xoshiro.int rng n_words) in
+        let pos' = Xoshiro.int rng (n + 1) in
+        check_int "rank" (Wavelet_trie.rank b s pos') (Quad_wt.rank q s pos');
+        let idx = Xoshiro.int rng (max 1 (n / 4)) in
+        Alcotest.(check (option int))
+          "select" (Wavelet_trie.select b s idx) (Quad_wt.select q s idx);
+        (* arbitrary bit prefixes, including odd lengths hitting the
+           half-step case *)
+        let p = Bitstring.prefix s (Xoshiro.int rng (Bitstring.length s + 1)) in
+        check_int "rank_prefix"
+          (Wavelet_trie.rank_prefix b p pos')
+          (Quad_wt.rank_prefix q p pos');
+        Alcotest.(check (option int))
+          "select_prefix"
+          (Wavelet_trie.select_prefix b p idx)
+          (Quad_wt.select_prefix q p idx)
+      done)
+    [ (1, 10); (6, 300); (50, 1200) ]
+
+let test_terminal_symbols () =
+  (* Odd-length suffixes end with the single-bit terminal symbols. *)
+  let seq = Array.map bs [| "0"; "1"; "0"; "1"; "0" |] in
+  let q = Quad_wt.of_array seq in
+  check_int "distinct" 2 (Quad_wt.distinct_count q);
+  check_int "rank 0" 3 (Quad_wt.rank q (bs "0") 5);
+  check_int "rank 1" 2 (Quad_wt.rank q (bs "1") 5);
+  Alcotest.(check (option int)) "select 1#1" (Some 3) (Quad_wt.select q (bs "1") 1);
+  check_bool "access" true (Bitstring.equal (bs "1") (Quad_wt.access q 1));
+  (* half-step prefix of length covering terminal + extensions *)
+  let seq = Array.map bs [| "00"; "010"; "011"; "1" |] in
+  let q = Quad_wt.of_array seq in
+  (* prefix "0": covers 00, 010, 011 *)
+  check_int "prefix 0" 3 (Quad_wt.rank_prefix q (bs "0") 4);
+  (* prefix "01": covers 010, 011 *)
+  check_int "prefix 01" 2 (Quad_wt.rank_prefix q (bs "01") 4);
+  Alcotest.(check (option int)) "select_prefix 0 #2" (Some 2)
+    (Quad_wt.select_prefix q (bs "0") 2);
+  Alcotest.(check (option int)) "select_prefix 0 #3" None (Quad_wt.select_prefix q (bs "0") 3)
+
+let test_height_halves () =
+  let rng = Xoshiro.create 12 in
+  let pool =
+    Array.init 400 (fun _ ->
+        Binarize.of_bytes
+          (String.init (3 + Xoshiro.int rng 8) (fun _ ->
+               Char.chr (Char.code 'a' + Xoshiro.int rng 8))))
+  in
+  let seq = Array.init 3000 (fun _ -> pool.(Xoshiro.int rng 400)) in
+  let b = Wavelet_trie.of_array seq in
+  let q = Quad_wt.of_array seq in
+  (* binary height via the Node view *)
+  let module N = Wavelet_trie.Node in
+  let rec h node =
+    if N.is_leaf node then 0 else 1 + max (h (N.child node false)) (h (N.child node true))
+  in
+  let hb = match N.root b with None -> 0 | Some r -> h r in
+  let hq = Quad_wt.height q in
+  check_bool
+    (Printf.sprintf "quad height %d well below binary %d" hq hb)
+    true
+    (float_of_int hq <= (0.75 *. float_of_int hb) +. 2.)
+
+let test_empty_and_errors () =
+  let q = Quad_wt.of_array [||] in
+  check_int "empty" 0 (Quad_wt.length q);
+  check_int "empty rank" 0 (Quad_wt.rank q (bs "01") 0);
+  Alcotest.check_raises "prefix violation"
+    (Invalid_argument "Quad_wt.of_array: string set is not prefix-free") (fun () ->
+      ignore (Quad_wt.of_array (Array.map bs [| "01"; "0110" |])))
+
+let () =
+  Alcotest.run "wt_quad"
+    [
+      ( "quad",
+        [
+          Alcotest.test_case "agrees with binary" `Quick test_agrees_with_binary;
+          Alcotest.test_case "terminal symbols" `Quick test_terminal_symbols;
+          Alcotest.test_case "height shrinks" `Quick test_height_halves;
+          Alcotest.test_case "empty and errors" `Quick test_empty_and_errors;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+(* End-to-end soak: a long randomized session mixing every operation the
+   library offers against the Naive oracle, on a workload resembling the
+   paper's motivation (skewed URL log with a growing alphabet).  Catches
+   interaction bugs that per-module tests cannot. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Xoshiro = Wt_bits.Xoshiro
+module Naive = Wt_core.Indexed_sequence.Naive
+module Dynamic_wt = Wt_core.Dynamic_wt
+module Append_wt = Wt_core.Append_wt
+module Range = Wt_core.Range
+module Urls = Wt_workload.Urls
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_dynamic_soak () =
+  let rng = Xoshiro.create 31337 in
+  let gen = Urls.create ~seed:31337 ~hosts:12 ~paths_per_host:10 () in
+  let oracle = Naive.create () in
+  let wt = Dynamic_wt.create () in
+  let fresh = ref 0 in
+  for step = 1 to 12_000 do
+    let n = Naive.length oracle in
+    (match Xoshiro.int rng 20 with
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 ->
+        (* insert a (possibly repeated) log line at a random position *)
+        let s = Urls.next_encoded gen in
+        let pos = Xoshiro.int rng (n + 1) in
+        Naive.insert oracle pos s;
+        Dynamic_wt.insert wt pos s
+    | 7 | 8 | 9 ->
+        (* append *)
+        let s = Urls.next_encoded gen in
+        Naive.append oracle s;
+        Dynamic_wt.append wt s
+    | 10 | 11 ->
+        (* brand-new string: alphabet grows *)
+        incr fresh;
+        let s = Binarize.of_bytes (Printf.sprintf "novel://%d" !fresh) in
+        let pos = Xoshiro.int rng (n + 1) in
+        Naive.insert oracle pos s;
+        Dynamic_wt.insert wt pos s
+    | 12 | 13 | 14 | 15 | 16 when n > 0 ->
+        let pos = Xoshiro.int rng n in
+        Naive.delete oracle pos;
+        Dynamic_wt.delete wt pos
+    | _ when n > 0 ->
+        (* point query *)
+        let pos = Xoshiro.int rng n in
+        check_bool "access" true
+          (Bitstring.equal (Naive.access oracle pos) (Dynamic_wt.access wt pos))
+    | _ -> ());
+    (* periodic deep checks *)
+    if step mod 1500 = 0 then begin
+      Dynamic_wt.check_invariants wt;
+      let n = Naive.length oracle in
+      check_int "length" n (Dynamic_wt.length wt);
+      check_int "distinct" (Naive.distinct_count oracle) (Dynamic_wt.distinct_count wt);
+      if n > 4 then begin
+        let lo = Xoshiro.int rng (n / 2) in
+        let hi = lo + Xoshiro.int rng (n - lo) in
+        (* distinct in range agrees with a scan *)
+        let tbl = Hashtbl.create 16 in
+        for i = lo to hi - 1 do
+          let w = Bitstring.to_string (Naive.access oracle i) in
+          Hashtbl.replace tbl w (1 + Option.value ~default:0 (Hashtbl.find_opt tbl w))
+        done;
+        let got = Range.Dynamic.distinct wt ~lo ~hi in
+        check_int "range distinct count" (Hashtbl.length tbl) (List.length got);
+        List.iter
+          (fun (s, c) ->
+            check_int "range count" (Option.value ~default:(-1)
+              (Hashtbl.find_opt tbl (Bitstring.to_string s))) c)
+          got;
+        (* top-1 equals max count *)
+        (match Range.Dynamic.top_k wt ~lo ~hi 1 with
+        | [ (_, c) ] ->
+            let m = Hashtbl.fold (fun _ c m -> max c m) tbl 0 in
+            check_int "top-1" m c
+        | [] -> check_int "top-1 empty" 0 (hi - lo)
+        | _ -> Alcotest.fail "top_k 1 returned several")
+      end
+    end
+  done;
+  Dynamic_wt.check_invariants wt
+
+let test_append_soak () =
+  (* long streaming session with periodic full verification *)
+  let gen = Urls.create ~seed:555 ~hosts:20 () in
+  let rng = Xoshiro.create 555 in
+  let oracle = Naive.create () in
+  let wt = Append_wt.create () in
+  for step = 1 to 30_000 do
+    let s = Urls.next_encoded gen in
+    Naive.append oracle s;
+    Append_wt.append wt s;
+    if step mod 6000 = 0 then begin
+      Append_wt.check_invariants wt;
+      for _ = 1 to 100 do
+        let pos = Xoshiro.int rng step in
+        check_bool "access" true
+          (Bitstring.equal (Naive.access oracle pos) (Append_wt.access wt pos));
+        let s = Naive.access oracle (Xoshiro.int rng step) in
+        check_int "rank" (Naive.rank oracle s pos) (Append_wt.rank wt s pos)
+      done;
+      (* per-host prefix counts agree with a scan *)
+      for h = 0 to Urls.host_count gen - 1 do
+        let p = Urls.host_prefix gen h in
+        check_int
+          (Printf.sprintf "host %d prefix count" h)
+          (Naive.rank_prefix oracle p step)
+          (Append_wt.rank_prefix wt p step)
+      done
+    end
+  done
+
+let () =
+  Alcotest.run "wt_soak"
+    [
+      ( "soak",
+        [
+          Alcotest.test_case "dynamic 12k mixed ops" `Slow test_dynamic_soak;
+          Alcotest.test_case "append-only 30k stream" `Slow test_append_soak;
+        ] );
+    ]

@@ -1,0 +1,218 @@
+(* Tests for wt_strings: Bitstring views/lcp/compare and the prefix-free
+   binarization codecs. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Bitbuf = Wt_bits.Bitbuf
+module Xoshiro = Wt_bits.Xoshiro
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let bs = Bitstring.of_string
+
+let test_basic () =
+  check_int "empty" 0 (Bitstring.length Bitstring.empty);
+  check_bool "is_empty" true (Bitstring.is_empty Bitstring.empty);
+  let t = bs "01101" in
+  check_int "length" 5 (Bitstring.length t);
+  check_bool "get 0" false (Bitstring.get t 0);
+  check_bool "get 1" true (Bitstring.get t 1);
+  check_bool "get 4" true (Bitstring.get t 4);
+  check_string "to_string" "01101" (Bitstring.to_string t);
+  Alcotest.(check (list bool))
+    "to_bool_list" [ false; true; true; false; true ] (Bitstring.to_bool_list t);
+  check_string "of_bool_list" "01101"
+    (Bitstring.to_string (Bitstring.of_bool_list [ false; true; true; false; true ]))
+
+let test_sub_drop_prefix () =
+  let t = bs "0110100111" in
+  check_string "sub" "1010" (Bitstring.to_string (Bitstring.sub t 2 4));
+  check_string "drop" "100111" (Bitstring.to_string (Bitstring.drop t 4));
+  check_string "prefix" "011" (Bitstring.to_string (Bitstring.prefix t 3));
+  (* nested views *)
+  let v = Bitstring.sub (Bitstring.drop t 2) 1 5 in
+  check_string "nested" "01001" (Bitstring.to_string v);
+  check_string "drop all" "" (Bitstring.to_string (Bitstring.drop t 10))
+
+let test_append_concat () =
+  check_string "append" "01101"
+    (Bitstring.to_string (Bitstring.append (bs "011") (bs "01")));
+  check_string "concat" "0110110"
+    (Bitstring.to_string (Bitstring.concat [ bs "01"; bs "101"; bs "10" ]));
+  check_string "cons" "1011" (Bitstring.to_string (Bitstring.cons true (bs "011")));
+  check_string "snoc" "0111" (Bitstring.to_string (Bitstring.snoc (bs "011") true));
+  (* concat of views *)
+  let t = bs "11110000" in
+  check_string "concat views" "111000"
+    (Bitstring.to_string (Bitstring.concat [ Bitstring.prefix t 3; Bitstring.drop t 5 ]))
+
+let test_lcp () =
+  check_int "lcp equal" 4 (Bitstring.lcp (bs "0110") (bs "0110"));
+  check_int "lcp empty" 0 (Bitstring.lcp Bitstring.empty (bs "0110"));
+  check_int "lcp prefix" 3 (Bitstring.lcp (bs "011") (bs "0110"));
+  check_int "lcp diverge" 2 (Bitstring.lcp (bs "0110") (bs "0100"));
+  check_int "lcp first bit" 0 (Bitstring.lcp (bs "10") (bs "01"));
+  (* long strings exercising the word-parallel path *)
+  let rng = Xoshiro.create 9 in
+  for _ = 1 to 200 do
+    let n = 1 + Xoshiro.int rng 300 in
+    let a = Array.init n (fun _ -> Xoshiro.bool rng) in
+    let k = Xoshiro.int rng (n + 1) in
+    (* b = a with bit k flipped (or equal when k = n) *)
+    let b = Array.copy a in
+    if k < n then b.(k) <- not b.(k);
+    let sa = Bitstring.of_bool_list (Array.to_list a) in
+    let sb = Bitstring.of_bool_list (Array.to_list b) in
+    check_int "lcp random" k (Bitstring.lcp sa sb)
+  done
+
+let test_compare () =
+  check_int "equal" 0 (Bitstring.compare (bs "0101") (bs "0101"));
+  check_bool "prefix sorts first" true (Bitstring.compare (bs "01") (bs "010") < 0);
+  check_bool "extension sorts last" true (Bitstring.compare (bs "010") (bs "01") > 0);
+  check_bool "0 < 1" true (Bitstring.compare (bs "00") (bs "01") < 0);
+  check_bool "1 > 0" true (Bitstring.compare (bs "10") (bs "0111") > 0);
+  check_bool "empty least" true (Bitstring.compare Bitstring.empty (bs "0") < 0);
+  check_bool "equal views" true (Bitstring.equal (Bitstring.drop (bs "110") 1) (bs "10"));
+  check_bool "hash consistent" true
+    (Bitstring.hash (Bitstring.drop (bs "11010") 2) = Bitstring.hash (bs "010"))
+
+let test_is_prefix () =
+  check_bool "empty prefix" true (Bitstring.is_prefix ~prefix:Bitstring.empty (bs "01"));
+  check_bool "proper prefix" true (Bitstring.is_prefix ~prefix:(bs "01") (bs "0110"));
+  check_bool "self prefix" true (Bitstring.is_prefix ~prefix:(bs "0110") (bs "0110"));
+  check_bool "not prefix" false (Bitstring.is_prefix ~prefix:(bs "00") (bs "0110"));
+  check_bool "too long" false (Bitstring.is_prefix ~prefix:(bs "01101") (bs "0110"))
+
+let test_bitbuf_interop () =
+  let buf = Bitbuf.of_string "10110" in
+  let t = Bitstring.of_bitbuf buf in
+  check_string "of_bitbuf" "10110" (Bitstring.to_string t);
+  Bitbuf.add buf true;
+  check_int "copy is independent" 5 (Bitstring.length t);
+  let out = Bitbuf.of_string "00" in
+  Bitstring.append_to_bitbuf (Bitstring.drop t 1) out;
+  check_string "append_to_bitbuf" "000110" (Bitbuf.to_string out)
+
+(* ------------------------------------------------------------------ *)
+(* Binarize *)
+
+let test_bytes_roundtrip () =
+  let cases = [ ""; "a"; "abc"; "hello world"; "\x00\xff\x00"; String.make 100 'z' ] in
+  List.iter
+    (fun s ->
+      let enc = Binarize.of_bytes s in
+      check_int ("length of " ^ String.escaped s)
+        ((9 * String.length s) + 1)
+        (Bitstring.length enc);
+      check_string ("roundtrip " ^ String.escaped s) s (Binarize.to_bytes enc))
+    cases
+
+let test_bytes_prefix_free () =
+  (* No encoding is a prefix of another (distinct strings). *)
+  let strings = [ ""; "a"; "ab"; "abc"; "b"; "ba"; "\x00"; "aa" ] in
+  List.iter
+    (fun s1 ->
+      List.iter
+        (fun s2 ->
+          if s1 <> s2 then
+            check_bool
+              (Printf.sprintf "%S not prefix of %S" s1 s2)
+              false
+              (Bitstring.is_prefix ~prefix:(Binarize.of_bytes s1) (Binarize.of_bytes s2)))
+        strings)
+    strings
+
+let test_bytes_order_preserving () =
+  let rng = Xoshiro.create 21 in
+  let random_string () =
+    String.init (Xoshiro.int rng 12) (fun _ -> Char.chr (Xoshiro.int rng 256))
+  in
+  for _ = 1 to 500 do
+    let a = random_string () and b = random_string () in
+    let cmp_bytes = compare a b in
+    let cmp_bits = Bitstring.compare (Binarize.of_bytes a) (Binarize.of_bytes b) in
+    check_bool
+      (Printf.sprintf "order of %S vs %S" a b)
+      true
+      ((cmp_bytes = 0) = (cmp_bits = 0) && (cmp_bytes < 0) = (cmp_bits < 0))
+  done
+
+let test_bytes_malformed () =
+  Alcotest.check_raises "empty" (Invalid_argument "Binarize.to_bytes: missing terminator")
+    (fun () -> ignore (Binarize.to_bytes Bitstring.empty));
+  Alcotest.check_raises "truncated" (Invalid_argument "Binarize.to_bytes: truncated byte")
+    (fun () -> ignore (Binarize.to_bytes (bs "101")));
+  Alcotest.check_raises "trailing" (Invalid_argument "Binarize.to_bytes: trailing bits")
+    (fun () -> ignore (Binarize.to_bytes (bs "011")))
+
+let test_int_codecs () =
+  check_string "msb 5 w4" "0101" (Bitstring.to_string (Binarize.of_int_msb ~width:4 5));
+  check_string "lsb 5 w4" "1010" (Bitstring.to_string (Binarize.of_int_lsb ~width:4 5));
+  let rng = Xoshiro.create 31 in
+  for _ = 1 to 300 do
+    let width = 1 + Xoshiro.int rng 61 in
+    let v = Xoshiro.next rng land Wt_bits.Broadword.mask width in
+    check_int "msb roundtrip" v (Binarize.to_int_msb (Binarize.of_int_msb ~width v));
+    check_int "lsb roundtrip" v (Binarize.to_int_lsb (Binarize.of_int_lsb ~width v))
+  done;
+  (* MSB-first preserves numeric order at fixed width *)
+  for _ = 1 to 200 do
+    let a = Xoshiro.int rng 1000 and b = Xoshiro.int rng 1000 in
+    let ba = Binarize.of_int_msb ~width:10 a and bb = Binarize.of_int_msb ~width:10 b in
+    check_bool "numeric order" true ((compare a b < 0) = (Bitstring.compare ba bb < 0))
+  done
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"bytes encode/decode" ~count:300 string (fun s ->
+        Binarize.to_bytes (Binarize.of_bytes s) = s);
+    Test.make ~name:"lcp symmetric and bounded" ~count:300
+      (pair (list bool) (list bool))
+      (fun (a, b) ->
+        let sa = Bitstring.of_bool_list a and sb = Bitstring.of_bool_list b in
+        let l = Bitstring.lcp sa sb in
+        l = Bitstring.lcp sb sa && l <= min (List.length a) (List.length b));
+    Test.make ~name:"compare total order vs bool lists" ~count:300
+      (pair (list bool) (list bool))
+      (fun (a, b) ->
+        let sa = Bitstring.of_bool_list a and sb = Bitstring.of_bool_list b in
+        let expected = compare a b in
+        (* OCaml list compare on bools is lexicographic with false < true *)
+        let got = Bitstring.compare sa sb in
+        (expected = 0) = (got = 0) && (expected < 0) = (got < 0));
+    Test.make ~name:"sub/append identity" ~count:300
+      (pair (list bool) small_nat)
+      (fun (l, k0) ->
+        let t = Bitstring.of_bool_list l in
+        let n = Bitstring.length t in
+        let k = if n = 0 then 0 else k0 mod (n + 1) in
+        Bitstring.equal t (Bitstring.append (Bitstring.prefix t k) (Bitstring.drop t k)));
+  ]
+
+let () =
+  Alcotest.run "wt_strings"
+    [
+      ( "bitstring",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "sub/drop/prefix" `Quick test_sub_drop_prefix;
+          Alcotest.test_case "append/concat" `Quick test_append_concat;
+          Alcotest.test_case "lcp" `Quick test_lcp;
+          Alcotest.test_case "compare/equal/hash" `Quick test_compare;
+          Alcotest.test_case "is_prefix" `Quick test_is_prefix;
+          Alcotest.test_case "bitbuf interop" `Quick test_bitbuf_interop;
+        ] );
+      ( "binarize",
+        [
+          Alcotest.test_case "bytes roundtrip" `Quick test_bytes_roundtrip;
+          Alcotest.test_case "prefix-free" `Quick test_bytes_prefix_free;
+          Alcotest.test_case "order-preserving" `Quick test_bytes_order_preserving;
+          Alcotest.test_case "malformed input" `Quick test_bytes_malformed;
+          Alcotest.test_case "int codecs" `Quick test_int_codecs;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,129 @@
+(* Tests for the pointerless static Wavelet Trie (Theorem 3.7 layout) and
+   the byte-string facade. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Xoshiro = Wt_bits.Xoshiro
+module Wavelet_trie = Wt_core.Wavelet_trie
+module Succinct_wt = Wt_core.Succinct_wt
+module Str = Wt_core.String_api
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let word_pool rng n_words =
+  Array.init n_words (fun _ ->
+      Binarize.of_bytes
+        (String.init (1 + Xoshiro.int rng 6) (fun _ ->
+             Char.chr (Char.code 'a' + Xoshiro.int rng 3))))
+
+let test_agrees_with_pointered () =
+  let rng = Xoshiro.create 42 in
+  List.iter
+    (fun (n_words, n) ->
+      let pool = word_pool rng n_words in
+      let seq = Array.init n (fun _ -> pool.(Xoshiro.int rng n_words)) in
+      let p = Wavelet_trie.of_array seq in
+      let s = Succinct_wt.of_array seq in
+      check_int "length" (Wavelet_trie.length p) (Succinct_wt.length s);
+      check_int "distinct" (Wavelet_trie.distinct_count p) (Succinct_wt.distinct_count s);
+      for _ = 1 to 300 do
+        let pos = Xoshiro.int rng n in
+        check_bool "access" true
+          (Bitstring.equal (Wavelet_trie.access p pos) (Succinct_wt.access s pos));
+        let q = pool.(Xoshiro.int rng n_words) in
+        let pos' = Xoshiro.int rng (n + 1) in
+        check_int "rank" (Wavelet_trie.rank p q pos') (Succinct_wt.rank s q pos');
+        let idx = Xoshiro.int rng (max 1 (n / 4)) in
+        Alcotest.(check (option int))
+          "select" (Wavelet_trie.select p q idx) (Succinct_wt.select s q idx);
+        let pref = Bitstring.prefix q (Xoshiro.int rng (Bitstring.length q + 1)) in
+        check_int "rank_prefix"
+          (Wavelet_trie.rank_prefix p pref pos')
+          (Succinct_wt.rank_prefix s pref pos');
+        Alcotest.(check (option int))
+          "select_prefix"
+          (Wavelet_trie.select_prefix p pref idx)
+          (Succinct_wt.select_prefix s pref idx)
+      done)
+    [ (1, 5); (8, 200); (60, 1500) ]
+
+let test_empty_and_conversion () =
+  let s = Succinct_wt.of_array [||] in
+  check_int "empty" 0 (Succinct_wt.length s);
+  check_int "empty distinct" 0 (Succinct_wt.distinct_count s);
+  let rng = Xoshiro.create 7 in
+  let pool = word_pool rng 20 in
+  let seq = Array.init 500 (fun _ -> pool.(Xoshiro.int rng 20)) in
+  let p = Wavelet_trie.of_array seq in
+  let s = Succinct_wt.of_wavelet_trie p in
+  let back = Succinct_wt.to_array s in
+  Array.iteri
+    (fun i x -> check_bool "roundtrip" true (Bitstring.equal x back.(i)))
+    seq
+
+let test_space_closer_to_lb () =
+  (* With many distinct strings, dropping per-node pointers must bring the
+     total closer to LB than the pointer-based static trie. *)
+  let rng = Xoshiro.create 9 in
+  let pool = word_pool rng 3000 in
+  let seq = Array.init 20_000 (fun _ -> pool.(Xoshiro.int rng 3000)) in
+  let p = Wavelet_trie.of_array seq in
+  let s = Succinct_wt.of_array seq in
+  let sp = Wavelet_trie.space_bits p and ss = Succinct_wt.space_bits s in
+  check_bool (Printf.sprintf "succinct %d < pointered %d" ss sp) true (ss < sp);
+  let st = Succinct_wt.stats s in
+  let ratio = float_of_int ss /. Wt_core.Stats.lower_bound st in
+  check_bool (Printf.sprintf "within 4x of LB (%.2f)" ratio) true (ratio < 4.)
+
+(* ------------------------------------------------------------------ *)
+(* String_api facade *)
+
+let test_string_api_static () =
+  let wt = Str.Static.of_list [ "a.com/x"; "b.org/y"; "a.com/x"; "a.com/z" ] in
+  check_int "length" 4 (Str.Static.length wt);
+  Alcotest.(check string) "access" "b.org/y" (Str.Static.access wt 1);
+  check_int "rank" 2 (Str.Static.rank wt "a.com/x" 4);
+  check_int "count" 2 (Str.Static.count wt "a.com/x");
+  Alcotest.(check (option int)) "select" (Some 2) (Str.Static.select wt "a.com/x" 1);
+  check_int "prefix count" 3 (Str.Static.count_prefix wt "a.com/");
+  check_int "prefix rank" 1 (Str.Static.rank_prefix wt "a.com/" 1);
+  Alcotest.(check (option int))
+    "prefix select" (Some 3)
+    (Str.Static.select_prefix wt "a.com/" 2);
+  check_int "absent" 0 (Str.Static.count wt "nope")
+
+let test_string_api_dynamic () =
+  let wt = Str.Dynamic.create () in
+  Str.Dynamic.append wt "one";
+  Str.Dynamic.append wt "two";
+  Str.Dynamic.insert wt 1 "one-and-a-half";
+  Alcotest.(check string) "order" "one-and-a-half" (Str.Dynamic.access wt 1);
+  check_int "distinct" 3 (Str.Dynamic.distinct_count wt);
+  Str.Dynamic.delete wt 1;
+  check_int "after delete" 2 (Str.Dynamic.distinct_count wt);
+  Alcotest.(check string) "shifted" "two" (Str.Dynamic.access wt 1)
+
+let test_string_api_append () =
+  let wt = Str.Append.create () in
+  List.iter (Str.Append.append wt) [ "x"; "y"; "x"; "xy" ];
+  check_int "rank x" 2 (Str.Append.count wt "x");
+  check_int "prefix x" 3 (Str.Append.count_prefix wt "x");
+  Alcotest.(check string) "access" "xy" (Str.Append.access wt 3)
+
+let () =
+  Alcotest.run "wt_succinct_wt"
+    [
+      ( "succinct_wt",
+        [
+          Alcotest.test_case "agrees with pointer-based" `Quick test_agrees_with_pointered;
+          Alcotest.test_case "empty and conversion" `Quick test_empty_and_conversion;
+          Alcotest.test_case "space closer to LB" `Quick test_space_closer_to_lb;
+        ] );
+      ( "string_api",
+        [
+          Alcotest.test_case "static facade" `Quick test_string_api_static;
+          Alcotest.test_case "dynamic facade" `Quick test_string_api_dynamic;
+          Alcotest.test_case "append facade" `Quick test_string_api_append;
+        ] );
+    ]

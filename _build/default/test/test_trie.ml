@@ -1,0 +1,253 @@
+(* Tests for wt_trie: dynamic Patricia trie against a reference set, and
+   the static succinct trie against full enumeration. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Patricia = Wt_trie.Patricia
+module Static_trie = Wt_trie.Static_trie
+module Xoshiro = Wt_bits.Xoshiro
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let bs = Bitstring.of_string
+
+module StringSet = Set.Make (String)
+
+(* Random byte strings; Binarize.of_bytes yields a prefix-free family. *)
+let random_word rng =
+  String.init (1 + Xoshiro.int rng 8) (fun _ ->
+      Char.chr (Char.code 'a' + Xoshiro.int rng 4))
+
+(* ------------------------------------------------------------------ *)
+(* Patricia *)
+
+let test_patricia_basic () =
+  let t = Patricia.create () in
+  check_bool "empty" true (Patricia.is_empty t);
+  Alcotest.(check string) "insert 0100" "`Added"
+    (match Patricia.insert t (bs "0100") with `Added -> "`Added" | _ -> "other");
+  check_bool "mem" true (Patricia.mem t (bs "0100"));
+  check_bool "not mem prefix" false (Patricia.mem t (bs "01"));
+  check_bool "not mem other" false (Patricia.mem t (bs "0101"));
+  ignore (Patricia.insert t (bs "0111"));
+  ignore (Patricia.insert t (bs "0010"));
+  check_int "size" 3 (Patricia.size t);
+  Alcotest.(check string) "dup" "`Already_present"
+    (match Patricia.insert t (bs "0111") with
+    | `Already_present -> "`Already_present"
+    | _ -> "other");
+  check_int "size after dup" 3 (Patricia.size t);
+  List.iter
+    (fun s -> check_bool ("mem " ^ s) true (Patricia.mem t (bs s)))
+    [ "0100"; "0111"; "0010" ];
+  Alcotest.(check (list string))
+    "sorted enumeration"
+    [ "0010"; "0100"; "0111" ]
+    (List.map Bitstring.to_string (Patricia.to_list t))
+
+let test_patricia_prefix_violation () =
+  let t = Patricia.create () in
+  ignore (Patricia.insert t (bs "0100"));
+  Alcotest.check_raises "proper prefix"
+    (Invalid_argument "Patricia.insert: string is a proper prefix of a stored string")
+    (fun () -> ignore (Patricia.insert t (bs "01")));
+  Alcotest.check_raises "extension"
+    (Invalid_argument "Patricia.insert: a stored string is a proper prefix of the string")
+    (fun () -> ignore (Patricia.insert t (bs "01001")))
+
+let test_patricia_random_vs_set () =
+  let rng = Xoshiro.create 42 in
+  let t = Patricia.create () in
+  let reference = ref StringSet.empty in
+  for _ = 1 to 3000 do
+    let w = random_word rng in
+    let s = Binarize.of_bytes w in
+    if Xoshiro.int rng 3 = 0 then begin
+      let expected = StringSet.mem w !reference in
+      check_bool ("remove " ^ w) expected (Patricia.remove t s);
+      reference := StringSet.remove w !reference
+    end
+    else begin
+      let expected = if StringSet.mem w !reference then `Already_present else `Added in
+      check_bool ("insert " ^ w) true (Patricia.insert t s = expected);
+      reference := StringSet.add w !reference
+    end;
+    Patricia.check_invariants t
+  done;
+  check_int "final size" (StringSet.cardinal !reference) (Patricia.size t);
+  (* membership agrees on all touched words *)
+  StringSet.iter
+    (fun w -> check_bool ("final mem " ^ w) true (Patricia.mem t (Binarize.of_bytes w)))
+    !reference;
+  (* enumeration matches the sorted reference *)
+  let enumerated = List.map Binarize.to_bytes (Patricia.to_list t) in
+  Alcotest.(check (list string)) "enumeration" (StringSet.elements !reference) enumerated
+
+let test_patricia_prefix_queries () =
+  let t = Patricia.create () in
+  let words = [ "abc"; "abd"; "ab"; "b"; "ba"; "abcde" ] in
+  List.iter (fun w -> ignore (Patricia.insert t (Binarize.of_bytes w))) words;
+  (* Prefix of the *encoded* strings: encode a word without terminator by
+     using the encoding of the word and dropping the final 0 bit. *)
+  let enc_prefix w =
+    let e = Binarize.of_bytes w in
+    Bitstring.prefix e (Bitstring.length e - 1)
+  in
+  check_int "prefix ab" 4 (Patricia.count_prefix t (enc_prefix "ab"));
+  check_int "prefix abc" 2 (Patricia.count_prefix t (enc_prefix "abc"));
+  check_int "prefix b" 2 (Patricia.count_prefix t (enc_prefix "b"));
+  check_int "prefix zzz" 0 (Patricia.count_prefix t (enc_prefix "zzz"));
+  check_int "empty prefix counts all" 6 (Patricia.count_prefix t Bitstring.empty);
+  let matches = ref [] in
+  Patricia.iter_with_prefix
+    (fun s -> matches := Binarize.to_bytes s :: !matches)
+    t (enc_prefix "abc");
+  Alcotest.(check (list string)) "iter prefix" [ "abc"; "abcde" ] (List.rev !matches)
+
+let test_patricia_empty_prefix_and_empty_trie () =
+  let t = Patricia.create () in
+  check_int "empty trie prefix" 0 (Patricia.count_prefix t Bitstring.empty);
+  ignore (Patricia.insert t (bs "01"));
+  check_int "empty prefix = all" 1 (Patricia.count_prefix t Bitstring.empty);
+  check_bool "remove on empty path" false (Patricia.remove t (bs "1"));
+  check_bool "remove root" true (Patricia.remove t (bs "01"));
+  check_bool "empty again" true (Patricia.is_empty t);
+  check_int "label bits empty" 0 (Patricia.label_bits t);
+  check_int "nodes empty" 0 (Patricia.node_count t)
+
+let test_patricia_remove_merge () =
+  let t = Patricia.create () in
+  List.iter (fun s -> ignore (Patricia.insert t (bs s))) [ "000"; "001"; "011" ];
+  check_int "3 strings, 5 nodes" 5 (Patricia.node_count t);
+  check_bool "remove 001" true (Patricia.remove t (bs "001"));
+  check_int "merge shrinks nodes" 3 (Patricia.node_count t);
+  check_bool "000 survives" true (Patricia.mem t (bs "000"));
+  check_bool "011 survives" true (Patricia.mem t (bs "011"));
+  check_bool "001 gone" false (Patricia.mem t (bs "001"));
+  check_bool "remove missing" false (Patricia.remove t (bs "001"));
+  check_bool "remove 000" true (Patricia.remove t (bs "000"));
+  check_bool "remove 011" true (Patricia.remove t (bs "011"));
+  check_bool "empty again" true (Patricia.is_empty t)
+
+let test_patricia_label_bits () =
+  let t = Patricia.create () in
+  ignore (Patricia.insert t (bs "0001"));
+  check_int "single label" 4 (Patricia.label_bits t);
+  ignore (Patricia.insert t (bs "0011"));
+  (* root label "00", leaves "1" and "1" *)
+  check_int "after split" 4 (Patricia.label_bits t)
+
+(* ------------------------------------------------------------------ *)
+(* Static trie *)
+
+let test_static_small () =
+  (* Figure 2's string set: {0001, 0011, 0100, 00100} *)
+  let strings = Array.map bs [| "0001"; "0011"; "0100"; "00100" |] in
+  let st = Static_trie.of_strings strings in
+  check_int "leaves" 4 (Static_trie.leaf_count st);
+  check_int "internal" 3 (Static_trie.internal_count st);
+  check_int "nodes" 7 (Static_trie.node_count st);
+  (* root label is the lcp "0" *)
+  Alcotest.(check string) "root label" "0" (Bitstring.to_string (Static_trie.label st 0));
+  Array.iter
+    (fun s ->
+      check_bool ("mem " ^ Bitstring.to_string s) true (Static_trie.mem st s))
+    strings;
+  check_bool "not mem" false (Static_trie.mem st (bs "0101"));
+  check_bool "not mem prefix" false (Static_trie.mem st (bs "00"))
+
+let test_static_random () =
+  let rng = Xoshiro.create 55 in
+  for _ = 1 to 15 do
+    let words =
+      List.init (1 + Xoshiro.int rng 200) (fun _ -> random_word rng)
+      |> StringSet.of_list |> StringSet.elements
+    in
+    let strings = Array.of_list (List.map Binarize.of_bytes words) in
+    let st = Static_trie.of_strings strings in
+    check_int "leaf count" (Array.length strings) (Static_trie.leaf_count st);
+    check_int "strict binary" (Array.length strings - 1) (Static_trie.internal_count st);
+    (* every string is found, and its leaf reconstructs it *)
+    Array.iter
+      (fun s ->
+        match Static_trie.find_path st s with
+        | None -> Alcotest.fail "find_path failed"
+        | Some path ->
+            let leaf = List.nth path (List.length path - 1) in
+            check_bool "leaf" true (Static_trie.is_leaf st leaf);
+            check_bool "reconstruct" true
+              (Bitstring.equal s (Static_trie.string_of_leaf st leaf)))
+      strings;
+    (* non-members are rejected *)
+    for _ = 1 to 50 do
+      let w = random_word rng in
+      if not (List.mem w words) then
+        check_bool ("notmem " ^ w) false (Static_trie.mem st (Binarize.of_bytes w))
+    done;
+    (* prefix_node finds subtrees covering word prefixes *)
+    List.iter
+      (fun w ->
+        let p = Binarize.of_bytes w in
+        let p = Bitstring.prefix p (Bitstring.length p - 1) in
+        match Static_trie.prefix_node st p with
+        | None -> Alcotest.fail ("prefix_node missed " ^ w)
+        | Some (v, path) ->
+            check_bool "path nonempty" true (List.length path > 0);
+            check_bool "last is v" true (List.nth path (List.length path - 1) = v))
+      words
+  done
+
+let test_static_duplicates_and_errors () =
+  let st = Static_trie.of_strings (Array.map bs [| "01"; "01"; "10" |]) in
+  check_int "dedup" 2 (Static_trie.leaf_count st);
+  Alcotest.check_raises "empty" (Invalid_argument "Static_trie.of_strings: empty set")
+    (fun () -> ignore (Static_trie.of_strings [||]));
+  Alcotest.check_raises "prefix violation"
+    (Invalid_argument "Static_trie.of_strings: set is not prefix-free") (fun () ->
+      ignore (Static_trie.of_strings (Array.map bs [| "01"; "011" |])))
+
+let test_static_single () =
+  let st = Static_trie.of_strings [| bs "10110" |] in
+  check_int "one node" 1 (Static_trie.node_count st);
+  check_bool "mem" true (Static_trie.mem st (bs "10110"));
+  check_bool "root leaf" true (Static_trie.is_leaf st 0);
+  check_bool "reconstruct" true
+    (Bitstring.equal (bs "10110") (Static_trie.string_of_leaf st 0))
+
+let test_static_space_accounting () =
+  let rng = Xoshiro.create 66 in
+  let words =
+    List.init 500 (fun _ -> random_word rng) |> StringSet.of_list |> StringSet.elements
+  in
+  let strings = Array.of_list (List.map Binarize.of_bytes words) in
+  let st = Static_trie.of_strings strings in
+  let lb = Static_trie.lower_bound_bits st in
+  let measured = float_of_int (Static_trie.space_bits st) in
+  check_bool
+    (Printf.sprintf "space %.0f vs LT %.0f" measured lb)
+    true
+    (measured >= lb *. 0.9 && measured < (lb *. 3.) +. 10_000.)
+
+let () =
+  Alcotest.run "wt_trie"
+    [
+      ( "patricia",
+        [
+          Alcotest.test_case "basic" `Quick test_patricia_basic;
+          Alcotest.test_case "prefix violations" `Quick test_patricia_prefix_violation;
+          Alcotest.test_case "random vs set" `Quick test_patricia_random_vs_set;
+          Alcotest.test_case "prefix queries" `Quick test_patricia_prefix_queries;
+          Alcotest.test_case "empty prefix/trie" `Quick test_patricia_empty_prefix_and_empty_trie;
+          Alcotest.test_case "remove merges" `Quick test_patricia_remove_merge;
+          Alcotest.test_case "label bits" `Quick test_patricia_label_bits;
+        ] );
+      ( "static_trie",
+        [
+          Alcotest.test_case "figure-2 set" `Quick test_static_small;
+          Alcotest.test_case "random sets" `Quick test_static_random;
+          Alcotest.test_case "duplicates and errors" `Quick test_static_duplicates_and_errors;
+          Alcotest.test_case "singleton" `Quick test_static_single;
+          Alcotest.test_case "space vs LT bound" `Quick test_static_space_accounting;
+        ] );
+    ]

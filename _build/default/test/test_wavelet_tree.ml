@@ -1,0 +1,348 @@
+(* Tests for wt_wavelet_tree: the classic levelwise Wavelet Tree (with the
+   Figure 1 golden test realized as a Wavelet Trie, as the paper
+   describes), the Huffman-shaped variant, and the fixed-alphabet dynamic
+   baseline. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Xoshiro = Wt_bits.Xoshiro
+module WT = Wt_wavelet_tree.Wavelet_tree
+module Huffman_wt = Wt_wavelet_tree.Huffman_wt
+module Dyn_wavelet_tree = Wt_wavelet_tree.Dyn_wavelet_tree
+module Wavelet_trie = Wt_core.Wavelet_trie
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the Wavelet Tree of "abracadabra" over {a,b,c,d,r} with the
+   alphabet partition {a,b} | {c}{d,r}.  As Section 3 notes, this tree is
+   the Wavelet Trie under the symbol mapping a=00 b=01 c=10 d=110 r=111. *)
+
+let test_figure1 () =
+  let code = function
+    | 'a' -> "00"
+    | 'b' -> "01"
+    | 'c' -> "10"
+    | 'd' -> "110"
+    | 'r' -> "111"
+    | _ -> assert false
+  in
+  let seq =
+    List.map
+      (fun c -> Bitstring.of_string (code c))
+      (List.init 11 (String.get "abracadabra"))
+  in
+  let wt = Wavelet_trie.of_list seq in
+  let expected =
+    [
+      (* Labels are all empty: the code tree branches at every node, so
+         path compression never absorbs bits; the bitvectors are exactly
+         those of Figure 1. *)
+      ("", Some "00101010010"); (* root: {a,b} vs {c,d,r} *)
+      ("", Some "0100010"); (* abaaaba: a vs b *)
+      ("", None); (* a *)
+      ("", None); (* b *)
+      ("", Some "1011"); (* rcdr: c vs {d,r} *)
+      ("", None); (* c *)
+      ("", Some "101"); (* rdr: d vs r *)
+      ("", None); (* d *)
+      ("", None); (* r *)
+    ]
+  in
+  Alcotest.(check (list (pair string (option string))))
+    "figure 1 bitvectors" expected (Wavelet_trie.dump wt)
+
+(* ------------------------------------------------------------------ *)
+(* Levelwise Wavelet Tree vs naive *)
+
+let naive_rank a sym pos =
+  let c = ref 0 in
+  for i = 0 to pos - 1 do
+    if a.(i) = sym then incr c
+  done;
+  !c
+
+let naive_select a sym idx =
+  let seen = ref 0 in
+  let res = ref None in
+  Array.iteri
+    (fun i x ->
+      if x = sym && !res = None then begin
+        if !seen = idx then res := Some i;
+        incr seen
+      end)
+    a;
+  !res
+
+let naive_range_count a lo hi sym_lo sym_hi =
+  let c = ref 0 in
+  for i = lo to hi - 1 do
+    if a.(i) >= sym_lo && a.(i) < sym_hi then incr c
+  done;
+  !c
+
+module type WT_S = sig
+  type t
+
+  val of_array : sigma:int -> int array -> t
+  val length : t -> int
+  val access : t -> int -> int
+  val rank : t -> int -> int -> int
+  val select : t -> int -> int -> int option
+  val range_count : t -> lo:int -> hi:int -> sym_lo:int -> sym_hi:int -> int
+end
+
+let exercise_wt name (module M : WT_S) =
+  let rng = Xoshiro.create 313 in
+  List.iter
+    (fun (sigma, n) ->
+      let a = Array.init n (fun _ -> Xoshiro.int rng sigma) in
+      let wt = M.of_array ~sigma a in
+      check_int (name ^ " length") n (M.length wt);
+      for pos = 0 to min (n - 1) 200 do
+        check_int (name ^ " access") a.(pos) (M.access wt pos)
+      done;
+      for _ = 1 to 200 do
+        let sym = Xoshiro.int rng sigma in
+        let pos = Xoshiro.int rng (n + 1) in
+        check_int (name ^ " rank") (naive_rank a sym pos) (M.rank wt sym pos);
+        let idx = Xoshiro.int rng (max 1 (n / max 1 sigma * 2)) in
+        Alcotest.(check (option int))
+          (name ^ " select") (naive_select a sym idx) (M.select wt sym idx);
+        let lo = Xoshiro.int rng (n + 1) in
+        let hi = lo + Xoshiro.int rng (n - lo + 1) in
+        let slo = Xoshiro.int rng (sigma + 1) in
+        let shi = slo + Xoshiro.int rng (sigma - slo + 1) in
+        check_int (name ^ " range_count")
+          (naive_range_count a lo hi slo shi)
+          (M.range_count wt ~lo ~hi ~sym_lo:slo ~sym_hi:shi)
+      done)
+    [ (1, 10); (2, 100); (5, 200); (16, 500); (100, 800); (257, 1000) ]
+
+let test_wt_plain () = exercise_wt "plain" (module WT.Over_plain)
+let test_wt_rrr () = exercise_wt "rrr" (module WT.Over_rrr)
+
+let test_wt_range_quantile () =
+  let rng = Xoshiro.create 414 in
+  List.iter
+    (fun (sigma, n) ->
+      let a = Array.init n (fun _ -> Xoshiro.int rng sigma) in
+      let wt = WT.Over_plain.of_array ~sigma a in
+      for _ = 1 to 200 do
+        let lo = Xoshiro.int rng n in
+        let hi = lo + 1 + Xoshiro.int rng (n - lo) in
+        let sorted = Array.sub a lo (hi - lo) in
+        Array.sort compare sorted;
+        let k = Xoshiro.int rng (hi - lo) in
+        check_int "quantile" sorted.(k) (WT.Over_plain.range_quantile wt ~lo ~hi k)
+      done)
+    [ (2, 50); (7, 300); (64, 800) ]
+
+let test_wt_levels () =
+  let wt = WT.Over_plain.of_array ~sigma:4 [| 0; 1; 2; 3; 0; 2 |] in
+  check_int "levels" 2 (WT.Over_plain.levels wt);
+  (* level 0 = MSB: 0,0,1,1,0,1 *)
+  Alcotest.(check string) "level 0" "001101" (WT.Over_plain.level_bits wt 0);
+  (* level 1 after in-place refinement: zeros block (0,1,0) then ones
+     block (2,3,2): LSBs 0,1,0 then 0,1,0 *)
+  Alcotest.(check string) "level 1" "010010" (WT.Over_plain.level_bits wt 1)
+
+let test_wt_empty_and_constant () =
+  let wt = WT.Over_plain.of_array ~sigma:5 [||] in
+  check_int "empty" 0 (WT.Over_plain.length wt);
+  check_int "rank empty" 0 (WT.Over_plain.rank wt 3 0);
+  let wt = WT.Over_plain.of_array ~sigma:1 [| 0; 0; 0 |] in
+  check_int "sigma 1 access" 0 (WT.Over_plain.access wt 1);
+  check_int "sigma 1 rank" 3 (WT.Over_plain.rank wt 0 3);
+  Alcotest.(check (option int)) "sigma 1 select" (Some 2) (WT.Over_plain.select wt 0 2)
+
+(* ------------------------------------------------------------------ *)
+(* Huffman-shaped *)
+
+let test_huffman_vs_naive () =
+  let rng = Xoshiro.create 515 in
+  (* skewed distribution *)
+  let sigma = 32 in
+  let zipf = Wt_workload.Zipf.create sigma in
+  let a = Array.init 2000 (fun _ -> Wt_workload.Zipf.sample zipf rng) in
+  let h = Huffman_wt.of_array ~sigma a in
+  check_int "length" 2000 (Huffman_wt.length h);
+  for pos = 0 to 199 do
+    check_int "access" a.(pos) (Huffman_wt.access h pos)
+  done;
+  for _ = 1 to 300 do
+    let sym = Xoshiro.int rng sigma in
+    let pos = Xoshiro.int rng 2001 in
+    check_int "rank" (naive_rank a sym pos) (Huffman_wt.rank h sym pos);
+    let idx = Xoshiro.int rng 100 in
+    Alcotest.(check (option int)) "select" (naive_select a sym idx) (Huffman_wt.select h sym idx)
+  done
+
+let test_huffman_depth_near_entropy () =
+  let rng = Xoshiro.create 616 in
+  let sigma = 64 in
+  let zipf = Wt_workload.Zipf.create ~s:1.4 sigma in
+  let a = Array.init 20_000 (fun _ -> Wt_workload.Zipf.sample zipf rng) in
+  let h = Huffman_wt.of_array ~sigma a in
+  let freqs = Array.make sigma 0 in
+  Array.iter (fun x -> freqs.(x) <- freqs.(x) + 1) a;
+  let h0 = Wt_bits.Entropy.h0_of_counts freqs in
+  let avg = Huffman_wt.avg_code_length h in
+  (* Huffman: H0 <= avg < H0 + 1 *)
+  check_bool
+    (Printf.sprintf "H0 %.3f <= avg code %.3f < H0+1" h0 avg)
+    true
+    (h0 <= avg +. 1e-9 && avg < h0 +. 1.);
+  (* far below the balanced log sigma *)
+  check_bool "beats balanced depth" true (avg < 6.)
+
+let test_huffman_single_symbol () =
+  let h = Huffman_wt.of_array ~sigma:5 (Array.make 50 3) in
+  check_int "access" 3 (Huffman_wt.access h 10);
+  check_int "rank" 50 (Huffman_wt.rank h 3 50);
+  Alcotest.(check (option int)) "select" (Some 49) (Huffman_wt.select h 3 49);
+  check_bool "1-bit code" true
+    (match Huffman_wt.code_of h 3 with
+    | Some c -> Bitstring.length c = 1
+    | None -> false)
+
+let test_huffman_absent_symbol () =
+  let h = Huffman_wt.of_array ~sigma:10 [| 1; 1; 2 |] in
+  check_int "rank of absent" 0 (Huffman_wt.rank h 7 3);
+  Alcotest.(check (option int)) "select of absent" None (Huffman_wt.select h 7 0);
+  Alcotest.(check (option int)) "code of absent" None
+    (Option.map (fun _ -> 0) (Huffman_wt.code_of h 7))
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-alphabet dynamic WT *)
+
+let test_dyn_wt_vs_naive () =
+  let rng = Xoshiro.create 717 in
+  let sigma = 20 in
+  let wt = Dyn_wavelet_tree.create ~sigma in
+  let model = ref [] in
+  let m_insert pos x =
+    let rec go i = function
+      | rest when i = pos -> x :: rest
+      | [] -> assert false
+      | y :: r -> y :: go (i + 1) r
+    in
+    model := go 0 !model
+  in
+  for step = 1 to 2000 do
+    let n = List.length !model in
+    if Xoshiro.int rng 3 > 0 || n = 0 then begin
+      let x = Xoshiro.int rng sigma in
+      let pos = Xoshiro.int rng (n + 1) in
+      m_insert pos x;
+      Dyn_wavelet_tree.insert wt pos x
+    end
+    else begin
+      let pos = Xoshiro.int rng n in
+      model := List.filteri (fun i _ -> i <> pos) !model;
+      Dyn_wavelet_tree.delete wt pos
+    end;
+    if step mod 250 = 0 then begin
+      Dyn_wavelet_tree.check_invariants wt;
+      let a = Array.of_list !model in
+      let n = Array.length a in
+      check_int "length" n (Dyn_wavelet_tree.length wt);
+      for _ = 1 to 40 do
+        if n > 0 then begin
+          let pos = Xoshiro.int rng n in
+          check_int "access" a.(pos) (Dyn_wavelet_tree.access wt pos)
+        end;
+        let sym = Xoshiro.int rng sigma in
+        let pos = Xoshiro.int rng (n + 1) in
+        check_int "rank" (naive_rank a sym pos) (Dyn_wavelet_tree.rank wt sym pos);
+        let idx = Xoshiro.int rng 20 in
+        Alcotest.(check (option int))
+          "select idx" (naive_select a sym idx)
+          (Dyn_wavelet_tree.select wt sym idx)
+      done
+    end
+  done
+
+let test_dyn_wt_fixed_alphabet_error () =
+  let wt = Dyn_wavelet_tree.create ~sigma:4 in
+  Alcotest.check_raises "outside alphabet"
+    (Invalid_argument "Dyn_wavelet_tree.insert: symbol outside the fixed alphabet")
+    (fun () -> Dyn_wavelet_tree.append wt 4)
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary-mapped baseline (related-work approach (1)) *)
+
+module Dict_sequence = Wt_wavelet_tree.Dict_sequence
+module Binarize = Wt_strings.Binarize
+module Naive = Wt_core.Indexed_sequence.Naive
+
+let test_dict_vs_naive () =
+  let rng = Xoshiro.create 818 in
+  let words = [| "a"; "ab"; "abc"; "b"; "ba"; "bc"; "c" |] in
+  let seq =
+    Array.init 400 (fun _ -> Binarize.of_bytes words.(Xoshiro.int rng (Array.length words)))
+  in
+  let oracle = Naive.of_array seq in
+  let d = Dict_sequence.of_array seq in
+  check_int "length" 400 (Dict_sequence.length d);
+  check_int "distinct" (Naive.distinct_count oracle) (Dict_sequence.distinct_count d);
+  for _ = 1 to 300 do
+    let pos = Xoshiro.int rng 400 in
+    check_bool "access" true
+      (Bitstring.equal (Naive.access oracle pos) (Dict_sequence.access d pos));
+    let s = seq.(Xoshiro.int rng 400) in
+    let pos = Xoshiro.int rng 401 in
+    check_int "rank" (Naive.rank oracle s pos) (Dict_sequence.rank d s pos);
+    let idx = Xoshiro.int rng 60 in
+    Alcotest.(check (option int)) "select" (Naive.select oracle s idx)
+      (Dict_sequence.select d s idx);
+    (* prefix ops through the lexicographic mapping *)
+    let w = words.(Xoshiro.int rng (Array.length words)) in
+    let e = Binarize.of_bytes w in
+    let p = Bitstring.prefix e (Bitstring.length e - 1) in
+    check_int "rank_prefix" (Naive.rank_prefix oracle p pos) (Dict_sequence.rank_prefix d p pos);
+    let idx = Xoshiro.int rng 20 in
+    Alcotest.(check (option int))
+      "select_prefix" (Naive.select_prefix oracle p idx)
+      (Dict_sequence.select_prefix d p idx)
+  done
+
+let test_dict_absent () =
+  let d = Dict_sequence.of_array [| Binarize.of_bytes "x"; Binarize.of_bytes "y" |] in
+  check_int "rank absent" 0 (Dict_sequence.rank d (Binarize.of_bytes "z") 2);
+  Alcotest.(check (option int)) "select absent" None (Dict_sequence.select d (Binarize.of_bytes "z") 0);
+  let p = Binarize.of_bytes "z" in
+  let p = Bitstring.prefix p (Bitstring.length p - 1) in
+  check_int "rank_prefix absent" 0 (Dict_sequence.rank_prefix d p 2);
+  Alcotest.(check (option int)) "select_prefix absent" None (Dict_sequence.select_prefix d p 0)
+
+let () =
+  Alcotest.run "wt_wavelet_tree"
+    [
+      ("figure1", [ Alcotest.test_case "abracadabra" `Quick test_figure1 ]);
+      ( "levelwise",
+        [
+          Alcotest.test_case "plain vs naive" `Quick test_wt_plain;
+          Alcotest.test_case "rrr vs naive" `Quick test_wt_rrr;
+          Alcotest.test_case "range quantile" `Quick test_wt_range_quantile;
+          Alcotest.test_case "level layout" `Quick test_wt_levels;
+          Alcotest.test_case "empty/constant" `Quick test_wt_empty_and_constant;
+        ] );
+      ( "huffman",
+        [
+          Alcotest.test_case "vs naive" `Quick test_huffman_vs_naive;
+          Alcotest.test_case "depth near entropy" `Quick test_huffman_depth_near_entropy;
+          Alcotest.test_case "single symbol" `Quick test_huffman_single_symbol;
+          Alcotest.test_case "absent symbols" `Quick test_huffman_absent_symbol;
+        ] );
+      ( "dynamic fixed-alphabet",
+        [
+          Alcotest.test_case "vs naive" `Quick test_dyn_wt_vs_naive;
+          Alcotest.test_case "alphabet is fixed" `Quick test_dyn_wt_fixed_alphabet_error;
+        ] );
+      ( "dict-mapped baseline",
+        [
+          Alcotest.test_case "vs naive (incl. prefix ops)" `Quick test_dict_vs_naive;
+          Alcotest.test_case "absent strings" `Quick test_dict_absent;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Tests for the synthetic workload generators: determinism, structural
+   properties (skew, shared prefixes), and encoding validity. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Xoshiro = Wt_bits.Xoshiro
+module Zipf = Wt_workload.Zipf
+module Urls = Wt_workload.Urls
+module Text = Wt_workload.Text
+module Columns = Wt_workload.Columns
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_zipf_shape () =
+  let rng = Xoshiro.create 1 in
+  let z = Zipf.create 100 in
+  check_int "size" 100 (Zipf.size z);
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let r = Zipf.sample z rng in
+    check_bool "in range" true (r >= 0 && r < 100);
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* rank 0 much more frequent than rank 50 *)
+  check_bool
+    (Printf.sprintf "skew: %d vs %d" counts.(0) counts.(50))
+    true
+    (counts.(0) > 8 * counts.(50));
+  (* roughly harmonic: rank0/rank1 ~ 2 *)
+  check_bool "harmonic-ish" true
+    (float_of_int counts.(0) /. float_of_int counts.(1) < 3.5)
+
+let test_urls_determinism () =
+  let a = Urls.create ~seed:5 () and b = Urls.create ~seed:5 () in
+  for _ = 1 to 100 do
+    Alcotest.(check string) "same stream" (Urls.next a) (Urls.next b)
+  done;
+  let c = Urls.create ~seed:6 () in
+  check_bool "different seeds" true (Urls.next a <> Urls.next c || Urls.next a <> Urls.next c)
+
+let test_urls_structure () =
+  let g = Urls.create ~seed:1 ~hosts:10 () in
+  let raw = Urls.raw_sequence g 2000 in
+  Array.iter
+    (fun u ->
+      check_bool ("scheme " ^ u) true (String.length u > 10 && String.sub u 0 7 = "http://"))
+    raw;
+  (* encoded strings decode back *)
+  let g2 = Urls.create ~seed:1 ~hosts:10 () in
+  let enc = Urls.sequence g2 100 in
+  Array.iteri
+    (fun i e -> Alcotest.(check string) "encode/decode" raw.(i) (Binarize.to_bytes e))
+    enc;
+  (* host prefixes really are prefixes of their URLs *)
+  for h = 0 to 9 do
+    let p = Urls.host_prefix g h in
+    check_bool "prefix nonempty" true (Bitstring.length p > 0)
+  done;
+  (* every URL matches exactly one host prefix *)
+  let g3 = Urls.create ~seed:1 ~hosts:10 () in
+  let enc = Urls.sequence g3 200 in
+  Array.iter
+    (fun e ->
+      let matches = ref 0 in
+      for h = 0 to Urls.host_count g - 1 do
+        if Bitstring.is_prefix ~prefix:(Urls.host_prefix g h) e then incr matches
+      done;
+      check_int "one host" 1 !matches)
+    enc
+
+let test_urls_low_entropy () =
+  (* the whole point of the workload: H0 far below the raw size *)
+  let g = Urls.create ~seed:3 () in
+  let seq = Urls.sequence g 5000 in
+  let wt = Wt_core.Wavelet_trie.of_array seq in
+  let st = Wt_core.Wavelet_trie.stats wt in
+  let raw_bits = Array.fold_left (fun a s -> a + Bitstring.length s) 0 seq in
+  check_bool
+    (Printf.sprintf "H0 %.0f << raw %d" st.seq_h0_bits raw_bits)
+    true
+    (st.seq_h0_bits < float_of_int raw_bits /. 8.);
+  check_bool
+    (Printf.sprintf "h~ %.1f << avg len %.1f" st.avg_height
+       (float_of_int raw_bits /. 5000.))
+    true
+    (st.avg_height < float_of_int raw_bits /. 5000. /. 4.)
+
+let test_text_growing_alphabet () =
+  let t = Text.create ~seed:2 ~fresh_every:16 () in
+  let seq = Text.sequence t 2000 in
+  let distinct l =
+    List.length (List.sort_uniq Bitstring.compare (Array.to_list l))
+  in
+  let d1 = distinct (Array.sub seq 0 500) in
+  let d2 = distinct seq in
+  check_bool (Printf.sprintf "alphabet grows: %d -> %d" d1 d2) true (d2 > d1);
+  (* no fresh words at all when disabled *)
+  let t0 = Text.create ~seed:2 ~base_vocab:32 ~fresh_every:0 () in
+  let seq0 = Text.sequence t0 2000 in
+  check_bool "bounded vocab" true (distinct seq0 <= 32)
+
+let test_columns () =
+  let col, words = Columns.categorical ~cardinality:16 5000 in
+  check_int "length" 5000 (Array.length col);
+  check_int "vocab" 16 (Array.length words);
+  Array.iter
+    (fun e ->
+      let w = Binarize.to_bytes e in
+      check_bool ("known word " ^ w) true (Array.exists (String.equal w) words))
+    (Array.sub col 0 200);
+  let ids = Columns.identifiers ~universe:(1 lsl 20) 1000 in
+  Array.iter (fun e -> check_int "fixed width" 20 (Bitstring.length e)) ids;
+  let nums = Columns.numeric ~bits:30 ~distinct:50 2000 in
+  let d = List.length (List.sort_uniq compare (Array.to_list nums)) in
+  check_bool "sparse alphabet" true (d <= 50);
+  Array.iter (fun v -> check_bool "in universe" true (v >= 0 && v < 1 lsl 30)) nums
+
+(* ------------------------------------------------------------------ *)
+(* Cache simulator *)
+
+module Cache_sim = Wt_workload.Cache_sim
+module Bitbuf = Wt_bits.Bitbuf
+
+let test_cache_sim_basics () =
+  let c = Cache_sim.create ~line_bytes:64 ~ways:2 ~sets:4 () in
+  let buf = Bitbuf.create () in
+  Bitbuf.add_run buf true 10_000;
+  (* first pass: cold misses; second pass over a small window: hits *)
+  let _, cold =
+    Cache_sim.run c (fun () ->
+        for pos = 0 to 9_000 do
+          ignore (Bitbuf.get buf pos)
+        done)
+  in
+  check_bool (Printf.sprintf "cold misses %d" cold) true (cold > 0);
+  Cache_sim.reset_stats c;
+  let _, warm =
+    Cache_sim.run c (fun () ->
+        for _ = 1 to 1000 do
+          ignore (Bitbuf.get buf 0)
+        done)
+  in
+  check_bool (Printf.sprintf "warm misses %d" warm) true (warm <= 1);
+  check_bool "hit rate high" true (Cache_sim.miss_rate c < 0.01);
+  (* probe uninstalled: no accounting *)
+  Cache_sim.reset_stats c;
+  ignore (Bitbuf.get buf 5);
+  check_int "no probe, no accesses" 0 (Cache_sim.accesses c)
+
+let test_cache_sim_eviction () =
+  (* a 1-way 1-set cache thrashes between two lines *)
+  let c = Cache_sim.create ~line_bytes:64 ~ways:1 ~sets:1 () in
+  let buf = Bitbuf.create () in
+  Bitbuf.add_run buf false (64 * 8 * 4);
+  let _, m =
+    Cache_sim.run c (fun () ->
+        for _ = 1 to 100 do
+          ignore (Bitbuf.get buf 0);
+          ignore (Bitbuf.get buf (64 * 8 * 2))
+        done)
+  in
+  check_int "thrash: every access misses" 200 m
+
+let test_cache_sim_separates_structures () =
+  (* queries on a compact structure must miss less than on a scattered
+     one: compare sequential scan vs random jumps *)
+  let c = Cache_sim.create () in
+  let buf = Bitbuf.create () in
+  Bitbuf.add_run buf true (512 * 1024);
+  let rng = Xoshiro.create 9 in
+  let _, seq_m =
+    Cache_sim.run c (fun () ->
+        for pos = 0 to 49_999 do
+          ignore (Bitbuf.get buf pos)
+        done)
+  in
+  Cache_sim.reset_stats c;
+  let _, rand_m =
+    Cache_sim.run c (fun () ->
+        for _ = 1 to 50_000 do
+          ignore (Bitbuf.get buf (Xoshiro.int rng (512 * 1024)))
+        done)
+  in
+  check_bool
+    (Printf.sprintf "sequential %d << random %d" seq_m rand_m)
+    true
+    (seq_m * 10 < rand_m)
+
+let () =
+  Alcotest.run "wt_workload"
+    [
+      ( "workload",
+        [
+          Alcotest.test_case "zipf shape" `Quick test_zipf_shape;
+          Alcotest.test_case "urls determinism" `Quick test_urls_determinism;
+          Alcotest.test_case "urls structure" `Quick test_urls_structure;
+          Alcotest.test_case "urls entropy" `Quick test_urls_low_entropy;
+          Alcotest.test_case "text growing alphabet" `Quick test_text_growing_alphabet;
+          Alcotest.test_case "columns" `Quick test_columns;
+        ] );
+      ( "cache_sim",
+        [
+          Alcotest.test_case "basics" `Quick test_cache_sim_basics;
+          Alcotest.test_case "eviction" `Quick test_cache_sim_eviction;
+          Alcotest.test_case "locality" `Quick test_cache_sim_separates_structures;
+        ] );
+    ]
