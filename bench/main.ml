@@ -710,25 +710,109 @@ let a_quad () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Observability metrics block: build each variant through the [Wtrie]
+   front door with probes on, run a scripted query/mutation mix, and
+   emit the captured report (per-op counters, latency percentiles,
+   space-vs-LB breakdown) as JSON.  [--json] prints only this block, as
+   one machine-readable object on stdout; full runs append it pretty-
+   printed at the end. *)
+
+module Probe = Wt_obs.Probe
+module Report = Wt_obs.Report
+module Json = Wt_obs.Json
+
+let metrics_queries (type a)
+    (module V : Wt_core.Indexed_sequence.STRING_API with type t = a) (wt : a)
+    (strings : string array) =
+  let n = Array.length strings in
+  let rng = Xoshiro.create 11 in
+  for i = 0 to 255 do
+    ignore (V.access wt (Xoshiro.int rng n));
+    let s = strings.(Xoshiro.int rng n) in
+    ignore (V.count wt s);
+    ignore (V.select wt s (i land 3));
+    ignore (V.count_prefix wt (String.sub s 0 (min 4 (String.length s))))
+  done
+
+let metrics_block () =
+  let g = Urls.create ~seed:42 () in
+  let strings = Urls.raw_sequence g 2048 in
+  let capture variant (st : Stats.t) =
+    let r = Report.capture ~space:[ Stats.to_breakdown ~variant st ] () in
+    Probe.disable ();
+    Probe.reset ();
+    (variant, Report.to_json r)
+  in
+  let static =
+    Probe.reset ();
+    Probe.enable ();
+    let wt = Wtrie.Static.of_array strings in
+    metrics_queries (module Wtrie.Static) wt strings;
+    capture "static" (Wavelet_trie.stats wt)
+  in
+  let append =
+    Probe.reset ();
+    Probe.enable ();
+    let wt = Wtrie.Append.create () in
+    Array.iter (Wtrie.Append.append wt) strings;
+    metrics_queries (module Wtrie.Append) wt strings;
+    capture "append" (Append_wt.stats wt)
+  in
+  let dynamic =
+    Probe.reset ();
+    Probe.enable ();
+    let wt = Wtrie.Dynamic.of_array strings in
+    let rng = Xoshiro.create 13 in
+    for i = 0 to 127 do
+      Wtrie.Dynamic.insert wt
+        (Xoshiro.int rng (Wtrie.Dynamic.length wt + 1))
+        (Printf.sprintf "fresh.dev/i/%d" i);
+      if i land 1 = 0 then
+        Wtrie.Dynamic.delete wt (Xoshiro.int rng (Wtrie.Dynamic.length wt))
+    done;
+    metrics_queries (module Wtrie.Dynamic) wt strings;
+    capture "dynamic" (Dynamic_wt.stats wt)
+  in
+  Json.Obj [ ("metrics", Json.Obj [ static; append; dynamic ]) ]
+
+let print_metrics_block ~json_only =
+  let j = metrics_block () in
+  if json_only then print_endline (Json.to_string j)
+  else begin
+    Printf.printf "\n-- metrics — observability report (front-door workload, probes on)\n";
+    print_endline (Json.to_string_pretty j)
+  end;
+  flush stdout
+
+(* ------------------------------------------------------------------ *)
 
 let () =
-  Printf.printf "wavelet-trie benchmark harness (experiment ids match DESIGN.md)\n";
-  Printf.printf "bechamel quota per microbench: %.2fs\n" quota;
-  f_figures ();
-  t1_build ();
-  t1_space ();
-  t1_static_query ();
-  t1_append_query ();
-  t1_dynamic_query ();
-  t1_append_append ();
-  t1_dynamic_updates ();
-  s5_range ();
-  s6_balanced ();
-  s7_cache ();
-  a_init ();
-  a_rrr ();
-  a_dynwt ();
-  a_dict ();
-  a_quad ();
-  a_huffman ();
-  Printf.printf "\ndone.\n"
+  let flag f = Array.exists (String.equal f) Sys.argv in
+  let json_only = flag "--json" in
+  let quick = flag "--quick" in
+  if json_only then print_metrics_block ~json_only:true
+  else begin
+    Printf.printf "wavelet-trie benchmark harness (experiment ids match DESIGN.md)\n";
+    Printf.printf "bechamel quota per microbench: %.2fs\n" quota;
+    f_figures ();
+    if not quick then begin
+      t1_build ();
+      t1_space ();
+      t1_static_query ();
+      t1_append_query ();
+      t1_dynamic_query ();
+      t1_append_append ();
+      t1_dynamic_updates ();
+      s5_range ();
+      s6_balanced ();
+      s7_cache ();
+      a_init ();
+      a_rrr ();
+      a_dynwt ();
+      a_dict ();
+      a_quad ();
+      a_huffman ()
+    end;
+    print_metrics_block ~json_only:false;
+    Printf.printf "\ndone.\n"
+  end

@@ -7,7 +7,10 @@
      dune exec bin/wtrie_cli.exe -- prefix-count mylog.txt "GET /api/"
      dune exec bin/wtrie_cli.exe -- majority mylog.txt --lo 1000 --hi 2000
 
-   Each line of the file is one element of the sequence, in order. *)
+   Each line of the file is one element of the sequence, in order.  The
+   sequence lives behind the [Wtrie.Append] front door; pass [--stats]
+   to any query command to get the observability report (operation
+   counters, latency histograms, space-vs-LB breakdown) on stderr. *)
 
 module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
@@ -27,20 +30,45 @@ let read_lines path =
   if path <> "-" then close_in ic;
   Array.of_list (List.rev !lines)
 
-(* Build from a line file, or load directly when given a saved index. *)
+(* Build from a line file, or load directly when given a saved index.
+   [Wtrie.Append.t] is [Append_wt.t], so Persist and Range work on the
+   same value the front door builds. *)
 let build path =
   if path <> "-" && Sys.file_exists path && Wt_core.Persist.is_index_file path then
     Wt_core.Persist.load_append path
   else begin
     let lines = read_lines path in
-    let wt = Append_wt.create () in
-    Array.iter (fun l -> Append_wt.append wt (Binarize.of_bytes l)) lines;
+    let wt = Wtrie.Append.create () in
+    Array.iter (Wtrie.Append.append wt) lines;
     wt
   end
 
 let prefix_of_string p =
   let e = Binarize.of_bytes p in
   Bitstring.prefix e (Bitstring.length e - 1)
+
+(* Observability plumbing: when requested, probes cover the whole
+   command (build + queries) and the report lands on stderr so stdout
+   stays script-friendly. *)
+
+let capture_report wt =
+  let r =
+    Wtrie.Report.capture
+      ~space:[ Wtrie.Stats.to_breakdown ~variant:"append" (Append_wt.stats wt) ]
+      ()
+  in
+  Wtrie.Probe.disable ();
+  Wtrie.Probe.reset ();
+  r
+
+let with_stats enabled f =
+  if not enabled then ignore (f () : Wtrie.Append.t)
+  else begin
+    Wtrie.Probe.reset ();
+    Wtrie.Probe.enable ();
+    let wt = f () in
+    Format.eprintf "%a@." Wtrie.Report.pp (capture_report wt)
+  end
 
 (* common arguments *)
 let file_arg =
@@ -52,7 +80,10 @@ let lo_arg =
 let hi_arg =
   Arg.(value & opt (some int) None & info [ "hi" ] ~docv:"HI" ~doc:"Range end position (exclusive; default: sequence length).")
 
-let clamp_hi wt = function None -> Append_wt.length wt | Some h -> min h (Append_wt.length wt)
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print the observability report (operation counters, latency histograms, space breakdown) to stderr.")
+
+let clamp_hi wt = function None -> Wtrie.Append.length wt | Some h -> min h (Wtrie.Append.length wt)
 
 let index_cmd =
   let out =
@@ -61,155 +92,186 @@ let index_cmd =
   let run file out =
     let wt = build file in
     Wt_core.Persist.save_append wt out;
-    Printf.printf "indexed %d strings into %s\n" (Append_wt.length wt) out
+    Printf.printf "indexed %d strings into %s\n" (Wtrie.Append.length wt) out
   in
   Cmd.v
     (Cmd.info "index" ~doc:"Build the index once and save it; query commands accept it in place of the text file.")
     Term.(const run $ file_arg $ out)
 
 let stats_cmd =
-  let run file =
-    let wt = build file in
-    Format.printf "%a@." Stats.pp (Append_wt.stats wt);
-    Printf.printf "distinct strings: %d\n" (Append_wt.distinct_count wt)
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full observability report as JSON on stdout (same shape as the bench metrics block).")
   in
-  Cmd.v (Cmd.info "stats" ~doc:"Build the index and report its space against the LB.")
-    Term.(const run $ file_arg)
+  let run file json =
+    Wtrie.Probe.reset ();
+    Wtrie.Probe.enable ();
+    let wt = build file in
+    ignore (Wtrie.Append.count_prefix wt "");
+    let report = capture_report wt in
+    if json then print_endline (Wtrie.Report.to_json_string report)
+    else begin
+      Format.printf "%a@." Stats.pp (Append_wt.stats wt);
+      Printf.printf "distinct strings: %d\n" (Wtrie.Append.distinct_count wt);
+      Format.printf "%a@." Wtrie.Report.pp report
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Build the index and report its space against the LB, plus the observability report.")
+    Term.(const run $ file_arg $ json)
 
 let access_cmd =
   let pos = Arg.(required & pos 1 (some int) None & info [] ~docv:"POS") in
-  let run file pos =
+  let run file pos stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
-    if pos < 0 || pos >= Append_wt.length wt then (prerr_endline "position out of range"; exit 1);
-    print_endline (Binarize.to_bytes (Append_wt.access wt pos))
+    if pos < 0 || pos >= Wtrie.Append.length wt then (prerr_endline "position out of range"; exit 1);
+    print_endline (Wtrie.Append.access wt pos);
+    wt
   in
-  Cmd.v (Cmd.info "access" ~doc:"Print the string at a position.") Term.(const run $ file_arg $ pos)
+  Cmd.v (Cmd.info "access" ~doc:"Print the string at a position.")
+    Term.(const run $ file_arg $ pos $ stats_arg)
 
 let rank_cmd =
   let s = Arg.(required & pos 1 (some string) None & info [] ~docv:"STRING") in
-  let run file s lo hi =
+  let run file s lo hi stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
     let hi = clamp_hi wt hi in
-    let e = Binarize.of_bytes s in
-    Printf.printf "%d\n" (Append_wt.rank wt e hi - Append_wt.rank wt e lo)
+    Printf.printf "%d\n" (Wtrie.Append.rank_exn wt s hi - Wtrie.Append.rank_exn wt s lo);
+    wt
   in
   Cmd.v (Cmd.info "rank" ~doc:"Count occurrences of STRING in [--lo, --hi).")
-    Term.(const run $ file_arg $ s $ lo_arg $ hi_arg)
+    Term.(const run $ file_arg $ s $ lo_arg $ hi_arg $ stats_arg)
 
 let select_cmd =
   let s = Arg.(required & pos 1 (some string) None & info [] ~docv:"STRING") in
   let idx = Arg.(required & pos 2 (some int) None & info [] ~docv:"IDX") in
-  let run file s idx =
+  let run file s idx stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
-    match Append_wt.select wt (Binarize.of_bytes s) idx with
+    (match Wtrie.Append.select wt s idx with
     | Some pos -> Printf.printf "%d\n" pos
     | None ->
         prerr_endline "no such occurrence";
-        exit 1
+        exit 1);
+    wt
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Position of the IDX-th (0-based) occurrence of STRING.")
-    Term.(const run $ file_arg $ s $ idx)
+    Term.(const run $ file_arg $ s $ idx $ stats_arg)
 
 let prefix_count_cmd =
   let p = Arg.(required & pos 1 (some string) None & info [] ~docv:"PREFIX") in
-  let run file p lo hi =
+  let run file p lo hi stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
     let hi = clamp_hi wt hi in
-    Printf.printf "%d\n" (Range.Append.count_range wt ~prefix:(prefix_of_string p) ~lo ~hi)
+    Printf.printf "%d\n" (Range.Append.count_range wt ~prefix:(prefix_of_string p) ~lo ~hi);
+    wt
   in
   Cmd.v
     (Cmd.info "prefix-count" ~doc:"Count strings starting with PREFIX in [--lo, --hi).")
-    Term.(const run $ file_arg $ p $ lo_arg $ hi_arg)
+    Term.(const run $ file_arg $ p $ lo_arg $ hi_arg $ stats_arg)
 
 let prefix_list_cmd =
   let p = Arg.(required & pos 1 (some string) None & info [] ~docv:"PREFIX") in
   let limit = Arg.(value & opt int 20 & info [ "limit" ] ~docv:"K" ~doc:"Print at most K matches.") in
-  let run file p limit =
+  let run file p limit stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
-    let prefix = prefix_of_string p in
     let rec go k =
       if k < limit then
-        match Append_wt.select_prefix wt prefix k with
+        match Wtrie.Append.select_prefix wt p k with
         | Some pos ->
-            Printf.printf "%8d  %s\n" pos (Binarize.to_bytes (Append_wt.access wt pos));
+            Printf.printf "%8d  %s\n" pos (Wtrie.Append.access wt pos);
             go (k + 1)
         | None -> ()
     in
-    go 0
+    go 0;
+    wt
   in
   Cmd.v
     (Cmd.info "prefix-list"
        ~doc:"List the first occurrences of strings starting with PREFIX (SelectPrefix).")
-    Term.(const run $ file_arg $ p $ limit)
+    Term.(const run $ file_arg $ p $ limit $ stats_arg)
 
 let distinct_cmd =
-  let run file lo hi =
+  let run file lo hi stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
     let hi = clamp_hi wt hi in
     List.iter
       (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
-      (Range.Append.distinct wt ~lo ~hi)
+      (Range.Append.distinct wt ~lo ~hi);
+    wt
   in
   Cmd.v
     (Cmd.info "distinct" ~doc:"Distinct strings (with counts) in [--lo, --hi).")
-    Term.(const run $ file_arg $ lo_arg $ hi_arg)
+    Term.(const run $ file_arg $ lo_arg $ hi_arg $ stats_arg)
 
 let majority_cmd =
-  let run file lo hi =
+  let run file lo hi stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
     let hi = clamp_hi wt hi in
-    match Range.Append.majority wt ~lo ~hi with
+    (match Range.Append.majority wt ~lo ~hi with
     | Some (s, c) -> Printf.printf "%s (%d of %d)\n" (Binarize.to_bytes s) c (hi - lo)
     | None ->
         print_endline "no majority";
-        exit 1
+        exit 1);
+    wt
   in
   Cmd.v
     (Cmd.info "majority" ~doc:"The majority string of [--lo, --hi), if any.")
-    Term.(const run $ file_arg $ lo_arg $ hi_arg)
+    Term.(const run $ file_arg $ lo_arg $ hi_arg $ stats_arg)
 
 let top_k_cmd =
   let k = Arg.(required & pos 1 (some int) None & info [] ~docv:"K") in
-  let run file k lo hi =
+  let run file k lo hi stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
     let hi = clamp_hi wt hi in
     List.iter
       (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
-      (Range.Append.top_k wt ~lo ~hi k)
+      (Range.Append.top_k wt ~lo ~hi k);
+    wt
   in
   Cmd.v
     (Cmd.info "top-k" ~doc:"The K most frequent strings in [--lo, --hi) (exact).")
-    Term.(const run $ file_arg $ k $ lo_arg $ hi_arg)
+    Term.(const run $ file_arg $ k $ lo_arg $ hi_arg $ stats_arg)
 
 let quantile_cmd =
   let k = Arg.(required & pos 1 (some int) None & info [] ~docv:"K") in
-  let run file k lo hi =
+  let run file k lo hi stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
     let hi = clamp_hi wt hi in
-    match Range.Append.quantile wt ~lo ~hi k with
+    (match Range.Append.quantile wt ~lo ~hi k with
     | Some s -> print_endline (Binarize.to_bytes s)
     | None ->
         prerr_endline "k out of range";
-        exit 1
+        exit 1);
+    wt
   in
   Cmd.v
     (Cmd.info "quantile"
        ~doc:"The K-th lexicographically smallest string in [--lo, --hi).")
-    Term.(const run $ file_arg $ k $ lo_arg $ hi_arg)
+    Term.(const run $ file_arg $ k $ lo_arg $ hi_arg $ stats_arg)
 
 let at_least_cmd =
   let t = Arg.(required & pos 1 (some int) None & info [] ~docv:"T") in
-  let run file t lo hi =
+  let run file t lo hi stats =
+    with_stats stats @@ fun () ->
     let wt = build file in
     let hi = clamp_hi wt hi in
     List.iter
       (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
-      (Range.Append.at_least wt ~lo ~hi ~threshold:t)
+      (Range.Append.at_least wt ~lo ~hi ~threshold:t);
+    wt
   in
   Cmd.v
     (Cmd.info "at-least" ~doc:"Strings occurring at least T times in [--lo, --hi).")
-    Term.(const run $ file_arg $ t $ lo_arg $ hi_arg)
+    Term.(const run $ file_arg $ t $ lo_arg $ hi_arg $ stats_arg)
 
 let () =
   let doc = "compressed indexed sequences of strings (Wavelet Trie)" in

@@ -1,21 +1,14 @@
 (* Quickstart: the indexed-sequence-of-strings API in five minutes.
 
+   Everything an application needs lives behind the [Wtrie] front door:
+   the three variants (Static / Append / Dynamic) under one uniform
+   byte-string API, plus the observability layer.
+
    Build:  dune exec examples/quickstart.exe *)
 
 module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
-module Wavelet_trie = Wt_core.Wavelet_trie
-module Dynamic_wt = Wt_core.Dynamic_wt
 module Range = Wt_core.Range
-
-(* Any OCaml string becomes a prefix-free bitstring via Binarize. *)
-let enc = Binarize.of_bytes
-let dec = Binarize.to_bytes
-
-(* A bit-prefix meaning "starts with the byte string w". *)
-let starts_with w =
-  let e = enc w in
-  Bitstring.prefix e (Bitstring.length e - 1)
 
 let () =
   (* A tiny access log: the sequence order is the time order. *)
@@ -26,54 +19,69 @@ let () =
       "site.com/logout"; "site.com/home";
     ]
   in
-  let wt = Wavelet_trie.of_list (List.map enc log) in
+  let wt = Wtrie.Static.of_list log in
 
   Printf.printf "sequence length: %d, distinct strings: %d\n"
-    (Wavelet_trie.length wt) (Wavelet_trie.distinct_count wt);
+    (Wtrie.Static.length wt) (Wtrie.Static.distinct_count wt);
 
   (* Access: what was the 4th request? *)
-  Printf.printf "access 4        = %s\n" (dec (Wavelet_trie.access wt 4));
+  Printf.printf "access 4        = %s\n" (Wtrie.Static.access wt 4);
 
-  (* Rank: how many times was the home page hit in the first 6 requests? *)
-  Printf.printf "rank home, 6    = %d\n" (Wavelet_trie.rank wt (enc "site.com/home") 6);
+  (* Rank: how many times was the home page hit in the first 6 requests?
+     The checked form returns a result; [rank_exn] raises instead. *)
+  (match Wtrie.Static.rank wt "site.com/home" 6 with
+  | Ok c -> Printf.printf "rank home, 6    = %d\n" c
+  | Error e -> Format.printf "rank home, 6    = error: %a@." Wtrie.pp_api_error e);
 
   (* Select: when was the home page hit for the third time? *)
-  (match Wavelet_trie.select wt (enc "site.com/home") 2 with
+  (match Wtrie.Static.select wt "site.com/home" 2 with
   | Some pos -> Printf.printf "select home, 2  = position %d\n" pos
   | None -> print_endline "select home, 2  = absent");
 
   (* Prefix operations: whole-domain queries without grouping anything. *)
   Printf.printf "rank_prefix site.com, 10 = %d\n"
-    (Wavelet_trie.rank_prefix wt (starts_with "site.com/") 10);
-  (match Wavelet_trie.select_prefix wt (starts_with "blog.net/") 1 with
+    (Wtrie.Static.rank_prefix_exn wt "site.com/" 10);
+  (match Wtrie.Static.select_prefix wt "blog.net/" 1 with
   | Some pos -> Printf.printf "2nd blog.net access at position %d\n" pos
   | None -> ());
 
-  (* Section 5 analytics on a position range (= time window). *)
+  (* Section 5 analytics on a position range (= time window).  Range
+     works on the same value: [Wtrie.Static.t] IS [Wavelet_trie.t]. *)
   Printf.printf "distinct in window [2, 9):\n";
   List.iter
-    (fun (s, c) -> Printf.printf "  %-18s x%d\n" (dec s) c)
+    (fun (s, c) -> Printf.printf "  %-18s x%d\n" (Binarize.to_bytes s) c)
     (Range.Static.distinct wt ~lo:2 ~hi:9);
   (match Range.Static.majority wt ~lo:0 ~hi:10 with
-  | Some (s, c) -> Printf.printf "majority of the whole log: %s (%d/10)\n" (dec s) c
+  | Some (s, c) ->
+      Printf.printf "majority of the whole log: %s (%d/10)\n" (Binarize.to_bytes s) c
   | None -> Printf.printf "no majority in the whole log\n");
 
   (* The fully dynamic version: unseen strings may arrive at any moment. *)
-  let dwt = Dynamic_wt.of_array (Array.of_list (List.map enc log)) in
-  Dynamic_wt.insert dwt 3 (enc "api.io/v1/users"); (* a brand-new domain *)
+  let dwt = Wtrie.Dynamic.of_list log in
+  Wtrie.Dynamic.insert dwt 3 "api.io/v1/users"; (* a brand-new domain *)
   Printf.printf "after insert: access 3 = %s, distinct = %d\n"
-    (dec (Dynamic_wt.access dwt 3))
-    (Dynamic_wt.distinct_count dwt);
-  Dynamic_wt.delete dwt 3; (* and gone again — the alphabet shrinks back *)
-  Printf.printf "after delete: distinct = %d\n" (Dynamic_wt.distinct_count dwt);
+    (Wtrie.Dynamic.access dwt 3)
+    (Wtrie.Dynamic.distinct_count dwt);
+  Wtrie.Dynamic.delete dwt 3; (* and gone again — the alphabet shrinks back *)
+  Printf.printf "after delete: distinct = %d\n" (Wtrie.Dynamic.distinct_count dwt);
 
   (* Space accounting vs the information-theoretic lower bound. *)
-  Format.printf "space: @[%a@]@." Wt_core.Stats.pp (Wavelet_trie.stats wt);
+  Format.printf "space: @[%a@]@." Wtrie.Stats.pp (Wt_core.Wavelet_trie.stats wt);
+
+  (* Observability: flip the probes on, run some queries, snapshot a
+     report (operation counters, traversal work, latency histograms). *)
+  Wtrie.Probe.enable ();
+  ignore (Wtrie.Static.count wt "site.com/home");
+  ignore (Wtrie.Static.access wt 0);
+  Format.printf "@.telemetry for the two queries above:@.%a@." Wtrie.Report.pp
+    (Wtrie.Report.capture ());
+  Wtrie.Probe.disable ();
+  Wtrie.Probe.reset ();
 
   (* And the structure itself, in the style of the paper's Figure 2. *)
   let tiny =
-    Wavelet_trie.of_list
+    Wt_core.Wavelet_trie.of_list
       (List.map Bitstring.of_string
          [ "0001"; "0011"; "0100"; "00100"; "0100"; "00100"; "0100" ])
   in
-  Format.printf "@.the paper's Figure 2 trie:@.%a@." Wavelet_trie.pp tiny
+  Format.printf "@.the paper's Figure 2 trie:@.%a@." Wt_core.Wavelet_trie.pp tiny

@@ -8,26 +8,29 @@
    edges ever seen) grows and shrinks dynamically, which is exactly what
    the Wavelet Trie supports and fixed-alphabet wavelet trees do not.
 
+   The timeline lives behind the [Wtrie.Dynamic] front door (plain byte
+   strings); the range analytics of Section 5 work on the same value
+   through [Wt_core.Range].
+
    Build:  dune exec examples/social_snapshots.exe *)
 
 module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
-module Dynamic_wt = Wt_core.Dynamic_wt
 module Range = Wt_core.Range
 
-let edge src dst = Binarize.of_bytes (Printf.sprintf "%s>%s" src dst)
+let edge src dst = Printf.sprintf "%s>%s" src dst
 
-(* prefix meaning "any edge out of src" *)
+(* bit-prefix meaning "any edge out of src", for the Range toolkit *)
 let out_edges src =
   let e = Binarize.of_bytes (src ^ ">") in
   Bitstring.prefix e (Bitstring.length e - 1)
 
 let () =
-  let wt = Dynamic_wt.create () in
+  let wt = Wtrie.Dynamic.create () in
   let log = ref [] in
   let add s d =
-    Dynamic_wt.append wt (edge s d);
-    log := Printf.sprintf "t=%2d  +%s>%s" (Dynamic_wt.length wt - 1) s d :: !log
+    Wtrie.Dynamic.append wt (edge s d);
+    log := Printf.sprintf "t=%2d  +%s>%s" (Wtrie.Dynamic.length wt - 1) s d :: !log
   in
 
   (* A small friendship timeline. *)
@@ -43,8 +46,8 @@ let () =
   add "ada" "cyd";
   List.iter print_endline (List.rev !log);
 
-  let n = Dynamic_wt.length wt in
-  Printf.printf "\n%d events, %d distinct edges\n" n (Dynamic_wt.distinct_count wt);
+  let n = Wtrie.Dynamic.length wt in
+  Printf.printf "\n%d events, %d distinct edges\n" n (Wtrie.Dynamic.distinct_count wt);
 
   (* Snapshot question: what were ada's outgoing edge events during
      "winter vacation" (positions [2, 8))? *)
@@ -57,14 +60,13 @@ let () =
   Printf.printf "\nout-degree event counts:\n";
   List.iter
     (fun v ->
-      Printf.printf "  %-4s %d\n" v (Dynamic_wt.rank_prefix wt (out_edges v) n))
+      Printf.printf "  %-4s %d\n" v (Wtrie.Dynamic.rank_prefix_exn wt (v ^ ">") n))
     [ "ada"; "bob"; "cyd"; "dan" ];
 
   (* GDPR moment: cyd leaves the network.  Delete every event that
      involves cyd — deleting the last occurrence of an edge removes it
      from the alphabet (the trie reshapes itself). *)
-  let involves_cyd s =
-    let w = Binarize.to_bytes s in
+  let involves_cyd w =
     w = "cyd" || String.length w > 3
                  && (String.sub w 0 4 = "cyd>"
                     || String.length w > 4
@@ -72,21 +74,21 @@ let () =
   in
   let removed = ref 0 in
   let pos = ref 0 in
-  while !pos < Dynamic_wt.length wt do
-    if involves_cyd (Dynamic_wt.access wt !pos) then begin
-      Dynamic_wt.delete wt !pos;
+  while !pos < Wtrie.Dynamic.length wt do
+    if involves_cyd (Wtrie.Dynamic.access wt !pos) then begin
+      Wtrie.Dynamic.delete wt !pos;
       incr removed
     end
     else incr pos
   done;
   Printf.printf "\nremoved %d events involving cyd; %d distinct edges remain:\n" !removed
-    (Dynamic_wt.distinct_count wt);
-  Range.Dynamic.iter_range wt ~lo:0 ~hi:(Dynamic_wt.length wt) (fun s ->
+    (Wtrie.Dynamic.distinct_count wt);
+  Range.Dynamic.iter_range wt ~lo:0 ~hi:(Wtrie.Dynamic.length wt) (fun s ->
       Printf.printf "  %s\n" (Binarize.to_bytes s));
-  Dynamic_wt.check_invariants wt;
+  Wt_core.Dynamic_wt.check_invariants wt;
 
   (* Back-dated correction: it turns out ada befriended eve before
      everything else — insert at position 0, a brand-new edge. *)
-  Dynamic_wt.insert wt 0 (edge "ada" "eve");
+  Wtrie.Dynamic.insert wt 0 (edge "ada" "eve");
   Printf.printf "\nafter back-dated insert, first event: %s\n"
-    (Binarize.to_bytes (Dynamic_wt.access wt 0))
+    (Wtrie.Dynamic.access wt 0)

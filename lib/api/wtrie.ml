@@ -1,0 +1,58 @@
+(** The Wavelet Trie front door.
+
+    One module to open: the three sequence variants behind a uniform
+    byte-string API, the observability layer, and the space/statistics
+    reports.
+
+    {[
+      let wt = Wtrie.Static.of_list [ "a"; "b"; "a" ] in
+      assert (Wtrie.Static.count wt "a" = 2);
+
+      Wtrie.Probe.enable ();
+      ignore (Wtrie.Static.rank_exn wt "a" 3);
+      print_endline (Wtrie.Report.to_json_string (Wtrie.Report.capture ()))
+    ]}
+
+    Pick a variant by mutability:
+    - {!Static} — immutable, RRR-compressed (Section 3 of the paper);
+    - {!Append} — append-only streams (Section 4.1);
+    - {!Dynamic} — insert/delete at any position (Section 4.2).
+
+    All three satisfy {!module-type-STRING_API}; the mutable ones extend
+    it ({!module-type-APPEND_API}, {!module-type-DYNAMIC_API}).  The
+    modules are re-exported unsealed, so [Static.t] is
+    [Wt_core.Wavelet_trie.t] etc. and the lower-level toolkits
+    ([Wt_core.Range], [Wt_core.Persist], ...) keep working on the same
+    values. *)
+
+type api_error = Wt_core.Indexed_sequence.api_error =
+  | Position_out_of_bounds of { pos : int; len : int }
+
+let pp_api_error = Wt_core.Indexed_sequence.pp_api_error
+
+module type STRING_API = Wt_core.Indexed_sequence.STRING_API
+module type APPEND_API = Wt_core.Indexed_sequence.APPEND_API
+module type DYNAMIC_API = Wt_core.Indexed_sequence.DYNAMIC_API
+
+module Static = Wt_core.String_api.Static
+module Append = Wt_core.String_api.Append
+module Dynamic = Wt_core.String_api.Dynamic
+
+(* Conformance: every variant implements its tier of the uniform API. *)
+module _ : STRING_API = Static
+module _ : APPEND_API = Append
+module _ : DYNAMIC_API = Dynamic
+
+(** Space accounting shared by the variants ([Static.space_bits] etc.
+    feed it); [Stats.to_breakdown] bridges into {!Report}. *)
+module Stats = Wt_core.Stats
+
+(** Observability: {!Probe} switches telemetry on and off, {!Report}
+    snapshots it, {!Space} holds the word-overhead model and the
+    space-vs-lower-bound breakdown. *)
+module Probe = Wt_obs.Probe
+
+module Report = Wt_obs.Report
+module Space = Wt_obs.Space
+module Histogram = Wt_obs.Histogram
+module Json = Wt_obs.Json

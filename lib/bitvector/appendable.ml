@@ -1,5 +1,6 @@
 module Bitbuf = Wt_bits.Bitbuf
 module Broadword = Wt_bits.Broadword
+module Probe = Wt_obs.Probe
 
 let seg_bits = 4096
 let word_bits = 56
@@ -142,6 +143,7 @@ let retire_tail t =
   t.tail_cum <- Array.make 4 0
 
 let append t b =
+  Probe.hit App_append;
   let tl = Bitbuf.length t.tail in
   Bitbuf.add t.tail b;
   if b then t.tail_ones <- t.tail_ones + 1;
@@ -188,6 +190,7 @@ let phys_rank1 t pos =
 
 let rank t b pos =
   Fid.check_rank_pos ~who:"Appendable" ~len:(length t) pos;
+  Probe.hit App_rank;
   if pos <= t.offset_len then if b = t.offset_bit then pos else 0
   else begin
     let off_count = if b = t.offset_bit then t.offset_len else 0 in
@@ -208,12 +211,14 @@ let phys_access t pos =
 
 let access t pos =
   Fid.check_access_pos ~who:"Appendable" ~len:(length t) pos;
+  Probe.hit App_access;
   if pos < t.offset_len then t.offset_bit else phys_access t (pos - t.offset_len)
 
 (* (bit at pos, rank of that bit before pos), sharing the block decode in
    the frozen-segment case. *)
 let access_rank t pos =
   Fid.check_access_pos ~who:"Appendable" ~len:(length t) pos;
+  Probe.hit App_access;
   if pos < t.offset_len then (t.offset_bit, pos)
   else begin
     let p = pos - t.offset_len in
@@ -257,6 +262,7 @@ let phys_select t b k =
 let select t b k =
   let count = if b then ones t else zeros t in
   Fid.check_select_idx ~who:"Appendable" ~count k;
+  Probe.hit App_select;
   if b = t.offset_bit && k < t.offset_len then k
   else begin
     let k' = if b = t.offset_bit then k - t.offset_len else k in

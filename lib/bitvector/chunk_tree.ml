@@ -1,5 +1,6 @@
 module Bitbuf = Wt_bits.Bitbuf
 module Rle = Wt_bits.Rle
+module Probe = Wt_obs.Probe
 
 module type CODEC = sig
   val name : string
@@ -394,16 +395,19 @@ module Make (Codec : CODEC) : S = struct
 
   let access t pos =
     Fid.check_access_pos ~who:Codec.name ~len:(length t) pos;
+    Probe.hit Dbv_access;
     match t.root with None -> assert false | Some n -> access_node n pos
 
   let access_rank t pos =
     Fid.check_access_pos ~who:Codec.name ~len:(length t) pos;
+    Probe.hit Dbv_access;
     match t.root with
     | None -> assert false
     | Some n -> access_rank_node n pos 0 0
 
   let rank t b pos =
     Fid.check_rank_pos ~who:Codec.name ~len:(length t) pos;
+    Probe.hit Dbv_rank;
     match t.root with
     | None -> 0
     | Some n ->
@@ -413,11 +417,13 @@ module Make (Codec : CODEC) : S = struct
   let select t b k =
     let count = if b then ones t else zeros t in
     Fid.check_select_idx ~who:Codec.name ~count k;
+    Probe.hit Dbv_select;
     match t.root with None -> assert false | Some n -> select_node n b k
 
   let insert t pos b =
     let len = length t in
     if pos < 0 || pos > len then invalid_arg (Codec.name ^ ".insert: out of range");
+    Probe.hit Dbv_insert;
     match t.root with
     | None -> t.root <- Some (leaf_of_runs { Rle.first_bit = b; lengths = [| 1 |] })
     | Some n -> t.root <- Some (insert_node n pos b)
@@ -427,15 +433,23 @@ module Make (Codec : CODEC) : S = struct
   let delete t pos =
     let len = length t in
     if pos < 0 || pos >= len then invalid_arg (Codec.name ^ ".delete: out of range");
+    Probe.hit Dbv_delete;
     match t.root with
     | None -> assert false
     | Some n -> t.root <- delete_node n pos
 
-  let rec space_node = function
-    | Leaf { enc; _ } -> Bitbuf.length enc + (3 * 64)
-    | Node { l; r; _ } -> space_node l + space_node r + (5 * 64)
+  (* One heap block per node: Leaf {enc; bits; ones} and
+     Node {l; r; bits; ones; height}; the root is a one-field record. *)
+  let leaf_overhead = Wt_obs.Space.block_bits ~fields:3
+  let node_overhead = Wt_obs.Space.block_bits ~fields:5
+  let root_overhead = Wt_obs.Space.block_bits ~fields:1
 
-  let space_bits t = match t.root with None -> 64 | Some n -> 64 + space_node n
+  let rec space_node = function
+    | Leaf { enc; _ } -> Bitbuf.length enc + leaf_overhead
+    | Node { l; r; _ } -> space_node l + space_node r + node_overhead
+
+  let space_bits t =
+    match t.root with None -> root_overhead | Some n -> root_overhead + space_node n
 
   let rec leaf_count_node = function
     | Leaf _ -> 1

@@ -1,5 +1,6 @@
 module Bitbuf = Wt_bits.Bitbuf
 module Broadword = Wt_bits.Broadword
+module Probe = Wt_obs.Probe
 
 let block_bits = 62
 let class_bits = 6
@@ -199,10 +200,12 @@ let rank1 t pos =
 
 let rank t b pos =
   Fid.check_rank_pos ~who:"Rrr" ~len:t.len pos;
+  Probe.hit Rrr_rank;
   if b then rank1 t pos else pos - rank1 t pos
 
 let access t pos =
   Fid.check_access_pos ~who:"Rrr" ~len:t.len pos;
+  Probe.hit Rrr_access;
   let blk = pos / block_bits in
   let _, off = walk_to_block t blk in
   access_in_block t off (class_of t blk) (pos mod block_bits)
@@ -211,6 +214,7 @@ let access t pos =
    unranking that also captures the bit at [pos]. *)
 let access_rank t pos =
   Fid.check_access_pos ~who:"Rrr" ~len:t.len pos;
+  Probe.hit Rrr_access;
   let blk = pos / block_bits in
   let ones, off_pos = walk_to_block t blk in
   let c = class_of t blk in
@@ -259,6 +263,7 @@ let access_rank t pos =
 let select t b k =
   let count = if b then t.total_ones else zeros t in
   Fid.check_select_idx ~who:"Rrr" ~count k;
+  Probe.hit Rrr_select;
   let nsb = Array.length t.sb_ones - 1 in
   (* count of b strictly before superblock sb *)
   let count_before sb =

@@ -1,5 +1,7 @@
 module Bitstring = Wt_strings.Bitstring
 module Appendable = Wt_bitvector.Appendable
+module Probe = Wt_obs.Probe
+module Space = Wt_obs.Space
 
 type node = { mutable label : Bitstring.t; mutable kind : kind }
 
@@ -13,6 +15,7 @@ let create () = { root = None; n = 0 }
 let length t = t.n
 
 let append t s =
+  Probe.hit Wt_append;
   (match t.root with
   | None -> t.root <- Some { label = s; kind = Leaf { count = 1 } }
   | Some root ->
@@ -29,6 +32,7 @@ let append t s =
           (* Split: the new internal node's bitvector is Init(c, cnt)
              followed by the new string's bit b — realized as a left
              offset, O(1) (Section 4.1). *)
+          Probe.hit Wt_node_split;
           let b = Bitstring.get rest l in
           let c = Bitstring.get label l in
           let old_half = { label = Bitstring.drop label (l + 1); kind = node.kind } in
@@ -177,10 +181,11 @@ let space_bits t =
     Bitstring.length node.label
     +
     match node.kind with
-    | Leaf _ -> 3 * 64
-    | Internal { bv; zero; one } -> Appendable.space_bits bv + (5 * 64) + go zero + go one
+    | Leaf _ -> Space.mutable_leaf_bits
+    | Internal { bv; zero; one } ->
+        Appendable.space_bits bv + Space.mutable_internal_bits + go zero + go one
   in
-  (match t.root with None -> 0 | Some root -> go root) + (2 * 64)
+  (match t.root with None -> 0 | Some root -> go root) + Space.root_bits
 
 let stats t = Q.stats ~space_bits t
 

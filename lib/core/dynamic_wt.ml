@@ -1,5 +1,7 @@
 module Bitstring = Wt_strings.Bitstring
 module Dyn_rle = Wt_bitvector.Dyn_rle
+module Probe = Wt_obs.Probe
+module Space = Wt_obs.Space
 
 type node = { mutable label : Bitstring.t; mutable kind : kind }
 
@@ -14,6 +16,7 @@ let length t = t.n
 
 let insert t pos s =
   if pos < 0 || pos > t.n then invalid_arg "Dynamic_wt.insert: position out of range";
+  Probe.hit Wt_insert;
   (match t.root with
   | None -> t.root <- Some { label = s; kind = Leaf { count = 1 } }
   | Some root ->
@@ -30,6 +33,7 @@ let insert t pos s =
           (* Split (Figure 3): the new internal node starts with the
              constant bitvector Init(c, cnt) — O(log n) on RLE+γ — and the
              new string's bit b is inserted at [pos]. *)
+          Probe.hit Wt_node_split;
           let b = Bitstring.get rest l in
           let c = Bitstring.get label l in
           let old_half = { label = Bitstring.drop label (l + 1); kind = node.kind } in
@@ -64,10 +68,14 @@ let insert t pos s =
       go root 0 pos t.n);
   t.n <- t.n + 1
 
-let append t s = insert t t.n s
+(* Counts under both [Wt_append] and, via [insert], [Wt_insert]. *)
+let append t s =
+  Probe.hit Wt_append;
+  insert t t.n s
 
 let delete t pos =
   if pos < 0 || pos >= t.n then invalid_arg "Dynamic_wt.delete: position out of range";
+  Probe.hit Wt_delete;
   let rec go node pos =
     match node.kind with
     | Leaf lf -> lf.count <- lf.count - 1
@@ -79,6 +87,7 @@ let delete t pos =
            surviving sibling (the label gains the branch bit and the
            sibling's label, as in the dynamic Patricia Trie). *)
         if Dyn_rle.length bv > 0 && Dyn_rle.is_constant bv then begin
+          Probe.hit Wt_node_merge;
           let sbit = Dyn_rle.ones bv > 0 in
           let survivor = if sbit then one else zero in
           node.label <-
@@ -210,10 +219,11 @@ let space_bits t =
     Bitstring.length node.label
     +
     match node.kind with
-    | Leaf _ -> 3 * 64
-    | Internal { bv; zero; one } -> Dyn_rle.space_bits bv + (5 * 64) + go zero + go one
+    | Leaf _ -> Space.mutable_leaf_bits
+    | Internal { bv; zero; one } ->
+        Dyn_rle.space_bits bv + Space.mutable_internal_bits + go zero + go one
   in
-  (match t.root with None -> 0 | Some root -> go root) + (2 * 64)
+  (match t.root with None -> 0 | Some root -> go root) + Space.root_bits
 
 let stats t = Q.stats ~space_bits t
 

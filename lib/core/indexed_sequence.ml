@@ -37,6 +37,74 @@ module type DYNAMIC = sig
   val append : t -> Bitstring.t -> unit
 end
 
+(* ------------------------------------------------------------------ *)
+(* Byte-string front-door signatures, implemented by {!String_api} and
+   re-exported as the [Wtrie] entry module.  Every variant presents the
+   same uniform surface; the mutating tiers extend it. *)
+
+type api_error = Position_out_of_bounds of { pos : int; len : int }
+
+let pp_api_error fmt (Position_out_of_bounds { pos; len }) =
+  Format.fprintf fmt "position %d out of bounds (sequence length %d)" pos len
+
+(** Queries over byte strings.  Position arguments are validated:
+    [rank]-style operations return [Error (Position_out_of_bounds _)]
+    and [select]-style ones return [None] on bad input, with [_exn]
+    variants keeping the raising behaviour. *)
+module type STRING_API = sig
+  type t
+
+  val of_list : string list -> t
+  val of_array : string array -> t
+  val length : t -> int
+
+  val distinct_count : t -> int
+  (** |Sset|: number of distinct strings present. *)
+
+  val space_bits : t -> int
+  val access : t -> int -> string
+
+  val rank : t -> string -> int -> (int, api_error) result
+  (** Occurrences of the string in positions [0, pos). *)
+
+  val rank_exn : t -> string -> int -> int
+
+  val select : t -> string -> int -> int option
+  (** Position of the [idx]-th occurrence (0-based); [None] when there
+      are at most [idx] occurrences or [idx < 0]. *)
+
+  val select_exn : t -> string -> int -> int
+  (** Like {!select} but raises [Not_found] on a missing occurrence and
+      [Invalid_argument] on a negative index. *)
+
+  val rank_prefix : t -> string -> int -> (int, api_error) result
+  val rank_prefix_exn : t -> string -> int -> int
+  val select_prefix : t -> string -> int -> int option
+  val select_prefix_exn : t -> string -> int -> int
+
+  val count : t -> string -> int
+  (** Total occurrences of the string. *)
+
+  val count_prefix : t -> string -> int
+  (** Total number of stored strings starting with the byte prefix. *)
+end
+
+module type APPEND_API = sig
+  include STRING_API
+
+  val create : unit -> t
+  val append : t -> string -> unit
+end
+
+module type DYNAMIC_API = sig
+  include APPEND_API
+
+  val insert : t -> int -> string -> unit
+  (** [insert t pos s] places [s] immediately before position [pos]. *)
+
+  val delete : t -> int -> unit
+end
+
 (** Array-backed oracle: every operation is a linear scan. *)
 module Naive = struct
   type t = { mutable xs : Bitstring.t array; mutable n : int }

@@ -7,13 +7,26 @@
     O(|s|) label comparisons of a Patricia Trie search. *)
 
 module Bitstring = Wt_strings.Bitstring
+module Probe = Wt_obs.Probe
 
 module Make (N : Node_view.S) = struct
+  (* Traversal telemetry: every operation below bumps its own counter on
+     entry; the descent loops additionally record [Wt_nodes_visited] once
+     per node examined and [Wt_bits_consumed] for the label bits compared
+     plus, on a descent, the branching bit.  Early exits (e.g. [pos = 0]
+     in rank) do not examine a node and are not counted. *)
+
   let access trie pos =
     if pos < 0 || pos >= N.length trie then invalid_arg "Wavelet_trie.access";
+    Probe.hit Wt_access;
     let rec go node pos acc =
-      if N.is_leaf node then Bitstring.concat (List.rev (N.label node :: acc))
+      Probe.hit Wt_nodes_visited;
+      if N.is_leaf node then begin
+        Probe.record Wt_bits_consumed (Bitstring.length (N.label node));
+        Bitstring.concat (List.rev (N.label node :: acc))
+      end
       else begin
+        Probe.record Wt_bits_consumed (Bitstring.length (N.label node) + 1);
         let b, pos' = N.bv_access_rank node pos in
         go (N.child node b) pos' (Bitstring.of_bool_list [ b ] :: N.label node :: acc)
       end
@@ -22,16 +35,24 @@ module Make (N : Node_view.S) = struct
 
   let rank trie s pos =
     if pos < 0 || pos > N.length trie then invalid_arg "Wavelet_trie.rank";
+    Probe.hit Wt_rank;
     let rec go node off pos =
       if pos = 0 then 0
       else begin
+        Probe.hit Wt_nodes_visited;
         let rest = Bitstring.drop s off in
         let label = N.label node in
         let l = Bitstring.lcp label rest in
-        if N.is_leaf node then
+        if N.is_leaf node then begin
+          Probe.record Wt_bits_consumed l;
           if l = Bitstring.length label && l = Bitstring.length rest then pos else 0
-        else if l < Bitstring.length label || l >= Bitstring.length rest then 0
+        end
+        else if l < Bitstring.length label || l >= Bitstring.length rest then begin
+          Probe.record Wt_bits_consumed l;
+          0
+        end
         else begin
+          Probe.record Wt_bits_consumed (l + 1);
           let b = Bitstring.get rest l in
           go (N.child node b) (off + l + 1) (N.bv_rank node b pos)
         end
@@ -43,15 +64,22 @@ module Make (N : Node_view.S) = struct
      returns the occurrence count and the trail, deepest node first. *)
   let trail_of trie s =
     let rec go node off acc =
+      Probe.hit Wt_nodes_visited;
       let rest = Bitstring.drop s off in
       let label = N.label node in
       let l = Bitstring.lcp label rest in
-      if N.is_leaf node then
+      if N.is_leaf node then begin
+        Probe.record Wt_bits_consumed l;
         if l = Bitstring.length label && l = Bitstring.length rest then
           Some (N.count node, acc)
         else None
-      else if l < Bitstring.length label || l >= Bitstring.length rest then None
+      end
+      else if l < Bitstring.length label || l >= Bitstring.length rest then begin
+        Probe.record Wt_bits_consumed l;
+        None
+      end
       else begin
+        Probe.record Wt_bits_consumed (l + 1);
         let b = Bitstring.get rest l in
         go (N.child node b) (off + l + 1) ((node, b) :: acc)
       end
@@ -60,6 +88,7 @@ module Make (N : Node_view.S) = struct
 
   let select trie s idx =
     if idx < 0 then invalid_arg "Wavelet_trie.select";
+    Probe.hit Wt_select;
     match trail_of trie s with
     | None -> None
     | Some (count, trail) ->
@@ -68,17 +97,26 @@ module Make (N : Node_view.S) = struct
 
   let rank_prefix trie p pos =
     if pos < 0 || pos > N.length trie then invalid_arg "Wavelet_trie.rank_prefix";
+    Probe.hit Wt_rank_prefix;
     let rec go node off pos =
       if pos = 0 then 0
       else begin
+        Probe.hit Wt_nodes_visited;
         let rest = Bitstring.drop p off in
         if Bitstring.is_empty rest then pos
         else begin
           let label = N.label node in
           let l = Bitstring.lcp label rest in
-          if l = Bitstring.length rest then pos
-          else if l < Bitstring.length label || N.is_leaf node then 0
+          if l = Bitstring.length rest then begin
+            Probe.record Wt_bits_consumed l;
+            pos
+          end
+          else if l < Bitstring.length label || N.is_leaf node then begin
+            Probe.record Wt_bits_consumed l;
+            0
+          end
           else begin
+            Probe.record Wt_bits_consumed (l + 1);
             let b = Bitstring.get rest l in
             go (N.child node b) (off + l + 1) (N.bv_rank node b pos)
           end
@@ -90,14 +128,22 @@ module Make (N : Node_view.S) = struct
   (* Descend to the node np covering prefix p (Lemma 3.3). *)
   let prefix_trail trie p =
     let rec go node off acc =
+      Probe.hit Wt_nodes_visited;
       let rest = Bitstring.drop p off in
       if Bitstring.is_empty rest then Some (node, acc)
       else begin
         let label = N.label node in
         let l = Bitstring.lcp label rest in
-        if l = Bitstring.length rest then Some (node, acc)
-        else if l < Bitstring.length label || N.is_leaf node then None
+        if l = Bitstring.length rest then begin
+          Probe.record Wt_bits_consumed l;
+          Some (node, acc)
+        end
+        else if l < Bitstring.length label || N.is_leaf node then begin
+          Probe.record Wt_bits_consumed l;
+          None
+        end
         else begin
+          Probe.record Wt_bits_consumed (l + 1);
           let b = Bitstring.get rest l in
           go (N.child node b) (off + l + 1) ((node, b) :: acc)
         end
@@ -107,6 +153,7 @@ module Make (N : Node_view.S) = struct
 
   let select_prefix trie p idx =
     if idx < 0 then invalid_arg "Wavelet_trie.select_prefix";
+    Probe.hit Wt_select_prefix;
     match prefix_trail trie p with
     | None -> None
     | Some (np, trail) ->

@@ -19,6 +19,22 @@ type t = {
 
 let lower_bound t = t.trie_lb_bits +. t.seq_h0_bits
 
+(* Bridge into the observability layer: the same measurements as a
+   {!Wt_obs.Space.breakdown}, tagged with the variant name, so all three
+   variants surface comparable numbers in reports. *)
+let to_breakdown ~variant t : Wt_obs.Space.breakdown =
+  {
+    variant;
+    n = t.n;
+    distinct = t.distinct;
+    label_bits = t.label_bits;
+    bv_bits = t.bv_bits;
+    overhead_bits = t.total_bits - t.label_bits - t.bv_bits;
+    total_bits = t.total_bits;
+    lt_bits = t.trie_lb_bits;
+    nh0_bits = t.seq_h0_bits;
+  }
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>n=%d distinct=%d h~=%.2f@,\

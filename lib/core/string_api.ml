@@ -4,10 +4,24 @@
     apply {!Wt_strings.Binarize.of_bytes} on the way in (and its inverse
     on the way out) so applications can speak plain OCaml [string]s.
     Prefix arguments are byte-string prefixes: ["site.com/"] matches every
-    stored string that starts with those bytes. *)
+    stored string that starts with those bytes.
+
+    All three variants satisfy the uniform signatures of
+    {!Indexed_sequence.STRING_API} (and its mutating extensions); the
+    [Wtrie] entry module re-exports them and seals the conformance.
+
+    Observability: each façade operation runs under {!Wt_obs.Probe.time},
+    so enabling probes yields per-operation latency histograms here while
+    the operation counters come from the instrumented implementations
+    below (query traversals, bitvector layers, mutation paths). *)
 
 module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
+module Probe = Wt_obs.Probe
+
+type api_error = Indexed_sequence.api_error = Position_out_of_bounds of { pos : int; len : int }
+
+let pp_api_error = Indexed_sequence.pp_api_error
 
 let encode = Binarize.of_bytes
 
@@ -22,25 +36,52 @@ module Make (I : Indexed_sequence.S) = struct
   let length = I.length
   let distinct_count = I.distinct_count
   let space_bits = I.space_bits
-  let access t pos = Binarize.to_bytes (I.access t pos)
-  let rank t s pos = I.rank t (encode s) pos
-  let select t s idx = I.select t (encode s) idx
-  let rank_prefix t p pos = I.rank_prefix t (encode_prefix p) pos
-  let select_prefix t p idx = I.select_prefix t (encode_prefix p) idx
+  let access t pos = Probe.time Wt_access (fun () -> Binarize.to_bytes (I.access t pos))
+  let rank_exn t s pos = Probe.time Wt_rank (fun () -> I.rank t (encode s) pos)
 
-  let count_prefix t p = rank_prefix t p (length t)
+  let rank t s pos =
+    let len = I.length t in
+    if pos < 0 || pos > len then Error (Position_out_of_bounds { pos; len })
+    else Ok (rank_exn t s pos)
+
+  let select t s idx =
+    if idx < 0 then None else Probe.time Wt_select (fun () -> I.select t (encode s) idx)
+
+  let select_exn t s idx =
+    match Probe.time Wt_select (fun () -> I.select t (encode s) idx) with
+    | Some pos -> pos
+    | None -> raise Not_found
+
+  let rank_prefix_exn t p pos =
+    Probe.time Wt_rank_prefix (fun () -> I.rank_prefix t (encode_prefix p) pos)
+
+  let rank_prefix t p pos =
+    let len = I.length t in
+    if pos < 0 || pos > len then Error (Position_out_of_bounds { pos; len })
+    else Ok (rank_prefix_exn t p pos)
+
+  let select_prefix t p idx =
+    if idx < 0 then None
+    else Probe.time Wt_select_prefix (fun () -> I.select_prefix t (encode_prefix p) idx)
+
+  let select_prefix_exn t p idx =
+    match Probe.time Wt_select_prefix (fun () -> I.select_prefix t (encode_prefix p) idx) with
+    | Some pos -> pos
+    | None -> raise Not_found
+
+  let count_prefix t p = rank_prefix_exn t p (length t)
   (** Total number of stored strings starting with [p]. *)
 
-  let count t s = rank t s (length t)
+  let count t s = rank_exn t s (length t)
   (** Total occurrences of [s]. *)
 end
 
 module Make_dynamic (I : Indexed_sequence.DYNAMIC) = struct
   include Make (I)
 
-  let insert t pos s = I.insert t pos (encode s)
-  let delete = I.delete
-  let append t s = I.append t (encode s)
+  let insert t pos s = Probe.time Wt_insert (fun () -> I.insert t pos (encode s))
+  let delete t pos = Probe.time Wt_delete (fun () -> I.delete t pos)
+  let append t s = Probe.time Wt_append (fun () -> I.append t (encode s))
 end
 
 module Static = struct
@@ -54,8 +95,9 @@ module Append = struct
   include Make (Append_wt)
 
   let create = Append_wt.create
-  let append t s = Append_wt.append t (encode s)
+  let append t s = Probe.time Wt_append (fun () -> Append_wt.append t (encode s))
   let of_array a = Append_wt.of_array (Array.map encode a)
+  let of_list l = of_array (Array.of_list l)
 end
 
 module Dynamic = struct
@@ -63,4 +105,5 @@ module Dynamic = struct
 
   let create = Dynamic_wt.create
   let of_array a = Dynamic_wt.of_array (Array.map encode a)
+  let of_list l = of_array (Array.of_list l)
 end

@@ -2,6 +2,7 @@ module Bitstring = Wt_strings.Bitstring
 module Bitbuf = Wt_bits.Bitbuf
 module Rrr = Wt_bitvector.Rrr
 module Entropy = Wt_bits.Entropy
+module Space = Wt_obs.Space
 
 type node =
   | Leaf of { label : Bitstring.t; count : int }
@@ -127,10 +128,11 @@ let pp = Q.pp_tree
 
 let space_bits t =
   let rec go = function
-    | Leaf { label; _ } -> Bitstring.length label + (2 * 64)
+    | Leaf { label; _ } -> Bitstring.length label + Space.static_leaf_bits
     | Node { label; bv; zero; one } ->
-        Bitstring.length label + Rrr.space_bits bv + (4 * 64) + go zero + go one
+        Bitstring.length label + Rrr.space_bits bv + Space.static_internal_bits + go zero
+        + go one
   in
-  (match t.root with None -> 0 | Some root -> go root) + 64
+  (match t.root with None -> 0 | Some root -> go root) + Space.root_bits
 
 let stats t = Q.stats ~space_bits t

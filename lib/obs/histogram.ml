@@ -1,0 +1,94 @@
+(** Lock-free log-scaled histogram of nanosecond durations.
+
+    Bucket [b] covers durations in [2^b, 2^(b+1)) ns (bucket 0 also
+    absorbs non-positive samples), so 64 buckets span any [int] value
+    with a fixed relative error of at most 2x.  Recording is one
+    [Atomic.fetch_and_add] plus one CAS loop for the exact maximum —
+    safe from any number of domains without locks.
+
+    Percentiles are read from the bucket ranks and reported as the lower
+    bound of the selected bucket (except p100, which is exact), which
+    keeps snapshots deterministic under a deterministic clock. *)
+
+let nbuckets = 64
+
+type t = {
+  buckets : int Atomic.t array;
+  total : int Atomic.t;
+  sum : int Atomic.t;
+  max : int Atomic.t;
+}
+
+let create () =
+  {
+    buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+    total = Atomic.make 0;
+    sum = Atomic.make 0;
+    max = Atomic.make 0;
+  }
+
+let bucket_of v =
+  if v <= 1 then 0
+  else begin
+    let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+    go v 0
+  end
+
+let rec store_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then store_max a v
+
+let record t v =
+  let v = max 0 v in
+  ignore (Atomic.fetch_and_add t.buckets.(bucket_of v) 1);
+  ignore (Atomic.fetch_and_add t.total 1);
+  ignore (Atomic.fetch_and_add t.sum v);
+  store_max t.max v
+
+let reset t =
+  Array.iter (fun b -> Atomic.set b 0) t.buckets;
+  Atomic.set t.total 0;
+  Atomic.set t.sum 0;
+  Atomic.set t.max 0
+
+let count t = Atomic.get t.total
+
+(* Value at quantile [q] in [0,1]: lower bound of the bucket holding the
+   sample of rank floor(q * (count-1)). *)
+let quantile t q =
+  let n = Atomic.get t.total in
+  if n = 0 then 0
+  else begin
+    let target = int_of_float (q *. float_of_int (n - 1)) in
+    let target = max 0 (min (n - 1) target) in
+    let rec walk b seen =
+      if b >= nbuckets then Atomic.get t.max
+      else begin
+        let c = Atomic.get t.buckets.(b) in
+        if target < seen + c then if b = 0 then 0 else 1 lsl b
+        else walk (b + 1) (seen + c)
+      end
+    in
+    walk 0 0
+  end
+
+type snapshot = {
+  count : int;
+  p50_ns : int;
+  p90_ns : int;
+  p99_ns : int;
+  max_ns : int;
+  mean_ns : float;
+}
+
+let snapshot t =
+  let n = Atomic.get t.total in
+  {
+    count = n;
+    p50_ns = quantile t 0.50;
+    p90_ns = quantile t 0.90;
+    p99_ns = quantile t 0.99;
+    max_ns = Atomic.get t.max;
+    mean_ns =
+      (if n = 0 then 0. else float_of_int (Atomic.get t.sum) /. float_of_int n);
+  }

@@ -1,0 +1,107 @@
+(** The fixed universe of instrumented operations.
+
+    Metrics attribute work to a layer of the stack, mirroring the
+    per-primitive accounting of the paper's Table 1:
+    - [Rrr_*]: static RRR bitvector primitives (the static trie's β);
+    - [App_*]: append-only segmented bitvector primitives (Section 4.1) —
+      frozen-segment queries additionally count as [Rrr_*], since they
+      delegate to the segment's RRR encoding;
+    - [Dbv_*]: dynamic chunk-tree bitvector primitives (Section 4.2,
+      RLE+γ and gap+δ codecs alike);
+    - [Wt_*]: whole trie-level operations and mutations;
+    - [Wt_nodes_visited] / [Wt_bits_consumed]: traversal work — trie
+      nodes examined and string bits consumed (label lcp plus branch
+      bits) along root-to-node paths, i.e. the O(|s| + h_s) term.
+
+    Counter metrics count invocations; the same ids key the latency
+    histograms recorded by {!Probe.time} at the string-API layer. *)
+
+type t =
+  | Rrr_rank
+  | Rrr_select
+  | Rrr_access
+  | App_append
+  | App_rank
+  | App_select
+  | App_access
+  | Dbv_insert
+  | Dbv_delete
+  | Dbv_rank
+  | Dbv_select
+  | Dbv_access
+  | Wt_access
+  | Wt_rank
+  | Wt_select
+  | Wt_rank_prefix
+  | Wt_select_prefix
+  | Wt_insert
+  | Wt_delete
+  | Wt_append
+  | Wt_node_split
+  | Wt_node_merge
+  | Wt_nodes_visited
+  | Wt_bits_consumed
+
+let count = 24
+
+let index = function
+  | Rrr_rank -> 0
+  | Rrr_select -> 1
+  | Rrr_access -> 2
+  | App_append -> 3
+  | App_rank -> 4
+  | App_select -> 5
+  | App_access -> 6
+  | Dbv_insert -> 7
+  | Dbv_delete -> 8
+  | Dbv_rank -> 9
+  | Dbv_select -> 10
+  | Dbv_access -> 11
+  | Wt_access -> 12
+  | Wt_rank -> 13
+  | Wt_select -> 14
+  | Wt_rank_prefix -> 15
+  | Wt_select_prefix -> 16
+  | Wt_insert -> 17
+  | Wt_delete -> 18
+  | Wt_append -> 19
+  | Wt_node_split -> 20
+  | Wt_node_merge -> 21
+  | Wt_nodes_visited -> 22
+  | Wt_bits_consumed -> 23
+
+let all =
+  [|
+    Rrr_rank; Rrr_select; Rrr_access; App_append; App_rank; App_select; App_access;
+    Dbv_insert; Dbv_delete; Dbv_rank; Dbv_select; Dbv_access; Wt_access; Wt_rank;
+    Wt_select; Wt_rank_prefix; Wt_select_prefix; Wt_insert; Wt_delete; Wt_append;
+    Wt_node_split; Wt_node_merge; Wt_nodes_visited; Wt_bits_consumed;
+  |]
+
+let name = function
+  | Rrr_rank -> "rrr_rank"
+  | Rrr_select -> "rrr_select"
+  | Rrr_access -> "rrr_access"
+  | App_append -> "appendable_append"
+  | App_rank -> "appendable_rank"
+  | App_select -> "appendable_select"
+  | App_access -> "appendable_access"
+  | Dbv_insert -> "dynbv_insert"
+  | Dbv_delete -> "dynbv_delete"
+  | Dbv_rank -> "dynbv_rank"
+  | Dbv_select -> "dynbv_select"
+  | Dbv_access -> "dynbv_access"
+  | Wt_access -> "wt_access"
+  | Wt_rank -> "wt_rank"
+  | Wt_select -> "wt_select"
+  | Wt_rank_prefix -> "wt_rank_prefix"
+  | Wt_select_prefix -> "wt_select_prefix"
+  | Wt_insert -> "wt_insert"
+  | Wt_delete -> "wt_delete"
+  | Wt_append -> "wt_append"
+  | Wt_node_split -> "wt_node_split"
+  | Wt_node_merge -> "wt_node_merge"
+  | Wt_nodes_visited -> "wt_nodes_visited"
+  | Wt_bits_consumed -> "wt_bits_consumed"
+
+let of_name s = Array.find_opt (fun m -> name m = s) all

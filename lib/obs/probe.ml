@@ -1,0 +1,65 @@
+(** The probe front door: one global, lock-free telemetry sink.
+
+    Hot paths call {!record}/{!hit} unconditionally; when probes are
+    disabled (the default) each call is a single atomic load and a
+    predictable branch, so instrumentation costs nothing measurable and
+    query results are bit-for-bit those of the uninstrumented code.
+    When enabled, counters are [Atomic.fetch_and_add] and latencies go
+    to per-metric log-scaled histograms — no locks anywhere.
+
+    The clock is injectable ({!set_clock}) so tests can drive the
+    latency histograms deterministically. *)
+
+let on = Atomic.make false
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let counters = Array.init Metric.count (fun _ -> Atomic.make 0)
+let histograms = Array.init Metric.count (fun _ -> Histogram.create ())
+
+let reset () =
+  Array.iter (fun c -> Atomic.set c 0) counters;
+  Array.iter Histogram.reset histograms
+
+let[@inline] record m n =
+  if Atomic.get on then ignore (Atomic.fetch_and_add counters.(Metric.index m) n)
+
+let[@inline] hit m = record m 1
+
+let counter m = Atomic.get counters.(Metric.index m)
+let histogram m = Histogram.snapshot histograms.(Metric.index m)
+
+let default_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+let clock = ref default_clock
+let set_clock f = clock := f
+
+(* [time m f] runs [f ()]; when probes are enabled the duration lands in
+   [m]'s latency histogram.  Timing does not touch the counter for [m]:
+   counters are bumped by the instrumented implementation itself, so the
+   two views stay independently meaningful. *)
+let time m f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = !clock () in
+    let r = f () in
+    Histogram.record histograms.(Metric.index m) (!clock () - t0);
+    r
+  end
+
+(* Snapshots for {!Report}: only metrics that fired, in declaration order. *)
+
+let counter_list () =
+  Array.fold_right
+    (fun m acc ->
+      let c = counter m in
+      if c = 0 then acc else (Metric.name m, c) :: acc)
+    Metric.all []
+
+let latency_list () =
+  Array.fold_right
+    (fun m acc ->
+      let s = histogram m in
+      if s.Histogram.count = 0 then acc else (Metric.name m, s) :: acc)
+    Metric.all []

@@ -1,0 +1,135 @@
+(** A point-in-time snapshot of everything the probes collected:
+    operation counters, latency histograms and per-variant space
+    breakdowns — the payload behind [wtrie --stats], the bench's JSON
+    metrics block, and programmatic assertions in tests.
+
+    [to_json]/[of_json] round-trip: derived fields (lower bounds,
+    ratios) are emitted for readers but recomputed on parse, so
+    [to_json (of_json (to_json r)) = to_json r]. *)
+
+type latency = {
+  op : string;
+  count : int;
+  p50_ns : int;
+  p90_ns : int;
+  p99_ns : int;
+  max_ns : int;
+  mean_ns : float;
+}
+
+type t = {
+  counters : (string * int) list;
+  latencies : latency list;
+  space : Space.breakdown list;
+}
+
+let empty = { counters = []; latencies = []; space = [] }
+
+let capture ?(space = []) () =
+  {
+    counters = Probe.counter_list ();
+    latencies =
+      List.map
+        (fun (op, (s : Histogram.snapshot)) ->
+          {
+            op;
+            count = s.count;
+            p50_ns = s.p50_ns;
+            p90_ns = s.p90_ns;
+            p99_ns = s.p99_ns;
+            max_ns = s.max_ns;
+            mean_ns = s.mean_ns;
+          })
+        (Probe.latency_list ());
+    space;
+  }
+
+let counter t name = match List.assoc_opt name t.counters with Some c -> c | None -> 0
+
+(* ------------------------------------------------------------------ *)
+
+let latency_to_json l =
+  Json.Obj
+    [
+      ("op", Json.Str l.op);
+      ("count", Json.Int l.count);
+      ("p50_ns", Json.Int l.p50_ns);
+      ("p90_ns", Json.Int l.p90_ns);
+      ("p99_ns", Json.Int l.p99_ns);
+      ("max_ns", Json.Int l.max_ns);
+      ("mean_ns", Json.Float l.mean_ns);
+    ]
+
+let latency_of_json j =
+  let ( let* ) o f = Option.bind o f in
+  let* op = Option.bind (Json.member "op" j) Json.to_str in
+  let* count = Option.bind (Json.member "count" j) Json.to_int in
+  let* p50_ns = Option.bind (Json.member "p50_ns" j) Json.to_int in
+  let* p90_ns = Option.bind (Json.member "p90_ns" j) Json.to_int in
+  let* p99_ns = Option.bind (Json.member "p99_ns" j) Json.to_int in
+  let* max_ns = Option.bind (Json.member "max_ns" j) Json.to_int in
+  let* mean_ns = Option.bind (Json.member "mean_ns" j) Json.to_float in
+  Some { op; count; p50_ns; p90_ns; p99_ns; max_ns; mean_ns }
+
+let to_json t =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters));
+      ("latencies", Json.List (List.map latency_to_json t.latencies));
+      ("space", Json.List (List.map Space.breakdown_to_json t.space));
+    ]
+
+let to_json_string t = Json.to_string (to_json t)
+
+let all_some xs = if List.exists Option.is_none xs then None else Some (List.filter_map Fun.id xs)
+
+let of_json j =
+  let ( let* ) o f = Option.bind o f in
+  let result =
+    let* counter_fields = Option.bind (Json.member "counters" j) Json.to_obj in
+    let* counters =
+      all_some
+        (List.map
+           (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int v))
+           counter_fields)
+    in
+    let* latency_items = Option.bind (Json.member "latencies" j) Json.to_list in
+    let* latencies = all_some (List.map latency_of_json latency_items) in
+    let* space_items = Option.bind (Json.member "space" j) Json.to_list in
+    let* space = all_some (List.map Space.breakdown_of_json space_items) in
+    Some { counters; latencies; space }
+  in
+  match result with
+  | Some t -> Ok t
+  | None -> Error "Report.of_json: missing or ill-typed field"
+
+let of_json_string s =
+  match Json.of_string s with Ok j -> of_json j | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  if t.counters <> [] then begin
+    Format.fprintf fmt "operation counters:@,";
+    List.iter
+      (fun (name, c) -> Format.fprintf fmt "  %-20s %12d@," name c)
+      t.counters
+  end;
+  if t.latencies <> [] then begin
+    Format.fprintf fmt "latencies (log-scaled histogram, ns):@,";
+    Format.fprintf fmt "  %-20s %10s %10s %10s %10s %10s@," "op" "count" "p50" "p90"
+      "p99" "max";
+    List.iter
+      (fun l ->
+        Format.fprintf fmt "  %-20s %10d %10d %10d %10d %10d@," l.op l.count l.p50_ns
+          l.p90_ns l.p99_ns l.max_ns)
+      t.latencies
+  end;
+  if t.space <> [] then begin
+    Format.fprintf fmt "space vs lower bound:@,";
+    List.iter (fun b -> Format.fprintf fmt "  @[%a@]@," Space.pp_breakdown b) t.space
+  end;
+  if t.counters = [] && t.latencies = [] && t.space = [] then
+    Format.fprintf fmt "(no samples; were probes enabled?)@,";
+  Format.fprintf fmt "@]"

@@ -1,0 +1,86 @@
+(** Centralised word-overhead accounting and the space-breakdown report.
+
+    Every Wavelet Trie variant reports its measured footprint next to the
+    paper's lower bound [LB(S) = LT(Sset) + n H0(S)].  The pointer/header
+    overhead of the in-memory representation used to be ad-hoc magic
+    numbers in each variant's [space_bits]; the constants below model an
+    OCaml heap block uniformly — one header word plus one word per field
+    — so static, append-only and dynamic numbers are comparable.
+
+    The static variant's nodes are a single block:
+      [Leaf {label; count}] and [Node {label; bv; zero; one}].
+    The mutable variants box the kind separately:
+      [{label; kind}] pointing at [Leaf {count}] or
+      [Internal {bv; zero; one}]. *)
+
+let word_bits = 64
+
+(* An OCaml heap block with [fields] fields: header word + field words. *)
+let block_bits ~fields = word_bits * (fields + 1)
+
+let static_leaf_bits = block_bits ~fields:2
+let static_internal_bits = block_bits ~fields:4
+let mutable_leaf_bits = block_bits ~fields:2 + block_bits ~fields:1
+let mutable_internal_bits = block_bits ~fields:2 + block_bits ~fields:3
+
+(* The [{root; n}] record every variant keeps at the top. *)
+let root_bits = block_bits ~fields:2
+
+(* ------------------------------------------------------------------ *)
+
+type breakdown = {
+  variant : string;  (** "static" | "append" | "dynamic" | ... *)
+  n : int;  (** sequence length *)
+  distinct : int;  (** |Sset| *)
+  label_bits : int;  (** measured label payload |L| *)
+  bv_bits : int;  (** measured bitvector payload incl. directories *)
+  overhead_bits : int;  (** node headers and pointers *)
+  total_bits : int;
+  lt_bits : float;  (** LT(Sset), Theorem 3.6 *)
+  nh0_bits : float;  (** n H0(S) *)
+}
+
+let lower_bound_bits b = b.lt_bits +. b.nh0_bits
+
+let ratio_to_lb b =
+  let lb = lower_bound_bits b in
+  if lb > 0. then float_of_int b.total_bits /. lb else 0.
+
+let breakdown_to_json b =
+  Json.Obj
+    [
+      ("variant", Json.Str b.variant);
+      ("n", Json.Int b.n);
+      ("distinct", Json.Int b.distinct);
+      ("label_bits", Json.Int b.label_bits);
+      ("bv_bits", Json.Int b.bv_bits);
+      ("overhead_bits", Json.Int b.overhead_bits);
+      ("total_bits", Json.Int b.total_bits);
+      ("lt_bits", Json.Float b.lt_bits);
+      ("nh0_bits", Json.Float b.nh0_bits);
+      (* derived, for readers; [breakdown_of_json] recomputes them *)
+      ("lb_bits", Json.Float (lower_bound_bits b));
+      ("ratio_to_lb", Json.Float (ratio_to_lb b));
+    ]
+
+let breakdown_of_json j =
+  let ( let* ) o f = Option.bind o f in
+  let* variant = Option.bind (Json.member "variant" j) Json.to_str in
+  let* n = Option.bind (Json.member "n" j) Json.to_int in
+  let* distinct = Option.bind (Json.member "distinct" j) Json.to_int in
+  let* label_bits = Option.bind (Json.member "label_bits" j) Json.to_int in
+  let* bv_bits = Option.bind (Json.member "bv_bits" j) Json.to_int in
+  let* overhead_bits = Option.bind (Json.member "overhead_bits" j) Json.to_int in
+  let* total_bits = Option.bind (Json.member "total_bits" j) Json.to_int in
+  let* lt_bits = Option.bind (Json.member "lt_bits" j) Json.to_float in
+  let* nh0_bits = Option.bind (Json.member "nh0_bits" j) Json.to_float in
+  Some
+    { variant; n; distinct; label_bits; bv_bits; overhead_bits; total_bits; lt_bits; nh0_bits }
+
+let pp_breakdown fmt b =
+  Format.fprintf fmt
+    "@[<v>[%s] n=%d distinct=%d@,\
+     labels %d + bitvectors %d + overhead %d = %d bits@,\
+     LB = LT + nH0 = %.0f + %.0f = %.0f bits (%.2fx LB)@]"
+    b.variant b.n b.distinct b.label_bits b.bv_bits b.overhead_bits b.total_bits
+    b.lt_bits b.nh0_bits (lower_bound_bits b) (ratio_to_lb b)

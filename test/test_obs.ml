@@ -1,0 +1,246 @@
+(* Observability layer: counter exactness on the paper's Figure 2 trie,
+   JSON round-trips of reports, and the zero-cost-when-disabled
+   contract (disabled probes leave results identical and counters
+   untouched). *)
+
+module Bitstring = Wt_strings.Bitstring
+module Wavelet_trie = Wt_core.Wavelet_trie
+module Naive = Wt_core.Indexed_sequence.Naive
+module Probe = Wt_obs.Probe
+module Metric = Wt_obs.Metric
+module Histogram = Wt_obs.Histogram
+module Json = Wt_obs.Json
+module Report = Wt_obs.Report
+module Str = Wt_core.String_api
+
+let check_int = Alcotest.(check int)
+
+let fig2_strings = [ "0001"; "0011"; "0100"; "00100"; "0100"; "00100"; "0100" ]
+let fig2 () = Wavelet_trie.of_list (List.map Bitstring.of_string fig2_strings)
+let bs = Bitstring.of_string
+
+(* Run [f] with probes enabled and a clean slate; always disable after. *)
+let probed f =
+  Probe.reset ();
+  Probe.enable ();
+  Fun.protect ~finally:(fun () ->
+      Probe.disable ();
+      Probe.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* (a) Counter exactness: a scripted query sequence over the Figure 2
+   trie, with every expected count derived by hand from the paper's
+   structure (root β=0010101; see test_structure.ml for the dump). *)
+
+let test_counters_exact () =
+  let wt = fig2 () in
+  probed (fun () ->
+      (* access 0 = 0001: root + one internal + leaf, |s| bits, 2 bv reads *)
+      Alcotest.(check string) "access" "0001" (Bitstring.to_string (Wavelet_trie.access wt 0));
+      check_int "access: wt_access" 1 (Probe.counter Wt_access);
+      check_int "access: nodes" 3 (Probe.counter Wt_nodes_visited);
+      check_int "access: bits" 4 (Probe.counter Wt_bits_consumed);
+      check_int "access: rrr_access" 2 (Probe.counter Rrr_access);
+
+      (* rank 0100 @7 = 3: descend root (lcp 1 + branch bit), land on the
+         00-leaf (lcp 2); one bitvector rank at the root *)
+      check_int "rank result" 3 (Wavelet_trie.rank wt (bs "0100") 7);
+      check_int "rank: wt_rank" 1 (Probe.counter Wt_rank);
+      check_int "rank: nodes" (3 + 2) (Probe.counter Wt_nodes_visited);
+      check_int "rank: bits" (4 + 4) (Probe.counter Wt_bits_consumed);
+      check_int "rank: rrr_rank" 1 (Probe.counter Rrr_rank);
+
+      (* select 00100 #1 = position 5: 4-node trail, |s|=5 bits, one
+         bitvector select per trail edge (3) *)
+      Alcotest.(check (option int)) "select result" (Some 5)
+        (Wavelet_trie.select wt (bs "00100") 1);
+      check_int "select: wt_select" 1 (Probe.counter Wt_select);
+      check_int "select: nodes" (5 + 4) (Probe.counter Wt_nodes_visited);
+      check_int "select: bits" (8 + 5) (Probe.counter Wt_bits_consumed);
+      check_int "select: rrr_select" 3 (Probe.counter Rrr_select);
+
+      (* rank_prefix 01 @7 = 3: root consumes lcp 1 + branch, the 00-leaf
+         is reached with the prefix exhausted (no bits recorded there) *)
+      check_int "rank_prefix result" 3 (Wavelet_trie.rank_prefix wt (bs "01") 7);
+      check_int "rank_prefix: wt_rank_prefix" 1 (Probe.counter Wt_rank_prefix);
+      check_int "rank_prefix: nodes" (9 + 2) (Probe.counter Wt_nodes_visited);
+      check_int "rank_prefix: bits" (13 + 2) (Probe.counter Wt_bits_consumed);
+      check_int "rank_prefix: rrr_rank" 2 (Probe.counter Rrr_rank);
+
+      (* select_prefix 1 #0 = None: mismatch at the root, 0 bits *)
+      Alcotest.(check (option int)) "select_prefix result" None
+        (Wavelet_trie.select_prefix wt (bs "1") 0);
+      check_int "select_prefix: wt_select_prefix" 1 (Probe.counter Wt_select_prefix);
+      check_int "select_prefix: nodes" (11 + 1) (Probe.counter Wt_nodes_visited);
+      check_int "select_prefix: bits" 15 (Probe.counter Wt_bits_consumed);
+      check_int "select_prefix: rrr_select" 3 (Probe.counter Rrr_select))
+
+(* Mutation counters on the dynamic variant: Figure 3's split, then the
+   inverse merge. *)
+let test_mutation_counters () =
+  let dwt = Wt_core.Dynamic_wt.of_array (Array.of_list (List.map bs fig2_strings)) in
+  probed (fun () ->
+      Wt_core.Dynamic_wt.insert dwt 3 (bs "0110");
+      check_int "insert counted" 1 (Probe.counter Wt_insert);
+      check_int "figure-3 insert splits one node" 1 (Probe.counter Wt_node_split);
+      Wt_core.Dynamic_wt.delete dwt 3;
+      check_int "delete counted" 1 (Probe.counter Wt_delete);
+      check_int "deleting the only 0110 merges the node back" 1
+        (Probe.counter Wt_node_merge))
+
+(* ------------------------------------------------------------------ *)
+(* (b) JSON round-trips, with deterministic latencies via the injected
+   clock: every timed section lasts exactly 1000 "ns". *)
+
+let test_report_roundtrip () =
+  let ticks = ref 0 in
+  Probe.set_clock (fun () ->
+      ticks := !ticks + 1000;
+      !ticks);
+  Fun.protect ~finally:(fun () -> Probe.set_clock Probe.default_clock) @@ fun () ->
+  probed (fun () ->
+      let wt = Str.Static.of_list [ "a"; "b"; "a"; "ab" ] in
+      check_int "count" 2 (Str.Static.count wt "a");
+      ignore (Str.Static.access wt 3);
+      ignore (Str.Static.select wt "b" 0);
+      let report =
+        Report.capture
+          ~space:
+            [ Wt_core.Stats.to_breakdown ~variant:"static" (Wavelet_trie.stats wt) ]
+          ()
+      in
+      (* deterministic clock: 1000 ns lands in the [512, 1024) bucket *)
+      let lat = List.find (fun l -> l.Report.op = "wt_rank") report.Report.latencies in
+      check_int "lat count" 1 lat.Report.count;
+      check_int "lat p50 lower bound" 512 lat.Report.p50_ns;
+      check_int "lat max exact" 1000 lat.Report.max_ns;
+      (* to_json -> of_json -> to_json is the identity on the JSON form *)
+      let j1 = Report.to_json_string report in
+      (match Report.of_json_string j1 with
+      | Error e -> Alcotest.failf "report did not parse back: %s" e
+      | Ok r2 ->
+          Alcotest.(check string) "round-trip" j1 (Report.to_json_string r2));
+      (* and the parser survives the pretty-printed form too *)
+      match Json.of_string (Json.to_string_pretty (Report.to_json report)) with
+      | Error e -> Alcotest.failf "pretty form did not parse: %s" e
+      | Ok j -> Alcotest.(check string) "pretty round-trip" j1 (Json.to_string j))
+
+let test_json_corners () =
+  let cases =
+    [
+      {|{"a": [1, -2.5, true, null, "x\n\"y\""], "b": {}}|};
+      {|[]|};
+      {|3.0|};
+      {|"A"|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Error e -> Alcotest.failf "%s did not parse: %s" s e
+      | Ok j -> (
+          (* canonical form must itself round-trip *)
+          let c = Json.to_string j in
+          match Json.of_string c with
+          | Error e -> Alcotest.failf "canonical %s did not re-parse: %s" c e
+          | Ok j' -> Alcotest.(check string) "stable" c (Json.to_string j')))
+    cases;
+  (match Json.of_string "{broken" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed JSON accepted");
+  (* integral floats keep a float representation *)
+  Alcotest.(check string) "float repr" "3.0" (Json.to_string (Json.Float 3.))
+
+(* ------------------------------------------------------------------ *)
+(* (c) Disabled probes: counters stay zero and results match the oracle
+   exactly (the seed behaviour). *)
+
+let test_disabled_zero_cost () =
+  Probe.disable ();
+  Probe.reset ();
+  let strings =
+    Array.init 200 (fun i -> Printf.sprintf "host-%d.net/p/%d" (i mod 7) (i mod 31))
+  in
+  let encoded = Array.map Wt_strings.Binarize.of_bytes strings in
+  let naive = Naive.of_array encoded in
+  let check_variant (type a)
+      (module V : Wt_core.Indexed_sequence.STRING_API with type t = a) name (wt : a) =
+    for pos = 0 to Array.length strings - 1 do
+      Alcotest.(check string)
+        (Printf.sprintf "%s access %d" name pos)
+        (Wt_strings.Binarize.to_bytes (Naive.access naive pos))
+        (V.access wt pos)
+    done;
+    Array.iteri
+      (fun i s ->
+        let e = Wt_strings.Binarize.of_bytes s in
+        check_int
+          (Printf.sprintf "%s rank %d" name i)
+          (Naive.rank naive e (i + 1))
+          (V.rank_exn wt s (i + 1));
+        Alcotest.(check (option int))
+          (Printf.sprintf "%s select %d" name i)
+          (Naive.select naive e (i mod 3))
+          (V.select wt s (i mod 3)))
+      strings
+  in
+  check_variant (module Str.Static) "static" (Str.Static.of_array strings);
+  check_variant (module Str.Append) "append" (Str.Append.of_array strings);
+  check_variant (module Str.Dynamic) "dynamic" (Str.Dynamic.of_array strings);
+  Array.iter
+    (fun m -> check_int (Metric.name m ^ " untouched") 0 (Probe.counter m))
+    Metric.all;
+  Alcotest.(check (list (pair string int))) "no counters" [] (Probe.counter_list ());
+  Alcotest.(check int) "no latencies" 0 (List.length (Probe.latency_list ()))
+
+(* Enabling probes must not change any result either. *)
+let test_enabled_same_results () =
+  let strings = Array.init 64 (fun i -> Printf.sprintf "s/%d" (i mod 10)) in
+  let wt = Str.Static.of_array strings in
+  let run () =
+    Array.to_list
+      (Array.mapi
+         (fun i s ->
+           (Str.Static.access wt i, Str.Static.count wt s, Str.Static.select wt s 0))
+         strings)
+  in
+  let off = run () in
+  let on = probed run in
+  Alcotest.(check bool) "probe state does not affect results" true (off = on)
+
+let test_histogram_quantiles () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1; 2; 3; 1000; 1_000_000 ];
+  let s = Histogram.snapshot h in
+  check_int "count" 5 s.Histogram.count;
+  check_int "p50 bucket lower bound" 2 s.Histogram.p50_ns;
+  check_int "max exact" 1_000_000 s.Histogram.max_ns;
+  Histogram.reset h;
+  check_int "reset" 0 (Histogram.snapshot h).Histogram.count
+
+let () =
+  Alcotest.run "wt_obs"
+    [
+      ( "counters",
+        [
+          Alcotest.test_case "figure-2 script is counted exactly" `Quick
+            test_counters_exact;
+          Alcotest.test_case "mutations count splits and merges" `Quick
+            test_mutation_counters;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "json round-trip with injected clock" `Quick
+            test_report_roundtrip;
+          Alcotest.test_case "json corner cases" `Quick test_json_corners;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+        ] );
+      ( "zero-cost",
+        [
+          Alcotest.test_case "disabled probes: oracle-identical, zero counters"
+            `Quick test_disabled_zero_cost;
+          Alcotest.test_case "enabled probes: identical results" `Quick
+            test_enabled_same_results;
+        ] );
+    ]

@@ -83,11 +83,15 @@ let test_string_api_static () =
   let wt = Str.Static.of_list [ "a.com/x"; "b.org/y"; "a.com/x"; "a.com/z" ] in
   check_int "length" 4 (Str.Static.length wt);
   Alcotest.(check string) "access" "b.org/y" (Str.Static.access wt 1);
-  check_int "rank" 2 (Str.Static.rank wt "a.com/x" 4);
+  check_int "rank" 2 (Str.Static.rank_exn wt "a.com/x" 4);
+  Alcotest.(check bool)
+    "rank out of bounds" true
+    (Str.Static.rank wt "a.com/x" 99
+    = Error (Str.Position_out_of_bounds { pos = 99; len = 4 }));
   check_int "count" 2 (Str.Static.count wt "a.com/x");
   Alcotest.(check (option int)) "select" (Some 2) (Str.Static.select wt "a.com/x" 1);
   check_int "prefix count" 3 (Str.Static.count_prefix wt "a.com/");
-  check_int "prefix rank" 1 (Str.Static.rank_prefix wt "a.com/" 1);
+  check_int "prefix rank" 1 (Str.Static.rank_prefix_exn wt "a.com/" 1);
   Alcotest.(check (option int))
     "prefix select" (Some 3)
     (Str.Static.select_prefix wt "a.com/" 2);
