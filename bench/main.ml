@@ -25,6 +25,7 @@ module Balanced = Wt_core.Balanced
 module Range = Wt_core.Range
 module Stats = Wt_core.Stats
 module Naive = Wt_core.Indexed_sequence.Naive
+module Persist = Wt_core.Persist
 module Urls = Wt_workload.Urls
 module Columns = Wt_workload.Columns
 module WTree = Wt_wavelet_tree.Wavelet_tree
@@ -710,6 +711,79 @@ let a_quad () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* Durability: snapshot save/load throughput and WAL replay rate for
+   the crash-safe store (format-v2 container + write-ahead log). *)
+
+let rm_store dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let durability_block () =
+  let n = 16384 in
+  let g = Urls.create ~seed:42 () in
+  let strings = Urls.raw_sequence g n in
+  let wt = Append_wt.of_array (Array.map Binarize.of_bytes strings) in
+  (* snapshot: full-container save (CRC + fsync + rename) and verified load *)
+  let path = Filename.temp_file "wt_bench" ".wtx" in
+  let reps = 5 in
+  let dt_save =
+    time_batch (fun () ->
+        for _ = 1 to reps do
+          Persist.save_append wt path
+        done)
+    /. float_of_int reps
+  in
+  let bytes = (Unix.stat path).Unix.st_size in
+  let dt_load =
+    time_batch (fun () ->
+        for _ = 1 to reps do
+          ignore (Persist.load_append path : Append_wt.t)
+        done)
+    /. float_of_int reps
+  in
+  Sys.remove path;
+  let mb_s dt = float_of_int bytes /. dt /. 1048576. in
+  (* WAL: logged-append overhead, then replay rate on reopen *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "wt_bench_store" in
+  rm_store dir;
+  let t = Durable.create ~checkpoint_bytes:max_int ~variant:`Append dir in
+  let dt_append = time_batch (fun () -> Array.iter (Durable.append t) strings) in
+  let wal_bytes = Durable.wal_bytes t in
+  Durable.close t;
+  let replayed = ref 0 in
+  let dt_replay =
+    time_batch (fun () ->
+        let t', r = Durable.open_ ~checkpoint_bytes:max_int ~verify:false dir in
+        replayed := r.Durable.replayed;
+        Durable.close t')
+  in
+  rm_store dir;
+  Wt_obs.Json.Obj
+    [
+      ( "snapshot",
+        Wt_obs.Json.Obj
+          [
+            ("strings", Wt_obs.Json.Int n);
+            ("bytes", Wt_obs.Json.Int bytes);
+            ("save_ms", Wt_obs.Json.Float (dt_save *. 1e3));
+            ("save_mb_per_s", Wt_obs.Json.Float (mb_s dt_save));
+            ("load_ms", Wt_obs.Json.Float (dt_load *. 1e3));
+            ("load_mb_per_s", Wt_obs.Json.Float (mb_s dt_load));
+          ] );
+      ( "wal",
+        Wt_obs.Json.Obj
+          [
+            ("records", Wt_obs.Json.Int !replayed);
+            ("bytes", Wt_obs.Json.Int wal_bytes);
+            ("append_us_per_record", Wt_obs.Json.Float (dt_append *. 1e6 /. float_of_int n));
+            ("replay_ms", Wt_obs.Json.Float (dt_replay *. 1e3));
+            ("replay_records_per_s", Wt_obs.Json.Float (float_of_int !replayed /. dt_replay));
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Observability metrics block: build each variant through the [Wtrie]
    front door with probes on, run a scripted query/mutation mix, and
    emit the captured report (per-op counters, latency percentiles,
@@ -773,7 +847,8 @@ let metrics_block () =
     metrics_queries (module Wtrie.Dynamic) wt strings;
     capture "dynamic" (Dynamic_wt.stats wt)
   in
-  Json.Obj [ ("metrics", Json.Obj [ static; append; dynamic ]) ]
+  Json.Obj
+    [ ("metrics", Json.Obj [ static; append; dynamic ]); ("durability", durability_block ()) ]
 
 let print_metrics_block ~json_only =
   let j = metrics_block () in

@@ -10,13 +10,23 @@
    Each line of the file is one element of the sequence, in order.  The
    sequence lives behind the [Wtrie.Append] front door; pass [--stats]
    to any query command to get the observability report (operation
-   counters, latency histograms, space-vs-LB breakdown) on stderr. *)
+   counters, latency histograms, space-vs-LB breakdown) on stderr.
+
+   Durability: [index] writes a checksummed format-v2 snapshot
+   atomically; [ingest] maintains a crash-safe snapshot+WAL store
+   directory; [verify] deep-checks either form and [recover] truncates
+   a torn WAL tail and checkpoints.  Query commands accept a line file,
+   a saved index, or an (append) store directory interchangeably. *)
 
 module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
 module Append_wt = Wt_core.Append_wt
+module Dynamic_wt = Wt_core.Dynamic_wt
 module Range = Wt_core.Range
 module Stats = Wt_core.Stats
+module Persist = Wt_core.Persist
+module Durable = Wtrie.Durable
+module Json = Wtrie.Json
 open Cmdliner
 
 let read_lines path =
@@ -30,12 +40,29 @@ let read_lines path =
   if path <> "-" then close_in ic;
   Array.of_list (List.rev !lines)
 
-(* Build from a line file, or load directly when given a saved index.
-   [Wtrie.Append.t] is [Append_wt.t], so Persist and Range work on the
-   same value the front door builds. *)
+(* Build from a line file, or load directly when given a saved index or
+   a durable store directory.  [Wtrie.Append.t] is [Append_wt.t], so
+   Persist, Durable and Range all work on the same value the front door
+   builds. *)
 let build path =
-  if path <> "-" && Sys.file_exists path && Wt_core.Persist.is_index_file path then
-    Wt_core.Persist.load_append path
+  if path <> "-" && Sys.file_exists path && Sys.is_directory path then begin
+    if not (Durable.is_store path) then begin
+      Printf.eprintf "%s is a directory but not a durable store\n" path;
+      exit 2
+    end;
+    let t, r = Durable.open_read_only ~verify:false path in
+    if r.Durable.dropped_bytes > 0 || r.Durable.wal_reset then
+      Printf.eprintf
+        "warning: %s has a torn write-ahead log (%d bytes unrecovered); run 'wtrie recover %s'\n"
+        path r.Durable.dropped_bytes path;
+    match Durable.append_trie t with
+    | Some wt -> wt
+    | None ->
+        Printf.eprintf "%s holds a dynamic store; this command reads append stores only\n" path;
+        exit 2
+  end
+  else if path <> "-" && Sys.file_exists path && Persist.is_index_file path then
+    Persist.load_append path
   else begin
     let lines = read_lines path in
     let wt = Wtrie.Append.create () in
@@ -91,12 +118,184 @@ let index_cmd =
   in
   let run file out =
     let wt = build file in
-    Wt_core.Persist.save_append wt out;
+    (* Persist writes atomically: a crash mid-save leaves any previous
+       index at OUT intact. *)
+    Persist.save_append wt out;
     Printf.printf "indexed %d strings into %s\n" (Wtrie.Append.length wt) out
   in
   Cmd.v
-    (Cmd.info "index" ~doc:"Build the index once and save it; query commands accept it in place of the text file.")
+    (Cmd.info "index" ~doc:"Build the index once and save it atomically; query commands accept it in place of the text file.")
     Term.(const run $ file_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* Durability commands: ingest (crash-safe append store), verify,
+   recover. *)
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report on stdout.")
+
+let ingest_cmd =
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE" ~doc:"Durable store directory (created on first use).")
+  in
+  let file =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Input file; one string per line ('-' for stdin).")
+  in
+  let checkpoint =
+    Arg.(value & opt int (1 lsl 20) & info [ "checkpoint-bytes" ] ~docv:"N" ~doc:"Checkpoint the WAL into a fresh snapshot once it exceeds N bytes.")
+  in
+  let run dir file checkpoint_bytes =
+    let lines = read_lines file in
+    let t =
+      if Durable.is_store dir then begin
+        let t, r = Durable.open_ ~checkpoint_bytes dir in
+        if r.Durable.replayed > 0 || r.Durable.dropped_bytes > 0 then
+          Printf.eprintf "recovered %s: %d WAL records replayed, %d torn bytes dropped\n"
+            dir r.Durable.replayed r.Durable.dropped_bytes;
+        t
+      end
+      else Durable.create ~checkpoint_bytes ~variant:`Append dir
+    in
+    Array.iter (Durable.append t) lines;
+    Durable.close t;
+    Printf.printf "ingested %d strings into %s (length %d, generation %d)\n"
+      (Array.length lines) dir (Durable.length t) (Durable.generation t)
+  in
+  Cmd.v
+    (Cmd.info "ingest"
+       ~doc:"Append a file of lines to a crash-safe store (write-ahead logged; survives being killed mid-append).")
+    Term.(const run $ dir $ file $ checkpoint)
+
+(* Deep verification of a plain index file: container checksums, then
+   the variant's own structural invariants. *)
+let verify_file path =
+  let tag, _payload = Wt_durable.Container.read_tagged path in
+  let length =
+    match tag with
+    | "static" ->
+        let wt = Persist.load_static path in
+        let n = Wt_core.Wavelet_trie.length wt in
+        (* no check_invariants on the static trie: decode a sample sweep
+           instead, so a payload that unmarshals but lies still trips *)
+        let step = max 1 (n / 256) in
+        let i = ref 0 in
+        while !i < n do
+          ignore (Wt_core.Wavelet_trie.access wt !i);
+          i := !i + step
+        done;
+        n
+    | "append" ->
+        let wt = Persist.load_append path in
+        (try Append_wt.check_invariants wt
+         with Failure m -> raise (Persist.Format_error ("index fails invariants: " ^ m)));
+        Append_wt.length wt
+    | "dynamic" ->
+        let wt = Persist.load_dynamic path in
+        (try Dynamic_wt.check_invariants wt
+         with Failure m -> raise (Persist.Format_error ("index fails invariants: " ^ m)));
+        Dynamic_wt.length wt
+    | t -> raise (Persist.Format_error (Printf.sprintf "unknown index variant %S" t))
+  in
+  (tag, length)
+
+let verify_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"INDEX" ~doc:"Index file or durable store directory.")
+  in
+  let run path json =
+    let emit obj = print_endline (Json.to_string (Json.Obj obj)) in
+    match
+      if Sys.file_exists path && Sys.is_directory path then begin
+        let r = Durable.verify path in
+        if json then
+          emit
+            [
+              ("ok", Json.Bool r.Durable.v_clean);
+              ("kind", Json.Str "store");
+              ("variant", Json.Str (Durable.variant_name r.Durable.v_variant));
+              ("generation", Json.Int r.Durable.v_generation);
+              ("length", Json.Int r.Durable.v_length);
+              ("distinct", Json.Int r.Durable.v_distinct);
+              ("wal_records", Json.Int r.Durable.v_wal_records);
+              ("wal_dropped_bytes", Json.Int r.Durable.v_dropped_bytes);
+              ("wal_reset_needed", Json.Bool r.Durable.v_wal_reset);
+            ]
+        else if r.Durable.v_clean then
+          Printf.printf "%s: ok (%s store, generation %d, length %d, wal records %d)\n"
+            path
+            (Durable.variant_name r.Durable.v_variant)
+            r.Durable.v_generation r.Durable.v_length r.Durable.v_wal_records
+        else
+          Printf.printf
+            "%s: recoverable (%s store, %d wal records intact, %d bytes torn%s); run 'wtrie recover %s'\n"
+            path
+            (Durable.variant_name r.Durable.v_variant)
+            r.Durable.v_wal_records r.Durable.v_dropped_bytes
+            (if r.Durable.v_wal_reset then ", wal header reset needed" else "")
+            path;
+        r.Durable.v_clean
+      end
+      else begin
+        let tag, length = verify_file path in
+        if json then
+          emit
+            [
+              ("ok", Json.Bool true);
+              ("kind", Json.Str "file");
+              ("variant", Json.Str tag);
+              ("length", Json.Int length);
+            ]
+        else Printf.printf "%s: ok (%s index, length %d)\n" path tag length;
+        true
+      end
+    with
+    | true -> ()
+    | false -> exit 1
+    | exception Persist.Format_error msg ->
+        if json then
+          emit [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
+        else Printf.eprintf "%s: corrupt: %s\n" path msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Deep-verify an index file or durable store: checksums, WAL scan, structural invariants.  Exit 0 clean, 1 recoverable, 2 corrupt.")
+    Term.(const run $ path $ json_arg)
+
+let recover_cmd =
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE" ~doc:"Durable store directory.")
+  in
+  let run path json =
+    match Durable.recover path with
+    | r ->
+        if json then
+          print_endline
+            (Json.to_string
+               (Json.Obj
+                  [
+                    ("ok", Json.Bool true);
+                    ("replayed", Json.Int r.Durable.replayed);
+                    ("dropped_bytes", Json.Int r.Durable.dropped_bytes);
+                    ("wal_reset", Json.Bool r.Durable.wal_reset);
+                    ("generation", Json.Int (r.Durable.snapshot_generation + 1));
+                  ]))
+        else
+          Printf.printf
+            "recovered %s: replayed %d records, dropped %d bytes, checkpointed as generation %d\n"
+            path r.Durable.replayed r.Durable.dropped_bytes
+            (r.Durable.snapshot_generation + 1)
+    | exception Persist.Format_error msg ->
+        if json then
+          print_endline
+            (Json.to_string (Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]))
+        else Printf.eprintf "%s: unrecoverable: %s\n" path msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Replay a store's WAL, truncate any torn tail, and checkpoint the recovered state into a fresh snapshot.")
+    Term.(const run $ path $ json_arg)
 
 let stats_cmd =
   let json =
@@ -274,13 +473,25 @@ let at_least_cmd =
     Term.(const run $ file_arg $ t $ lo_arg $ hi_arg $ stats_arg)
 
 let () =
+  (* CI and tests can kill any durable writer mid-write by setting
+     WTRIE_FAULT_CRASH_AFTER=<bytes>; the process then exits 70 with a
+     torn file, exactly like a crash. *)
+  Wt_durable.Fault.arm_from_env ();
   let doc = "compressed indexed sequences of strings (Wavelet Trie)" in
   let info = Cmd.info "wtrie" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            index_cmd; stats_cmd; access_cmd; rank_cmd; select_cmd; prefix_count_cmd;
-            prefix_list_cmd; distinct_cmd; majority_cmd; at_least_cmd; top_k_cmd;
-            quantile_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        index_cmd; ingest_cmd; verify_cmd; recover_cmd; stats_cmd; access_cmd;
+        rank_cmd; select_cmd; prefix_count_cmd; prefix_list_cmd; distinct_cmd;
+        majority_cmd; at_least_cmd; top_k_cmd; quantile_cmd;
+      ]
+  in
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception Wt_durable.Fault.Injected_crash msg ->
+      Printf.eprintf "wtrie: %s\n" msg;
+      exit 70
+  | exception Persist.Format_error msg ->
+      Printf.eprintf "wtrie: %s\n" msg;
+      exit 2

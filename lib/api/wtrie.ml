@@ -43,6 +43,13 @@ module _ : STRING_API = Static
 module _ : APPEND_API = Append
 module _ : DYNAMIC_API = Dynamic
 
+(** Crash-safe persistence for the mutable variants: checksummed
+    snapshot + write-ahead log in a store directory, with torn-tail
+    recovery and checkpointing ([wtrie ingest]/[verify]/[recover] in
+    the CLI).  [Durable.Fault] is the fault-injection hook the
+    crash-safety test harness drives. *)
+module Durable = Durable
+
 (** Space accounting shared by the variants ([Static.space_bits] etc.
     feed it); [Stats.to_breakdown] bridges into {!Report}. *)
 module Stats = Wt_core.Stats

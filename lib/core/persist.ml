@@ -1,49 +1,32 @@
-exception Format_error of string
+(* Index persistence, format v2: the checksummed atomic container of
+   {!Wt_durable.Container} around the Marshal encoding of each variant.
 
-let magic = "wavelet-trie-index"
-let version = 1
+   Compared to format v1 (raw header + Marshal dump written in place):
+   - every section (header, payload, footer) carries a CRC32C, so any
+     bit flip or truncation raises [Format_error] instead of reaching
+     [Marshal] — including the historical v1 hole where a corrupted tag
+     length escaped as [Invalid_argument] or an allocation blow-up;
+   - saves are atomic (temp file + fsync + rename): a crash mid-save
+     always leaves the previous index intact. *)
 
-let save tag v path =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc magic;
-      output_binary_int oc version;
-      output_binary_int oc (String.length tag);
-      output_string oc tag;
-      Marshal.to_channel oc v [])
+module Container = Wt_durable.Container
+
+exception Format_error = Container.Format_error
+
+let version = Container.version
+
+let save tag v path = Container.write ~tag ~payload:(Marshal.to_string v []) path
 
 let load : type a. string -> string -> a =
  fun tag path ->
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      (* any premature EOF in the header is a truncation *)
-      let really_input_string ic n =
-        match really_input_string ic n with
-        | s -> s
-        | exception End_of_file -> raise (Format_error "truncated index header")
-      and input_binary_int ic =
-        match input_binary_int ic with
-        | v -> v
-        | exception End_of_file -> raise (Format_error "truncated index header")
-      in
-      let m = really_input_string ic (String.length magic) in
-      if m <> magic then raise (Format_error "not a wavelet-trie index file");
-      let v = input_binary_int ic in
-      if v <> version then
-        raise (Format_error (Printf.sprintf "index format version %d, expected %d" v version));
-      let tlen = input_binary_int ic in
-      let t = really_input_string ic tlen in
-      if t <> tag then
-        raise
-          (Format_error (Printf.sprintf "index holds a %S trie, expected %S" t tag));
-      match (Marshal.from_channel ic : a) with
-      | v -> v
-      | exception (End_of_file | Failure _) ->
-          raise (Format_error "truncated or corrupted index payload"))
+  let payload = Container.read ~expect_tag:tag path in
+  (* The payload is checksum-verified, so Marshal failures here mean a
+     marshalling-incompatible compiler, not disk corruption — but they
+     still must fail loudly, not crash. *)
+  match (Marshal.from_string payload 0 : a) with
+  | v -> v
+  | exception (Failure _ | Invalid_argument _ | End_of_file) ->
+      raise (Format_error "index payload does not unmarshal (incompatible build?)")
 
 let save_static (t : Wavelet_trie.t) path = save "static" t path
 let load_static path : Wavelet_trie.t = load "static" path
@@ -52,13 +35,6 @@ let load_append path : Append_wt.t = load "append" path
 let save_dynamic (t : Dynamic_wt.t) path = save "dynamic" t path
 let load_dynamic path : Dynamic_wt.t = load "dynamic" path
 
-let is_index_file path =
-  match open_in_bin path with
-  | exception Sys_error _ -> false
-  | ic ->
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () ->
-          match really_input_string ic (String.length magic) with
-          | m -> m = magic
-          | exception End_of_file -> false)
+let is_index_file = Container.is_container
+
+let tag_of_file = Container.tag_of_file

@@ -1,0 +1,48 @@
+(** The checksummed on-disk container — index format v2.
+
+    A container is [header | payload | footer]; the header carries the
+    magic, format version, variant tag and payload length, the footer
+    repeats the payload length, and all three sections have CRC32C
+    checksums.  Any bit flip or truncation raises {!Format_error}
+    before a single payload byte is interpreted.
+
+    Writes are atomic (same-directory temp file + fsync + rename +
+    directory fsync): an interrupted save always leaves the previous
+    file intact.  Every written byte flows through {!Fault}. *)
+
+exception Format_error of string
+
+val magic : string
+(** First bytes of every container (shared with format v1). *)
+
+val version : int
+(** The current on-disk format version, 2. *)
+
+val max_tag_len : int
+
+val write : tag:string -> payload:string -> string -> unit
+(** [write ~tag ~payload path] atomically replaces [path] with a
+    checksummed container.  Raises [Invalid_argument] if the tag
+    exceeds {!max_tag_len}. *)
+
+val read : expect_tag:string -> string -> string
+(** Verify every checksum and return the payload; {!Format_error} on
+    any corruption, truncation, version or tag mismatch. *)
+
+val read_tagged : string -> string * string
+(** Like {!read} but returns [(tag, payload)] without checking the
+    variant tag. *)
+
+val tag_of_file : string -> string option
+(** The variant tag of a fully-verified container, or [None]. *)
+
+val is_container : string -> bool
+(** Whether the file starts with this library's magic bytes. *)
+
+val atomic_write : string -> (out_channel -> unit) -> unit
+(** Low-level atomic file replacement used by {!write} and the WAL:
+    temp file + fsync + rename + directory fsync.  On an injected
+    crash the temp file is left behind, as after a real crash. *)
+
+val cleanup_tmp : string -> unit
+(** Remove orphaned temp files (crash leftovers) from a directory. *)

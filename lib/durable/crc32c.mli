@@ -1,0 +1,16 @@
+(** CRC-32C (Castagnoli, reflected polynomial [0x82F63B78]) — the
+    checksum behind every section of the durable on-disk format.  Same
+    parameterization as iSCSI/ext4/SSE4.2, so external tools agree. *)
+
+val init : int
+(** Initial running state (complemented register). *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] folds bytes [pos, pos+len) into the running
+    state.  Raises [Invalid_argument] on an out-of-range slice. *)
+
+val finish : int -> int
+(** Final value (in [0, 2^32)) from a running state. *)
+
+val string : ?pos:int -> ?len:int -> string -> int
+(** One-shot digest of a substring (default: the whole string). *)

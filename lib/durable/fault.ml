@@ -1,0 +1,51 @@
+(* Fault injection for the durability layer.
+
+   Every byte the durable subsystem writes (snapshot containers, WAL
+   headers, WAL records) flows through {!output}, so a test — or the
+   [WTRIE_FAULT_CRASH_AFTER] environment knob used by the CI smoke test
+   — can arm a byte budget after which the process behaves as if it
+   crashed mid-write: the allowed prefix reaches the file (a torn
+   write), then {!Injected_crash} is raised and every further durable
+   write fails the same way.  Recovery code paths never write through
+   this module's budget accounting twice: the budget is global, which is
+   exactly the "whole process dies" model the harness wants. *)
+
+exception Injected_crash of string
+
+(* [None] = disarmed; [Some b] = b more bytes may reach disk. *)
+let budget = ref None
+
+let arm_crash_after_bytes n = budget := Some (max 0 n)
+let disarm () = budget := None
+let armed () = !budget <> None
+
+let arm_from_env () =
+  match Sys.getenv_opt "WTRIE_FAULT_CRASH_AFTER" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> arm_crash_after_bytes n
+      | _ -> ())
+  | None -> ()
+
+let output oc s pos len =
+  match !budget with
+  | None -> output_substring oc s pos len
+  | Some b when len <= b ->
+      budget := Some (b - len);
+      output_substring oc s pos len
+  | Some b ->
+      (* Torn write: only the first [b] bytes reach the file, then the
+         "process" dies.  Flush so the partial bytes are really there,
+         as they would be after a kernel write of the short count. *)
+      output_substring oc s pos b;
+      flush oc;
+      budget := Some 0;
+      raise
+        (Injected_crash
+           (Printf.sprintf "injected crash: torn write (%d of %d bytes reached the file)"
+              b len))
+
+let output_string oc s = output oc s 0 (String.length s)
+
+(* fsync is advisory on exotic filesystems; never fail a save over it. *)
+let fsync fd = try Unix.fsync fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,41 @@
+(** Write-ahead log framing: a checksummed header (variant tag + the
+    snapshot generation the log applies to) followed by CRC-framed
+    append/insert/delete records.
+
+    The scanner never raises on corruption — it recovers every
+    complete, checksum-valid record before the first bad frame and
+    reports the torn tail, so the store can truncate and continue.
+    Strings are the byte strings of the front-door API (they are
+    re-binarized on replay). *)
+
+type op = Append of string | Insert of int * string | Delete of int
+
+val create : tag:string -> generation:int -> string -> unit
+(** Atomically (re)initialize a WAL file to a bare header. *)
+
+val header_size : tag:string -> int
+
+val append_op : out_channel -> op -> int
+(** Frame and append one record, flush, return the bytes written. *)
+
+val record_size : op -> int
+(** On-disk size of the record [append_op] would write. *)
+
+type scan = {
+  s_tag : string;
+  s_generation : int;  (** -1 when the header itself is torn *)
+  s_header_ok : bool;
+  s_ops : op list;  (** every record of the verified prefix, in order *)
+  s_records : int;
+  s_good_bytes : int;  (** offset the file should be truncated to *)
+  s_dropped_bytes : int;  (** torn-tail bytes past the verified prefix *)
+}
+
+val scan : string -> scan
+(** Scan a WAL; corruption is reported, never raised.  A missing file
+    scans as an empty, torn-header log. *)
+
+val truncate_to : string -> int -> unit
+(** Physically drop a torn tail ([Unix.ftruncate] + fsync). *)
+
+val open_append : string -> out_channel

@@ -11,7 +11,10 @@
     - [Wt_*]: whole trie-level operations and mutations;
     - [Wt_nodes_visited] / [Wt_bits_consumed]: traversal work — trie
       nodes examined and string bits consumed (label lcp plus branch
-      bits) along root-to-node paths, i.e. the O(|s| + h_s) term.
+      bits) along root-to-node paths, i.e. the O(|s| + h_s) term;
+    - [Durable_*]: the crash-safe persistence layer — snapshot
+      saves/loads, WAL records appended and replayed, torn-tail bytes
+      dropped during recovery, and checkpoints taken.
 
     Counter metrics count invocations; the same ids key the latency
     histograms recorded by {!Probe.time} at the string-API layer. *)
@@ -41,8 +44,14 @@ type t =
   | Wt_node_merge
   | Wt_nodes_visited
   | Wt_bits_consumed
+  | Durable_snapshot_save
+  | Durable_snapshot_load
+  | Durable_wal_append
+  | Durable_wal_replay
+  | Durable_wal_dropped_bytes
+  | Durable_checkpoint
 
-let count = 24
+let count = 30
 
 let index = function
   | Rrr_rank -> 0
@@ -69,6 +78,12 @@ let index = function
   | Wt_node_merge -> 21
   | Wt_nodes_visited -> 22
   | Wt_bits_consumed -> 23
+  | Durable_snapshot_save -> 24
+  | Durable_snapshot_load -> 25
+  | Durable_wal_append -> 26
+  | Durable_wal_replay -> 27
+  | Durable_wal_dropped_bytes -> 28
+  | Durable_checkpoint -> 29
 
 let all =
   [|
@@ -76,6 +91,8 @@ let all =
     Dbv_insert; Dbv_delete; Dbv_rank; Dbv_select; Dbv_access; Wt_access; Wt_rank;
     Wt_select; Wt_rank_prefix; Wt_select_prefix; Wt_insert; Wt_delete; Wt_append;
     Wt_node_split; Wt_node_merge; Wt_nodes_visited; Wt_bits_consumed;
+    Durable_snapshot_save; Durable_snapshot_load; Durable_wal_append;
+    Durable_wal_replay; Durable_wal_dropped_bytes; Durable_checkpoint;
   |]
 
 let name = function
@@ -103,5 +120,11 @@ let name = function
   | Wt_node_merge -> "wt_node_merge"
   | Wt_nodes_visited -> "wt_nodes_visited"
   | Wt_bits_consumed -> "wt_bits_consumed"
+  | Durable_snapshot_save -> "durable_snapshot_save"
+  | Durable_snapshot_load -> "durable_snapshot_load"
+  | Durable_wal_append -> "durable_wal_append"
+  | Durable_wal_replay -> "durable_wal_replay"
+  | Durable_wal_dropped_bytes -> "durable_wal_dropped_bytes"
+  | Durable_checkpoint -> "durable_checkpoint"
 
 let of_name s = Array.find_opt (fun m -> name m = s) all

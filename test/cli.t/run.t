@@ -70,3 +70,53 @@ Index caching:
 
   $ wtrie access log.wtx 4
   shop.org/cart
+
+Deep verification of a saved index:
+
+  $ wtrie verify log.wtx
+  log.wtx: ok (append index, length 6)
+
+Durable store: crash-safe, write-ahead logged ingestion.
+
+  $ wtrie ingest store.d log.txt
+  ingested 6 strings into store.d (length 6, generation 0)
+
+  $ wtrie verify store.d
+  store.d: ok (append store, generation 0, length 6, wal records 6)
+
+  $ wtrie rank store.d site.com/home
+  3
+
+Tear the write-ahead log mid-record (as a crash would); verify flags
+it, recover replays the intact prefix and checkpoints:
+
+  $ truncate -s -3 store.d/wal.log
+
+  $ wtrie verify store.d
+  store.d: recoverable (append store, 5 wal records intact, 19 bytes torn); run 'wtrie recover store.d'
+  [1]
+
+  $ wtrie recover store.d
+  recovered store.d: replayed 5 records, dropped 19 bytes, checkpointed as generation 1
+
+  $ wtrie verify store.d --json
+  {"ok":true,"kind":"store","variant":"append","generation":1,"length":5,"distinct":4,"wal_records":0,"wal_dropped_bytes":0,"wal_reset_needed":false}
+
+  $ wtrie access store.d 4
+  shop.org/cart
+
+An injected crash (the fault hook the CI smoke test uses) kills the
+writer mid-append; acknowledged records survive, the torn one does not:
+
+  $ WTRIE_FAULT_CRASH_AFTER=60 wtrie ingest store.d log.txt
+  wtrie: injected crash: torn write (15 of 22 bytes reached the file)
+  [70]
+
+  $ wtrie recover store.d
+  recovered store.d: replayed 2 records, dropped 15 bytes, checkpointed as generation 2
+
+  $ wtrie verify store.d
+  store.d: ok (append store, generation 2, length 7, wal records 0)
+
+  $ wtrie access store.d 6
+  site.com/login

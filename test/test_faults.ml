@@ -1,0 +1,481 @@
+(* Fault-injection harness for the durability layer (the crash-safety
+   contract of {!Durable} and format v2):
+
+   - bit-flip and truncation sweeps over a snapshot container: every
+     corrupted byte must surface as [Format_error], never a crash and
+     never a silently-wrong load;
+   - truncation and bit-flip sweeps over the WAL at every byte offset:
+     recovery must yield exactly the records fully contained in the
+     intact prefix, then the store must keep working;
+   - injected crashes (byte-budget) during live appends and during
+     checkpoints: every op that returned successfully must survive
+     recovery, and a crash anywhere inside a checkpoint must lose
+     nothing;
+   - a randomized dynamic-variant workload with periodic crashes,
+     checked against an in-memory oracle;
+   - recover -> verify must round-trip any injected fault to a clean
+     store. *)
+
+module Fault = Wt_durable.Fault
+module Wal = Wt_durable.Wal
+module Persist = Wt_core.Persist
+module Append_wt = Wt_core.Append_wt
+module Binarize = Wt_strings.Binarize
+module Xoshiro = Wt_bits.Xoshiro
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem helpers *)
+
+let tmp name = Filename.concat (Filename.get_temp_dir_name ()) ("wt_faults_" ^ name)
+
+let read_file p = In_channel.with_open_bin p In_channel.input_all
+let write_file p s = Out_channel.with_open_bin p (fun oc -> Out_channel.output_string oc s)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun e -> Sys.remove (Filename.concat dir e)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let fresh_dir name =
+  let d = tmp name in
+  rm_rf d;
+  Sys.mkdir d 0o755;
+  d
+
+let copy_store src dst =
+  rm_rf dst;
+  Sys.mkdir dst 0o755;
+  List.iter
+    (fun f -> write_file (Filename.concat dst f) (read_file (Filename.concat src f)))
+    [ "snapshot.wtx"; "wal.log" ]
+
+let flip_bit s off bit =
+  let b = Bytes.of_string s in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl bit)));
+  Bytes.to_string b
+
+let store_contents dir =
+  let t, _ = Durable.open_read_only ~verify:true dir in
+  List.init (Durable.length t) (Durable.access t)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot container sweeps *)
+
+let sample n =
+  let rng = Xoshiro.create 11 in
+  Array.init n (fun i ->
+      Binarize.of_bytes
+        (Printf.sprintf "s%03d-%c" i (Char.chr (Char.code 'a' + Xoshiro.int rng 26))))
+
+let expect_format_error what load =
+  match load () with
+  | exception Persist.Format_error _ -> ()
+  | exception e ->
+      Alcotest.fail (Printf.sprintf "%s: unexpected exception %s" what (Printexc.to_string e))
+  | _ -> Alcotest.fail (Printf.sprintf "%s: load succeeded on a corrupted index" what)
+
+(* Flip one bit at (a stride over) every byte offset of a saved index:
+   the load must always raise [Format_error]. *)
+let test_snapshot_bit_flips () =
+  let path = tmp "flip.wtx" in
+  Persist.save_append (Append_wt.of_array (sample 64)) path;
+  let pristine = read_file path in
+  let len = String.length pristine in
+  let stride = max 1 (len / 509) in
+  let off = ref 0 in
+  while !off < len do
+    write_file path (flip_bit pristine !off (!off mod 8));
+    expect_format_error
+      (Printf.sprintf "bit flip at offset %d/%d" !off len)
+      (fun () -> ignore (Persist.load_append path : Append_wt.t));
+    off := !off + stride
+  done;
+  (* the pristine bytes still load *)
+  write_file path pristine;
+  Append_wt.check_invariants (Persist.load_append path);
+  Sys.remove path
+
+(* Cut the file at (a stride over) every possible length: always
+   [Format_error], even when the cut lands on the recycled file's old
+   content (the footer's repeated payload length closes that hole). *)
+let test_snapshot_truncations () =
+  let path = tmp "cut.wtx" in
+  Persist.save_append (Append_wt.of_array (sample 64)) path;
+  let pristine = read_file path in
+  let len = String.length pristine in
+  let stride = max 1 (len / 509) in
+  let cut = ref 0 in
+  while !cut < len do
+    write_file path (String.sub pristine 0 !cut);
+    expect_format_error
+      (Printf.sprintf "truncated to %d/%d bytes" !cut len)
+      (fun () -> ignore (Persist.load_append path : Append_wt.t));
+    cut := !cut + stride
+  done;
+  write_file path pristine;
+  ignore (Persist.load_append path : Append_wt.t);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* WAL sweeps *)
+
+let base_inputs = List.init 10 (fun i -> Printf.sprintf "input-%02d-%s" i (String.make (i mod 5) 'x'))
+
+let wal_tag = "durable-append"
+
+(* End offset (within wal.log) of each record, in order. *)
+let record_ends inputs =
+  let hs = Wal.header_size ~tag:wal_tag in
+  List.rev
+    (snd
+       (List.fold_left
+          (fun (off, acc) s ->
+            let off' = off + Wal.record_size (Wal.Append s) in
+            (off', off' :: acc))
+          (hs, []) inputs))
+
+let build_base_store dir =
+  rm_rf dir;
+  let t = Durable.create ~checkpoint_bytes:max_int ~variant:`Append dir in
+  List.iter (Durable.append t) base_inputs;
+  Durable.close t
+
+(* Truncate the WAL at EVERY byte offset: recovery must see exactly the
+   records wholly inside the prefix, the store must reopen, accept an
+   append, and verify clean. *)
+let test_wal_truncation_sweep () =
+  let base = fresh_dir "wal_cut_base" in
+  build_base_store base;
+  let dir = fresh_dir "wal_cut" in
+  let hs = Wal.header_size ~tag:wal_tag in
+  let ends = record_ends base_inputs in
+  let pristine_wal = read_file (Filename.concat base "wal.log") in
+  let w = String.length pristine_wal in
+  check_int "wal length matches record arithmetic" (List.nth ends (List.length ends - 1)) w;
+  for cut = 0 to w do
+    copy_store base dir;
+    write_file (Filename.concat dir "wal.log") (String.sub pristine_wal 0 cut);
+    let expected =
+      if cut < hs then 0 else List.length (List.filter (fun e -> e <= cut) ends)
+    in
+    let ctx fmt = Printf.ksprintf (fun m -> Printf.sprintf "cut %d/%d: %s" cut w m) fmt in
+    (* read-only verification first *)
+    let rep = Durable.verify dir in
+    check_int (ctx "verified length") expected rep.Durable.v_length;
+    check_bool (ctx "wal reset flag") (cut < hs) rep.Durable.v_wal_reset;
+    let boundary = cut >= hs && (cut = hs || List.mem cut ends) in
+    check_bool (ctx "clean flag") boundary rep.Durable.v_clean;
+    (* then a real recovery: truncate the tail, keep working *)
+    let t, r = Durable.open_ ~checkpoint_bytes:max_int dir in
+    check_int (ctx "replayed") expected r.Durable.replayed;
+    check_int (ctx "recovered length") expected (Durable.length t);
+    List.iteri
+      (fun i s -> if i < expected then check_string (ctx "content %d" i) s (Durable.access t i))
+      base_inputs;
+    Durable.append t "post-recovery";
+    Durable.close t;
+    let rep' = Durable.verify dir in
+    check_bool (ctx "clean after recovery") true rep'.Durable.v_clean;
+    check_int (ctx "length after recovery") (expected + 1) rep'.Durable.v_length
+  done;
+  rm_rf dir;
+  rm_rf base
+
+(* Flip one bit at EVERY byte offset of the WAL: a flip in the header
+   discards the log (already-absorbed semantics), a flip in record [j]
+   recovers exactly records [0..j-1].  Never an exception. *)
+let test_wal_bit_flip_sweep () =
+  let base = fresh_dir "wal_flip_base" in
+  build_base_store base;
+  let dir = fresh_dir "wal_flip" in
+  let hs = Wal.header_size ~tag:wal_tag in
+  let ends = record_ends base_inputs in
+  let pristine_wal = read_file (Filename.concat base "wal.log") in
+  let w = String.length pristine_wal in
+  for off = 0 to w - 1 do
+    copy_store base dir;
+    write_file (Filename.concat dir "wal.log") (flip_bit pristine_wal off (off mod 8));
+    let expected =
+      if off < hs then 0
+      else List.length (List.filter (fun e -> e <= off) ends)
+      (* = index of the record containing [off]: all records before it *)
+    in
+    let ctx m = Printf.sprintf "flip at %d/%d: %s" off w m in
+    let rep = Durable.verify dir in
+    check_bool (ctx "wal reset flag") (off < hs) rep.Durable.v_wal_reset;
+    check_int (ctx "verified length") expected rep.Durable.v_length;
+    check_bool (ctx "not clean") false rep.Durable.v_clean;
+    (* recover -> verify round-trips to clean *)
+    let r = Durable.recover dir in
+    check_int (ctx "replayed") expected r.Durable.replayed;
+    check_bool (ctx "checkpointed") true r.Durable.checkpointed;
+    let rep' = Durable.verify dir in
+    check_bool (ctx "clean after recover") true rep'.Durable.v_clean;
+    check_int (ctx "length after recover") expected rep'.Durable.v_length
+  done;
+  rm_rf dir;
+  rm_rf base
+
+(* ------------------------------------------------------------------ *)
+(* Injected crashes *)
+
+(* Crash after every possible byte budget while appending: every append
+   that returned must survive recovery, the torn one must vanish, and
+   the store must stay appendable. *)
+let test_crash_during_appends () =
+  let base = fresh_dir "crash_app_base" in
+  build_base_store base;
+  let dir = fresh_dir "crash_app" in
+  let extra = List.init 6 (fun i -> Printf.sprintf "extra-%d" i) in
+  let extra_bytes =
+    List.fold_left (fun acc s -> acc + Wal.record_size (Wal.Append s)) 0 extra
+  in
+  let n_base = List.length base_inputs in
+  for budget = 0 to extra_bytes + 4 do
+    copy_store base dir;
+    let t, _ = Durable.open_ ~checkpoint_bytes:max_int dir in
+    Fault.arm_crash_after_bytes budget;
+    let successes = ref 0 in
+    (try List.iter (fun s -> Durable.append t s; incr successes) extra
+     with Fault.Injected_crash _ -> ());
+    Fault.disarm ();
+    (* releasing the fd writes nothing further; the torn tail stays *)
+    Durable.close t;
+    let ctx m = Printf.sprintf "budget %d: %s" budget m in
+    let rep = Durable.verify dir in
+    check_int (ctx "durable prefix") (n_base + !successes) rep.Durable.v_length;
+    let r = Durable.recover dir in
+    check_int (ctx "replayed") (n_base + !successes) r.Durable.replayed;
+    let rep' = Durable.verify dir in
+    check_bool (ctx "clean after recover") true rep'.Durable.v_clean;
+    check_int (ctx "length after recover") (n_base + !successes) rep'.Durable.v_length;
+    (* contents: base then the surviving extras, in order *)
+    let got = store_contents dir in
+    let want = base_inputs @ List.filteri (fun i _ -> i < !successes) extra in
+    check_bool (ctx "contents") true (got = want)
+  done;
+  rm_rf dir;
+  rm_rf base
+
+(* Crash at a sweep of byte budgets inside [checkpoint]: whether the
+   crash lands in the snapshot temp file, between snapshot and WAL
+   reset, or inside the new WAL header, recovery must produce the full
+   pre-checkpoint state.  This is the no-lost-updates core guarantee. *)
+let test_crash_during_checkpoint () =
+  let base = fresh_dir "crash_ckpt_base" in
+  build_base_store base;
+  (* measure how many budgeted bytes a full checkpoint writes *)
+  let measure = fresh_dir "crash_ckpt_measure" in
+  copy_store base measure;
+  let tm, _ = Durable.open_ ~checkpoint_bytes:max_int measure in
+  Durable.checkpoint tm;
+  Durable.close tm;
+  let snap_bytes = (Unix.stat (Filename.concat measure "snapshot.wtx")).Unix.st_size in
+  rm_rf measure;
+  let total = snap_bytes + Wal.header_size ~tag:wal_tag in
+  let dir = fresh_dir "crash_ckpt" in
+  let step = max 1 (total / 61) in
+  let budget = ref 0 in
+  while !budget <= total + step do
+    copy_store base dir;
+    let t, _ = Durable.open_ ~checkpoint_bytes:max_int dir in
+    Fault.arm_crash_after_bytes !budget;
+    let crashed =
+      match Durable.checkpoint t with
+      | () -> false
+      | exception Fault.Injected_crash _ -> true
+    in
+    Fault.disarm ();
+    Durable.close t;
+    let ctx m = Printf.sprintf "budget %d/%d (crashed=%b): %s" !budget total crashed m in
+    ignore (Durable.recover dir : Durable.recovery);
+    let rep = Durable.verify dir in
+    check_bool (ctx "clean after recover") true rep.Durable.v_clean;
+    check_int (ctx "no lost updates") (List.length base_inputs) rep.Durable.v_length;
+    check_bool (ctx "contents intact") true (store_contents dir = base_inputs);
+    budget := !budget + step
+  done;
+  rm_rf dir;
+  rm_rf base
+
+(* ------------------------------------------------------------------ *)
+(* Randomized dynamic workload vs. an in-memory oracle *)
+
+type sim_op = S_append of string | S_insert of int * string | S_delete of int
+
+let rec insert_at l pos x =
+  if pos = 0 then x :: l
+  else match l with [] -> invalid_arg "insert_at" | y :: tl -> y :: insert_at tl (pos - 1) x
+
+let rec delete_at l pos =
+  match l with
+  | [] -> invalid_arg "delete_at"
+  | y :: tl -> if pos = 0 then tl else y :: delete_at tl (pos - 1)
+
+let apply_sim oracle = function
+  | S_append s -> oracle @ [ s ]
+  | S_insert (p, s) -> insert_at oracle p s
+  | S_delete p -> delete_at oracle p
+
+let apply_durable t = function
+  | S_append s -> Durable.append t s
+  | S_insert (p, s) -> Durable.insert t p s
+  | S_delete p -> Durable.delete t p
+
+(* Mixed append/insert/delete on a dynamic store with a small checkpoint
+   threshold (so crashes also land inside automatic checkpoints), a
+   crash armed every round.  A crashed op is allowed to be either torn
+   (absent) or durable (present, when the crash hit the checkpoint after
+   the op was logged) — anything else fails the test. *)
+let test_dynamic_oracle_crashes () =
+  let rng = Xoshiro.create 99 in
+  let dir = fresh_dir "oracle" in
+  let t = ref (Durable.create ~checkpoint_bytes:512 ~variant:`Dynamic dir) in
+  let oracle = ref [] in
+  let counter = ref 0 in
+  let gen_op () =
+    let len = List.length !oracle in
+    incr counter;
+    let s = Printf.sprintf "dyn-%04d" !counter in
+    match Xoshiro.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 -> S_append s
+    | 5 | 6 -> S_insert (Xoshiro.int rng (len + 1), s)
+    | _ -> if len = 0 then S_append s else S_delete (Xoshiro.int rng len)
+  in
+  for round = 1 to 12 do
+    for _ = 1 to 10 do
+      let op = gen_op () in
+      apply_durable !t op;
+      oracle := apply_sim !oracle op
+    done;
+    Fault.arm_crash_after_bytes (1 + Xoshiro.int rng 96);
+    let pending = ref None in
+    (try
+       while true do
+         let op = gen_op () in
+         pending := Some op;
+         apply_durable !t op;
+         oracle := apply_sim !oracle op;
+         pending := None
+       done
+     with Fault.Injected_crash _ -> ());
+    Fault.disarm ();
+    Durable.close !t;
+    ignore (Durable.recover dir : Durable.recovery);
+    let rep = Durable.verify dir in
+    check_bool (Printf.sprintf "round %d: clean after recover" round) true rep.Durable.v_clean;
+    let t', _ = Durable.open_ ~checkpoint_bytes:512 dir in
+    t := t';
+    let got = List.init (Durable.length t') (Durable.access t') in
+    let candidates =
+      !oracle
+      ::
+      (match !pending with
+      | None -> []
+      | Some op -> ( match apply_sim !oracle op with l -> [ l ] | exception _ -> []))
+    in
+    (match List.find_opt (fun c -> c = got) candidates with
+    | Some c -> oracle := c
+    | None ->
+        Alcotest.fail
+          (Printf.sprintf "round %d: recovered state (len %d) matches neither oracle (len %d)"
+             round (List.length got) (List.length !oracle)))
+  done;
+  Durable.close !t;
+  check_bool "final contents" true (store_contents dir = !oracle);
+  rm_rf dir
+
+(* ------------------------------------------------------------------ *)
+(* Edge cases: garbage, missing files, future generations, probes *)
+
+let test_edge_cases () =
+  let base = fresh_dir "edge_base" in
+  rm_rf base;
+  let t = Durable.create ~variant:`Append base in
+  Durable.append t "alpha";
+  Durable.append t "beta";
+  Durable.close t;
+  let dir = fresh_dir "edge" in
+  let expect_fe what f =
+    match f () with
+    | exception Durable.Format_error _ -> ()
+    | exception e ->
+        Alcotest.fail (Printf.sprintf "%s: unexpected exception %s" what (Printexc.to_string e))
+    | _ -> Alcotest.fail (Printf.sprintf "%s: expected Format_error" what)
+  in
+  (* a deleted WAL is recoverable: the log resets, the snapshot stands *)
+  copy_store base dir;
+  Sys.remove (Filename.concat dir "wal.log");
+  let rep = Durable.verify dir in
+  check_bool "missing wal -> reset" true rep.Durable.v_wal_reset;
+  check_int "missing wal -> snapshot state" 0 rep.Durable.v_length;
+  let t, r = Durable.open_ dir in
+  check_bool "missing wal -> reset on open" true r.Durable.wal_reset;
+  Durable.append t "fresh";
+  Durable.close t;
+  check_bool "recreated wal -> clean" true (Durable.verify dir).Durable.v_clean;
+  (* garbage where the snapshot should be fails loudly *)
+  copy_store base dir;
+  write_file (Filename.concat dir "snapshot.wtx") "garbage, not a container";
+  expect_fe "garbage snapshot" (fun () -> ignore (Durable.verify dir : Durable.verify_report));
+  (* a WAL from the future (generation ahead of the snapshot) is corrupt *)
+  copy_store base dir;
+  Wal.create ~tag:wal_tag ~generation:7 (Filename.concat dir "wal.log");
+  expect_fe "future-generation wal" (fun () -> ignore (Durable.verify dir : Durable.verify_report));
+  (* a stale-generation WAL is discarded, never replayed twice *)
+  copy_store base dir;
+  let t, _ = Durable.open_ ~checkpoint_bytes:max_int dir in
+  Durable.checkpoint t;
+  Durable.close t;
+  write_file (Filename.concat dir "wal.log") (read_file (Filename.concat base "wal.log"));
+  let rep = Durable.verify dir in
+  check_bool "stale wal -> reset" true rep.Durable.v_wal_reset;
+  check_int "stale wal -> not replayed" 2 rep.Durable.v_length;
+  check_int "stale wal -> zero records counted" 0 rep.Durable.v_wal_records;
+  (* not a store at all *)
+  rm_rf dir;
+  Sys.mkdir dir 0o755;
+  check_bool "empty dir is not a store" false (Durable.is_store dir);
+  expect_fe "empty dir" (fun () -> ignore (Durable.verify dir : Durable.verify_report));
+  (* recovery work lands in the obs probes *)
+  copy_store base dir;
+  let wal = read_file (Filename.concat dir "wal.log") in
+  write_file (Filename.concat dir "wal.log") (String.sub wal 0 (String.length wal - 3));
+  Wt_obs.Probe.enable ();
+  Wt_obs.Probe.reset ();
+  let t, r = Durable.open_ dir in
+  check_int "probe: replayed records" 1 (Wt_obs.Probe.counter Wt_obs.Metric.Durable_wal_replay);
+  check_bool "probe: dropped bytes" true
+    (Wt_obs.Probe.counter Wt_obs.Metric.Durable_wal_dropped_bytes = r.Durable.dropped_bytes
+    && r.Durable.dropped_bytes > 0);
+  Durable.close t;
+  Wt_obs.Probe.disable ();
+  rm_rf dir;
+  rm_rf base
+
+let () =
+  Alcotest.run "wt_faults"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "bit-flip sweep" `Quick test_snapshot_bit_flips;
+          Alcotest.test_case "truncation sweep" `Quick test_snapshot_truncations;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "truncation sweep (every offset)" `Quick test_wal_truncation_sweep;
+          Alcotest.test_case "bit-flip sweep (every offset)" `Quick test_wal_bit_flip_sweep;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "torn appends (every budget)" `Quick test_crash_during_appends;
+          Alcotest.test_case "checkpoint crash sweep" `Quick test_crash_during_checkpoint;
+          Alcotest.test_case "dynamic workload vs oracle" `Quick test_dynamic_oracle_crashes;
+        ] );
+      ("edges", [ Alcotest.test_case "garbage, stale, probes" `Quick test_edge_cases ]);
+    ]

@@ -102,6 +102,49 @@ let test_truncated_payload () =
   | _ -> Alcotest.fail "expected Format_error on truncated header");
   Sys.remove path
 
+(* Property: any single flipped byte, and any strict truncation, of any
+   saved variant must raise Format_error — never succeed, never escape
+   as a different exception.  (Exhaustive sweeps live in test_faults.) *)
+let test_random_corruption () =
+  let rng = Xoshiro.create 77 in
+  let check_variant name save load =
+    let path = tmp ("corrupt_" ^ name ^ ".wtx") in
+    save path;
+    let pristine = In_channel.with_open_bin path In_channel.input_all in
+    let len = String.length pristine in
+    let rewrite s = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s) in
+    let expect_format_error what =
+      match load path with
+      | exception Persist.Format_error _ -> ()
+      | exception e ->
+          Alcotest.fail
+            (Printf.sprintf "%s, %s: unexpected exception %s" name what (Printexc.to_string e))
+      | () -> Alcotest.fail (Printf.sprintf "%s, %s: load succeeded on a corrupted index" name what)
+    in
+    for trial = 1 to 48 do
+      let off = Xoshiro.int rng len in
+      let b = Bytes.of_string pristine in
+      Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor (1 lsl (trial mod 8))));
+      rewrite (Bytes.to_string b);
+      expect_format_error (Printf.sprintf "bit flip at offset %d" off);
+      let cut = Xoshiro.int rng len in
+      rewrite (String.sub pristine 0 cut);
+      expect_format_error (Printf.sprintf "truncated to %d bytes" cut)
+    done;
+    rewrite pristine;
+    load path;
+    Sys.remove path
+  in
+  check_variant "static"
+    (fun p -> Persist.save_static (Wavelet_trie.of_array (sample_seq 150)) p)
+    (fun p -> ignore (Persist.load_static p : Wavelet_trie.t));
+  check_variant "append"
+    (fun p -> Persist.save_append (Append_wt.of_array (sample_seq 150)) p)
+    (fun p -> ignore (Persist.load_append p : Append_wt.t));
+  check_variant "dynamic"
+    (fun p -> Persist.save_dynamic (Dynamic_wt.of_array (sample_seq 150)) p)
+    (fun p -> ignore (Persist.load_dynamic p : Dynamic_wt.t))
+
 let () =
   Alcotest.run "wt_persist"
     [
@@ -112,5 +155,6 @@ let () =
           Alcotest.test_case "dynamic roundtrip + updates" `Quick test_dynamic_roundtrip_and_updates;
           Alcotest.test_case "header validation" `Quick test_header_validation;
           Alcotest.test_case "truncated files" `Quick test_truncated_payload;
+          Alcotest.test_case "random corruption property" `Quick test_random_corruption;
         ] );
     ]
