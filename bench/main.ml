@@ -801,12 +801,73 @@ let metrics_queries (type a)
   let n = Array.length strings in
   let rng = Xoshiro.create 11 in
   for i = 0 to 255 do
-    ignore (V.access wt (Xoshiro.int rng n));
+    ignore (V.access wt ~pos:(Xoshiro.int rng n));
     let s = strings.(Xoshiro.int rng n) in
     ignore (V.count wt s);
-    ignore (V.select wt s (i land 3));
-    ignore (V.count_prefix wt (String.sub s 0 (min 4 (String.length s))))
-  done
+    ignore (V.select wt s ~count:(i land 3));
+    ignore (V.count_prefix wt ~prefix:(String.sub s 0 (min 4 (String.length s))))
+  done;
+  (* a batch mix too, so the Exec_* counters land in the report *)
+  let ops =
+    Array.init 256 (fun i ->
+        if i land 1 = 0 then Wt_core.Indexed_sequence.Access { pos = Xoshiro.int rng n }
+        else
+          Wt_core.Indexed_sequence.Rank
+            { s = strings.(Xoshiro.int rng n); pos = Xoshiro.int rng (n + 1) })
+  in
+  ignore (V.query_batch wt ops)
+
+(* Batch vs scalar on the Zipf URL workload: the tentpole number.  Same
+   operations through the scalar front door and through [query_batch];
+   the engine's level-by-level execution with per-node rank cursors
+   should amortize the per-node directory walks away. *)
+let batch_block () =
+  let n = 131072 in
+  let g = Urls.create ~seed:42 () in
+  let strings = Urls.raw_sequence g n in
+  let wt = Wtrie.Static.of_array strings in
+  let b = 16384 in
+  let rng = Xoshiro.create 21 in
+  let positions = Array.init b (fun _ -> Xoshiro.int rng n) in
+  let rank_args =
+    Array.init b (fun _ -> (strings.(Xoshiro.int rng n), Xoshiro.int rng (n + 1)))
+  in
+  let best f =
+    let d = ref infinity in
+    for _ = 1 to 3 do
+      d := min !d (time_batch f)
+    done;
+    !d
+  in
+  let scalar_access =
+    best (fun () ->
+        Array.iter (fun pos -> ignore (Wtrie.Static.access wt ~pos)) positions)
+  in
+  let access_ops = Array.map (fun pos -> Wtrie.Access { pos }) positions in
+  let batch_access = best (fun () -> ignore (Wtrie.Static.query_batch wt access_ops)) in
+  let scalar_rank =
+    best (fun () ->
+        Array.iter (fun (s, pos) -> ignore (Wtrie.Static.rank wt s ~pos)) rank_args)
+  in
+  let rank_ops = Array.map (fun (s, pos) -> Wtrie.Rank { s; pos }) rank_args in
+  let batch_rank = best (fun () -> ignore (Wtrie.Static.query_batch wt rank_ops)) in
+  let per op scalar batch =
+    let ns dt = dt *. 1e9 /. float_of_int b in
+    ( op,
+      Json.Obj
+        [
+          ("scalar_ns_per_op", Json.Float (ns scalar));
+          ("batch_ns_per_op", Json.Float (ns batch));
+          ("speedup", Json.Float (scalar /. batch));
+        ] )
+  in
+  Json.Obj
+    [
+      ("n", Json.Int n);
+      ("batch_ops", Json.Int b);
+      per "access" scalar_access batch_access;
+      per "rank" scalar_rank batch_rank;
+    ]
 
 let metrics_block () =
   let g = Urls.create ~seed:42 () in
@@ -839,16 +900,20 @@ let metrics_block () =
     let rng = Xoshiro.create 13 in
     for i = 0 to 127 do
       Wtrie.Dynamic.insert wt
-        (Xoshiro.int rng (Wtrie.Dynamic.length wt + 1))
+        ~pos:(Xoshiro.int rng (Wtrie.Dynamic.length wt + 1))
         (Printf.sprintf "fresh.dev/i/%d" i);
       if i land 1 = 0 then
-        Wtrie.Dynamic.delete wt (Xoshiro.int rng (Wtrie.Dynamic.length wt))
+        Wtrie.Dynamic.delete wt ~pos:(Xoshiro.int rng (Wtrie.Dynamic.length wt))
     done;
     metrics_queries (module Wtrie.Dynamic) wt strings;
     capture "dynamic" (Dynamic_wt.stats wt)
   in
   Json.Obj
-    [ ("metrics", Json.Obj [ static; append; dynamic ]); ("durability", durability_block ()) ]
+    [
+      ("metrics", Json.Obj [ static; append; dynamic ]);
+      ("batch", batch_block ());
+      ("durability", durability_block ());
+    ]
 
 let print_metrics_block ~json_only =
   let j = metrics_block () in

@@ -70,10 +70,6 @@ let build path =
     wt
   end
 
-let prefix_of_string p =
-  let e = Binarize.of_bytes p in
-  Bitstring.prefix e (Bitstring.length e - 1)
-
 (* Observability plumbing: when requested, probes cover the whole
    command (build + queries) and the report lands on stderr so stdout
    stays script-friendly. *)
@@ -305,7 +301,7 @@ let stats_cmd =
     Wtrie.Probe.reset ();
     Wtrie.Probe.enable ();
     let wt = build file in
-    ignore (Wtrie.Append.count_prefix wt "");
+    ignore (Wtrie.Append.count_prefix wt ~prefix:"");
     let report = capture_report wt in
     if json then print_endline (Wtrie.Report.to_json_string report)
     else begin
@@ -318,81 +314,173 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Build the index and report its space against the LB, plus the observability report.")
     Term.(const run $ file_arg $ json)
 
+(* The query subcommands share one argument convention: [--at POS] for
+   positions, [--prefix P] for byte prefixes, [--count K] for occurrence
+   indices/limits.  Query errors print via [Wtrie.pp_error] and exit 1. *)
+
+let at_arg ~doc = Arg.(value & opt (some int) None & info [ "at" ] ~docv:"POS" ~doc)
+
+let prefix_arg =
+  Arg.(required & opt (some string) None & info [ "prefix" ] ~docv:"PREFIX" ~doc:"Byte prefix to match against stored strings.")
+
+let count_arg ~doc = Arg.(value & opt (some int) None & info [ "count" ] ~docv:"K" ~doc)
+
+let or_fail = function
+  | Ok v -> v
+  | Error e ->
+      Format.eprintf "%a@." Wtrie.pp_error e;
+      exit 1
+
 let access_cmd =
-  let pos = Arg.(required & pos 1 (some int) None & info [] ~docv:"POS") in
-  let run file pos stats =
+  let at = Arg.(required & opt (some int) None & info [ "at" ] ~docv:"POS" ~doc:"Position to read.") in
+  let run file at stats =
     with_stats stats @@ fun () ->
     let wt = build file in
-    if pos < 0 || pos >= Wtrie.Append.length wt then (prerr_endline "position out of range"; exit 1);
-    print_endline (Wtrie.Append.access wt pos);
+    print_endline (or_fail (Wtrie.Append.access wt ~pos:at));
     wt
   in
-  Cmd.v (Cmd.info "access" ~doc:"Print the string at a position.")
-    Term.(const run $ file_arg $ pos $ stats_arg)
+  Cmd.v (Cmd.info "access" ~doc:"Print the string at position --at.")
+    Term.(const run $ file_arg $ at $ stats_arg)
 
 let rank_cmd =
   let s = Arg.(required & pos 1 (some string) None & info [] ~docv:"STRING") in
-  let run file s lo hi stats =
+  let at = at_arg ~doc:"Count occurrences before POS (default: sequence length)." in
+  let run file s at stats =
     with_stats stats @@ fun () ->
     let wt = build file in
-    let hi = clamp_hi wt hi in
-    Printf.printf "%d\n" (Wtrie.Append.rank_exn wt s hi - Wtrie.Append.rank_exn wt s lo);
+    let pos = match at with None -> Wtrie.Append.length wt | Some p -> p in
+    Printf.printf "%d\n" (or_fail (Wtrie.Append.rank wt s ~pos));
     wt
   in
-  Cmd.v (Cmd.info "rank" ~doc:"Count occurrences of STRING in [--lo, --hi).")
-    Term.(const run $ file_arg $ s $ lo_arg $ hi_arg $ stats_arg)
+  Cmd.v (Cmd.info "rank" ~doc:"Count occurrences of STRING before --at.")
+    Term.(const run $ file_arg $ s $ at $ stats_arg)
 
 let select_cmd =
   let s = Arg.(required & pos 1 (some string) None & info [] ~docv:"STRING") in
-  let idx = Arg.(required & pos 2 (some int) None & info [] ~docv:"IDX") in
-  let run file s idx stats =
+  let count =
+    Arg.(required & opt (some int) None & info [ "count" ] ~docv:"K" ~doc:"Occurrence index (0-based).")
+  in
+  let run file s count stats =
     with_stats stats @@ fun () ->
     let wt = build file in
-    (match Wtrie.Append.select wt s idx with
-    | Some pos -> Printf.printf "%d\n" pos
-    | None ->
-        prerr_endline "no such occurrence";
-        exit 1);
+    Printf.printf "%d\n" (or_fail (Wtrie.Append.select wt s ~count));
     wt
   in
   Cmd.v
-    (Cmd.info "select" ~doc:"Position of the IDX-th (0-based) occurrence of STRING.")
-    Term.(const run $ file_arg $ s $ idx $ stats_arg)
+    (Cmd.info "select" ~doc:"Position of the --count-th (0-based) occurrence of STRING.")
+    Term.(const run $ file_arg $ s $ count $ stats_arg)
 
 let prefix_count_cmd =
-  let p = Arg.(required & pos 1 (some string) None & info [] ~docv:"PREFIX") in
-  let run file p lo hi stats =
+  let at = at_arg ~doc:"Count matches before POS (default: sequence length)." in
+  let run file p at stats =
     with_stats stats @@ fun () ->
     let wt = build file in
-    let hi = clamp_hi wt hi in
-    Printf.printf "%d\n" (Range.Append.count_range wt ~prefix:(prefix_of_string p) ~lo ~hi);
+    (match at with
+    | None -> Printf.printf "%d\n" (Wtrie.Append.count_prefix wt ~prefix:p)
+    | Some pos -> Printf.printf "%d\n" (or_fail (Wtrie.Append.rank_prefix wt ~prefix:p ~pos)));
     wt
   in
   Cmd.v
-    (Cmd.info "prefix-count" ~doc:"Count strings starting with PREFIX in [--lo, --hi).")
-    Term.(const run $ file_arg $ p $ lo_arg $ hi_arg $ stats_arg)
+    (Cmd.info "prefix-count" ~doc:"Count strings starting with --prefix before --at.")
+    Term.(const run $ file_arg $ prefix_arg $ at $ stats_arg)
 
 let prefix_list_cmd =
-  let p = Arg.(required & pos 1 (some string) None & info [] ~docv:"PREFIX") in
-  let limit = Arg.(value & opt int 20 & info [ "limit" ] ~docv:"K" ~doc:"Print at most K matches.") in
-  let run file p limit stats =
+  let count = count_arg ~doc:"Print at most K matches (default 20)." in
+  let run file p count stats =
     with_stats stats @@ fun () ->
     let wt = build file in
+    let limit = match count with None -> 20 | Some k -> k in
+    (* one batch: the k-th SelectPrefix and the Access at its position
+       share trie traversals with all the others *)
     let rec go k =
       if k < limit then
-        match Wtrie.Append.select_prefix wt p k with
-        | Some pos ->
-            Printf.printf "%8d  %s\n" pos (Wtrie.Append.access wt pos);
+        match Wtrie.Append.select_prefix wt ~prefix:p ~count:k with
+        | Ok pos ->
+            Printf.printf "%8d  %s\n" pos (or_fail (Wtrie.Append.access wt ~pos));
             go (k + 1)
-        | None -> ()
+        | Error _ -> ()
     in
     go 0;
     wt
   in
   Cmd.v
     (Cmd.info "prefix-list"
-       ~doc:"List the first occurrences of strings starting with PREFIX (SelectPrefix).")
-    Term.(const run $ file_arg $ p $ limit $ stats_arg)
+       ~doc:"List the first occurrences of strings starting with --prefix (SelectPrefix).")
+    Term.(const run $ file_arg $ prefix_arg $ count $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
+(* Batch mode: read a vector of operations, evaluate it through the
+   batch engine, print one result line per operation.  Per-op failures
+   are data (printed as [error: ...]), not process failures. *)
+
+let parse_op lineno line =
+  let fail () =
+    Printf.eprintf
+      "line %d: cannot parse %S (expected: access POS | rank STRING POS | select STRING K | rank-prefix PREFIX POS | select-prefix PREFIX K)\n"
+      lineno line;
+    exit 2
+  in
+  let words =
+    List.filter (fun w -> w <> "") (String.split_on_char ' ' line)
+  in
+  (* the string/prefix argument is everything between the op name and
+     the trailing integer, so it may contain spaces *)
+  let split_tail = function
+    | [] -> fail ()
+    | words -> (
+        match List.rev words with
+        | last :: rev_mid -> (
+            match int_of_string_opt last with
+            | None -> fail ()
+            | Some k -> (String.concat " " (List.rev rev_mid), k))
+        | [] -> fail ())
+  in
+  match words with
+  | [] -> fail ()
+  | [ "access"; p ] -> (
+      match int_of_string_opt p with
+      | Some pos -> Wtrie.Access { pos }
+      | None -> fail ())
+  | "rank" :: rest ->
+      let s, pos = split_tail rest in
+      Wtrie.Rank { s; pos }
+  | "select" :: rest ->
+      let s, count = split_tail rest in
+      Wtrie.Select { s; count }
+  | "rank-prefix" :: rest ->
+      let prefix, pos = split_tail rest in
+      Wtrie.Rank_prefix { prefix; pos }
+  | "select-prefix" :: rest ->
+      let prefix, count = split_tail rest in
+      Wtrie.Select_prefix { prefix; count }
+  | _ -> fail ()
+
+let query_cmd =
+  let batch =
+    Arg.(required & opt (some string) None & info [ "batch" ] ~docv:"OPS" ~doc:"File of operations, one per line ('-' for stdin): access POS, rank STRING POS, select STRING K, rank-prefix PREFIX POS, select-prefix PREFIX K.")
+  in
+  let run file batch stats =
+    with_stats stats @@ fun () ->
+    let wt = build file in
+    let lines = read_lines batch in
+    let ops =
+      Array.of_list
+        (List.concat
+           (List.mapi
+              (fun i l -> if String.trim l = "" then [] else [ parse_op (i + 1) l ])
+              (Array.to_list lines)))
+    in
+    Array.iter
+      (function
+        | Ok v -> Format.printf "%a@." Wtrie.pp_value v
+        | Error e -> Format.printf "error: %a@." Wtrie.pp_error e)
+      (Wtrie.Append.query_batch wt ops);
+    wt
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:"Evaluate a whole batch of operations in one amortized traversal; one result line per operation (per-op errors are printed as data, exit 0).")
+    Term.(const run $ file_arg $ batch $ stats_arg)
 
 let distinct_cmd =
   let run file lo hi stats =
@@ -483,8 +571,8 @@ let () =
     Cmd.group info
       [
         index_cmd; ingest_cmd; verify_cmd; recover_cmd; stats_cmd; access_cmd;
-        rank_cmd; select_cmd; prefix_count_cmd; prefix_list_cmd; distinct_cmd;
-        majority_cmd; at_least_cmd; top_k_cmd; quantile_cmd;
+        rank_cmd; select_cmd; prefix_count_cmd; prefix_list_cmd; query_cmd;
+        distinct_cmd; majority_cmd; at_least_cmd; top_k_cmd; quantile_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

@@ -24,26 +24,51 @@ let () =
   Printf.printf "sequence length: %d, distinct strings: %d\n"
     (Wtrie.Static.length wt) (Wtrie.Static.distinct_count wt);
 
-  (* Access: what was the 4th request? *)
-  Printf.printf "access 4        = %s\n" (Wtrie.Static.access wt 4);
+  (* Every partial query returns a result with the one shared error
+     type; [Wtrie.pp_error] prints it. *)
 
-  (* Rank: how many times was the home page hit in the first 6 requests?
-     The checked form returns a result; [rank_exn] raises instead. *)
-  (match Wtrie.Static.rank wt "site.com/home" 6 with
+  (* Access: what was the 4th request? *)
+  (match Wtrie.Static.access wt ~pos:4 with
+  | Ok s -> Printf.printf "access 4        = %s\n" s
+  | Error e -> Format.printf "access 4        = error: %a@." Wtrie.pp_error e);
+
+  (* Rank: how many times was the home page hit in the first 6 requests? *)
+  (match Wtrie.Static.rank wt "site.com/home" ~pos:6 with
   | Ok c -> Printf.printf "rank home, 6    = %d\n" c
-  | Error e -> Format.printf "rank home, 6    = error: %a@." Wtrie.pp_api_error e);
+  | Error e -> Format.printf "rank home, 6    = error: %a@." Wtrie.pp_error e);
 
   (* Select: when was the home page hit for the third time? *)
-  (match Wtrie.Static.select wt "site.com/home" 2 with
-  | Some pos -> Printf.printf "select home, 2  = position %d\n" pos
-  | None -> print_endline "select home, 2  = absent");
+  (match Wtrie.Static.select wt "site.com/home" ~count:2 with
+  | Ok pos -> Printf.printf "select home, 2  = position %d\n" pos
+  | Error e -> Format.printf "select home, 2  = %a@." Wtrie.pp_error e);
 
   (* Prefix operations: whole-domain queries without grouping anything. *)
-  Printf.printf "rank_prefix site.com, 10 = %d\n"
-    (Wtrie.Static.rank_prefix_exn wt "site.com/" 10);
-  (match Wtrie.Static.select_prefix wt "blog.net/" 1 with
-  | Some pos -> Printf.printf "2nd blog.net access at position %d\n" pos
-  | None -> ());
+  (match Wtrie.Static.rank_prefix wt ~prefix:"site.com/" ~pos:10 with
+  | Ok c -> Printf.printf "rank_prefix site.com, 10 = %d\n" c
+  | Error _ -> ());
+  (match Wtrie.Static.select_prefix wt ~prefix:"blog.net/" ~count:1 with
+  | Ok pos -> Printf.printf "2nd blog.net access at position %d\n" pos
+  | Error _ -> ());
+
+  (* Batches: hand the whole query vector to the engine and it shares
+     the trie traversal between the operations — results come back in
+     order, per-op errors as data. *)
+  let batch =
+    Wtrie.Static.query_batch wt
+      [|
+        Access { pos = 0 };
+        Rank { s = "site.com/home"; pos = 10 };
+        Select { s = "shop.org/cart"; count = 0 };
+        Rank_prefix { prefix = "blog.net/"; pos = 10 };
+        Select { s = "shop.org/cart"; count = 5 };
+      |]
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok v -> Format.printf "batch[%d] = %a@." i Wtrie.pp_value v
+      | Error e -> Format.printf "batch[%d] = error: %a@." i Wtrie.pp_error e)
+    batch;
 
   (* Section 5 analytics on a position range (= time window).  Range
      works on the same value: [Wtrie.Static.t] IS [Wavelet_trie.t]. *)
@@ -58,11 +83,11 @@ let () =
 
   (* The fully dynamic version: unseen strings may arrive at any moment. *)
   let dwt = Wtrie.Dynamic.of_list log in
-  Wtrie.Dynamic.insert dwt 3 "api.io/v1/users"; (* a brand-new domain *)
+  Wtrie.Dynamic.insert dwt ~pos:3 "api.io/v1/users"; (* a brand-new domain *)
   Printf.printf "after insert: access 3 = %s, distinct = %d\n"
-    (Wtrie.Dynamic.access dwt 3)
+    (Result.get_ok (Wtrie.Dynamic.access dwt ~pos:3))
     (Wtrie.Dynamic.distinct_count dwt);
-  Wtrie.Dynamic.delete dwt 3; (* and gone again — the alphabet shrinks back *)
+  Wtrie.Dynamic.delete dwt ~pos:3; (* and gone again — the alphabet shrinks back *)
   Printf.printf "after delete: distinct = %d\n" (Wtrie.Dynamic.distinct_count dwt);
 
   (* Space accounting vs the information-theoretic lower bound. *)
@@ -72,7 +97,7 @@ let () =
      report (operation counters, traversal work, latency histograms). *)
   Wtrie.Probe.enable ();
   ignore (Wtrie.Static.count wt "site.com/home");
-  ignore (Wtrie.Static.access wt 0);
+  ignore (Wtrie.Static.access wt ~pos:0);
   Format.printf "@.telemetry for the two queries above:@.%a@." Wtrie.Report.pp
     (Wtrie.Report.capture ());
   Wtrie.Probe.disable ();

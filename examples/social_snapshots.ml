@@ -60,7 +60,7 @@ let () =
   Printf.printf "\nout-degree event counts:\n";
   List.iter
     (fun v ->
-      Printf.printf "  %-4s %d\n" v (Wtrie.Dynamic.rank_prefix_exn wt (v ^ ">") n))
+      Printf.printf "  %-4s %d\n" v (Wtrie.Dynamic.count_prefix wt ~prefix:(v ^ ">")))
     [ "ada"; "bob"; "cyd"; "dan" ];
 
   (* GDPR moment: cyd leaves the network.  Delete every event that
@@ -75,8 +75,8 @@ let () =
   let removed = ref 0 in
   let pos = ref 0 in
   while !pos < Wtrie.Dynamic.length wt do
-    if involves_cyd (Wtrie.Dynamic.access wt !pos) then begin
-      Wtrie.Dynamic.delete wt !pos;
+    if involves_cyd (Result.get_ok (Wtrie.Dynamic.access wt ~pos:!pos)) then begin
+      Wtrie.Dynamic.delete wt ~pos:!pos;
       incr removed
     end
     else incr pos
@@ -89,6 +89,6 @@ let () =
 
   (* Back-dated correction: it turns out ada befriended eve before
      everything else — insert at position 0, a brand-new edge. *)
-  Wtrie.Dynamic.insert wt 0 (edge "ada" "eve");
+  Wtrie.Dynamic.insert wt ~pos:0 (edge "ada" "eve");
   Printf.printf "\nafter back-dated insert, first event: %s\n"
-    (Wtrie.Dynamic.access wt 0)
+    (Result.get_ok (Wtrie.Dynamic.access wt ~pos:0))

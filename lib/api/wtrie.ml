@@ -1,16 +1,20 @@
 (** The Wavelet Trie front door.
 
     One module to open: the three sequence variants behind a uniform
-    byte-string API, the observability layer, and the space/statistics
-    reports.
+    byte-string API, the batch query engine, the observability layer,
+    and the space/statistics reports.
 
     {[
       let wt = Wtrie.Static.of_list [ "a"; "b"; "a" ] in
       assert (Wtrie.Static.count wt "a" = 2);
+      assert (Wtrie.Static.rank wt "a" ~pos:3 = Ok 2);
 
-      Wtrie.Probe.enable ();
-      ignore (Wtrie.Static.rank_exn wt "a" 3);
-      print_endline (Wtrie.Report.to_json_string (Wtrie.Report.capture ()))
+      (* a whole vector of queries in one amortized traversal *)
+      let results =
+        Wtrie.Static.query_batch wt
+          [| Access { pos = 0 }; Rank { s = "a"; pos = 3 } |]
+      in
+      assert (results = [| Ok (Str "a"); Ok (Int 2) |])
     ]}
 
     Pick a variant by mutability:
@@ -19,29 +23,68 @@
     - {!Dynamic} — insert/delete at any position (Section 4.2).
 
     All three satisfy {!module-type-STRING_API}; the mutable ones extend
-    it ({!module-type-APPEND_API}, {!module-type-DYNAMIC_API}).  The
-    modules are re-exported unsealed, so [Static.t] is
-    [Wt_core.Wavelet_trie.t] etc. and the lower-level toolkits
-    ([Wt_core.Range], [Wt_core.Persist], ...) keep working on the same
-    values. *)
+    it ({!module-type-APPEND_API}, {!module-type-DYNAMIC_API}).  Each
+    operation comes in one primary shape — labelled arguments, [(_,
+    {!error}) result] for everything partial — plus [query_batch] for
+    vectors of operations; the pre-batch shapes ([access_exn],
+    [select_opt], ...) survive as deprecated aliases (see
+    docs/observability.md for the migration table).  The [t] equalities
+    are exposed, so [Static.t] is [Wt_core.Wavelet_trie.t] etc. and the
+    lower-level toolkits ([Wt_core.Range], [Wt_core.Persist], ...) keep
+    working on the same values. *)
 
-type api_error = Wt_core.Indexed_sequence.api_error =
+type error = Wt_core.Indexed_sequence.error =
   | Position_out_of_bounds of { pos : int; len : int }
+  | Negative_count of { count : int }
+  | No_occurrence of { count : int; occurrences : int }
 
-let pp_api_error = Wt_core.Indexed_sequence.pp_api_error
+let pp_error = Wt_core.Indexed_sequence.pp_error
+
+type op = Wt_core.Indexed_sequence.op =
+  | Access of { pos : int }
+  | Rank of { s : string; pos : int }
+  | Select of { s : string; count : int }
+  | Rank_prefix of { prefix : string; pos : int }
+  | Select_prefix of { prefix : string; count : int }
+
+type value = Wt_core.Indexed_sequence.value = Str of string | Int of int
+
+let pp_value = Wt_core.Indexed_sequence.pp_value
+
+[@@@alert "-deprecated"]
+
+type api_error = error
+[@@deprecated "use [error]: all front-door operations now share one error type"]
+
+let pp_api_error = pp_error [@@deprecated "use [pp_error]"]
+
+[@@@alert "+deprecated"]
 
 module type STRING_API = Wt_core.Indexed_sequence.STRING_API
 module type APPEND_API = Wt_core.Indexed_sequence.APPEND_API
 module type DYNAMIC_API = Wt_core.Indexed_sequence.DYNAMIC_API
 
-module Static = Wt_core.String_api.Static
-module Append = Wt_core.String_api.Append
-module Dynamic = Wt_core.String_api.Dynamic
+(* Sealing with the API signatures (a) attaches the batch entry points
+   from the engine and (b) arms the [@@deprecated] alerts on the
+   pre-batch aliases for downstream users. *)
 
-(* Conformance: every variant implements its tier of the uniform API. *)
-module _ : STRING_API = Static
-module _ : APPEND_API = Append
-module _ : DYNAMIC_API = Dynamic
+module Static : STRING_API with type t = Wt_core.Wavelet_trie.t = struct
+  include Wt_core.String_api.Static
+
+  let query_batch = Wt_exec.Exec.Static.query_batch
+end
+
+module Append : APPEND_API with type t = Wt_core.Append_wt.t = struct
+  include Wt_core.String_api.Append
+
+  let query_batch = Wt_exec.Exec.Append.query_batch
+end
+
+module Dynamic : DYNAMIC_API with type t = Wt_core.Dynamic_wt.t = struct
+  include Wt_core.String_api.Dynamic
+
+  let query_batch = Wt_exec.Exec.Dynamic.query_batch
+end
 
 (** Crash-safe persistence for the mutable variants: checksummed
     snapshot + write-ahead log in a store directory, with torn-tail

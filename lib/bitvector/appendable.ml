@@ -308,6 +308,73 @@ let check_invariants t =
     if t.tail_cum.(w) <> expect then fail "tail cum wrong at word %d" w
   done
 
+(* Rank cursor: the virtual offset prefix, the pending segment and the
+   tail are already O(1) per query (constant / word-cumulative counts),
+   so the cache lives entirely in the frozen part — an {!Rrr.Cursor}
+   into the segment last queried.  Frozen segments are immutable, so the
+   cursor stays valid across concurrent appends. *)
+module Cursor = struct
+  type nonrec bv = t [@@warning "-34"]
+
+  type t = {
+    bv : bv;
+    mutable seg : int; (* segment index of [sub], or -1 *)
+    mutable sub : Rrr.Cursor.t option;
+  }
+
+  let create bv = { bv; seg = -1; sub = None }
+
+  let seg_cursor t seg =
+    match t.sub with
+    | Some c when t.seg = seg -> c
+    | _ ->
+        let c = Rrr.Cursor.create t.bv.segments.(seg) in
+        t.seg <- seg;
+        t.sub <- Some c;
+        c
+
+  (* Physical rank1, routing frozen-segment work through the cursor. *)
+  let cursed_rank1 t p =
+    let bv = t.bv in
+    if p < bv.nsegs * seg_bits then begin
+      let seg = p / seg_bits in
+      bv.cum_ones.(seg) + Rrr.Cursor.rank (seg_cursor t seg) true (p mod seg_bits)
+    end
+    else phys_rank1 bv p
+
+  let rank t b pos =
+    let bv = t.bv in
+    Fid.check_rank_pos ~who:"Appendable.Cursor" ~len:(length bv) pos;
+    Probe.hit App_rank;
+    if pos <= bv.offset_len then if b = bv.offset_bit then pos else 0
+    else begin
+      let off_count = if b = bv.offset_bit then bv.offset_len else 0 in
+      let p = pos - bv.offset_len in
+      let r1 = cursed_rank1 t p in
+      off_count + if b then r1 else p - r1
+    end
+
+  let access_rank t pos =
+    let bv = t.bv in
+    Fid.check_access_pos ~who:"Appendable.Cursor" ~len:(length bv) pos;
+    Probe.hit App_access;
+    if pos < bv.offset_len then (bv.offset_bit, pos)
+    else begin
+      let p = pos - bv.offset_len in
+      let b, r1 =
+        if p < bv.nsegs * seg_bits then begin
+          let seg = p / seg_bits in
+          let b, rb = Rrr.Cursor.access_rank (seg_cursor t seg) (p mod seg_bits) in
+          let local1 = if b then rb else (p mod seg_bits) - rb in
+          (b, bv.cum_ones.(seg) + local1)
+        end
+        else (phys_access bv p, phys_rank1 bv p)
+      in
+      let off_count = if b = bv.offset_bit then bv.offset_len else 0 in
+      (b, off_count + if b then r1 else p - r1)
+    end
+end
+
 module Iter = struct
   type nonrec bv = t [@@warning "-34"]
 

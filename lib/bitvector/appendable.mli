@@ -38,6 +38,25 @@ val is_constant : t -> bool
 val access_rank : t -> int -> bool * int
 (** [access_rank t pos] is [(b, rank t b pos)] with [b = access t pos]. *)
 
+(** Rank cursor for batched queries: an {!Rrr.Cursor} into the frozen
+    segment last queried (the pending segment and tail are O(1) per
+    query already).  Frozen segments are immutable, so the cursor stays
+    valid across appends.  Any position order is correct; monotone
+    positions are the fast path. *)
+module Cursor : sig
+  type bv := t
+  type t
+
+  val create : bv -> t
+  (** A fresh cursor with an empty cache.  O(1). *)
+
+  val rank : t -> bool -> int -> int
+  (** Same contract as the bitvector's [rank]. *)
+
+  val access_rank : t -> int -> bool * int
+  (** Same contract as the bitvector's [access_rank]. *)
+end
+
 module Iter : sig
   type bv := t
   type t

@@ -34,6 +34,15 @@ module type S = sig
     val has_next : t -> bool
     val pos : t -> int
   end
+
+  module Cursor : sig
+    type bv := t
+    type t
+
+    val create : bv -> t
+    val rank : t -> bool -> int -> int
+    val access_rank : t -> int -> bool * int
+  end
 end
 
 (* ------------------------------------------------------------------ *)
@@ -569,5 +578,137 @@ module Make (Codec : CODEC) : S = struct
       it.leaf_left <- it.leaf_left - 1;
       it.cursor <- it.cursor + 1;
       it.run_bit
+  end
+
+  (* Rank cursor: caches the last visited leaf fully decoded — run start
+     offsets and cumulative one-counts — plus the bit and one counts
+     before it, so queries landing in the cached leaf skip both the
+     O(log n) descent and the streaming run decode.  Tree nodes are
+     immutable (updates replace the root), but an update makes the cache
+     stale: create cursors only on a bitvector that is not being
+     mutated. *)
+  module Cursor = struct
+    type nonrec bv = t [@@warning "-34"]
+
+    type t = {
+      bv : bv;
+      mutable leaf_start : int; (* global position of the cached leaf *)
+      mutable leaf_bits : int; (* 0 = nothing cached *)
+      mutable leaf_ones : int;
+      mutable ones_before : int; (* ones in [0, leaf_start) *)
+      mutable starts : int array; (* run start offsets; length nruns+1 *)
+      mutable cums : int array; (* ones before each run; length nruns+1 *)
+      mutable first_bit : bool;
+      mutable nruns : int;
+      mutable run : int; (* last run index used, for monotone advance *)
+    }
+
+    let create bv =
+      {
+        bv;
+        leaf_start = 0;
+        leaf_bits = 0;
+        leaf_ones = 0;
+        ones_before = 0;
+        starts = [||];
+        cums = [||];
+        first_bit = false;
+        nruns = 0;
+        run = 0;
+      }
+
+    (* Descend to the leaf containing [pos] and decode it into the cache.
+       [pos] may equal the total length (rank at the end): the rightmost
+       leaf is cached then. *)
+    let load it pos =
+      match it.bv.root with
+      | None -> invalid_arg (Codec.name ^ ".Cursor: empty bitvector")
+      | Some root ->
+          let rec go node start ones =
+            match node with
+            | Leaf _ as lf ->
+                let runs = decode_leaf lf in
+                let n = Array.length runs.Rle.lengths in
+                let starts = Array.make (n + 1) 0 in
+                let cums = Array.make (n + 1) 0 in
+                for i = 0 to n - 1 do
+                  let len = runs.Rle.lengths.(i) in
+                  starts.(i + 1) <- starts.(i) + len;
+                  cums.(i + 1) <-
+                    (cums.(i) + if bit_of_run runs.Rle.first_bit i then len else 0)
+                done;
+                it.leaf_start <- start;
+                it.leaf_bits <- bits_of lf;
+                it.leaf_ones <- ones_of lf;
+                it.ones_before <- ones;
+                it.starts <- starts;
+                it.cums <- cums;
+                it.first_bit <- runs.Rle.first_bit;
+                it.nruns <- n;
+                it.run <- 0
+            | Node { l; r; _ } ->
+                let bl = bits_of l in
+                if pos - start < bl then go l start ones
+                else go r (start + bl) (ones + ones_of l)
+          in
+          go root 0 0
+
+    let seek it pos =
+      if
+        it.leaf_bits > 0
+        && pos >= it.leaf_start
+        && pos <= it.leaf_start + it.leaf_bits
+      then Probe.hit Bv_cursor_hit
+      else begin
+        Probe.hit Bv_cursor_miss;
+        load it pos
+      end
+
+    (* Run containing local offset [o] ([o < leaf_bits]), advancing the
+       cached index forward and rewinding on a backward step. *)
+    let run_of it o =
+      if o < it.starts.(it.run) then it.run <- 0;
+      while it.run + 1 < it.nruns && o >= it.starts.(it.run + 1) do
+        it.run <- it.run + 1
+      done;
+      it.run
+
+    let rank1 it pos =
+      if pos <= 0 then 0
+      else begin
+        seek it pos;
+        let o = pos - it.leaf_start in
+        if o >= it.leaf_bits then it.ones_before + it.leaf_ones
+        else begin
+          let i = run_of it o in
+          it.ones_before + it.cums.(i)
+          + (if bit_of_run it.first_bit i then o - it.starts.(i) else 0)
+        end
+      end
+
+    let rank it b pos =
+      Fid.check_rank_pos ~who:(Codec.name ^ ".Cursor") ~len:(length it.bv) pos;
+      Probe.hit Dbv_rank;
+      let r1 = rank1 it pos in
+      if b then r1 else pos - r1
+
+    let access_rank it pos =
+      Fid.check_access_pos ~who:(Codec.name ^ ".Cursor") ~len:(length it.bv) pos;
+      Probe.hit Dbv_access;
+      (* strict upper bound: the bit at a leaf boundary lives in the next
+         leaf, unlike a rank at the same position *)
+      (if it.leaf_bits > 0 && pos >= it.leaf_start && pos < it.leaf_start + it.leaf_bits
+       then Probe.hit Bv_cursor_hit
+       else begin
+         Probe.hit Bv_cursor_miss;
+         load it pos
+       end);
+      let o = pos - it.leaf_start in
+      let i = run_of it o in
+      let b = bit_of_run it.first_bit i in
+      let r1 =
+        it.ones_before + it.cums.(i) + (if b then o - it.starts.(i) else 0)
+      in
+      (b, if b then r1 else pos - r1)
   end
 end

@@ -80,6 +80,27 @@ module type S = sig
     val has_next : t -> bool
     val pos : t -> int
   end
+
+  (** Rank cursor for batched queries: caches the last visited leaf
+      fully decoded (run offsets and cumulative one-counts) plus the
+      counts before it, so queries landing in the cached leaf skip both
+      the O(log n) descent and the run decode.  Any position order is
+      correct; monotone positions are the fast path.  The cache goes
+      stale on [insert]/[delete]/[append]: use cursors only between
+      updates. *)
+  module Cursor : sig
+    type bv := t
+    type t
+
+    val create : bv -> t
+    (** A fresh cursor with an empty cache.  O(1). *)
+
+    val rank : t -> bool -> int -> int
+    (** Same contract as the bitvector's [rank]. *)
+
+    val access_rank : t -> int -> bool * int
+    (** Same contract as the bitvector's [access_rank]. *)
+  end
 end
 
 module Make (_ : CODEC) : S

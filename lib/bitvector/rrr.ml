@@ -385,6 +385,75 @@ module Builder = struct
     }
 end
 
+(* Rank cursor: caches the last decoded block together with the rank and
+   offset-stream prefix sums before it.  A query landing in the cached
+   block is an in-block popcount; a short forward step re-uses the prefix
+   sums and walks only the classes in between; anything else repositions
+   from the superblock directory (exactly what a from-scratch query
+   does).  Correct for any position order — monotone batches are simply
+   the all-hit fast path. *)
+module Cursor = struct
+  type nonrec bv = t [@@warning "-34"]
+
+  type t = {
+    bv : bv;
+    mutable blk : int; (* decoded block index, or -1 *)
+    mutable bits : int; (* decoded contents of block [blk] *)
+    mutable ones_before : int; (* ones in blocks [0, blk) *)
+    mutable off : int; (* offset-stream position of block [blk] *)
+  }
+
+  let create bv = { bv; blk = -1; bits = 0; ones_before = 0; off = 0 }
+
+  let seek t blk =
+    if blk = t.blk then Probe.hit Bv_cursor_hit
+    else begin
+      (if t.blk >= 0 && blk > t.blk && blk - t.blk <= sb_blocks then begin
+         Probe.hit Bv_cursor_hit;
+         for b = t.blk to blk - 1 do
+           let c = class_of t.bv b in
+           t.ones_before <- t.ones_before + c;
+           t.off <- t.off + offset_width.(c)
+         done
+       end
+       else begin
+         Probe.hit Bv_cursor_miss;
+         let ones, off = walk_to_block t.bv blk in
+         t.ones_before <- ones;
+         t.off <- off
+       end);
+      t.blk <- blk;
+      t.bits <- decode_block t.bv t.off (class_of t.bv blk)
+    end
+
+  let rank1 t pos =
+    if pos <= 0 then 0
+    else begin
+      let blk = pos / block_bits in
+      if blk >= nblocks_of_len t.bv.len then t.bv.total_ones
+      else begin
+        seek t blk;
+        t.ones_before
+        + Broadword.popcount (t.bits land Broadword.mask (pos mod block_bits))
+      end
+    end
+
+  let rank t b pos =
+    Fid.check_rank_pos ~who:"Rrr.Cursor" ~len:t.bv.len pos;
+    Probe.hit Rrr_rank;
+    let r1 = rank1 t pos in
+    if b then r1 else pos - r1
+
+  let access_rank t pos =
+    Fid.check_access_pos ~who:"Rrr.Cursor" ~len:t.bv.len pos;
+    Probe.hit Rrr_access;
+    seek t (pos / block_bits);
+    let r = pos mod block_bits in
+    let b = t.bits land (1 lsl r) <> 0 in
+    let r1 = t.ones_before + Broadword.popcount (t.bits land Broadword.mask r) in
+    (b, if b then r1 else pos - r1)
+end
+
 module Iter = struct
   type nonrec bv = t [@@warning "-34"]
 

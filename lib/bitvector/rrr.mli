@@ -51,6 +51,27 @@ module Builder : sig
   (** Requires [finished]. *)
 end
 
+(** Rank cursor for batched queries: caches the last decoded block and
+    the rank/offset-stream prefix sums before it, so a query landing in
+    the cached block costs one in-block popcount and a short forward
+    step walks only the classes in between.  Any position order is
+    correct; monotone non-decreasing positions are the all-hit fast
+    path.  Cursor queries count as [Rrr_rank]/[Rrr_access] plus a
+    [Bv_cursor_hit] or [Bv_cursor_miss]. *)
+module Cursor : sig
+  type bv := t
+  type t
+
+  val create : bv -> t
+  (** A fresh cursor with an empty cache.  O(1). *)
+
+  val rank : t -> bool -> int -> int
+  (** Same contract as the bitvector's [rank]. *)
+
+  val access_rank : t -> int -> bool * int
+  (** Same contract as the bitvector's [access_rank]. *)
+end
+
 module Iter : sig
   type bv := t
   type t

@@ -127,6 +127,126 @@ let of_array strings =
     { root = Some (build (Array.init n Fun.id) 0); n }
   end
 
+(* Batched append: route the whole array through the trie in one
+   traversal.  At every node the branch bits of all strings passing
+   through it are appended in sequence order before the children are
+   visited, so the resulting structure is bit-for-bit the one produced
+   by appending the strings one at a time — node splits included, since
+   a split only depends on the node's subsequence length at the moment
+   the diverging string arrives, which is preserved.  On
+   [Invalid_argument] (a prefix-freeness violation mid-batch) the trie
+   is left partially updated; treat the whole batch as failed. *)
+let bulk_append t strings =
+  let m = Array.length strings in
+  if m > 0 then begin
+    Probe.record Wt_append m;
+    match t.root with
+    | None ->
+        let built = of_array strings in
+        t.root <- built.root;
+        t.n <- built.n
+    | Some root ->
+        (* Turn [node] into an internal node branching at bit [l] of its
+           label, with the string [rbits] (the suffix past [off]) in the
+           fresh leaf — the scalar split, with the subsequence length
+           read off the node itself. *)
+        let split node l rbits =
+          Probe.hit Wt_node_split;
+          let label = node.label in
+          let cnt =
+            match node.kind with
+            | Leaf lf -> lf.count
+            | Internal { bv; _ } -> Appendable.length bv
+          in
+          let b = Bitstring.get rbits l in
+          let c = Bitstring.get label l in
+          let old_half = { label = Bitstring.drop label (l + 1); kind = node.kind } in
+          let new_leaf =
+            { label = Bitstring.drop rbits (l + 1); kind = Leaf { count = 1 } }
+          in
+          let bv = Appendable.init c cnt in
+          Appendable.append bv b;
+          node.label <- Bitstring.prefix label l;
+          node.kind <-
+            (if b then Internal { bv; zero = old_half; one = new_leaf }
+             else Internal { bv; zero = new_leaf; one = old_half })
+        in
+        (* [go node off idxs]: append [strings.(i)] for each [i] in
+           [idxs] (in order) below [node]; all of them agree with the
+           root-to-node path on their first [off] bits. *)
+        let rec go node off idxs =
+          match idxs with
+          | [] -> ()
+          | _ -> (
+              match node.kind with
+              | Leaf lf ->
+                  let rec scan = function
+                    | [] -> ()
+                    | i :: rest ->
+                        let label = node.label in
+                        let rbits = Bitstring.drop strings.(i) off in
+                        let l = Bitstring.lcp label rbits in
+                        if l < Bitstring.length label then begin
+                          if l = Bitstring.length rbits then
+                            invalid_arg
+                              "Append_wt.append: string is a proper prefix of a \
+                               stored string";
+                          split node l rbits;
+                          (* the node is internal now: reroute the rest *)
+                          go node off rest
+                        end
+                        else if l = Bitstring.length rbits then begin
+                          lf.count <- lf.count + 1;
+                          scan rest
+                        end
+                        else
+                          invalid_arg
+                            "Append_wt.append: a stored string is a proper prefix \
+                             of the string"
+                  in
+                  scan idxs
+              | Internal { bv; zero; one } ->
+                  let zeros_acc = ref [] and ones_acc = ref [] in
+                  let flush () =
+                    let coff = off + Bitstring.length node.label + 1 in
+                    go zero coff (List.rev !zeros_acc);
+                    go one coff (List.rev !ones_acc)
+                  in
+                  let rec scan = function
+                    | [] -> flush ()
+                    | i :: rest ->
+                        let label = node.label in
+                        let rbits = Bitstring.drop strings.(i) off in
+                        let l = Bitstring.lcp label rbits in
+                        if l < Bitstring.length label then begin
+                          if l = Bitstring.length rbits then
+                            invalid_arg
+                              "Append_wt.append: string is a proper prefix of a \
+                               stored string";
+                          (* the accumulated strings belong to the old
+                             children: push them down before splitting *)
+                          flush ();
+                          split node l rbits;
+                          go node off rest
+                        end
+                        else if l = Bitstring.length rbits then
+                          invalid_arg
+                            "Append_wt.append: string is a proper prefix of a \
+                             stored string"
+                        else begin
+                          let b = Bitstring.get rbits l in
+                          Appendable.append bv b;
+                          let acc = if b then ones_acc else zeros_acc in
+                          acc := i :: !acc;
+                          scan rest
+                        end
+                  in
+                  scan idxs)
+        in
+        go root 0 (List.init m Fun.id);
+        t.n <- t.n + m
+  end
+
 (* ------------------------------------------------------------------ *)
 
 module Node = struct
@@ -162,6 +282,12 @@ module Node = struct
     fun () -> Appendable.Iter.next it
 
   let bv_space_bits node = Appendable.space_bits (bv_of node)
+
+  type cursor = Appendable.Cursor.t
+
+  let bv_cursor node = Appendable.Cursor.create (bv_of node)
+  let cursor_rank = Appendable.Cursor.rank
+  let cursor_access_rank = Appendable.Cursor.access_rank
 end
 
 module Q = Query.Make (Node)

@@ -26,6 +26,14 @@ val append : t -> Wt_strings.Bitstring.t -> unit
 val of_array : Wt_strings.Bitstring.t array -> t
 val to_array : t -> Wt_strings.Bitstring.t array
 
+val bulk_append : t -> Wt_strings.Bitstring.t array -> unit
+(** [bulk_append t ss] appends the strings of [ss] in order, routing the
+    whole batch through the trie in one traversal: each node's branch
+    bits are appended in one run instead of once per root-to-leaf walk.
+    The result is identical to [Array.iter (append t) ss].  On a
+    prefix-freeness violation, raises [Invalid_argument] and leaves the
+    trie partially updated — treat the whole batch as failed. *)
+
 val dump : t -> (string * string option) list
 (** Preorder [(α, β)] dump, as {!Wavelet_trie.dump}. *)
 
@@ -38,4 +46,4 @@ val pp : Format.formatter -> t -> unit
 val check_invariants : t -> unit
 (** Validate per-node counts and bitvector lengths; raises [Failure]. *)
 
-module Node : Node_view.S with type trie = t
+module Node : Node_view.CURSORED with type trie = t

@@ -200,6 +200,12 @@ module Node = struct
     fun () -> Dyn_rle.Iter.next it
 
   let bv_space_bits node = Dyn_rle.space_bits (bv_of node)
+
+  type cursor = Dyn_rle.Cursor.t
+
+  let bv_cursor node = Dyn_rle.Cursor.create (bv_of node)
+  let cursor_rank = Dyn_rle.Cursor.rank
+  let cursor_access_rank = Dyn_rle.Cursor.access_rank
 end
 
 module Q = Query.Make (Node)

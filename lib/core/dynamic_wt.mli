@@ -36,4 +36,4 @@ val check_invariants : t -> unit
     internal node has a constant bitvector (such nodes must have been
     merged away).  Raises [Failure]. *)
 
-module Node : Node_view.S with type trie = t
+module Node : Node_view.CURSORED with type trie = t

@@ -38,19 +38,63 @@ module type DYNAMIC = sig
 end
 
 (* ------------------------------------------------------------------ *)
-(* Byte-string front-door signatures, implemented by {!String_api} and
-   re-exported as the [Wtrie] entry module.  Every variant presents the
-   same uniform surface; the mutating tiers extend it. *)
+(* Byte-string front-door signatures, implemented by {!String_api} plus
+   the batch engine ([lib/exec]) and re-exported as the [Wtrie] entry
+   module.  Every variant presents the same uniform surface; the
+   mutating tiers extend it. *)
 
-type api_error = Position_out_of_bounds of { pos : int; len : int }
+(** The one error shape shared by every front-door query. *)
+type error =
+  | Position_out_of_bounds of { pos : int; len : int }
+      (** A position argument outside the valid range for the operation
+          ([0, len) for [access], [0, len] for [rank]-style counts). *)
+  | Negative_count of { count : int }
+      (** A negative occurrence index passed to a [select]-style
+          operation. *)
+  | No_occurrence of { count : int; occurrences : int }
+      (** A [select]-style operation asked for occurrence [count]
+          (0-based) but only [occurrences] matches exist. *)
 
-let pp_api_error fmt (Position_out_of_bounds { pos; len }) =
-  Format.fprintf fmt "position %d out of bounds (sequence length %d)" pos len
+let pp_error fmt = function
+  | Position_out_of_bounds { pos; len } ->
+      Format.fprintf fmt "position %d out of bounds (sequence length %d)" pos len
+  | Negative_count { count } ->
+      Format.fprintf fmt "negative occurrence index %d" count
+  | No_occurrence { count; occurrences } ->
+      Format.fprintf fmt "no occurrence %d (only %d present)" count occurrences
 
-(** Queries over byte strings.  Position arguments are validated:
-    [rank]-style operations return [Error (Position_out_of_bounds _)]
-    and [select]-style ones return [None] on bad input, with [_exn]
-    variants keeping the raising behaviour. *)
+type api_error = error
+[@@deprecated "use [error]: all front-door operations now share one error type"]
+
+let pp_api_error = pp_error [@@deprecated "use [pp_error]"]
+
+(** One operation of a query batch.  Strings and prefixes are byte
+    strings, exactly as in the scalar API. *)
+type op =
+  | Access of { pos : int }
+  | Rank of { s : string; pos : int }
+  | Select of { s : string; count : int }
+  | Rank_prefix of { prefix : string; pos : int }
+  | Select_prefix of { prefix : string; count : int }
+
+(** Result payload of a batch operation: [Str] for [Access], [Int] for
+    everything else (a count for the rank family, a position for the
+    select family). *)
+type value = Str of string | Int of int
+
+let pp_value fmt = function
+  | Str s -> Format.fprintf fmt "%s" s
+  | Int n -> Format.fprintf fmt "%d" n
+
+(** Queries over byte strings.
+
+    The primary API is labelled and uniform: every partial operation
+    returns [(_, error) result] with the shared {!error} type, and the
+    batch entry point {!val-query_batch} evaluates a vector of
+    operations in one amortized trie traversal.  The pre-batch shapes
+    survive as deprecated aliases ([access_exn], [rank_exn],
+    [select_opt], ...); see docs/observability.md for the migration
+    table. *)
 module type STRING_API = sig
   type t
 
@@ -62,31 +106,58 @@ module type STRING_API = sig
   (** |Sset|: number of distinct strings present. *)
 
   val space_bits : t -> int
-  val access : t -> int -> string
 
-  val rank : t -> string -> int -> (int, api_error) result
+  val access : t -> pos:int -> (string, error) result
+  (** The string at position [pos]. *)
+
+  val rank : t -> string -> pos:int -> (int, error) result
   (** Occurrences of the string in positions [0, pos). *)
 
-  val rank_exn : t -> string -> int -> int
+  val select : t -> string -> count:int -> (int, error) result
+  (** Position of the [count]-th occurrence (0-based). *)
 
-  val select : t -> string -> int -> int option
-  (** Position of the [idx]-th occurrence (0-based); [None] when there
-      are at most [idx] occurrences or [idx < 0]. *)
+  val rank_prefix : t -> prefix:string -> pos:int -> (int, error) result
+  (** Stored strings starting with [prefix] in positions [0, pos). *)
 
-  val select_exn : t -> string -> int -> int
-  (** Like {!select} but raises [Not_found] on a missing occurrence and
-      [Invalid_argument] on a negative index. *)
-
-  val rank_prefix : t -> string -> int -> (int, api_error) result
-  val rank_prefix_exn : t -> string -> int -> int
-  val select_prefix : t -> string -> int -> int option
-  val select_prefix_exn : t -> string -> int -> int
+  val select_prefix : t -> prefix:string -> count:int -> (int, error) result
+  (** Position of the [count]-th stored string starting with [prefix]. *)
 
   val count : t -> string -> int
   (** Total occurrences of the string. *)
 
-  val count_prefix : t -> string -> int
+  val count_prefix : t -> prefix:string -> int
   (** Total number of stored strings starting with the byte prefix. *)
+
+  val query_batch : t -> op array -> (value, error) result array
+  (** Evaluate a whole vector of operations, grouping them by trie path
+      and executing level-by-level so each visited node answers a
+      monotone sequence of positions from cached bitvector state (the
+      batch engine, [lib/exec]).  [query_batch t ops] is equivalent to
+      evaluating each operation with the scalar API, in order; per-op
+      failures are reported in the result array, never raised. *)
+
+  (** {2 Deprecated pre-batch aliases} *)
+
+  val access_exn : t -> int -> string
+  [@@deprecated "use [access t ~pos] (returns a result)"]
+
+  val rank_exn : t -> string -> int -> int
+  [@@deprecated "use [rank t s ~pos] (returns a result)"]
+
+  val select_opt : t -> string -> int -> int option
+  [@@deprecated "use [select t s ~count] (returns a result)"]
+
+  val select_exn : t -> string -> int -> int
+  [@@deprecated "use [select t s ~count] (returns a result)"]
+
+  val rank_prefix_exn : t -> string -> int -> int
+  [@@deprecated "use [rank_prefix t ~prefix ~pos] (returns a result)"]
+
+  val select_prefix_opt : t -> string -> int -> int option
+  [@@deprecated "use [select_prefix t ~prefix ~count] (returns a result)"]
+
+  val select_prefix_exn : t -> string -> int -> int
+  [@@deprecated "use [select_prefix t ~prefix ~count] (returns a result)"]
 end
 
 module type APPEND_API = sig
@@ -94,15 +165,22 @@ module type APPEND_API = sig
 
   val create : unit -> t
   val append : t -> string -> unit
+
+  val append_batch : t -> string array -> unit
+  (** Append a whole array in one trie traversal ([Append_wt.bulk_append]
+      on the append-only variant): equivalent to appending the strings
+      one at a time, but each node's branch bits are emitted in one run.
+      Raises [Invalid_argument] on a prefix-freeness violation, leaving
+      the batch partially applied. *)
 end
 
 module type DYNAMIC_API = sig
   include APPEND_API
 
-  val insert : t -> int -> string -> unit
-  (** [insert t pos s] places [s] immediately before position [pos]. *)
+  val insert : t -> pos:int -> string -> unit
+  (** [insert t ~pos s] places [s] immediately before position [pos]. *)
 
-  val delete : t -> int -> unit
+  val delete : t -> pos:int -> unit
 end
 
 (** Array-backed oracle: every operation is a linear scan. *)

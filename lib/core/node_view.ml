@@ -44,3 +44,23 @@ module type S = sig
   (** Measured footprint of an internal node's bitvector (space
       accounting). *)
 end
+
+(** {!S} plus a rank cursor over a node's β, for the batch query engine
+    ({!module:Exec} in [lib/exec]): one cursor per visited node answers a
+    monotone sequence of rank/access queries from cached block state
+    instead of a from-scratch directory walk per query. *)
+module type CURSORED = sig
+  include S
+
+  type cursor
+
+  val bv_cursor : node -> cursor
+  (** A fresh cursor over an internal node's β.  O(1). *)
+
+  val cursor_rank : cursor -> bool -> int -> int
+  (** Same contract as [bv_rank]; cheap when positions arrive in
+      non-decreasing order. *)
+
+  val cursor_access_rank : cursor -> int -> bool * int
+  (** Same contract as [bv_access_rank]; cheap on monotone positions. *)
+end

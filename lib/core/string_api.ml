@@ -19,10 +19,6 @@ module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
 module Probe = Wt_obs.Probe
 
-type api_error = Indexed_sequence.api_error = Position_out_of_bounds of { pos : int; len : int }
-
-let pp_api_error = Indexed_sequence.pp_api_error
-
 let encode = Binarize.of_bytes
 
 (* A byte prefix is the encoding without its terminator bit. *)
@@ -30,58 +26,97 @@ let encode_prefix p =
   let e = Binarize.of_bytes p in
   Bitstring.prefix e (Bitstring.length e - 1)
 
+open struct
+  (* Shared constructors so the scalar façades and the batch engine
+     report identical errors. *)
+  type error = Indexed_sequence.error =
+    | Position_out_of_bounds of { pos : int; len : int }
+    | Negative_count of { count : int }
+    | No_occurrence of { count : int; occurrences : int }
+end
+
 module Make (I : Indexed_sequence.S) = struct
   type t = I.t
 
   let length = I.length
   let distinct_count = I.distinct_count
   let space_bits = I.space_bits
-  let access t pos = Probe.time Wt_access (fun () -> Binarize.to_bytes (I.access t pos))
+
+  let access_exn t pos =
+    Probe.time Wt_access (fun () -> Binarize.to_bytes (I.access t pos))
+
+  let access t ~pos =
+    let len = I.length t in
+    if pos < 0 || pos >= len then Error (Position_out_of_bounds { pos; len })
+    else Ok (access_exn t pos)
+
   let rank_exn t s pos = Probe.time Wt_rank (fun () -> I.rank t (encode s) pos)
 
-  let rank t s pos =
+  let rank t s ~pos =
     let len = I.length t in
     if pos < 0 || pos > len then Error (Position_out_of_bounds { pos; len })
     else Ok (rank_exn t s pos)
 
-  let select t s idx =
-    if idx < 0 then None else Probe.time Wt_select (fun () -> I.select t (encode s) idx)
+  let count t s = rank_exn t s (I.length t)
 
-  let select_exn t s idx =
-    match Probe.time Wt_select (fun () -> I.select t (encode s) idx) with
+  let select_opt t s count =
+    if count < 0 then None
+    else Probe.time Wt_select (fun () -> I.select t (encode s) count)
+
+  let select t s ~count =
+    if count < 0 then Error (Negative_count { count })
+    else
+      match Probe.time Wt_select (fun () -> I.select t (encode s) count) with
+      | Some pos -> Ok pos
+      | None ->
+          (* error path only: one extra rank to report how many exist *)
+          Error (No_occurrence { count; occurrences = rank_exn t s (I.length t) })
+
+  let select_exn t s count =
+    match Probe.time Wt_select (fun () -> I.select t (encode s) count) with
     | Some pos -> pos
     | None -> raise Not_found
 
   let rank_prefix_exn t p pos =
     Probe.time Wt_rank_prefix (fun () -> I.rank_prefix t (encode_prefix p) pos)
 
-  let rank_prefix t p pos =
+  let rank_prefix t ~prefix ~pos =
     let len = I.length t in
     if pos < 0 || pos > len then Error (Position_out_of_bounds { pos; len })
-    else Ok (rank_prefix_exn t p pos)
+    else Ok (rank_prefix_exn t prefix pos)
 
-  let select_prefix t p idx =
-    if idx < 0 then None
-    else Probe.time Wt_select_prefix (fun () -> I.select_prefix t (encode_prefix p) idx)
+  let count_prefix t ~prefix = rank_prefix_exn t prefix (I.length t)
 
-  let select_prefix_exn t p idx =
-    match Probe.time Wt_select_prefix (fun () -> I.select_prefix t (encode_prefix p) idx) with
+  let select_prefix_opt t p count =
+    if count < 0 then None
+    else Probe.time Wt_select_prefix (fun () -> I.select_prefix t (encode_prefix p) count)
+
+  let select_prefix t ~prefix ~count =
+    if count < 0 then Error (Negative_count { count })
+    else
+      match
+        Probe.time Wt_select_prefix (fun () ->
+            I.select_prefix t (encode_prefix prefix) count)
+      with
+      | Some pos -> Ok pos
+      | None ->
+          Error (No_occurrence { count; occurrences = count_prefix t ~prefix })
+
+  let select_prefix_exn t p count =
+    match
+      Probe.time Wt_select_prefix (fun () -> I.select_prefix t (encode_prefix p) count)
+    with
     | Some pos -> pos
     | None -> raise Not_found
-
-  let count_prefix t p = rank_prefix_exn t p (length t)
-  (** Total number of stored strings starting with [p]. *)
-
-  let count t s = rank_exn t s (length t)
-  (** Total occurrences of [s]. *)
 end
 
 module Make_dynamic (I : Indexed_sequence.DYNAMIC) = struct
   include Make (I)
 
-  let insert t pos s = Probe.time Wt_insert (fun () -> I.insert t pos (encode s))
-  let delete t pos = Probe.time Wt_delete (fun () -> I.delete t pos)
+  let insert t ~pos s = Probe.time Wt_insert (fun () -> I.insert t pos (encode s))
+  let delete t ~pos = Probe.time Wt_delete (fun () -> I.delete t pos)
   let append t s = Probe.time Wt_append (fun () -> I.append t (encode s))
+  let append_batch t ss = Array.iter (append t) ss
 end
 
 module Static = struct
@@ -96,6 +131,10 @@ module Append = struct
 
   let create = Append_wt.create
   let append t s = Probe.time Wt_append (fun () -> Append_wt.append t (encode s))
+
+  let append_batch t ss =
+    Probe.time Wt_append (fun () -> Append_wt.bulk_append t (Array.map encode ss))
+
   let of_array a = Append_wt.of_array (Array.map encode a)
   let of_list l = of_array (Array.of_list l)
 end

@@ -109,6 +109,12 @@ module Node = struct
     fun () -> Rrr.Iter.next it
 
   let bv_space_bits node = Rrr.space_bits (bv_of node)
+
+  type cursor = Rrr.Cursor.t
+
+  let bv_cursor node = Rrr.Cursor.create (bv_of node)
+  let cursor_rank = Rrr.Cursor.rank
+  let cursor_access_rank = Rrr.Cursor.access_rank
 end
 
 module Q = Query.Make (Node)

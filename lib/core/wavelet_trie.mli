@@ -41,4 +41,4 @@ val pp : Format.formatter -> t -> unit
 
 (** Internal node view used by the Section 5 range algorithms
     ({!Range}). *)
-module Node : Node_view.S with type trie = t
+module Node : Node_view.CURSORED with type trie = t

@@ -14,7 +14,14 @@
       bits) along root-to-node paths, i.e. the O(|s| + h_s) term;
     - [Durable_*]: the crash-safe persistence layer — snapshot
       saves/loads, WAL records appended and replayed, torn-tail bytes
-      dropped during recovery, and checkpoints taken.
+      dropped during recovery, and checkpoints taken;
+    - [Exec_*]: the batch query engine — batches executed, operations
+      per batch, and the per-level latency histogram of its
+      level-by-level traversal;
+    - [Bv_cursor_*]: rank-cursor cache behaviour shared by every
+      bitvector implementation — a hit answers a query from the cached
+      (block, rank-so-far) state with an in-block popcount or a short
+      forward walk, a miss repositions from the directory.
 
     Counter metrics count invocations; the same ids key the latency
     histograms recorded by {!Probe.time} at the string-API layer. *)
@@ -50,8 +57,13 @@ type t =
   | Durable_wal_replay
   | Durable_wal_dropped_bytes
   | Durable_checkpoint
+  | Exec_batch
+  | Exec_batch_ops
+  | Exec_level
+  | Bv_cursor_hit
+  | Bv_cursor_miss
 
-let count = 30
+let count = 35
 
 let index = function
   | Rrr_rank -> 0
@@ -84,6 +96,11 @@ let index = function
   | Durable_wal_replay -> 27
   | Durable_wal_dropped_bytes -> 28
   | Durable_checkpoint -> 29
+  | Exec_batch -> 30
+  | Exec_batch_ops -> 31
+  | Exec_level -> 32
+  | Bv_cursor_hit -> 33
+  | Bv_cursor_miss -> 34
 
 let all =
   [|
@@ -93,6 +110,7 @@ let all =
     Wt_node_split; Wt_node_merge; Wt_nodes_visited; Wt_bits_consumed;
     Durable_snapshot_save; Durable_snapshot_load; Durable_wal_append;
     Durable_wal_replay; Durable_wal_dropped_bytes; Durable_checkpoint;
+    Exec_batch; Exec_batch_ops; Exec_level; Bv_cursor_hit; Bv_cursor_miss;
   |]
 
 let name = function
@@ -126,5 +144,10 @@ let name = function
   | Durable_wal_replay -> "durable_wal_replay"
   | Durable_wal_dropped_bytes -> "durable_wal_dropped_bytes"
   | Durable_checkpoint -> "durable_checkpoint"
+  | Exec_batch -> "exec_batch"
+  | Exec_batch_ops -> "exec_batch_ops"
+  | Exec_level -> "exec_level"
+  | Bv_cursor_hit -> "bv_cursor_hit"
+  | Bv_cursor_miss -> "bv_cursor_miss"
 
 let of_name s = Array.find_opt (fun m -> name m = s) all

@@ -9,32 +9,66 @@ The wtrie CLI over a small line file.
   > site.com/home
   > STOP
 
-Point queries:
+Point queries share one convention: --at for positions, --prefix for
+byte prefixes, --count for occurrence indices.
 
-  $ wtrie access log.txt 2
+  $ wtrie access log.txt --at 2
   blog.net/post
+
+  $ wtrie access log.txt --at 99
+  position 99 out of bounds (sequence length 6)
+  [1]
 
   $ wtrie rank log.txt site.com/home
   3
 
-  $ wtrie rank log.txt site.com/home --hi 3
+  $ wtrie rank log.txt site.com/home --at 3
   1
 
-  $ wtrie select log.txt site.com/home 1
+  $ wtrie select log.txt site.com/home --count 1
   3
 
-  $ wtrie select log.txt nope 0
-  no such occurrence
+  $ wtrie select log.txt nope --count 0
+  no occurrence 0 (only 0 present)
   [1]
 
 Prefix queries:
 
-  $ wtrie prefix-count log.txt site.com/
+  $ wtrie prefix-count log.txt --prefix site.com/
   4
 
-  $ wtrie prefix-list log.txt site.com/ --limit 2
+  $ wtrie prefix-count log.txt --prefix site.com/ --at 2
+  2
+
+  $ wtrie prefix-list log.txt --prefix site.com/ --count 2
          0  site.com/home
          1  site.com/login
+
+Batch mode: a whole vector of operations through the batch engine in
+one amortized traversal, one result line per operation.  Per-operation
+failures are data, not process failures.
+
+  $ cat > ops.txt <<STOP
+  > access 2
+  > rank site.com/home 6
+  > select site.com/home 1
+  > rank-prefix site.com/ 4
+  > select-prefix blog.net/ 0
+  > access 99
+  > select nope 0
+  > STOP
+
+  $ wtrie query log.txt --batch ops.txt
+  blog.net/post
+  3
+  3
+  3
+  2
+  error: position 99 out of bounds (sequence length 6)
+  error: no occurrence 0 (only 0 present)
+
+  $ echo "rank site.com/home 3" | wtrie query log.txt --batch -
+  1
 
 Range analytics:
 
@@ -68,7 +102,7 @@ Index caching:
   $ wtrie rank log.wtx site.com/home
   3
 
-  $ wtrie access log.wtx 4
+  $ wtrie access log.wtx --at 4
   shop.org/cart
 
 Deep verification of a saved index:
@@ -102,7 +136,7 @@ it, recover replays the intact prefix and checkpoints:
   $ wtrie verify store.d --json
   {"ok":true,"kind":"store","variant":"append","generation":1,"length":5,"distinct":4,"wal_records":0,"wal_dropped_bytes":0,"wal_reset_needed":false}
 
-  $ wtrie access store.d 4
+  $ wtrie access store.d --at 4
   shop.org/cart
 
 An injected crash (the fault hook the CI smoke test uses) kills the
@@ -118,5 +152,5 @@ writer mid-append; acknowledged records survive, the torn one does not:
   $ wtrie verify store.d
   store.d: ok (append store, generation 2, length 7, wal records 0)
 
-  $ wtrie access store.d 6
+  $ wtrie access store.d --at 6
   site.com/login

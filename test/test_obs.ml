@@ -102,8 +102,8 @@ let test_report_roundtrip () =
   probed (fun () ->
       let wt = Str.Static.of_list [ "a"; "b"; "a"; "ab" ] in
       check_int "count" 2 (Str.Static.count wt "a");
-      ignore (Str.Static.access wt 3);
-      ignore (Str.Static.select wt "b" 0);
+      ignore (Str.Static.access wt ~pos:3);
+      ignore (Str.Static.select wt "b" ~count:0);
       let report =
         Report.capture
           ~space:
@@ -170,7 +170,7 @@ let test_disabled_zero_cost () =
       Alcotest.(check string)
         (Printf.sprintf "%s access %d" name pos)
         (Wt_strings.Binarize.to_bytes (Naive.access naive pos))
-        (V.access wt pos)
+        (Result.get_ok (V.access wt ~pos))
     done;
     Array.iteri
       (fun i s ->
@@ -178,16 +178,42 @@ let test_disabled_zero_cost () =
         check_int
           (Printf.sprintf "%s rank %d" name i)
           (Naive.rank naive e (i + 1))
-          (V.rank_exn wt s (i + 1));
+          (Result.get_ok (V.rank wt s ~pos:(i + 1)));
         Alcotest.(check (option int))
           (Printf.sprintf "%s select %d" name i)
           (Naive.select naive e (i mod 3))
-          (V.select wt s (i mod 3)))
-      strings
+          (Result.to_option (V.select wt s ~count:(i mod 3))))
+      strings;
+    (* the batch engine with probes off: results still match the scalar
+       API, and (checked below) no counter moves *)
+    let ops =
+      Array.init 64 (fun i ->
+          match i mod 3 with
+          | 0 -> Wt_core.Indexed_sequence.Access { pos = i }
+          | 1 -> Wt_core.Indexed_sequence.Rank { s = strings.(i); pos = i + 1 }
+          | _ ->
+              Wt_core.Indexed_sequence.Select { s = strings.(i); count = i mod 5 })
+    in
+    Array.iteri
+      (fun i r ->
+        let scalar =
+          match ops.(i) with
+          | Wt_core.Indexed_sequence.Access { pos } ->
+              Result.map (fun s -> Wt_core.Indexed_sequence.Str s) (V.access wt ~pos)
+          | Wt_core.Indexed_sequence.Rank { s; pos } ->
+              Result.map (fun c -> Wt_core.Indexed_sequence.Int c) (V.rank wt s ~pos)
+          | Wt_core.Indexed_sequence.Select { s; count } ->
+              Result.map (fun p -> Wt_core.Indexed_sequence.Int p) (V.select wt s ~count)
+          | _ -> assert false
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s batch[%d] = scalar" name i)
+          true (r = scalar))
+      (V.query_batch wt ops)
   in
-  check_variant (module Str.Static) "static" (Str.Static.of_array strings);
-  check_variant (module Str.Append) "append" (Str.Append.of_array strings);
-  check_variant (module Str.Dynamic) "dynamic" (Str.Dynamic.of_array strings);
+  check_variant (module Wtrie.Static) "static" (Wtrie.Static.of_array strings);
+  check_variant (module Wtrie.Append) "append" (Wtrie.Append.of_array strings);
+  check_variant (module Wtrie.Dynamic) "dynamic" (Wtrie.Dynamic.of_array strings);
   Array.iter
     (fun m -> check_int (Metric.name m ^ " untouched") 0 (Probe.counter m))
     Metric.all;
@@ -202,7 +228,9 @@ let test_enabled_same_results () =
     Array.to_list
       (Array.mapi
          (fun i s ->
-           (Str.Static.access wt i, Str.Static.count wt s, Str.Static.select wt s 0))
+           ( Str.Static.access wt ~pos:i,
+             Str.Static.count wt s,
+             Str.Static.select wt s ~count:0 ))
          strings)
   in
   let off = run () in

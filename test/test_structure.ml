@@ -138,14 +138,15 @@ let test_pp_golden () =
 let test_string_api_empty_prefix () =
   let wt = Str.Static.of_list [ "a"; "b"; "a" ] in
   (* the empty byte prefix matches every stored string *)
-  check_int "empty prefix counts all" 3 (Str.Static.count_prefix wt "");
-  Alcotest.(check (option int)) "empty prefix select" (Some 1)
-    (Str.Static.select_prefix wt "" 1);
+  check_int "empty prefix counts all" 3 (Str.Static.count_prefix wt ~prefix:"");
+  Alcotest.(check (result int reject)) "empty prefix select" (Ok 1)
+    (Str.Static.select_prefix wt ~prefix:"" ~count:1);
   (* and the empty *string* is storable and distinct from the prefix *)
   let wt = Str.Static.of_list [ ""; "x"; "" ] in
   check_int "empty string count" 2 (Str.Static.count wt "");
-  Alcotest.(check string) "empty string access" "" (Str.Static.access wt 0);
-  check_int "empty prefix still counts all" 3 (Str.Static.count_prefix wt "")
+  Alcotest.(check string) "empty string access" ""
+    (Result.get_ok (Str.Static.access wt ~pos:0));
+  check_int "empty prefix still counts all" 3 (Str.Static.count_prefix wt ~prefix:"")
 
 let test_wavelet_tree_backends_agree () =
   let rng = Xoshiro.create 26 in

@@ -82,38 +82,47 @@ let test_space_closer_to_lb () =
 let test_string_api_static () =
   let wt = Str.Static.of_list [ "a.com/x"; "b.org/y"; "a.com/x"; "a.com/z" ] in
   check_int "length" 4 (Str.Static.length wt);
-  Alcotest.(check string) "access" "b.org/y" (Str.Static.access wt 1);
-  check_int "rank" 2 (Str.Static.rank_exn wt "a.com/x" 4);
+  Alcotest.(check string) "access" "b.org/y"
+    (Result.get_ok (Str.Static.access wt ~pos:1));
+  check_int "rank" 2 (Result.get_ok (Str.Static.rank wt "a.com/x" ~pos:4));
   Alcotest.(check bool)
     "rank out of bounds" true
-    (Str.Static.rank wt "a.com/x" 99
-    = Error (Str.Position_out_of_bounds { pos = 99; len = 4 }));
+    (Str.Static.rank wt "a.com/x" ~pos:99
+    = Error (Wt_core.Indexed_sequence.Position_out_of_bounds { pos = 99; len = 4 }));
   check_int "count" 2 (Str.Static.count wt "a.com/x");
-  Alcotest.(check (option int)) "select" (Some 2) (Str.Static.select wt "a.com/x" 1);
-  check_int "prefix count" 3 (Str.Static.count_prefix wt "a.com/");
-  check_int "prefix rank" 1 (Str.Static.rank_prefix_exn wt "a.com/" 1);
-  Alcotest.(check (option int))
-    "prefix select" (Some 3)
-    (Str.Static.select_prefix wt "a.com/" 2);
+  check_int "select" 2 (Result.get_ok (Str.Static.select wt "a.com/x" ~count:1));
+  check_int "prefix count" 3 (Str.Static.count_prefix wt ~prefix:"a.com/");
+  check_int "prefix rank" 1
+    (Result.get_ok (Str.Static.rank_prefix wt ~prefix:"a.com/" ~pos:1));
+  check_int "prefix select" 3
+    (Result.get_ok (Str.Static.select_prefix wt ~prefix:"a.com/" ~count:2));
+  Alcotest.(check bool)
+    "absent select reports the occurrence count" true
+    (Str.Static.select wt "nope" ~count:0
+    = Error (Wt_core.Indexed_sequence.No_occurrence { count = 0; occurrences = 0 }));
   check_int "absent" 0 (Str.Static.count wt "nope")
 
 let test_string_api_dynamic () =
   let wt = Str.Dynamic.create () in
   Str.Dynamic.append wt "one";
   Str.Dynamic.append wt "two";
-  Str.Dynamic.insert wt 1 "one-and-a-half";
-  Alcotest.(check string) "order" "one-and-a-half" (Str.Dynamic.access wt 1);
+  Str.Dynamic.insert wt ~pos:1 "one-and-a-half";
+  Alcotest.(check string) "order" "one-and-a-half"
+    (Result.get_ok (Str.Dynamic.access wt ~pos:1));
   check_int "distinct" 3 (Str.Dynamic.distinct_count wt);
-  Str.Dynamic.delete wt 1;
+  Str.Dynamic.delete wt ~pos:1;
   check_int "after delete" 2 (Str.Dynamic.distinct_count wt);
-  Alcotest.(check string) "shifted" "two" (Str.Dynamic.access wt 1)
+  Alcotest.(check string) "shifted" "two"
+    (Result.get_ok (Str.Dynamic.access wt ~pos:1))
 
 let test_string_api_append () =
   let wt = Str.Append.create () in
-  List.iter (Str.Append.append wt) [ "x"; "y"; "x"; "xy" ];
+  List.iter (Str.Append.append wt) [ "x"; "y" ];
+  Str.Append.append_batch wt [| "x"; "xy" |];
   check_int "rank x" 2 (Str.Append.count wt "x");
-  check_int "prefix x" 3 (Str.Append.count_prefix wt "x");
-  Alcotest.(check string) "access" "xy" (Str.Append.access wt 3)
+  check_int "prefix x" 3 (Str.Append.count_prefix wt ~prefix:"x");
+  Alcotest.(check string) "access" "xy"
+    (Result.get_ok (Str.Append.access wt ~pos:3))
 
 let () =
   Alcotest.run "wt_succinct_wt"
