@@ -869,6 +869,68 @@ let batch_block () =
       per "rank" scalar_rank batch_rank;
     ]
 
+(* Parallel scaling of the batched engine: the identical Zipf URL batch
+   executed sequentially and sharded over explicit pools of 2 and 4
+   domains ([lib/par]).  Explicit pools — not the shared default — so
+   the measured parallelism is exactly the reported domain count
+   regardless of WTRIE_DOMAINS or the host's core count; on a
+   single-core box the >1 legs degrade to ~1x (sharding overhead only),
+   which is the honest number. *)
+let parallel_block () =
+  let n = 131072 in
+  let g = Urls.create ~seed:42 () in
+  let strings = Urls.raw_sequence g n in
+  let wt = Wtrie.Static.of_array strings in
+  let b = 16384 in
+  let rng = Xoshiro.create 31 in
+  let positions = Array.init b (fun _ -> Xoshiro.int rng n) in
+  let access_ops = Array.map (fun pos -> Wtrie.Access { pos }) positions in
+  let rank_ops =
+    Array.init b (fun _ ->
+        Wtrie.Rank { s = strings.(Xoshiro.int rng n); pos = Xoshiro.int rng (n + 1) })
+  in
+  let best f =
+    let d = ref infinity in
+    for _ = 1 to 3 do
+      d := min !d (time_batch f)
+    done;
+    !d
+  in
+  let engine = Wt_exec.Exec.Static.query_batch in
+  let run_at d ops =
+    if d = 1 then best (fun () -> ignore (engine wt ops))
+    else begin
+      let pool = Wt_par.Pool.create ~size:d () in
+      let dt =
+        best (fun () ->
+            ignore (Wt_par.Par_exec.query_batch ~pool ~domains:d engine wt ops))
+      in
+      Wt_par.Pool.shutdown pool;
+      dt
+    end
+  in
+  let per op ops =
+    let times = List.map (fun d -> (d, run_at d ops)) [ 1; 2; 4 ] in
+    let t1 = List.assoc 1 times in
+    ( op,
+      Json.Obj
+        (List.concat_map
+           (fun (d, t) ->
+             (Printf.sprintf "domains_%d_ns_per_op" d, Json.Float (t *. 1e9 /. float_of_int b))
+             ::
+             (if d = 1 then [] else [ (Printf.sprintf "speedup_%d" d, Json.Float (t1 /. t)) ]))
+           times) )
+  in
+  Json.Obj
+    [
+      ("n", Json.Int n);
+      ("batch_ops", Json.Int b);
+      ("recommended_domains", Json.Int (Domain.recommended_domain_count ()));
+      ("pool_default_size", Json.Int (Wt_par.Pool.default_size ()));
+      per "access" access_ops;
+      per "rank" rank_ops;
+    ]
+
 let metrics_block () =
   let g = Urls.create ~seed:42 () in
   let strings = Urls.raw_sequence g 2048 in
@@ -912,6 +974,7 @@ let metrics_block () =
     [
       ("metrics", Json.Obj [ static; append; dynamic ]);
       ("batch", batch_block ());
+      ("parallel", parallel_block ());
       ("durability", durability_block ());
     ]
 

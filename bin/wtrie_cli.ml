@@ -459,7 +459,15 @@ let query_cmd =
   let batch =
     Arg.(required & opt (some string) None & info [ "batch" ] ~docv:"OPS" ~doc:"File of operations, one per line ('-' for stdin): access POS, rank STRING POS, select STRING K, rank-prefix PREFIX POS, select-prefix PREFIX K.")
   in
-  let run file batch stats =
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc:"Execute the batch on up to $(docv) domains in parallel (sharded over the domain pool; pool size follows WTRIE_DOMAINS or the machine).  Results are identical to the sequential run, in input order.")
+  in
+  let run file batch domains stats =
+    (match domains with
+    | Some d when d < 1 ->
+        Printf.eprintf "--domains must be >= 1 (got %d)\n" d;
+        exit 2
+    | _ -> ());
     with_stats stats @@ fun () ->
     let wt = build file in
     let lines = read_lines batch in
@@ -474,13 +482,13 @@ let query_cmd =
       (function
         | Ok v -> Format.printf "%a@." Wtrie.pp_value v
         | Error e -> Format.printf "error: %a@." Wtrie.pp_error e)
-      (Wtrie.Append.query_batch wt ops);
+      (Wtrie.Append.query_batch ?domains wt ops);
     wt
   in
   Cmd.v
     (Cmd.info "query"
        ~doc:"Evaluate a whole batch of operations in one amortized traversal; one result line per operation (per-op errors are printed as data, exit 0).")
-    Term.(const run $ file_arg $ batch $ stats_arg)
+    Term.(const run $ file_arg $ batch $ domains $ stats_arg)
 
 let distinct_cmd =
   let run file lo hi stats =

@@ -65,26 +65,49 @@ module type APPEND_API = Wt_core.Indexed_sequence.APPEND_API
 module type DYNAMIC_API = Wt_core.Indexed_sequence.DYNAMIC_API
 
 (* Sealing with the API signatures (a) attaches the batch entry points
-   from the engine and (b) arms the [@@deprecated] alerts on the
-   pre-batch aliases for downstream users. *)
+   from the engine — routed through the domain pool when [~domains] is
+   given — and (b) arms the [@@deprecated] alerts on the pre-batch
+   aliases for downstream users. *)
 
 module Static : STRING_API with type t = Wt_core.Wavelet_trie.t = struct
   include Wt_core.String_api.Static
 
-  let query_batch = Wt_exec.Exec.Static.query_batch
+  let query_batch ?domains t ops =
+    Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Static.query_batch t ops
 end
 
 module Append : APPEND_API with type t = Wt_core.Append_wt.t = struct
   include Wt_core.String_api.Append
 
-  let query_batch = Wt_exec.Exec.Append.query_batch
+  let query_batch ?domains t ops =
+    Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Append.query_batch t ops
 end
 
 module Dynamic : DYNAMIC_API with type t = Wt_core.Dynamic_wt.t = struct
   include Wt_core.String_api.Dynamic
 
-  let query_batch = Wt_exec.Exec.Dynamic.query_batch
+  let query_batch ?domains t ops =
+    Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Dynamic.query_batch t ops
 end
+
+(** The multicore serving layer behind [query_batch ~domains]:
+    {!Pool} is the shared domain pool (size from [WTRIE_DOMAINS] or the
+    machine), {!Snapshot} the epoch-published handle that pairs with
+    {!Dynamic.snapshot} to isolate parallel readers from the owner
+    domain's updates:
+
+    {[
+      let handle = Wtrie.Snapshot.create (Wtrie.Dynamic.snapshot wt) in
+      (* reader domains, at any time: *)
+      let frozen = Wtrie.Snapshot.read handle in
+      let _ = Wtrie.Dynamic.query_batch ~domains:4 frozen ops in
+      (* owner domain: mutate freely, then publish a fresh snapshot *)
+      Wtrie.Dynamic.insert wt ~pos:0 "new";
+      ignore (Wtrie.Snapshot.publish handle (Wtrie.Dynamic.snapshot wt))
+    ]} *)
+module Pool = Wt_par.Pool
+
+module Snapshot = Wt_par.Snapshot
 
 (** Crash-safe persistence for the mutable variants: checksummed
     snapshot + write-ahead log in a store directory, with torn-tail

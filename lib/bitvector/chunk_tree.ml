@@ -22,6 +22,13 @@ module type S = sig
   val zeros : t -> int
   val is_constant : t -> bool
   val access_rank : t -> int -> bool * int
+
+  val snapshot : t -> t
+  (** O(1) frozen copy.  Tree nodes are immutable (every edit path-copies
+      down from the root), so the copy shares the entire tree; subsequent
+      [insert]/[delete]/[append] on the original replace its root and
+      leave the snapshot untouched. *)
+
   val check_invariants : t -> unit
   val leaf_count : t -> int
 
@@ -388,6 +395,11 @@ module Make (Codec : CODEC) : S = struct
 
   let create () = { root = None }
 
+  (* Every edit installs a freshly allocated [Some root] block, so the
+     snapshot's saved option is physically distinct from any post-edit
+     root: sharing is read-only. *)
+  let snapshot t = { root = t.root }
+
   let length t = match t.root with None -> 0 | Some n -> bits_of n
   let ones t = match t.root with None -> 0 | Some n -> ones_of n
   let zeros t = length t - ones t
@@ -584,9 +596,10 @@ module Make (Codec : CODEC) : S = struct
      offsets and cumulative one-counts — plus the bit and one counts
      before it, so queries landing in the cached leaf skip both the
      O(log n) descent and the streaming run decode.  Tree nodes are
-     immutable (updates replace the root), but an update makes the cache
-     stale: create cursors only on a bitvector that is not being
-     mutated. *)
+     immutable (updates replace the root), and the cache revalidates
+     itself against the current root on every use (a physical-equality
+     check), so a cursor stays correct across interleaved edits — a
+     post-edit query simply pays one reload. *)
   module Cursor = struct
     type nonrec bv = t [@@warning "-34"]
 
@@ -601,6 +614,7 @@ module Make (Codec : CODEC) : S = struct
       mutable first_bit : bool;
       mutable nruns : int;
       mutable run : int; (* last run index used, for monotone advance *)
+      mutable at : node option; (* root the cache was decoded from *)
     }
 
     let create bv =
@@ -615,7 +629,14 @@ module Make (Codec : CODEC) : S = struct
         first_bit = false;
         nruns = 0;
         run = 0;
+        at = None;
       }
+
+    (* Every edit installs a freshly allocated [Some root] block, so
+       option-level physical equality against the root seen at [load]
+       time is a sound and complete cache-validity check: a stale cache
+       can never be mistaken for fresh. *)
+    let[@inline] cache_fresh it = it.leaf_bits > 0 && it.at == it.bv.root
 
     (* Descend to the leaf containing [pos] and decode it into the cache.
        [pos] may equal the total length (rank at the end): the rightmost
@@ -651,11 +672,12 @@ module Make (Codec : CODEC) : S = struct
                 if pos - start < bl then go l start ones
                 else go r (start + bl) (ones + ones_of l)
           in
-          go root 0 0
+          go root 0 0;
+          it.at <- it.bv.root
 
     let seek it pos =
       if
-        it.leaf_bits > 0
+        cache_fresh it
         && pos >= it.leaf_start
         && pos <= it.leaf_start + it.leaf_bits
       then Probe.hit Bv_cursor_hit
@@ -697,7 +719,7 @@ module Make (Codec : CODEC) : S = struct
       Probe.hit Dbv_access;
       (* strict upper bound: the bit at a leaf boundary lives in the next
          leaf, unlike a rank at the same position *)
-      (if it.leaf_bits > 0 && pos >= it.leaf_start && pos < it.leaf_start + it.leaf_bits
+      (if cache_fresh it && pos >= it.leaf_start && pos < it.leaf_start + it.leaf_bits
        then Probe.hit Bv_cursor_hit
        else begin
          Probe.hit Bv_cursor_miss;

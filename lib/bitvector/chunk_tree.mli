@@ -62,6 +62,13 @@ module type S = sig
   (** [access_rank t pos] is [(b, rank t b pos)] for [b = access t pos],
       in a single descent. *)
 
+  val snapshot : t -> t
+  (** O(1) frozen copy.  Tree nodes are immutable (every edit path-copies
+      down from the root), so the copy shares the entire tree; subsequent
+      [insert]/[delete]/[append] on the original replace its root and
+      leave the snapshot untouched.  The snapshot itself supports the
+      full API, including further edits. *)
+
   val check_invariants : t -> unit
   (** Validate tree balance, cached counts and leaf sizing; raises
       [Failure] on violation.  For tests. *)
@@ -85,9 +92,10 @@ module type S = sig
       fully decoded (run offsets and cumulative one-counts) plus the
       counts before it, so queries landing in the cached leaf skip both
       the O(log n) descent and the run decode.  Any position order is
-      correct; monotone positions are the fast path.  The cache goes
-      stale on [insert]/[delete]/[append]: use cursors only between
-      updates. *)
+      correct; monotone positions are the fast path.  The cache
+      revalidates itself against the current root (a physical-equality
+      check), so an [insert]/[delete]/[append] between queries is
+      detected as a miss and answered freshly, never from stale data. *)
   module Cursor : sig
     type bv := t
     type t

@@ -103,6 +103,26 @@ let delete t pos =
       if t.n = 1 then t.root <- None);
   t.n <- t.n - 1
 
+(* Frozen copy for snapshot-isolated readers: the Patricia skeleton's
+   node records are mutable and must be copied (O(#nodes)), but each
+   node's bitvector is an O(1) [Dyn_rle.snapshot] — the chunk tree is
+   persistent under its root, so the dominant state is shared, not
+   duplicated.  The copy is a full-featured trie: queries on it are
+   oblivious to later [insert]/[delete]/[append] on the original (and
+   vice versa). *)
+let snapshot t =
+  let rec copy node =
+    {
+      label = node.label;
+      kind =
+        (match node.kind with
+        | Leaf { count } -> Leaf { count }
+        | Internal { bv; zero; one } ->
+            Internal { bv = Dyn_rle.snapshot bv; zero = copy zero; one = copy one });
+    }
+  in
+  { root = Option.map copy t.root; n = t.n }
+
 (* Bulk construction: one recursive partition pass (as in the static
    variant) with Dyn_rle bitvectors built from explicit bit arrays —
    O(total bits) instead of n separate O(|s| + h log n) inserts. *)

@@ -24,6 +24,14 @@ val create : unit -> t
 val of_array : Wt_strings.Bitstring.t array -> t
 val to_array : t -> Wt_strings.Bitstring.t array
 
+val snapshot : t -> t
+(** Frozen copy for snapshot-isolated readers: O(#trie nodes) skeleton
+    copy whose per-node bitvectors are O(1) persistent snapshots
+    ({!Wt_bitvector.Dyn_rle.snapshot}).  Queries on the copy are
+    oblivious to subsequent [insert]/[delete]/[append] on the original
+    (and vice versa) — the publication primitive behind parallel serving
+    of the dynamic variant ({!Wt_par.Snapshot}). *)
+
 val dump : t -> (string * string option) list
 val stats : t -> Stats.t
 

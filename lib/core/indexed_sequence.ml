@@ -128,13 +128,24 @@ module type STRING_API = sig
   val count_prefix : t -> prefix:string -> int
   (** Total number of stored strings starting with the byte prefix. *)
 
-  val query_batch : t -> op array -> (value, error) result array
+  val query_batch : ?domains:int -> t -> op array -> (value, error) result array
   (** Evaluate a whole vector of operations, grouping them by trie path
       and executing level-by-level so each visited node answers a
       monotone sequence of positions from cached bitvector state (the
       batch engine, [lib/exec]).  [query_batch t ops] is equivalent to
       evaluating each operation with the scalar API, in order; per-op
-      failures are reported in the result array, never raised. *)
+      failures are reported in the result array, never raised.
+
+      [~domains:d] additionally splits the batch into up to [d]
+      contiguous shards executed in parallel on the shared domain pool
+      ([lib/par]; sized by [WTRIE_DOMAINS] or the machine), each shard
+      running the engine with its own cursors, and merges the results
+      back in input order — the result array is index-for-index the
+      same.  Omitted (or [d = 1], or a small batch), the call never
+      touches the pool.  Parallel execution reads the trie without
+      locks, so do not mutate the trie during the call; to serve
+      queries while updating the dynamic variant, query a [snapshot]
+      published through [Wt_par.Snapshot] instead. *)
 
   (** {2 Deprecated pre-batch aliases} *)
 
@@ -181,6 +192,13 @@ module type DYNAMIC_API = sig
   (** [insert t ~pos s] places [s] immediately before position [pos]. *)
 
   val delete : t -> pos:int -> unit
+
+  val snapshot : t -> t
+  (** A frozen copy of the sequence, isolated from subsequent mutations
+      of the original (and vice versa).  Cheap: the skeleton is copied
+      but the per-node bitvectors are shared persistently.  Publish
+      snapshots through [Wt_par.Snapshot] to serve parallel readers
+      while updates land on the owner's working trie. *)
 end
 
 (** Array-backed oracle: every operation is a linear scan. *)

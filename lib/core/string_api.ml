@@ -143,6 +143,7 @@ module Dynamic = struct
   include Make_dynamic (Dynamic_wt)
 
   let create = Dynamic_wt.create
+  let snapshot = Dynamic_wt.snapshot
   let of_array a = Dynamic_wt.of_array (Array.map encode a)
   let of_list l = of_array (Array.of_list l)
 end

@@ -21,7 +21,12 @@
     - [Bv_cursor_*]: rank-cursor cache behaviour shared by every
       bitvector implementation — a hit answers a query from the cached
       (block, rank-so-far) state with an in-block popcount or a short
-      forward walk, a miss repositions from the directory.
+      forward walk, a miss repositions from the directory;
+    - [Par_*]: the multicore serving layer — parallel batches
+      dispatched, shards they were split into, pool tasks executed
+      (and the subset the submitting domain stole back from the queue),
+      queue-wait and per-shard-run latency histograms, and dynamic-trie
+      snapshots published for isolated readers.
 
     Counter metrics count invocations; the same ids key the latency
     histograms recorded by {!Probe.time} at the string-API layer. *)
@@ -62,8 +67,15 @@ type t =
   | Exec_level
   | Bv_cursor_hit
   | Bv_cursor_miss
+  | Par_batch
+  | Par_shards
+  | Par_task
+  | Par_steal
+  | Par_queue_wait
+  | Par_shard_run
+  | Par_snapshot_publish
 
-let count = 35
+let count = 42
 
 let index = function
   | Rrr_rank -> 0
@@ -101,6 +113,13 @@ let index = function
   | Exec_level -> 32
   | Bv_cursor_hit -> 33
   | Bv_cursor_miss -> 34
+  | Par_batch -> 35
+  | Par_shards -> 36
+  | Par_task -> 37
+  | Par_steal -> 38
+  | Par_queue_wait -> 39
+  | Par_shard_run -> 40
+  | Par_snapshot_publish -> 41
 
 let all =
   [|
@@ -111,6 +130,8 @@ let all =
     Durable_snapshot_save; Durable_snapshot_load; Durable_wal_append;
     Durable_wal_replay; Durable_wal_dropped_bytes; Durable_checkpoint;
     Exec_batch; Exec_batch_ops; Exec_level; Bv_cursor_hit; Bv_cursor_miss;
+    Par_batch; Par_shards; Par_task; Par_steal; Par_queue_wait; Par_shard_run;
+    Par_snapshot_publish;
   |]
 
 let name = function
@@ -149,5 +170,12 @@ let name = function
   | Exec_level -> "exec_level"
   | Bv_cursor_hit -> "bv_cursor_hit"
   | Bv_cursor_miss -> "bv_cursor_miss"
+  | Par_batch -> "par_batch"
+  | Par_shards -> "par_shard_count"
+  | Par_task -> "par_task"
+  | Par_steal -> "par_steal"
+  | Par_queue_wait -> "par_queue_wait"
+  | Par_shard_run -> "par_shard_run"
+  | Par_snapshot_publish -> "par_snapshot_publish"
 
 let of_name s = Array.find_opt (fun m -> name m = s) all

@@ -34,6 +34,15 @@ let histogram m = Histogram.snapshot histograms.(Metric.index m)
 let default_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
 let clock = ref default_clock
 let set_clock f = clock := f
+let now_ns () = !clock ()
+
+(* [duration m ns] records an externally measured duration into [m]'s
+   latency histogram — for spans that start and end on different
+   domains (e.g. pool queue wait: stamped at submit, recorded at the
+   executing domain), where [time]'s single-closure shape cannot
+   apply.  Histograms are lock-free, so any domain may record. *)
+let[@inline] duration m ns =
+  if Atomic.get on then Histogram.record histograms.(Metric.index m) ns
 
 (* [time m f] runs [f ()]; when probes are enabled the duration lands in
    [m]'s latency histogram.  Timing does not touch the counter for [m]:

@@ -1,0 +1,54 @@
+(** Sharded parallel batch execution.
+
+    [query_batch ~domains engine trie ops] partitions [ops] into up to
+    [domains] contiguous shards, runs each shard through [engine] (a
+    whole-batch executor such as [Wt_exec.Exec.Static.query_batch]) on a
+    {!Pool}, and concatenates the per-shard results — shards are
+    contiguous and concatenated in shard order, so the output is
+    index-for-index what [engine trie ops] returns.
+
+    Each shard invocation of the engine builds its own frontier, memo
+    tables and per-node rank cursors, so shards share nothing mutable;
+    the trie itself is only read.  This is safe for all three variants
+    provided the trie is not mutated during the call — for the dynamic
+    variant under concurrent updates, query a {!Snapshot}-published
+    [Dynamic_wt.snapshot] instead of the owner's working trie.
+
+    Shards are never smaller than [min_shard] operations (default 256):
+    below that, fan-out overhead (task queueing, domain wakeup) swamps
+    the per-op work and the batch runs on the submitting domain alone —
+    in particular empty and size-1 batches never touch the pool. *)
+
+module Probe = Wt_obs.Probe
+
+let default_min_shard = 256
+
+(* Contiguous, maximally even partition: shard i covers
+   [i*n/k, (i+1)*n/k). *)
+let shard_ranges n k = Array.init k (fun i -> (i * n / k, ((i + 1) * n / k) - (i * n / k)))
+
+let query_batch ?pool ?(min_shard = default_min_shard) ?domains
+    (engine : 'trie -> 'op array -> 'res array) (trie : 'trie) (ops : 'op array) :
+    'res array =
+  match domains with
+  | None -> engine trie ops
+  | Some d ->
+      let nops = Array.length ops in
+      let min_shard = max 1 min_shard in
+      let shards = min (max 1 d) (max 1 (min nops (nops / min_shard))) in
+      if shards <= 1 then engine trie ops
+      else begin
+        let pool = match pool with Some p -> p | None -> Pool.default () in
+        Probe.hit Par_batch;
+        Probe.record Par_shards shards;
+        let parts = Array.make shards [||] in
+        let tasks =
+          Array.mapi
+            (fun i (off, len) () ->
+              parts.(i) <-
+                Probe.time Par_shard_run (fun () -> engine trie (Array.sub ops off len)))
+            (shard_ranges nops shards)
+        in
+        Pool.run pool tasks;
+        Array.concat (Array.to_list parts)
+      end

@@ -1,0 +1,184 @@
+(** A reusable domain pool: a fixed set of worker domains draining one
+    [Mutex]/[Condition]-protected task queue.
+
+    A pool of size [k] provides [k]-way parallelism for {!run}: [k - 1]
+    worker domains plus the submitting domain itself, which — rather
+    than blocking for the workers — steals tasks back from the queue
+    until it is empty and only then waits for stragglers.  This keeps a
+    size-1 pool strictly equivalent to sequential execution (no domains
+    are spawned, no queue is touched) and never oversubscribes the
+    machine with an idle submitter.
+
+    The default pool is shared, created on first use, and sized from
+    [WTRIE_DOMAINS] when set (clamped to [1, 64]) or
+    [Domain.recommended_domain_count] otherwise.
+
+    Telemetry (see docs/observability.md): every executed task counts as
+    [par_task] ([par_steal] when the submitter ran it), its time from
+    submit to start lands in the [par_queue_wait] histogram, and each
+    pool keeps an always-on per-domain latency histogram of the tasks
+    that domain executed ({!domain_latencies}). *)
+
+module Histogram = Wt_obs.Histogram
+module Probe = Wt_obs.Probe
+
+type task = { stamp : int; run : unit -> unit }
+
+type t = {
+  size : int; (* total parallelism: workers + the submitting domain *)
+  mutable workers : unit Domain.t array;
+  q : task Queue.t;
+  m : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+  hists : Histogram.t array; (* slot 0 = submitter, slot k = worker k *)
+}
+
+let size t = t.size
+
+(* Execute one dequeued task on behalf of domain slot [k].  Tasks
+   enqueued by [run] capture their own exceptions, but a defensive
+   swallow keeps a worker alive (and the pool usable) even if a raw
+   closure slips through. *)
+let exec_task t k task =
+  Probe.hit Par_task;
+  if k = 0 then Probe.hit Par_steal;
+  if task.stamp > 0 then Probe.duration Par_queue_wait (Probe.now_ns () - task.stamp);
+  let t0 = Probe.now_ns () in
+  (try task.run () with _ -> ());
+  Histogram.record t.hists.(k) (Probe.now_ns () - t0)
+
+let rec worker_loop t k =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.nonempty t.m
+  done;
+  (* On shutdown the queue is drained before exiting, so no submitted
+     task is ever lost. *)
+  if Queue.is_empty t.q then Mutex.unlock t.m
+  else begin
+    let task = Queue.pop t.q in
+    Mutex.unlock t.m;
+    exec_task t k task;
+    worker_loop t k
+  end
+
+let create ?size () =
+  let size =
+    match size with
+    | Some s ->
+        if s < 1 then invalid_arg "Pool.create: size must be >= 1";
+        s
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    {
+      size;
+      workers = [||];
+      q = Queue.create ();
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      closed = false;
+      hists = Array.init size (fun _ -> Histogram.create ());
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun k -> Domain.spawn (fun () -> worker_loop t (k + 1)));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.m;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+(* Fan out [fns] and return when every one of them has finished.
+
+   Completion is tracked by an atomic countdown; the final decrement
+   broadcasts a dedicated per-call condition.  The waiter only blocks
+   while holding that condition's mutex and re-checks the countdown
+   under it, and the finisher broadcasts under the same mutex, so the
+   wakeup cannot be missed.  The atomic decrement is also the
+   happens-before edge that publishes each task's writes (e.g. a result
+   slot) to the submitter. *)
+let run t fns =
+  let n = Array.length fns in
+  if n = 0 then ()
+  else if n = 1 || t.size = 1 then Array.iter (fun f -> f ()) fns
+  else begin
+    let remaining = Atomic.make n in
+    let failed = Atomic.make None in
+    let dm = Mutex.create () in
+    let dc = Condition.create () in
+    let wrap f () =
+      (try f ()
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+      if Atomic.fetch_and_add remaining (-1) = 1 then begin
+        Mutex.lock dm;
+        Condition.broadcast dc;
+        Mutex.unlock dm
+      end
+    in
+    let stamp = if Probe.enabled () then Probe.now_ns () else 0 in
+    Mutex.lock t.m;
+    Array.iter (fun f -> Queue.push { stamp; run = wrap f } t.q) fns;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    (* Steal loop: the submitter works the queue dry instead of idling.
+       It may pick up tasks submitted by a concurrent [run] — harmless,
+       their countdown is theirs. *)
+    let rec steal () =
+      Mutex.lock t.m;
+      let task = if Queue.is_empty t.q then None else Some (Queue.pop t.q) in
+      Mutex.unlock t.m;
+      match task with
+      | Some task ->
+          exec_task t 0 task;
+          steal ()
+      | None -> ()
+    in
+    steal ();
+    Mutex.lock dm;
+    while Atomic.get remaining > 0 do
+      Condition.wait dc dm
+    done;
+    Mutex.unlock dm;
+    match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let domain_latencies t =
+  Array.mapi
+    (fun k h -> ((if k = 0 then "submitter" else Printf.sprintf "worker-%d" k), Histogram.snapshot h))
+    t.hists
+
+(* The shared default pool, sized from the environment. *)
+
+let default_size () =
+  match Sys.getenv_opt "WTRIE_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> min d 64
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let default_mutex = Mutex.create ()
+let default_pool = ref None
+
+let default () =
+  Mutex.lock default_mutex;
+  let p =
+    match !default_pool with
+    | Some p -> p
+    | None ->
+        let p = create ~size:(default_size ()) () in
+        default_pool := Some p;
+        at_exit (fun () -> shutdown p);
+        p
+  in
+  Mutex.unlock default_mutex;
+  p

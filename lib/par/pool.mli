@@ -1,0 +1,38 @@
+(** A reusable domain pool: worker domains draining one
+    [Mutex]/[Condition] task queue, with the submitting domain stealing
+    work back instead of idling.  See pool.ml for the protocol. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [create ~size ()] builds a pool offering [size]-way parallelism:
+    [size - 1] worker domains plus the domain that calls {!run}.
+    [~size:1] spawns nothing and makes {!run} purely sequential.
+    Default size: {!default_size}.  Raises [Invalid_argument] when
+    [size < 1]. *)
+
+val size : t -> int
+
+val run : t -> (unit -> unit) array -> unit
+(** Execute all thunks, in parallel across the pool, and return once
+    every one has finished.  Thunk order is not an execution order;
+    callers sequence results by writing to disjoint slots.  If any
+    thunk raised, the first captured exception is re-raised (with its
+    backtrace) after all thunks have finished.  Safe to call from
+    several domains at once. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join the workers.  Idempotent. *)
+
+val domain_latencies : t -> (string * Wt_obs.Histogram.snapshot) array
+(** Always-on per-domain latency histograms of the tasks each domain
+    executed: slot ["submitter"] is the stealing caller, ["worker-k"]
+    the k-th spawned domain. *)
+
+val default_size : unit -> int
+(** [WTRIE_DOMAINS] when set to a positive integer (clamped to 64),
+    else [Domain.recommended_domain_count ()]. *)
+
+val default : unit -> t
+(** The shared pool, created on first use with {!default_size} and shut
+    down at exit. *)

@@ -380,6 +380,86 @@ let test_dyn_rle_cursor () =
         (positions_mixed rng len 300))
     [ 1; 40; 2000 ]
 
+(* Cursor reuse across mutations: the chunk-tree cursor caches a decoded
+   leaf, and an [insert]/[delete]/[append] between queries replaces the
+   tree's root.  The cursor must detect the new root and reload — a
+   regression here answers from the pre-edit leaf (stale run offsets and
+   one-counts) without any error. *)
+let test_dyn_rle_cursor_across_updates () =
+  let rng = Xoshiro.create 77 in
+  let bv = Dyn_rle.create () in
+  let bit = ref false in
+  for _ = 1 to 3000 do
+    if Xoshiro.int rng 5 = 0 then bit := not !bit;
+    Dyn_rle.append bv !bit
+  done;
+  let cur = Dyn_rle.Cursor.create bv in
+  for round = 1 to 200 do
+    let len = Dyn_rle.length bv in
+    (* query — populating the cursor cache ... *)
+    let pos = Xoshiro.int rng (len + 1) in
+    check_int
+      (Printf.sprintf "round %d pre-edit rank @%d" round pos)
+      (Dyn_rle.rank bv true pos)
+      (Dyn_rle.Cursor.rank cur true pos);
+    (* ... mutate near the cached position, so a stale cache would cover
+       the queried region ... *)
+    (match Xoshiro.int rng 3 with
+    | 0 -> Dyn_rle.insert bv (Xoshiro.int rng (len + 1)) (Xoshiro.int rng 2 = 0)
+    | 1 -> if len > 0 then Dyn_rle.delete bv (Xoshiro.int rng len)
+    | _ -> Dyn_rle.append bv (Xoshiro.int rng 2 = 0));
+    (* ... and re-query through the same cursor at nearby positions *)
+    let len = Dyn_rle.length bv in
+    let near = min len (max 0 (pos - 1 + Xoshiro.int rng 3)) in
+    check_int
+      (Printf.sprintf "round %d post-edit rank @%d" round near)
+      (Dyn_rle.rank bv true near)
+      (Dyn_rle.Cursor.rank cur true near);
+    if len > 0 then begin
+      let p = min (len - 1) near in
+      Alcotest.(check (pair bool int))
+        (Printf.sprintf "round %d post-edit access_rank @%d" round p)
+        (Dyn_rle.access_rank bv p)
+        (Dyn_rle.Cursor.access_rank cur p)
+    end
+  done
+
+(* Two back-to-back batches against the scalar oracle, with mutations in
+   between: pins that a [query_batch] call never carries engine or
+   cursor state into the next one, for both mutable variants. *)
+let test_back_to_back_batches () =
+  let rng = Xoshiro.create 99 in
+  (* dynamic: batch / insert+delete / batch *)
+  let arr0 = url_strings rng 400 in
+  let dwt = Wtrie.Dynamic.of_array arr0 in
+  let ops1 = gen_ops rng arr0 500 in
+  check_against_oracle "dynamic batch 1" arr0 (Wtrie.Dynamic.query_batch dwt ops1) ops1;
+  let arr = ref (Array.to_list arr0) in
+  for i = 0 to 60 do
+    let s = Printf.sprintf "fresh-%d.io/%d" (i mod 5) i in
+    let pos = Xoshiro.int rng (List.length !arr + 1) in
+    Wtrie.Dynamic.insert dwt ~pos s;
+    arr := List.filteri (fun j _ -> j < pos) !arr @ (s :: List.filteri (fun j _ -> j >= pos) !arr);
+    if i land 1 = 0 then begin
+      let pos = Xoshiro.int rng (List.length !arr) in
+      Wtrie.Dynamic.delete dwt ~pos;
+      arr := List.filteri (fun j _ -> j <> pos) !arr
+    end
+  done;
+  let arr1 = Array.of_list !arr in
+  let ops2 = gen_ops rng arr1 500 in
+  check_against_oracle "dynamic batch 2" arr1 (Wtrie.Dynamic.query_batch dwt ops2) ops2;
+  (* append-only: batch / append / batch *)
+  let awt = Wtrie.Append.create () in
+  Array.iter (Wtrie.Append.append awt) arr0;
+  let ops1 = gen_ops rng arr0 500 in
+  check_against_oracle "append batch 1" arr0 (Wtrie.Append.query_batch awt ops1) ops1;
+  let extra = url_strings rng 300 in
+  Array.iter (Wtrie.Append.append awt) extra;
+  let arr1 = Array.append arr0 extra in
+  let ops2 = gen_ops rng arr1 500 in
+  check_against_oracle "append batch 2" arr1 (Wtrie.Append.query_batch awt ops2) ops2
+
 (* ------------------------------------------------------------------ *)
 (* (e) bulk_append is exactly Array.iter append. *)
 
@@ -461,6 +541,10 @@ let () =
             test_appendable_cursor;
           Alcotest.test_case "dyn_rle cursor = scalar rank/access" `Quick
             test_dyn_rle_cursor;
+          Alcotest.test_case "dyn_rle cursor across insert/delete/append" `Quick
+            test_dyn_rle_cursor_across_updates;
+          Alcotest.test_case "back-to-back batches vs oracle" `Quick
+            test_back_to_back_batches;
         ] );
       ( "bulk",
         [

@@ -1,0 +1,333 @@
+(* Differential harness for the multicore serving layer (lib/par): every
+   generated workload runs through (a) the scalar front-door ops, (b) the
+   single-domain batch engine, and (c) the parallel sharded executor at 2
+   and 4 domains, and all four result vectors must be byte-identical, for
+   all three trie variants.  The dynamic variant is additionally hammered
+   through an epoch-published snapshot while an owner domain concurrently
+   applies appends/inserts/deletes to the working trie — readers must see
+   exactly the sequence frozen at the epoch they grabbed.  Pool mechanics
+   (ordering, exceptions, emptiness) get direct unit tests. *)
+
+module Xoshiro = Wt_bits.Xoshiro
+module I = Wt_core.Indexed_sequence
+module Pool = Wt_par.Pool
+module Snapshot = Wt_par.Snapshot
+module Par_exec = Wt_par.Par_exec
+
+(* Shared pools: spawning domains per QCheck case would dominate the
+   suite's runtime.  Shut down at exit for a clean join. *)
+let pool2 = Pool.create ~size:2 ()
+let pool4 = Pool.create ~size:4 ()
+let () = at_exit (fun () -> Pool.shutdown pool2; Pool.shutdown pool4)
+
+(* ------------------------------------------------------------------ *)
+(* Scalar evaluation of one batch op through the front-door API — the
+   (a) leg of the differential. *)
+
+let scalar_eval (type a) (module V : Wtrie.STRING_API with type t = a) (wt : a)
+    (op : I.op) : (I.value, I.error) result =
+  match op with
+  | I.Access { pos } -> Result.map (fun s -> I.Str s) (V.access wt ~pos)
+  | I.Rank { s; pos } -> Result.map (fun c -> I.Int c) (V.rank wt s ~pos)
+  | I.Select { s; count } -> Result.map (fun p -> I.Int p) (V.select wt s ~count)
+  | I.Rank_prefix { prefix; pos } ->
+      Result.map (fun c -> I.Int c) (V.rank_prefix wt ~prefix ~pos)
+  | I.Select_prefix { prefix; count } ->
+      Result.map (fun p -> I.Int p) (V.select_prefix wt ~prefix ~count)
+
+(* Random op vectors: mostly valid, some out-of-range/absent (error slots
+   must survive sharding at the right indices too). *)
+let gen_ops rng (arr : string array) nops =
+  let n = Array.length arr in
+  let a_string () =
+    if n > 0 && Xoshiro.int rng 4 > 0 then arr.(Xoshiro.int rng n)
+    else Printf.sprintf "absent-%d" (Xoshiro.int rng 5)
+  in
+  let a_prefix () =
+    if n > 0 && Xoshiro.int rng 4 > 0 then begin
+      let s = arr.(Xoshiro.int rng n) in
+      String.sub s 0 (Xoshiro.int rng (String.length s + 1))
+    end
+    else "zz-no-such-prefix"
+  in
+  let a_pos () = Xoshiro.int rng (n + 3) - 1 in
+  Array.init nops (fun _ ->
+      match Xoshiro.int rng 5 with
+      | 0 -> I.Access { pos = a_pos () }
+      | 1 -> I.Rank { s = a_string (); pos = a_pos () }
+      | 2 -> I.Select { s = a_string (); count = Xoshiro.int rng 8 - 1 }
+      | 3 -> I.Rank_prefix { prefix = a_prefix (); pos = a_pos () }
+      | _ -> I.Select_prefix { prefix = a_prefix (); count = Xoshiro.int rng 8 - 1 })
+
+let pp_result fmt = function
+  | Ok v -> Format.fprintf fmt "Ok %a" I.pp_value v
+  | Error e -> Format.fprintf fmt "Error (%a)" I.pp_error e
+
+let check_same name ops expected got =
+  Array.iteri
+    (fun i r ->
+      if r <> expected.(i) then
+        Alcotest.failf "%s: op %d differs: got %a, expected %a" name i pp_result r
+          pp_result expected.(i))
+    got;
+  if Array.length got <> Array.length ops then
+    Alcotest.failf "%s: %d results for %d ops" name (Array.length got)
+      (Array.length ops)
+
+(* ------------------------------------------------------------------ *)
+(* (a) = (b) = (c) on generated workloads, all three variants.
+   [~min_shard:1] forces genuine multi-shard execution even for the
+   small batches qcheck generates. *)
+
+let word_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'c') (int_range 1 5))
+let seq_gen = QCheck.Gen.(list_size (int_range 1 120) word_gen)
+
+let workload_arb =
+  QCheck.make
+    ~print:(fun (l, seed) -> Printf.sprintf "seed %d: %s" seed (String.concat "," l))
+    QCheck.Gen.(pair seq_gen (int_bound 1_000_000))
+
+let differential (type a) (module V : Wtrie.STRING_API with type t = a)
+    ~(engine : a -> I.op array -> (I.value, I.error) result array) variant
+    (words, seed) =
+  let arr = Array.of_list words in
+  let wt = V.of_array arr in
+  let ops = gen_ops (Xoshiro.create seed) arr 160 in
+  let scalar = Array.map (scalar_eval (module V) wt) ops in
+  check_same (variant ^ " sequential batch") ops scalar (V.query_batch wt ops);
+  check_same (variant ^ " parallel x2") ops scalar
+    (Par_exec.query_batch ~pool:pool2 ~min_shard:1 ~domains:2 engine wt ops);
+  check_same (variant ^ " parallel x4") ops scalar
+    (Par_exec.query_batch ~pool:pool4 ~min_shard:1 ~domains:4 engine wt ops);
+  true
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"static: scalar = batch = parallel(2,4)" ~count:60 workload_arb
+      (differential (module Wtrie.Static) ~engine:Wt_exec.Exec.Static.query_batch
+         "static");
+    Test.make ~name:"append: scalar = batch = parallel(2,4)" ~count:60 workload_arb
+      (differential (module Wtrie.Append) ~engine:Wt_exec.Exec.Append.query_batch
+         "append");
+    Test.make ~name:"dynamic: scalar = batch = parallel(2,4)" ~count:60 workload_arb
+      (differential (module Wtrie.Dynamic) ~engine:Wt_exec.Exec.Dynamic.query_batch
+         "dynamic");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Front-door [~domains]: edge batches (empty, size-1, error slots) and
+   equivalence with the sequential default on a large batch. *)
+
+let test_front_door () =
+  let rng = Xoshiro.create 7 in
+  let arr =
+    Array.init 500 (fun _ ->
+        Printf.sprintf "host-%d.net/p/%d" (Xoshiro.int rng 7) (Xoshiro.int rng 31))
+  in
+  let wt = Wtrie.Static.of_array arr in
+  List.iter
+    (fun domains ->
+      Alcotest.(check int)
+        "empty batch" 0
+        (Array.length (Wtrie.Static.query_batch ?domains wt [||]));
+      let one = Wtrie.Static.query_batch ?domains wt [| I.Access { pos = 3 } |] in
+      Alcotest.(check bool) "size-1 batch" true (one = [| Ok (I.Str arr.(3)) |]);
+      let bad = Wtrie.Static.query_batch ?domains wt [| I.Access { pos = -1 } |] in
+      Alcotest.(check bool)
+        "error slot" true
+        (bad = [| Error (I.Position_out_of_bounds { pos = -1; len = 500 }) |]))
+    [ None; Some 1; Some 2; Some 4 ];
+  let ops = gen_ops rng arr 4096 in
+  let seq = Wtrie.Static.query_batch wt ops in
+  check_same "front door ~domains:4" ops seq (Wtrie.Static.query_batch ~domains:4 wt ops);
+  check_same "front door ~domains:2" ops seq (Wtrie.Static.query_batch ~domains:2 wt ops)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot isolation under concurrent updates: an owner domain applies
+   appends/inserts/deletes and publishes an epoch-stamped
+   [Dynamic.snapshot] after each round, writing the matching oracle
+   array to [mirrors.(epoch)] *before* publishing (the atomic swap in
+   [Snapshot.publish] is the happens-before edge that makes both
+   visible together).  Meanwhile this domain keeps grabbing the current
+   (epoch, snapshot) pair and running differential batches — sequential
+   engine and parallel x2/x4 — against the frozen trie; every result
+   must match the mirror of that exact epoch, no matter how many
+   updates have landed since. *)
+
+let test_snapshot_isolation () =
+  let epochs = 40 in
+  let universe =
+    Array.init 64 (fun i -> Printf.sprintf "host-%d.net/p/%d" (i mod 7) i)
+  in
+  let initial = Array.init 50 (fun i -> universe.(i mod Array.length universe)) in
+  let wt = Wtrie.Dynamic.of_array initial in
+  let mirrors = Array.make (epochs + 1) [||] in
+  mirrors.(0) <- initial;
+  let handle = Snapshot.create (Wtrie.Dynamic.snapshot wt) in
+  let owner =
+    Domain.spawn (fun () ->
+        let rng = Xoshiro.create 23 in
+        let mirror = ref (Array.to_list initial) in
+        for e = 1 to epochs do
+          (* 1-5 mutations per epoch: append / insert / delete. *)
+          for _ = 1 to 1 + Xoshiro.int rng 5 do
+            let len = List.length !mirror in
+            match Xoshiro.int rng 3 with
+            | 0 ->
+                let s = universe.(Xoshiro.int rng (Array.length universe)) in
+                Wtrie.Dynamic.append wt s;
+                mirror := !mirror @ [ s ]
+            | 1 ->
+                let s = universe.(Xoshiro.int rng (Array.length universe)) in
+                let pos = Xoshiro.int rng (len + 1) in
+                Wtrie.Dynamic.insert wt ~pos s;
+                mirror := List.filteri (fun i _ -> i < pos) !mirror @ (s :: List.filteri (fun i _ -> i >= pos) !mirror)
+            | _ ->
+                if len > 1 then begin
+                  let pos = Xoshiro.int rng len in
+                  Wtrie.Dynamic.delete wt ~pos;
+                  mirror := List.filteri (fun i _ -> i <> pos) !mirror
+                end
+          done;
+          mirrors.(e) <- Array.of_list !mirror;
+          ignore (Snapshot.publish handle (Wtrie.Dynamic.snapshot wt))
+        done)
+  in
+  let rng = Xoshiro.create 97 in
+  let rounds = ref 0 in
+  let check_current () =
+    incr rounds;
+    let e, frozen = Snapshot.pair handle in
+    let arr = mirrors.(e) in
+    if Array.length arr <> Wtrie.Dynamic.length frozen then
+      Alcotest.failf "epoch %d: mirror %d strings, snapshot %d" e (Array.length arr)
+        (Wtrie.Dynamic.length frozen);
+    let ops = gen_ops rng arr 120 in
+    let expected = Array.map (scalar_eval (module Wtrie.Dynamic) frozen) ops in
+    (* the scalar leg itself must agree with the plain-array mirror *)
+    Array.iteri
+      (fun i op ->
+        match (op, expected.(i)) with
+        | I.Access { pos }, Ok (I.Str s) ->
+            if s <> arr.(pos) then
+              Alcotest.failf "epoch %d: access %d read %S, mirror %S" e pos s arr.(pos)
+        | _ -> ())
+      ops;
+    check_same
+      (Printf.sprintf "epoch %d sequential" e)
+      ops expected
+      (Wt_exec.Exec.Dynamic.query_batch frozen ops);
+    check_same
+      (Printf.sprintf "epoch %d parallel x2" e)
+      ops expected
+      (Par_exec.query_batch ~pool:pool2 ~min_shard:1 ~domains:2
+         Wt_exec.Exec.Dynamic.query_batch frozen ops);
+    check_same
+      (Printf.sprintf "epoch %d parallel x4" e)
+      ops expected
+      (Par_exec.query_batch ~pool:pool4 ~min_shard:1 ~domains:4
+         Wt_exec.Exec.Dynamic.query_batch frozen ops)
+  in
+  (* race with the owner, then drain: the final epochs are always
+     validated even if the owner outpaced us *)
+  while Snapshot.epoch handle < epochs do
+    check_current ()
+  done;
+  Domain.join owner;
+  check_current ();
+  Alcotest.(check int) "final epoch" epochs (Snapshot.epoch handle);
+  if !rounds < 2 then Alcotest.fail "snapshot soak: no concurrent rounds ran"
+
+(* The owner's updates must never leak into an already-taken snapshot:
+   pin one epoch-0 snapshot, rewrite the working trie completely, and
+   compare the snapshot string-for-string against the original. *)
+let test_snapshot_frozen () =
+  let initial = Array.init 200 (fun i -> Printf.sprintf "s-%d.example/%d" (i mod 9) i) in
+  let wt = Wtrie.Dynamic.of_array initial in
+  let frozen = Wtrie.Dynamic.snapshot wt in
+  for _ = 1 to 200 do
+    Wtrie.Dynamic.delete wt ~pos:0
+  done;
+  Array.iteri (fun i s -> Wtrie.Dynamic.insert wt ~pos:i (s ^ "/rewritten")) initial;
+  Alcotest.(check int) "frozen length" 200 (Wtrie.Dynamic.length frozen);
+  Array.iteri
+    (fun pos s ->
+      match Wtrie.Dynamic.access frozen ~pos with
+      | Ok s' when s' = s -> ()
+      | r -> Alcotest.failf "frozen access %d: %a, expected %S" pos pp_result
+               (Result.map (fun s -> I.Str s) r) s)
+    initial;
+  (* and the rewritten working trie is intact too *)
+  Alcotest.(check bool)
+    "working trie rewritten" true
+    (Wtrie.Dynamic.access wt ~pos:0 = Ok (initial.(0) ^ "/rewritten"))
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests: results land in the submitting order's slots, work
+   is conserved, exceptions propagate after the fan-in. *)
+
+let test_pool_ordering () =
+  List.iter
+    (fun pool ->
+      List.iter
+        (fun n ->
+          let out = Array.make n (-1) in
+          Pool.run pool
+            (Array.init n (fun i () ->
+                 (* stagger so completion order differs from submit order *)
+                 if i land 7 = 0 then Domain.cpu_relax ();
+                 out.(i) <- i * i));
+          Array.iteri
+            (fun i v -> if v <> i * i then Alcotest.failf "slot %d holds %d" i v)
+            out)
+        [ 0; 1; 2; 3; 17; 256 ])
+    [ pool2; pool4 ]
+
+let test_pool_exception () =
+  let ran = Atomic.make 0 in
+  (try
+     Pool.run pool4
+       (Array.init 16 (fun i () ->
+            ignore (Atomic.fetch_and_add ran 1);
+            if i = 11 then failwith "task 11"));
+     Alcotest.fail "expected the task exception to propagate"
+   with Failure msg -> Alcotest.(check string) "propagated" "task 11" msg);
+  (* all tasks still ran: one failure never cancels its batch *)
+  Alcotest.(check int) "work conserved" 16 (Atomic.get ran);
+  (* and the pool is still usable afterwards *)
+  let ok = Atomic.make 0 in
+  Pool.run pool4 (Array.init 8 (fun _ () -> ignore (Atomic.fetch_and_add ok 1)));
+  Alcotest.(check int) "pool alive" 8 (Atomic.get ok)
+
+let test_pool_env_sizing () =
+  Alcotest.(check bool)
+    "default size positive" true
+    (Pool.default_size () >= 1);
+  Alcotest.(check int) "explicit size" 4 (Pool.size pool4);
+  Alcotest.(check bool)
+    "create rejects 0" true
+    (try
+       ignore (Pool.create ~size:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "wt_par"
+    [
+      ("differential", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ( "front-door",
+        [ Alcotest.test_case "~domains edges and equivalence" `Quick test_front_door ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "isolation under concurrent updates" `Quick
+            test_snapshot_isolation;
+          Alcotest.test_case "pinned snapshot is frozen" `Quick test_snapshot_frozen;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordering and conservation" `Quick test_pool_ordering;
+          Alcotest.test_case "exception propagation" `Quick test_pool_exception;
+          Alcotest.test_case "sizing" `Quick test_pool_env_sizing;
+        ] );
+    ]

@@ -116,6 +116,88 @@ let test_append_soak () =
     end
   done
 
+(* Deterministic concurrency stress: hammer one 4-way domain pool with a
+   fixed-seed stream of mixed-size batches — empty, size-1, and up to a
+   few thousand ops — through the parallel executor, asserting (1) every
+   result lands at its own index (no reordering, no lost items: the
+   expected vector is computed by the sequential engine up front) and
+   (2) the obs counters sum exactly across domains: every op is counted
+   exactly once no matter which domain ran its shard, and the pool's
+   always-on per-domain histograms account for every task. *)
+let test_par_soak () =
+  let module Probe = Wt_obs.Probe in
+  let module Pool = Wt_par.Pool in
+  let rng = Xoshiro.create 4242 in
+  let n = 4096 in
+  let gen = Urls.create ~seed:4242 () in
+  let strings = Urls.raw_sequence gen n in
+  let wt = Wtrie.Static.of_array strings in
+  let engine = Wt_exec.Exec.Static.query_batch in
+  (* all-valid ops so the Exec_* counters are exactly predictable *)
+  let valid_ops nops =
+    Array.init nops (fun i ->
+        if i land 1 = 0 then Wtrie.Access { pos = Xoshiro.int rng n }
+        else Wtrie.Rank { s = strings.(Xoshiro.int rng n); pos = Xoshiro.int rng (n + 1) })
+  in
+  let sizes = [ 0; 1; 2; 3; 5; 16; 64; 257; 1024; 4999 ] in
+  let rounds = 25 in
+  let batches =
+    List.concat_map (fun _ -> List.map valid_ops sizes) (List.init rounds Fun.id)
+  in
+  (* expected results and counter totals, before probes are on *)
+  let expected = List.map (fun ops -> engine wt ops) batches in
+  let exp_tasks = ref 0 and exp_par_batches = ref 0 and exp_engine_calls = ref 0 in
+  let exp_ops = ref 0 in
+  List.iter
+    (fun ops ->
+      let s = Array.length ops in
+      let shards = min 4 s in
+      exp_ops := !exp_ops + s;
+      if shards >= 2 then begin
+        incr exp_par_batches;
+        exp_tasks := !exp_tasks + shards;
+        exp_engine_calls := !exp_engine_calls + shards
+      end
+      else if s > 0 then incr exp_engine_calls)
+    batches;
+  let pool = Pool.create ~size:4 () in
+  Probe.reset ();
+  Probe.enable ();
+  List.iter2
+    (fun ops exp ->
+      let got =
+        Wt_par.Par_exec.query_batch ~pool ~min_shard:1 ~domains:4 engine wt ops
+      in
+      if Array.length got <> Array.length ops then
+        Alcotest.failf "batch of %d: %d results" (Array.length ops) (Array.length got);
+      Array.iteri
+        (fun i r -> if r <> exp.(i) then Alcotest.failf "batch of %d: op %d differs"
+                       (Array.length ops) i)
+        got)
+    batches expected;
+  let c m = Probe.counter m in
+  Probe.disable ();
+  check_int "par_batch" !exp_par_batches (c Wt_obs.Metric.Par_batch);
+  check_int "par_shard_count" !exp_tasks (c Wt_obs.Metric.Par_shards);
+  check_int "par_task" !exp_tasks (c Wt_obs.Metric.Par_task);
+  check_bool "par_steal <= par_task" true
+    (c Wt_obs.Metric.Par_steal <= c Wt_obs.Metric.Par_task);
+  check_int "exec_batch (engine calls)" !exp_engine_calls (c Wt_obs.Metric.Exec_batch);
+  check_int "exec_batch_ops (no op lost or duplicated)" !exp_ops
+    (c Wt_obs.Metric.Exec_batch_ops);
+  (* per-shard latency histogram: one sample per shard run *)
+  check_int "par_shard_run samples" !exp_tasks
+    (Probe.histogram Wt_obs.Metric.Par_shard_run).Wt_obs.Histogram.count;
+  (* the pool's per-domain histograms account for every task exactly once *)
+  let domain_total =
+    Array.fold_left
+      (fun acc (_, s) -> acc + s.Wt_obs.Histogram.count)
+      0 (Pool.domain_latencies pool)
+  in
+  check_int "per-domain task counts sum" !exp_tasks domain_total;
+  Pool.shutdown pool;
+  Probe.reset ()
+
 let () =
   Alcotest.run "wt_soak"
     [
@@ -123,5 +205,6 @@ let () =
         [
           Alcotest.test_case "dynamic 12k mixed ops" `Slow test_dynamic_soak;
           Alcotest.test_case "append-only 30k stream" `Slow test_append_soak;
+          Alcotest.test_case "domain pool mixed-size batches" `Slow test_par_soak;
         ] );
     ]
