@@ -1,0 +1,156 @@
+(* Perf-regression gate over the bench trajectory.
+
+     regress.exe BASELINE.json CURRENT.json [--threshold 0.25] [--soft]
+
+   Both inputs are `bench --json` outputs (CURRENT typically from
+   `--quick`).  Two kinds of check:
+
+   - Structural: the observability reports under "metrics" must have the
+     same counter key-set and latency op-set as the baseline — Report
+     JSON is normalized over the full metric universe precisely so this
+     diff is exact: a key that appears or disappears means the
+     instrumentation (or its serialization) drifted, which silently
+     invalidates any longitudinal dashboard built on these files.
+
+   - Throughput: the headline performance figures may not regress by
+     more than THRESHOLD (fraction, default 0.25) against the baseline,
+     direction-aware: ns/op and us/record must not rise, speedups and
+     MB/s must not fall.  Improvements are reported, never gated.
+
+   Exit 0 when clean, 1 on any regression; --soft reports but always
+   exits 0 (for CI runners whose core count or load makes timing
+   unreliable — the structural checks still print). *)
+
+module Json = Wtrie.Json
+
+let read_json path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e ->
+      Printf.eprintf "regress: %s: %s\n" path e;
+      exit 2
+
+(* "a.b.c" path lookup. *)
+let rec find j = function
+  | [] -> Some j
+  | k :: rest -> ( match Json.member k j with Some j' -> find j' rest | None -> None)
+
+let lookup j path = find j (String.split_on_char '.' path)
+
+let number j path =
+  match lookup j path with
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some (Json.Float f) -> Some f
+  | _ -> None
+
+(* Direction: what a *worse* current value looks like. *)
+type dir = Lower_better | Higher_better
+
+let gated =
+  [
+    (Lower_better, "batch.access.batch_ns_per_op");
+    (Lower_better, "batch.rank.batch_ns_per_op");
+    (Higher_better, "batch.access.speedup");
+    (Higher_better, "batch.rank.speedup");
+    (Lower_better, "parallel.access.domains_1_ns_per_op");
+    (Lower_better, "parallel.rank.domains_1_ns_per_op");
+    (Higher_better, "durability.snapshot.save_mb_per_s");
+    (Higher_better, "durability.snapshot.load_mb_per_s");
+    (Higher_better, "durability.wal.replay_records_per_s");
+    (Lower_better, "durability.wal.append_us_per_record");
+  ]
+(* The multi-domain figures (speedup_2/speedup_4) are deliberately not
+   gated: they measure the runner's core count more than the code. *)
+
+let obj_keys = function Some (Json.Obj kvs) -> Some (List.map fst kvs) | _ -> None
+
+let latency_ops j path =
+  match lookup j path with
+  | Some (Json.List items) ->
+      Some
+        (List.filter_map
+           (fun it -> match Json.member "op" it with Some (Json.Str s) -> Some s | _ -> None)
+           items)
+  | _ -> None
+
+let failures = ref 0
+let fail fmt = Printf.ksprintf (fun m -> incr failures; Printf.printf "FAIL  %s\n" m) fmt
+
+let structural base cur =
+  List.iter
+    (fun variant ->
+      let path kind = Printf.sprintf "metrics.%s.%s" variant kind in
+      (match (obj_keys (lookup base (path "counters")), obj_keys (lookup cur (path "counters"))) with
+      | Some bk, Some ck when bk = ck ->
+          Printf.printf "ok    metrics.%s.counters: %d keys, same set\n" variant (List.length bk)
+      | Some bk, Some ck ->
+          let missing = List.filter (fun k -> not (List.mem k ck)) bk in
+          let extra = List.filter (fun k -> not (List.mem k bk)) ck in
+          fail "metrics.%s.counters key drift (missing: %s; new: %s)" variant
+            (String.concat "," missing) (String.concat "," extra)
+      | _ -> fail "metrics.%s.counters missing from one side" variant);
+      match (latency_ops base (path "latencies"), latency_ops cur (path "latencies")) with
+      | Some bo, Some co when bo = co ->
+          Printf.printf "ok    metrics.%s.latencies: %d ops, same set\n" variant (List.length bo)
+      | Some _, Some _ -> fail "metrics.%s.latencies op-set drift" variant
+      | _ -> fail "metrics.%s.latencies missing from one side" variant)
+    [ "static"; "append"; "dynamic" ]
+
+let throughput ~threshold base cur =
+  List.iter
+    (fun (dir, path) ->
+      match (number base path, number cur path) with
+      | Some b, Some c when b > 0. ->
+          let ratio = c /. b in
+          let worse =
+            match dir with
+            | Lower_better -> ratio > 1. +. threshold
+            | Higher_better -> ratio < 1. -. threshold
+          in
+          let pct = (ratio -. 1.) *. 100. in
+          if worse then fail "%-45s %12.1f -> %12.1f  (%+.1f%%)" path b c pct
+          else Printf.printf "ok    %-45s %12.1f -> %12.1f  (%+.1f%%)\n" path b c pct
+      | Some _, Some _ -> fail "%s: non-positive baseline" path
+      | None, _ -> fail "%s missing from baseline" path
+      | _, None -> fail "%s missing from current" path)
+    gated
+
+let () =
+  let threshold = ref 0.25 and soft = ref false and files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t > 0. -> threshold := t
+        | _ ->
+            prerr_endline "regress: --threshold expects a positive fraction";
+            exit 2);
+        parse rest
+    | "--soft" :: rest ->
+        soft := true;
+        parse rest
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ baseline; current ] ->
+      let base = read_json baseline and cur = read_json current in
+      Printf.printf "regress: %s vs %s (threshold %.0f%%%s)\n" current baseline
+        (!threshold *. 100.)
+        (if !soft then ", soft" else "");
+      structural base cur;
+      throughput ~threshold:!threshold base cur;
+      if !failures = 0 then print_endline "regress: clean"
+      else begin
+        Printf.printf "regress: %d failure(s)\n" !failures;
+        if not !soft then exit 1 else print_endline "regress: soft mode, not failing the build"
+      end
+  | _ ->
+      prerr_endline "usage: regress BASELINE.json CURRENT.json [--threshold FRAC] [--soft]";
+      exit 2

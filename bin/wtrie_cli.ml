@@ -409,6 +409,90 @@ let prefix_list_cmd =
     Term.(const run $ file_arg $ prefix_arg $ count $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Trace mode: run a Zipf-skewed query batch under span tracing and
+   export Chrome trace_event JSON for Perfetto / chrome://tracing. *)
+
+let trace_cmd =
+  let file =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Input file, saved index or store directory; omitted: a synthetic URL-log workload is generated.")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"OUT" ~doc:"Write the Chrome trace_event JSON here (load it in Perfetto or chrome://tracing).")
+  in
+  let gen_ops =
+    Arg.(value & opt int 10_000 & info [ "gen-ops" ] ~docv:"N" ~doc:"Number of queries in the traced batch (positions and strings drawn Zipf-skewed).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc:"Execute the traced batch on up to $(docv) domains; shard spans then cross domains in the trace.")
+  in
+  let sample =
+    Arg.(value & opt int 1 & info [ "sample" ] ~docv:"N" ~doc:"Record every $(docv)-th root span (with its whole subtree); 1 records everything.")
+  in
+  let run file out gen_ops domains sample =
+    if gen_ops < 1 then begin
+      Printf.eprintf "--gen-ops must be >= 1 (got %d)\n" gen_ops;
+      exit 2
+    end;
+    let wt =
+      match file with
+      | Some f -> build f
+      | None ->
+          let wt = Wtrie.Append.create () in
+          Wtrie.Append.append_batch wt
+            (Wt_workload.Urls.raw_sequence (Wt_workload.Urls.create ~seed:42 ()) 4096);
+          wt
+    in
+    let n = Wtrie.Append.length wt in
+    if n = 0 then begin
+      Printf.eprintf "cannot trace over an empty sequence\n";
+      exit 2
+    end;
+    (* Zipf-skewed op mix: positions and query strings are drawn from
+       the same skewed rank distribution the bench uses, so the trace
+       shows the cache behaviour of a realistic batch. *)
+    let rng = Wt_bits.Xoshiro.create 11 in
+    let zipf = Wt_workload.Zipf.create n in
+    let str_at pos =
+      match Wtrie.Append.access wt ~pos with Ok s -> s | Error _ -> assert false
+    in
+    let ops =
+      Array.init gen_ops (fun i ->
+          let pos = Wt_workload.Zipf.sample zipf rng in
+          match i mod 5 with
+          | 0 -> Wtrie.Access { pos }
+          | 1 -> Wtrie.Rank { s = str_at pos; pos = Wt_bits.Xoshiro.int rng (n + 1) }
+          | 2 -> Wtrie.Select { s = str_at pos; count = Wt_bits.Xoshiro.int rng 4 }
+          | 3 ->
+              let s = str_at pos in
+              let plen = min (String.length s) (1 + Wt_bits.Xoshiro.int rng 8) in
+              Wtrie.Rank_prefix { prefix = String.sub s 0 plen; pos = Wt_bits.Xoshiro.int rng (n + 1) }
+          | _ ->
+              let s = str_at pos in
+              let plen = min (String.length s) (1 + Wt_bits.Xoshiro.int rng 8) in
+              Wtrie.Select_prefix { prefix = String.sub s 0 plen; count = Wt_bits.Xoshiro.int rng 4 })
+    in
+    let results, trace =
+      Wtrie.with_trace ~sample_every:sample (fun () ->
+          Wtrie.Append.query_batch ?domains wt ops)
+    in
+    ignore (results : (Wtrie.value, Wtrie.error) result array);
+    let oc = open_out out in
+    output_string oc (Json.to_string trace);
+    output_string oc "\n";
+    close_out oc;
+    let evs = Wtrie.Trace.events () in
+    let doms =
+      List.length (List.sort_uniq compare (List.map (fun e -> e.Wtrie.Trace.dom) evs))
+    in
+    Printf.printf "traced %d ops into %s (%d spans across %d domains)\n" gen_ops out
+      (List.length evs) doms
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a Zipf-skewed query batch under span tracing and export Chrome trace_event JSON (query → level → shard, one timeline row per domain).")
+    Term.(const run $ file $ out $ gen_ops $ domains $ sample)
+
+(* ------------------------------------------------------------------ *)
 (* Batch mode: read a vector of operations, evaluate it through the
    batch engine, print one result line per operation.  Per-op failures
    are data (printed as [error: ...]), not process failures. *)
@@ -580,13 +664,25 @@ let () =
       [
         index_cmd; ingest_cmd; verify_cmd; recover_cmd; stats_cmd; access_cmd;
         rank_cmd; select_cmd; prefix_count_cmd; prefix_list_cmd; query_cmd;
-        distinct_cmd; majority_cmd; at_least_cmd; top_k_cmd; quantile_cmd;
+        trace_cmd; distinct_cmd; majority_cmd; at_least_cmd; top_k_cmd;
+        quantile_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with
   | code -> exit code
   | exception Wt_durable.Fault.Injected_crash msg ->
       Printf.eprintf "wtrie: %s\n" msg;
+      (* Crash forensics: with WTRIE_FLIGHT_DUMP=<path>, write the
+         flight-recorder ring — ending in the [crash] marker the fault
+         hook recorded — before dying, like a kernel core pattern. *)
+      (match Sys.getenv_opt "WTRIE_FLIGHT_DUMP" with
+      | Some path when path <> "" ->
+          let oc = open_out path in
+          output_string oc (Json.to_string (Wtrie.Flight.to_json ()));
+          output_string oc "\n";
+          close_out oc;
+          Printf.eprintf "wtrie: flight recorder dumped to %s\n" path
+      | _ -> ());
       exit 70
   | exception Persist.Format_error msg ->
       Printf.eprintf "wtrie: %s\n" msg;

@@ -129,3 +129,17 @@ module Report = Wt_obs.Report
 module Space = Wt_obs.Space
 module Histogram = Wt_obs.Histogram
 module Json = Wt_obs.Json
+
+(** Span tracing across the query pipeline ({!Trace}) and the always-on
+    bounded ring of recent events ({!Flight}) — see
+    docs/observability.md, "Tracing & the flight recorder". *)
+module Trace = Wt_obs.Trace
+
+module Flight = Wt_obs.Flight
+
+let with_trace = Wt_obs.Trace.with_trace
+(** [with_trace f] traces [f ()] and returns its result together with
+    the Chrome [trace_event] JSON ({!Json.t}) of every span it opened:
+    [Wtrie.with_trace (fun () -> Static.query_batch ~domains:4 wt ops)]
+    yields a trace that nests query → level → shard across domains.
+    Print with {!Json.to_string} and load in Perfetto. *)

@@ -18,6 +18,7 @@
 module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
 module Probe = Wt_obs.Probe
+module Trace = Wt_obs.Trace
 
 let encode = Binarize.of_bytes
 
@@ -113,9 +114,18 @@ end
 module Make_dynamic (I : Indexed_sequence.DYNAMIC) = struct
   include Make (I)
 
-  let insert t ~pos s = Probe.time Wt_insert (fun () -> I.insert t pos (encode s))
-  let delete t ~pos = Probe.time Wt_delete (fun () -> I.delete t pos)
-  let append t s = Probe.time Wt_append (fun () -> I.append t (encode s))
+  let insert t ~pos s =
+    Trace.with_span ~args:[ ("pos", pos) ] "wt.insert" (fun () ->
+        Probe.time Wt_insert (fun () -> I.insert t pos (encode s)))
+
+  let delete t ~pos =
+    Trace.with_span ~args:[ ("pos", pos) ] "wt.delete" (fun () ->
+        Probe.time Wt_delete (fun () -> I.delete t pos))
+
+  let append t s =
+    Trace.with_span "wt.append" (fun () ->
+        Probe.time Wt_append (fun () -> I.append t (encode s)))
+
   let append_batch t ss = Array.iter (append t) ss
 end
 

@@ -29,11 +29,18 @@ module Fault = Wt_durable.Fault
 module Container = Wt_durable.Container
 module Wal = Wt_durable.Wal
 module Probe = Wt_obs.Probe
+module Trace = Wt_obs.Trace
+module Flight = Wt_obs.Flight
 module Append_wt = Wt_core.Append_wt
 module Dynamic_wt = Wt_core.Dynamic_wt
 module Binarize = Wt_strings.Binarize
 
 exception Format_error = Container.Format_error
+
+(* Arm the flight recorder's crash marker: when fault injection tears a
+   write, the dump taken at exit shows the [crash] event after the WAL
+   appends and checkpoints that led up to it. *)
+let () = Fault.set_crash_hook (fun msg -> Flight.record ~note:msg Crash)
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Format_error m)) fmt
 
@@ -110,13 +117,15 @@ let apply_op trie op =
 (* Snapshot I/O *)
 
 let write_snapshot dir variant generation trie =
+  Trace.with_span ~args:[ ("generation", generation) ] "durable.save" @@ fun () ->
   let payload =
     match trie with
     | A wt -> Marshal.to_string (generation, wt) []
     | D wt -> Marshal.to_string (generation, wt) []
   in
   Container.write ~tag:(tag_of_variant variant) ~payload (snapshot_path dir);
-  Probe.hit Durable_snapshot_save
+  Probe.hit Durable_snapshot_save;
+  Flight.record ~a:generation Snapshot_save
 
 let load_snapshot dir =
   let tag, payload = Container.read_tagged (snapshot_path dir) in
@@ -143,6 +152,7 @@ let load_snapshot dir =
   in
   if generation < 0 then fail "corrupted snapshot (negative generation)";
   Probe.hit Durable_snapshot_load;
+  Flight.record ~a:generation Snapshot_load;
   (variant, generation, trie)
 
 (* ------------------------------------------------------------------ *)
@@ -198,16 +208,19 @@ let open_internal ~read_only ~verify ?(checkpoint_bytes = default_checkpoint_byt
     else if wal_reset then (0, 0)
       (* stale generation: its records are already in the snapshot *)
     else begin
-      List.iter
-        (fun op ->
-          match apply_op trie op with
-          | () -> ()
-          | exception (Failure _ | Invalid_argument _) ->
-              fail "WAL record could not be replayed on the recovered trie")
-        scan.s_ops;
+      Trace.with_span ~args:[ ("records", scan.s_records) ] "durable.replay"
+        (fun () ->
+          List.iter
+            (fun op ->
+              match apply_op trie op with
+              | () -> ()
+              | exception (Failure _ | Invalid_argument _) ->
+                  fail "WAL record could not be replayed on the recovered trie")
+            scan.s_ops);
       (scan.s_records, scan.s_dropped_bytes)
     end
   in
+  if replayed > 0 then Flight.record ~a:replayed Wal_replay;
   Probe.record Durable_wal_replay replayed;
   Probe.record Durable_wal_dropped_bytes (max 0 dropped_bytes);
   if verify then begin
@@ -268,6 +281,8 @@ let writable t =
 
 let checkpoint t =
   ignore (writable t : out_channel);
+  Trace.with_span ~args:[ ("generation", t.generation + 1) ] "durable.checkpoint"
+  @@ fun () ->
   let generation' = t.generation + 1 in
   (* 1. the new snapshot becomes durable under the new generation... *)
   write_snapshot t.dir t.variant generation' t.trie;
@@ -283,7 +298,8 @@ let checkpoint t =
   t.generation <- generation';
   t.wal_bytes <- Wal.header_size ~tag;
   reopen_wal t;
-  Probe.hit Durable_checkpoint
+  Probe.hit Durable_checkpoint;
+  Flight.record ~a:generation' Checkpoint
 
 let maybe_checkpoint t = if t.wal_bytes >= t.checkpoint_bytes then checkpoint t
 
@@ -291,7 +307,8 @@ let log_op t op =
   let oc = writable t in
   let n = Wal.append_op oc op in
   t.wal_bytes <- t.wal_bytes + n;
-  Probe.hit Durable_wal_append
+  Probe.hit Durable_wal_append;
+  Flight.record ~a:n Wal_append
 
 let append t s =
   log_op t (Wal.Append s);

@@ -12,6 +12,14 @@
 
 exception Injected_crash of string
 
+(* Called with the fault message just before {!Injected_crash} is
+   raised.  The [durable] library (which, unlike this one, links
+   [wt_obs]) points it at the flight recorder so the crash marker lands
+   in the ring before the process unwinds; a ref keeps [wt_durable]
+   dependency-light. *)
+let crash_hook : (string -> unit) ref = ref (fun _ -> ())
+let set_crash_hook f = crash_hook := f
+
 (* [None] = disarmed; [Some b] = b more bytes may reach disk. *)
 let budget = ref None
 
@@ -40,10 +48,12 @@ let output oc s pos len =
       output_substring oc s pos b;
       flush oc;
       budget := Some 0;
-      raise
-        (Injected_crash
-           (Printf.sprintf "injected crash: torn write (%d of %d bytes reached the file)"
-              b len))
+      let msg =
+        Printf.sprintf "injected crash: torn write (%d of %d bytes reached the file)" b
+          len
+      in
+      !crash_hook msg;
+      raise (Injected_crash msg)
 
 let output_string oc s = output oc s 0 (String.length s)
 

@@ -21,6 +21,13 @@ val arm_from_env : unit -> unit
 (** Arm from [WTRIE_FAULT_CRASH_AFTER] (a byte count) when set — the
     CLI calls this at startup so CI can kill a writer mid-append. *)
 
+val set_crash_hook : (string -> unit) -> unit
+(** Invoked with the fault message just before {!Injected_crash} is
+    raised.  The [durable] library points this at the flight recorder
+    ({!Wt_obs.Flight}) so a crash marker lands in the ring before the
+    process unwinds; the indirection keeps this library free of an obs
+    dependency. *)
+
 val output : out_channel -> string -> int -> int -> unit
 (** [output oc s pos len], charging the budget. *)
 

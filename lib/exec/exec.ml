@@ -40,6 +40,7 @@
 module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
 module Probe = Wt_obs.Probe
+module Trace = Wt_obs.Trace
 module Iseq = Wt_core.Indexed_sequence
 
 (* The bitstring-level engine, shared by the three variants. *)
@@ -76,7 +77,9 @@ module Make (N : Wt_core.Node_view.CURSORED) = struct
     let n = N.length trie in
     let nops = Array.length ops in
     let results = Array.make nops (Count 0) in
-    if nops > 0 then begin
+    if nops > 0 then
+      Trace.with_span ~args:[ ("ops", nops) ] "exec.batch" (fun () ->
+    begin
       Probe.hit Exec_batch;
       Probe.record Exec_batch_ops nops;
       (* Memoized descents, one per distinct string: select groups keyed
@@ -211,10 +214,15 @@ module Make (N : Wt_core.Node_view.CURSORED) = struct
           and otix = Array.make m 0
           and otrl = Array.make m no_trail in
           let groups = ref [ (root, [], 0, m) ] in
+          let lvl = ref 0 in
           while !groups <> [] do
             let level = !groups in
             groups := [];
             let fill = ref 0 in
+            Trace.with_span
+              ~args:[ ("level", !lvl); ("groups", List.length level) ]
+              "exec.level"
+              (fun () ->
             Probe.time Exec_level (fun () ->
                 List.iter
                   (fun (node, pfx, lo, hi) ->
@@ -318,7 +326,8 @@ module Make (N : Wt_core.Node_view.CURSORED) = struct
                           (N.child node true, bit1 :: label :: pfx, zhi, zhi + ones)
                           :: !groups
                     end)
-                  level);
+                  level));
+            incr lvl;
             (* swap the frontier buffers *)
             let t = !cid in
             cid := !nid;
@@ -334,7 +343,7 @@ module Make (N : Wt_core.Node_view.CURSORED) = struct
             ntrl := t
           done
       | _ -> ())
-    end;
+    end);
     results
 end
 

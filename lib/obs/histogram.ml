@@ -79,7 +79,21 @@ type snapshot = {
   p99_ns : int;
   max_ns : int;
   mean_ns : float;
+  buckets : (int * int) list;
+      (** non-empty buckets as [(exponent, count)], ascending: bucket
+          [b] holds samples in [2^b, 2^(b+1)) ns (0 absorbs <= 1).
+          This is the raw data the percentiles derive from
+          ({!Wt_obs.Report} re-derives them on JSON parse). *)
 }
+
+let bucket_list (t : t) =
+  let rec go b acc =
+    if b < 0 then acc
+    else
+      let c = Atomic.get t.buckets.(b) in
+      go (b - 1) (if c = 0 then acc else (b, c) :: acc)
+  in
+  go (nbuckets - 1) []
 
 let snapshot t =
   let n = Atomic.get t.total in
@@ -91,4 +105,5 @@ let snapshot t =
     max_ns = Atomic.get t.max;
     mean_ns =
       (if n = 0 then 0. else float_of_int (Atomic.get t.sum) /. float_of_int n);
+    buckets = bucket_list t;
   }

@@ -31,7 +31,11 @@ let[@inline] hit m = record m 1
 let counter m = Atomic.get counters.(Metric.index m)
 let histogram m = Histogram.snapshot histograms.(Metric.index m)
 
-let default_clock () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic nanoseconds via the CLOCK_MONOTONIC stub (a [@noalloc]
+   external).  Wall-clock time ([Unix.gettimeofday]) is wrong here: an
+   NTP step mid-measurement lands a wildly negative or huge sample in
+   the latency histograms and corrupts span durations. *)
+let default_clock () = Int64.to_int (Monotonic_clock.now ())
 let clock = ref default_clock
 let set_clock f = clock := f
 let now_ns () = !clock ()

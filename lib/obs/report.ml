@@ -4,8 +4,16 @@
     metrics block, and programmatic assertions in tests.
 
     [to_json]/[of_json] round-trip: derived fields (lower bounds,
-    ratios) are emitted for readers but recomputed on parse, so
-    [to_json (of_json (to_json r)) = to_json r]. *)
+    ratios, latency percentiles) are emitted for readers but recomputed
+    on parse — percentiles from the raw histogram buckets — so
+    [to_json (of_json (to_json r)) = to_json r].
+
+    The JSON form is {e normalized}: the [counters] object carries every
+    declared metric (zeros included) and [latencies] carries one entry
+    per metric (never-hit metrics get the same shape with [count] 0 and
+    empty [buckets]), so two reports always share one structure and
+    downstream consumers ([bench/regress.ml]) can diff them field by
+    field without guessing which keys happened to fire. *)
 
 type latency = {
   op : string;
@@ -15,6 +23,9 @@ type latency = {
   p99_ns : int;
   max_ns : int;
   mean_ns : float;
+  buckets : (int * int) list;
+      (** raw log-scaled histogram: [(exponent, count)], ascending;
+          bucket [b] covers [2^b, 2^(b+1)) ns, bucket 0 absorbs <= 1 *)
 }
 
 type t = {
@@ -25,26 +36,86 @@ type t = {
 
 let empty = { counters = []; latencies = []; space = [] }
 
+(* Percentile derivation from the raw buckets, shared by [capture], the
+   parser and the cross-op summary: the value at quantile [q] is the
+   lower bound of the bucket holding the sample of rank
+   floor(q * (count-1)) — the same rule {!Histogram.quantile} applies to
+   the live atomics, so a captured report and its parsed round-trip
+   agree exactly.  [max_ns] caps the top bucket since the exact maximum
+   is tracked separately. *)
+let quantile_of_buckets ~count ~max_ns buckets q =
+  if count = 0 then 0
+  else begin
+    let target =
+      max 0 (min (count - 1) (int_of_float (q *. float_of_int (count - 1))))
+    in
+    let rec walk seen = function
+      | [] -> max_ns
+      | (b, c) :: tl ->
+          if target < seen + c then if b = 0 then 0 else 1 lsl b
+          else walk (seen + c) tl
+    in
+    walk 0 buckets
+  end
+
+let derive ~op ~count ~max_ns ~mean_ns ~buckets =
+  {
+    op;
+    count;
+    p50_ns = quantile_of_buckets ~count ~max_ns buckets 0.50;
+    p90_ns = quantile_of_buckets ~count ~max_ns buckets 0.90;
+    p99_ns = quantile_of_buckets ~count ~max_ns buckets 0.99;
+    max_ns;
+    mean_ns;
+    buckets;
+  }
+
+let empty_latency op =
+  { op; count = 0; p50_ns = 0; p90_ns = 0; p99_ns = 0; max_ns = 0; mean_ns = 0.; buckets = [] }
+
 let capture ?(space = []) () =
   {
     counters = Probe.counter_list ();
     latencies =
       List.map
         (fun (op, (s : Histogram.snapshot)) ->
-          {
-            op;
-            count = s.count;
-            p50_ns = s.p50_ns;
-            p90_ns = s.p90_ns;
-            p99_ns = s.p99_ns;
-            max_ns = s.max_ns;
-            mean_ns = s.mean_ns;
-          })
+          derive ~op ~count:s.count ~max_ns:s.max_ns ~mean_ns:s.mean_ns
+            ~buckets:s.buckets)
         (Probe.latency_list ());
     space;
   }
 
 let counter t name = match List.assoc_opt name t.counters with Some c -> c | None -> 0
+
+let latency t op = List.find_opt (fun l -> l.op = op) t.latencies
+
+(* The cross-operation roll-up behind [wtrie stats]'s "overall latency"
+   line: merge every op's buckets into one histogram and re-derive the
+   percentiles.  [None] when nothing was timed. *)
+let summary t =
+  let live = List.filter (fun l -> l.count > 0) t.latencies in
+  if live = [] then None
+  else begin
+    let merged = Hashtbl.create 16 in
+    List.iter
+      (fun l ->
+        List.iter
+          (fun (b, c) ->
+            Hashtbl.replace merged b
+              (c + Option.value ~default:0 (Hashtbl.find_opt merged b)))
+          l.buckets)
+      live;
+    let buckets =
+      List.sort compare (Hashtbl.fold (fun b c acc -> (b, c) :: acc) merged [])
+    in
+    let count = List.fold_left (fun acc l -> acc + l.count) 0 live in
+    let max_ns = List.fold_left (fun acc l -> max acc l.max_ns) 0 live in
+    let mean_ns =
+      List.fold_left (fun acc l -> acc +. (l.mean_ns *. float_of_int l.count)) 0. live
+      /. float_of_int count
+    in
+    Some (derive ~op:"overall" ~count ~max_ns ~mean_ns ~buckets)
+  end
 
 (* ------------------------------------------------------------------ *)
 
@@ -58,24 +129,63 @@ let latency_to_json l =
       ("p99_ns", Json.Int l.p99_ns);
       ("max_ns", Json.Int l.max_ns);
       ("mean_ns", Json.Float l.mean_ns);
+      ( "buckets",
+        Json.Obj (List.map (fun (b, c) -> (string_of_int b, Json.Int c)) l.buckets) );
     ]
 
 let latency_of_json j =
   let ( let* ) o f = Option.bind o f in
   let* op = Option.bind (Json.member "op" j) Json.to_str in
   let* count = Option.bind (Json.member "count" j) Json.to_int in
-  let* p50_ns = Option.bind (Json.member "p50_ns" j) Json.to_int in
-  let* p90_ns = Option.bind (Json.member "p90_ns" j) Json.to_int in
-  let* p99_ns = Option.bind (Json.member "p99_ns" j) Json.to_int in
   let* max_ns = Option.bind (Json.member "max_ns" j) Json.to_int in
   let* mean_ns = Option.bind (Json.member "mean_ns" j) Json.to_float in
-  Some { op; count; p50_ns; p90_ns; p99_ns; max_ns; mean_ns }
+  let* bucket_fields = Option.bind (Json.member "buckets" j) Json.to_obj in
+  let* buckets =
+    List.fold_left
+      (fun acc (k, v) ->
+        match (acc, int_of_string_opt k, Json.to_int v) with
+        | Some acc, Some b, Some c -> Some ((b, c) :: acc)
+        | _ -> None)
+      (Some []) bucket_fields
+  in
+  let buckets = List.sort compare buckets in
+  (* p50/p90/p99 are derived fields: recomputed from the buckets, not
+     trusted from the input *)
+  Some (derive ~op ~count ~max_ns ~mean_ns ~buckets)
+
+(* Normalized views: every declared metric appears exactly once, in
+   declaration order; entries for names outside the metric universe
+   (none today) are preserved after the fixed set. *)
+
+let normalized_counters t =
+  let known = Array.to_list (Array.map (fun m -> (Metric.name m, counter t (Metric.name m))) Metric.all) in
+  let extra =
+    List.filter (fun (k, _) -> Array.for_all (fun m -> Metric.name m <> k) Metric.all) t.counters
+  in
+  known @ extra
+
+let normalized_latencies t =
+  let known =
+    Array.to_list
+      (Array.map
+         (fun m ->
+           let n = Metric.name m in
+           match latency t n with Some l -> l | None -> empty_latency n)
+         Metric.all)
+  in
+  let extra =
+    List.filter
+      (fun l -> Array.for_all (fun m -> Metric.name m <> l.op) Metric.all)
+      t.latencies
+  in
+  known @ extra
 
 let to_json t =
   Json.Obj
     [
-      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters));
-      ("latencies", Json.List (List.map latency_to_json t.latencies));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (normalized_counters t)) );
+      ("latencies", Json.List (List.map latency_to_json (normalized_latencies t)));
       ("space", Json.List (List.map Space.breakdown_to_json t.space));
     ]
 
@@ -108,15 +218,19 @@ let of_json_string s =
 
 (* ------------------------------------------------------------------ *)
 
+(* Human rendering skips the zero entries the normalized JSON carries:
+   a parsed report prints the same as the capture it came from. *)
 let pp fmt t =
+  let counters = List.filter (fun (_, c) -> c <> 0) t.counters in
+  let latencies = List.filter (fun l -> l.count > 0) t.latencies in
   Format.fprintf fmt "@[<v>";
-  if t.counters <> [] then begin
+  if counters <> [] then begin
     Format.fprintf fmt "operation counters:@,";
     List.iter
       (fun (name, c) -> Format.fprintf fmt "  %-20s %12d@," name c)
-      t.counters
+      counters
   end;
-  if t.latencies <> [] then begin
+  if latencies <> [] then begin
     Format.fprintf fmt "latencies (log-scaled histogram, ns):@,";
     Format.fprintf fmt "  %-20s %10s %10s %10s %10s %10s@," "op" "count" "p50" "p90"
       "p99" "max";
@@ -124,12 +238,17 @@ let pp fmt t =
       (fun l ->
         Format.fprintf fmt "  %-20s %10d %10d %10d %10d %10d@," l.op l.count l.p50_ns
           l.p90_ns l.p99_ns l.max_ns)
-      t.latencies
+      latencies;
+    match summary t with
+    | None -> ()
+    | Some s ->
+        Format.fprintf fmt "  overall latency: p50 %d ns  p90 %d ns  p99 %d ns  max %d ns  (%d samples)@,"
+          s.p50_ns s.p90_ns s.p99_ns s.max_ns s.count
   end;
   if t.space <> [] then begin
     Format.fprintf fmt "space vs lower bound:@,";
     List.iter (fun b -> Format.fprintf fmt "  @[%a@]@," Space.pp_breakdown b) t.space
   end;
-  if t.counters = [] && t.latencies = [] && t.space = [] then
+  if counters = [] && latencies = [] && t.space = [] then
     Format.fprintf fmt "(no samples; were probes enabled?)@,";
   Format.fprintf fmt "@]"

@@ -1,0 +1,265 @@
+(** Span-based tracing: explainable latency for the multi-stage,
+    multi-domain query pipeline.
+
+    A span is a named, timed interval with a parent — [with_span] nests
+    spans lexically on the executing domain's own span stack, and
+    [~parent] carries the chain across domains (the sharded executor
+    stamps each shard task with the submitting batch span's id).
+    Completed spans accumulate in per-domain buffers and export as
+    Chrome [trace_event] JSON ({!to_json}), loadable in Perfetto or
+    chrome://tracing: one [tid] per domain, nesting inferred from the
+    interval containment the stacks guarantee.
+
+    Cost model mirrors {!Probe}: tracing is off by default, and a
+    disabled [with_span] is one atomic load and a branch — results are
+    bit-for-bit those of the untraced code.  When enabled, counted
+    sampling ([~sample_every]) keeps the overhead bounded on hot paths:
+    only every n-th *root* span (and its whole subtree) is recorded;
+    subtrees are never torn.
+
+    Timestamps come from {!Probe.now_ns}, so the clock is the same
+    injectable monotonic source the latency histograms use and span
+    trees are deterministic under a test clock. *)
+
+type event = {
+  id : int;
+  parent : int;  (** span id of the parent, or -1 for a root *)
+  name : string;
+  args : (string * int) list;
+  dom : int;  (** id of the domain that executed the span *)
+  t0_ns : int;
+  t1_ns : int;
+}
+
+type frame = {
+  fid : int;
+  fparent : int;
+  fname : string;
+  fargs : (string * int) list;
+  ft0 : int;
+}
+
+(* Per-domain state: the open-span stack, the mute depth for
+   sampled-out subtrees, and the completed-event buffer (newest first,
+   bounded).  Each domain mutates only its own state, so no locks are
+   needed on the hot path; the registry lets [events]/[reset] reach
+   every domain's buffer from the collector. *)
+type dstate = {
+  ddom : int;
+  mutable stack : frame list;
+  mutable mute : int;
+  mutable evs : event list;
+  mutable nevs : int;
+  mutable dropped : int;
+}
+
+let max_events_per_domain = 1 lsl 20
+
+let on = Atomic.make false
+let sample_every = Atomic.make 1
+let sample_ctr = Atomic.make 0
+let next_id = Atomic.make 1
+
+let registry : dstate list ref = ref []
+let reg_mu = Mutex.create ()
+
+let dkey =
+  Domain.DLS.new_key (fun () ->
+      let st =
+        {
+          ddom = (Domain.self () :> int);
+          stack = [];
+          mute = 0;
+          evs = [];
+          nevs = 0;
+          dropped = 0;
+        }
+      in
+      Mutex.lock reg_mu;
+      registry := st :: !registry;
+      Mutex.unlock reg_mu;
+      st)
+
+let state () = Domain.DLS.get dkey
+
+let enabled () = Atomic.get on
+
+let enable ?sample_every:(se = 1) () =
+  Atomic.set sample_every (max 1 se);
+  Atomic.set sample_ctr 0;
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+(* Collector-side; call while no domain is inside a traced section. *)
+let reset () =
+  Mutex.lock reg_mu;
+  let sts = !registry in
+  Mutex.unlock reg_mu;
+  List.iter
+    (fun d ->
+      d.stack <- [];
+      d.mute <- 0;
+      d.evs <- [];
+      d.nevs <- 0;
+      d.dropped <- 0)
+    sts;
+  Atomic.set sample_ctr 0
+
+(* The id of the innermost open span on this domain, or -1.  Capture it
+   before fanning work out to other domains and pass it back in as
+   [~parent] to keep the span tree connected across the pool. *)
+let current_id () =
+  if not (Atomic.get on) then -1
+  else match (state ()).stack with [] -> -1 | fr :: _ -> fr.fid
+
+let[@inline] sampled_out () =
+  let every = Atomic.get sample_every in
+  every > 1 && Atomic.fetch_and_add sample_ctr 1 mod every <> 0
+
+let emit d fr t1 =
+  if d.nevs >= max_events_per_domain then d.dropped <- d.dropped + 1
+  else begin
+    d.evs <-
+      {
+        id = fr.fid;
+        parent = fr.fparent;
+        name = fr.fname;
+        args = fr.fargs;
+        dom = d.ddom;
+        t0_ns = fr.ft0;
+        t1_ns = t1;
+      }
+      :: d.evs;
+    d.nevs <- d.nevs + 1
+  end
+
+(* [with_span ?parent ?args name f] runs [f] inside a span.  [~parent]
+   (a span id from [current_id], possibly captured on another domain)
+   overrides the stack-derived parent; a negative value means "none".
+   Exceptions close the span and re-raise. *)
+let with_span ?(parent = -1) ?(args = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let d = state () in
+    let root = d.stack == [] && parent < 0 in
+    if d.mute > 0 || (root && sampled_out ()) then begin
+      d.mute <- d.mute + 1;
+      Fun.protect ~finally:(fun () -> d.mute <- d.mute - 1) f
+    end
+    else begin
+      let fparent =
+        if parent >= 0 then parent
+        else match d.stack with [] -> -1 | fr :: _ -> fr.fid
+      in
+      let fid = Atomic.fetch_and_add next_id 1 in
+      let t0 = Probe.now_ns () in
+      let fr = { fid; fparent; fname = name; fargs = args; ft0 = t0 } in
+      d.stack <- fr :: d.stack;
+      Flight.record ~t:t0 ~a:fid ~note:name Flight.Span_begin;
+      let finish () =
+        (match d.stack with
+        | top :: rest when top == fr -> d.stack <- rest
+        | _ ->
+            (* unbalanced nesting (an inner span leaked an exception past
+               its own finish) — drop down to our frame *)
+            let rec pop = function
+              | top :: rest when top != fr -> pop rest
+              | top :: rest when top == fr -> rest
+              | l -> l
+            in
+            d.stack <- pop d.stack);
+        let t1 = Probe.now_ns () in
+        emit d fr t1;
+        Flight.record ~t:t1 ~a:fid ~note:name Flight.Span_end
+      in
+      match f () with
+      | r ->
+          finish ();
+          r
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          finish ();
+          Printexc.raise_with_backtrace e bt
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Collection and export *)
+
+let events () =
+  Mutex.lock reg_mu;
+  let sts = !registry in
+  Mutex.unlock reg_mu;
+  let all = List.concat_map (fun d -> d.evs) sts in
+  List.sort (fun a b -> compare (a.t0_ns, a.id) (b.t0_ns, b.id)) all
+
+let event_count () =
+  Mutex.lock reg_mu;
+  let sts = !registry in
+  Mutex.unlock reg_mu;
+  List.fold_left (fun acc d -> acc + d.nevs) 0 sts
+
+let dropped_count () =
+  Mutex.lock reg_mu;
+  let sts = !registry in
+  Mutex.unlock reg_mu;
+  List.fold_left (fun acc d -> acc + d.dropped) 0 sts
+
+(* Chrome trace_event export: complete events (ph "X", microsecond
+   ts/dur) on pid 1, one tid per domain, plus thread-name metadata so
+   Perfetto labels the rows "domain-N".  Span ids and parents ride in
+   [args] for tools that want the exact tree rather than the
+   containment-inferred one. *)
+let to_json () =
+  let evs = events () in
+  let doms = List.sort_uniq compare (List.map (fun e -> e.dom) evs) in
+  let meta =
+    List.map
+      (fun dom ->
+        Json.Obj
+          [
+            ("name", Json.Str "thread_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 1);
+            ("tid", Json.Int dom);
+            ("args", Json.Obj [ ("name", Json.Str (Printf.sprintf "domain-%d" dom)) ]);
+          ])
+      doms
+  in
+  let ev_json e =
+    Json.Obj
+      [
+        ("name", Json.Str e.name);
+        ("cat", Json.Str "wtrie");
+        ("ph", Json.Str "X");
+        ("ts", Json.Float (float_of_int e.t0_ns /. 1e3));
+        ("dur", Json.Float (float_of_int (max 0 (e.t1_ns - e.t0_ns)) /. 1e3));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int e.dom);
+        ( "args",
+          Json.Obj
+            (("id", Json.Int e.id)
+            :: ("parent", Json.Int e.parent)
+            :: List.map (fun (k, v) -> (k, Json.Int v)) e.args) );
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.map ev_json evs));
+      ("displayTimeUnit", Json.Str "ns");
+    ]
+
+(* [with_trace f]: reset, trace [f ()], return its result with the
+   exported trace.  Events stay collected until the next [reset], so
+   callers can still inspect [events ()] afterwards. *)
+let with_trace ?sample_every f =
+  reset ();
+  enable ?sample_every ();
+  match f () with
+  | r ->
+      disable ();
+      (r, to_json ())
+  | exception e ->
+      disable ();
+      raise e

@@ -20,6 +20,7 @@
     in particular empty and size-1 batches never touch the pool. *)
 
 module Probe = Wt_obs.Probe
+module Trace = Wt_obs.Trace
 
 let default_min_shard = 256
 
@@ -41,14 +42,25 @@ let query_batch ?pool ?(min_shard = default_min_shard) ?domains
         let pool = match pool with Some p -> p | None -> Pool.default () in
         Probe.hit Par_batch;
         Probe.record Par_shards shards;
-        let parts = Array.make shards [||] in
-        let tasks =
-          Array.mapi
-            (fun i (off, len) () ->
-              parts.(i) <-
-                Probe.time Par_shard_run (fun () -> engine trie (Array.sub ops off len)))
-            (shard_ranges nops shards)
-        in
-        Pool.run pool tasks;
-        Array.concat (Array.to_list parts)
+        Trace.with_span ~args:[ ("shards", shards); ("ops", nops) ] "par.batch"
+          (fun () ->
+            (* captured on the submitting domain so the shard spans —
+               which run on pool domains with empty span stacks — nest
+               under this batch in the merged trace *)
+            let parent = Trace.current_id () in
+            let parts = Array.make shards [||] in
+            let tasks =
+              Array.mapi
+                (fun i (off, len) () ->
+                  Trace.with_span ~parent
+                    ~args:[ ("shard", i); ("ops", len) ]
+                    "par.shard"
+                    (fun () ->
+                      parts.(i) <-
+                        Probe.time Par_shard_run (fun () ->
+                            engine trie (Array.sub ops off len))))
+                (shard_ranges nops shards)
+            in
+            Pool.run pool tasks;
+            Array.concat (Array.to_list parts))
       end

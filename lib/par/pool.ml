@@ -22,7 +22,11 @@
 module Histogram = Wt_obs.Histogram
 module Probe = Wt_obs.Probe
 
-type task = { stamp : int; run : unit -> unit }
+(* [fin] signals the submitting [run]'s countdown.  It must be called
+   only after all per-task accounting (the per-domain histogram in
+   particular), or the submitter can observe the pool's telemetry
+   before the last task has recorded itself. *)
+type task = { stamp : int; run : unit -> unit; fin : unit -> unit }
 
 type t = {
   size : int; (* total parallelism: workers + the submitting domain *)
@@ -42,11 +46,13 @@ let size t = t.size
    closure slips through. *)
 let exec_task t k task =
   Probe.hit Par_task;
+  Wt_obs.Flight.record ~a:k Pool_dispatch;
   if k = 0 then Probe.hit Par_steal;
   if task.stamp > 0 then Probe.duration Par_queue_wait (Probe.now_ns () - task.stamp);
   let t0 = Probe.now_ns () in
   (try task.run () with _ -> ());
-  Histogram.record t.hists.(k) (Probe.now_ns () - t0)
+  Histogram.record t.hists.(k) (Probe.now_ns () - t0);
+  task.fin ()
 
 let rec worker_loop t k =
   Mutex.lock t.m;
@@ -112,10 +118,12 @@ let run t fns =
     let dm = Mutex.create () in
     let dc = Condition.create () in
     let wrap f () =
-      (try f ()
-       with e ->
-         let bt = Printexc.get_raw_backtrace () in
-         ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+      try f ()
+      with e ->
+        let bt = Printexc.get_raw_backtrace () in
+        ignore (Atomic.compare_and_set failed None (Some (e, bt)))
+    in
+    let finish () =
       if Atomic.fetch_and_add remaining (-1) = 1 then begin
         Mutex.lock dm;
         Condition.broadcast dc;
@@ -124,7 +132,7 @@ let run t fns =
     in
     let stamp = if Probe.enabled () then Probe.now_ns () else 0 in
     Mutex.lock t.m;
-    Array.iter (fun f -> Queue.push { stamp; run = wrap f } t.q) fns;
+    Array.iter (fun f -> Queue.push { stamp; run = wrap f; fin = finish } t.q) fns;
     Condition.broadcast t.nonempty;
     Mutex.unlock t.m;
     (* Steal loop: the submitter works the queue dry instead of idling.

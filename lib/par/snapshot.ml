@@ -31,4 +31,5 @@ let publish (t : _ t) v =
   let e = fst (Atomic.get t) + 1 in
   Atomic.set t (e, v);
   Wt_obs.Probe.hit Par_snapshot_publish;
+  Wt_obs.Flight.record ~a:e Snapshot_publish;
   e

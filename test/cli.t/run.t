@@ -154,3 +154,49 @@ writer mid-append; acknowledged records survive, the torn one does not:
 
   $ wtrie access store.d --at 6
   site.com/login
+
+Stats aggregate the per-op latency histograms into one summary line
+(timings vary run to run, so check the shape only):
+
+  $ wtrie stats log.txt | grep -c "overall latency: p50 .* ns  p90 .* ns  p99 .* ns  max .* ns"
+  1
+
+Span tracing: run a generated query batch under the tracer and export
+Chrome trace_event JSON (loadable in Perfetto).  With one domain the
+span tree is exactly one exec.batch over its levels:
+
+  $ WTRIE_DOMAINS=1 wtrie trace log.txt --out trace.json --gen-ops 200
+  traced 200 ops into trace.json (5 spans across 1 domains)
+
+  $ grep -c '"traceEvents"' trace.json
+  1
+
+  $ grep -o '"name":"exec.batch"' trace.json | wc -l
+  1
+
+Across four domains the shard spans parent back to the batch span;
+counts depend on sharding, so mask them:
+
+  $ WTRIE_DOMAINS=4 wtrie trace log.txt --out trace4.json --gen-ops 2000 --domains 4 | sed -E 's/[0-9]+ spans across [0-9]+ domains/spans recorded/'
+  traced 2000 ops into trace4.json (spans recorded)
+
+  $ grep -c '"name":"par.batch"' trace4.json
+  1
+
+The flight recorder is always on; on an injected crash the CLI dumps
+the recent-event ring when WTRIE_FLIGHT_DUMP names a file, so the WAL
+appends leading up to the torn write are preserved:
+
+  $ WTRIE_FAULT_CRASH_AFTER=200 WTRIE_FLIGHT_DUMP=flight.json wtrie ingest flight-store.d log.txt
+  wtrie: injected crash: torn write (12 of 22 bytes reached the file)
+  wtrie: flight recorder dumped to flight.json
+  [70]
+
+  $ grep -o '"kind":"wal_append"' flight.json | wc -l
+  2
+
+  $ grep -o '"kind":"crash"' flight.json | wc -l
+  1
+
+  $ grep -o '"kind":"snapshot_save"' flight.json | wc -l
+  1
