@@ -815,7 +815,17 @@ let metrics_queries (type a)
           Wt_core.Indexed_sequence.Rank
             { s = strings.(Xoshiro.int rng n); pos = Xoshiro.int rng (n + 1) })
   in
-  ignore (V.query_batch wt ops)
+  ignore (V.query_batch wt ops);
+  (* and the range-analytics suite, so the Analytics_* counters land *)
+  for _ = 0 to 3 do
+    let prefix = String.sub strings.(Xoshiro.int rng n) 0 4 in
+    let lo = Xoshiro.int rng n in
+    let hi = lo + Xoshiro.int rng (n - lo + 1) in
+    ignore (V.select_all ~prefix ~lo ~hi wt);
+    ignore (V.range_count ~prefix wt ~lo ~hi);
+    ignore (V.range_distinct ~lo ~hi wt);
+    ignore (V.range_topk ~lo ~hi wt ~k:3)
+  done
 
 (* Batch vs scalar on the Zipf URL workload: the tentpole number.  Same
    operations through the scalar front door and through [query_batch];
@@ -931,6 +941,86 @@ let parallel_block () =
       per "rank" rank_ops;
     ]
 
+(* Range analytics vs the naive scalar loop it replaces (the tentpole
+   numbers of the analytics suite): [select_all ~prefix] against the
+   select_prefix-per-occurrence loop, and a window [range_topk] against
+   the access-scan + hashtable tally.  Same static Zipf URL index as the
+   batch block; the prefix is the busiest host so the reported block is
+   large enough to amortize. *)
+let analytics_block () =
+  let n = 131072 in
+  let g = Urls.create ~seed:42 () in
+  let strings = Urls.raw_sequence g n in
+  let wt = Wtrie.Static.of_array strings in
+  let best f =
+    let d = ref infinity in
+    for _ = 1 to 3 do
+      d := min !d (time_batch f)
+    done;
+    !d
+  in
+  (* busiest host prefix (up to the '/' closing the authority, skipping
+     the scheme's "//") in the Zipf sequence *)
+  let host s =
+    match String.index_from_opt s (min 8 (String.length s)) '/' with
+    | None -> s
+    | Some i -> String.sub s 0 (i + 1)
+  in
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      let h = host s in
+      Hashtbl.replace tbl h (1 + Option.value (Hashtbl.find_opt tbl h) ~default:0))
+    strings;
+  let prefix, hits =
+    Hashtbl.fold (fun h c ((_, bc) as b) -> if c > bc then (h, c) else b) tbl ("", 0)
+  in
+  let naive_select_all =
+    best (fun () ->
+        for k = 0 to hits - 1 do
+          ignore (Wtrie.Static.select_prefix wt ~prefix ~count:k)
+        done)
+  in
+  let fast_select_all = best (fun () -> ignore (Wtrie.Static.select_all ~prefix wt)) in
+  let k = 10 in
+  let lo = n / 4 in
+  let hi = lo + 16384 in
+  let naive_topk =
+    best (fun () ->
+        let t = Hashtbl.create 1024 in
+        for pos = lo to hi - 1 do
+          match Wtrie.Static.access wt ~pos with
+          | Ok s -> Hashtbl.replace t s (1 + Option.value (Hashtbl.find_opt t s) ~default:0)
+          | Error _ -> assert false
+        done;
+        let l = Hashtbl.fold (fun s c acc -> (s, c) :: acc) t [] in
+        let l = List.sort (fun (a, ca) (b, cb) -> if ca <> cb then compare cb ca else compare a b) l in
+        ignore (List.filteri (fun i _ -> i < k) l))
+  in
+  let fast_topk = best (fun () -> ignore (Wtrie.Static.range_topk ~lo ~hi wt ~k)) in
+  let ms dt = dt *. 1e3 in
+  Json.Obj
+    [
+      ("n", Json.Int n);
+      ( "select_all",
+        Json.Obj
+          [
+            ("prefix_hits", Json.Int hits);
+            ("naive_ms", Json.Float (ms naive_select_all));
+            ("select_all_ms", Json.Float (ms fast_select_all));
+            ("speedup", Json.Float (naive_select_all /. fast_select_all));
+          ] );
+      ( "topk",
+        Json.Obj
+          [
+            ("window", Json.Int (hi - lo));
+            ("k", Json.Int k);
+            ("naive_ms", Json.Float (ms naive_topk));
+            ("topk_ms", Json.Float (ms fast_topk));
+            ("speedup", Json.Float (naive_topk /. fast_topk));
+          ] );
+    ]
+
 let metrics_block () =
   let g = Urls.create ~seed:42 () in
   let strings = Urls.raw_sequence g 2048 in
@@ -975,6 +1065,7 @@ let metrics_block () =
       ("metrics", Json.Obj [ static; append; dynamic ]);
       ("batch", batch_block ());
       ("parallel", parallel_block ());
+      ("analytics", analytics_block ());
       ("durability", durability_block ());
     ]
 

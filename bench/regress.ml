@@ -58,6 +58,8 @@ let gated =
     (Higher_better, "batch.rank.speedup");
     (Lower_better, "parallel.access.domains_1_ns_per_op");
     (Lower_better, "parallel.rank.domains_1_ns_per_op");
+    (Higher_better, "analytics.select_all.speedup");
+    (Higher_better, "analytics.topk.speedup");
     (Higher_better, "durability.snapshot.save_mb_per_s");
     (Higher_better, "durability.snapshot.load_mb_per_s");
     (Higher_better, "durability.wal.replay_records_per_s");

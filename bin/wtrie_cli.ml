@@ -106,7 +106,25 @@ let hi_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print the observability report (operation counters, latency histograms, space breakdown) to stderr.")
 
-let clamp_hi wt = function None -> Wtrie.Append.length wt | Some h -> min h (Wtrie.Append.length wt)
+(* Malformed query arguments (positions/windows out of bounds, negative
+   occurrence counts, ...) print the shared [Wtrie.pp_error] rendering
+   and exit 64 (EX_USAGE) — distinct from 1 (query answered: no result),
+   2 (cannot run at all) and the verify/durability codes. *)
+let fail_query e =
+  Format.eprintf "%a@." Wtrie.pp_error e;
+  exit 64
+
+let or_fail = function Ok v -> v | Error e -> fail_query e
+
+(* Validate [--lo]/[--hi] into a concrete window for the range commands
+   that bypass the front door ([Range.Append] toolkit calls raise on bad
+   windows instead of returning errors). *)
+let window_or_fail wt lo hi =
+  let len = Wtrie.Append.length wt in
+  let hi = match hi with None -> len | Some h -> h in
+  if lo < 0 || lo > len then fail_query (Wtrie.Position_out_of_bounds { pos = lo; len });
+  if hi < lo || hi > len then fail_query (Wtrie.Position_out_of_bounds { pos = hi; len });
+  (lo, hi)
 
 let index_cmd =
   let out =
@@ -316,7 +334,7 @@ let stats_cmd =
 
 (* The query subcommands share one argument convention: [--at POS] for
    positions, [--prefix P] for byte prefixes, [--count K] for occurrence
-   indices/limits.  Query errors print via [Wtrie.pp_error] and exit 1. *)
+   indices/limits.  Query errors print via [Wtrie.pp_error] and exit 64. *)
 
 let at_arg ~doc = Arg.(value & opt (some int) None & info [ "at" ] ~docv:"POS" ~doc)
 
@@ -324,12 +342,6 @@ let prefix_arg =
   Arg.(required & opt (some string) None & info [ "prefix" ] ~docv:"PREFIX" ~doc:"Byte prefix to match against stored strings.")
 
 let count_arg ~doc = Arg.(value & opt (some int) None & info [ "count" ] ~docv:"K" ~doc)
-
-let or_fail = function
-  | Ok v -> v
-  | Error e ->
-      Format.eprintf "%a@." Wtrie.pp_error e;
-      exit 1
 
 let access_cmd =
   let at = Arg.(required & opt (some int) None & info [ "at" ] ~docv:"POS" ~doc:"Position to read.") in
@@ -541,47 +553,94 @@ let parse_op lineno line =
 
 let query_cmd =
   let batch =
-    Arg.(required & opt (some string) None & info [ "batch" ] ~docv:"OPS" ~doc:"File of operations, one per line ('-' for stdin): access POS, rank STRING POS, select STRING K, rank-prefix PREFIX POS, select-prefix PREFIX K.")
+    Arg.(value & opt (some string) None & info [ "batch" ] ~docv:"OPS" ~doc:"File of operations, one per line ('-' for stdin): access POS, rank STRING POS, select STRING K, rank-prefix PREFIX POS, select-prefix PREFIX K.")
+  in
+  let select_all =
+    Arg.(value & flag & info [ "select-all" ] ~doc:"Report every position in [--lo, --hi) whose string starts with --prefix, ascending, one per line (one frontier traversal).")
+  in
+  let count_range =
+    Arg.(value & flag & info [ "count-range" ] ~doc:"Count the positions in [--lo, --hi) whose string starts with --prefix (one descent).")
+  in
+  let distinct =
+    Arg.(value & flag & info [ "distinct" ] ~doc:"Distinct strings in [--lo, --hi) matching --prefix, with their in-window counts, lexicographically.")
+  in
+  let top_k =
+    Arg.(value & opt (some int) None & info [ "top-k" ] ~docv:"K" ~doc:"The $(docv) most frequent strings in [--lo, --hi) matching --prefix, most frequent first (ties: lexicographically smaller wins).")
+  in
+  let prefix =
+    Arg.(value & opt (some string) None & info [ "prefix" ] ~docv:"PREFIX" ~doc:"Byte prefix restricting the range query (default: all strings).")
   in
   let domains =
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc:"Execute the batch on up to $(docv) domains in parallel (sharded over the domain pool; pool size follows WTRIE_DOMAINS or the machine).  Results are identical to the sequential run, in input order.")
   in
-  let run file batch domains stats =
+  let run file batch select_all count_range distinct top_k prefix lo hi domains stats =
     (match domains with
     | Some d when d < 1 ->
         Printf.eprintf "--domains must be >= 1 (got %d)\n" d;
         exit 2
     | _ -> ());
+    let modes =
+      (match batch with Some _ -> 1 | None -> 0)
+      + (if select_all then 1 else 0)
+      + (if count_range then 1 else 0)
+      + (if distinct then 1 else 0)
+      + match top_k with Some _ -> 1 | None -> 0
+    in
+    if modes <> 1 then begin
+      Printf.eprintf
+        "query: pass exactly one of --batch, --select-all, --count-range, --distinct, --top-k\n";
+      exit 2
+    end;
     with_stats stats @@ fun () ->
     let wt = build file in
-    let lines = read_lines batch in
-    let ops =
-      Array.of_list
-        (List.concat
-           (List.mapi
-              (fun i l -> if String.trim l = "" then [] else [ parse_op (i + 1) l ])
-              (Array.to_list lines)))
-    in
-    Array.iter
-      (function
-        | Ok v -> Format.printf "%a@." Wtrie.pp_value v
-        | Error e -> Format.printf "error: %a@." Wtrie.pp_error e)
-      (Wtrie.Append.query_batch ?domains wt ops);
+    (match batch with
+    | Some batch ->
+        let lines = read_lines batch in
+        let ops =
+          Array.of_list
+            (List.concat
+               (List.mapi
+                  (fun i l -> if String.trim l = "" then [] else [ parse_op (i + 1) l ])
+                  (Array.to_list lines)))
+        in
+        Array.iter
+          (function
+            | Ok v -> Format.printf "%a@." Wtrie.pp_value v
+            | Error e -> Format.printf "error: %a@." Wtrie.pp_error e)
+          (Wtrie.Append.query_batch ?domains wt ops)
+    | None ->
+        let pp_tallies =
+          Array.iter (fun (s, c) -> Printf.printf "%8d  %s\n" c s)
+        in
+        if select_all then
+          Array.iter
+            (fun pos -> Printf.printf "%d\n" pos)
+            (or_fail (Wtrie.Append.select_all ?prefix ~lo ?hi wt))
+        else if count_range then begin
+          let hi = match hi with None -> Wtrie.Append.length wt | Some h -> h in
+          Printf.printf "%d\n" (or_fail (Wtrie.Append.range_count ?prefix wt ~lo ~hi))
+        end
+        else if distinct then
+          pp_tallies (or_fail (Wtrie.Append.range_distinct ?prefix ~lo ?hi wt))
+        else
+          match top_k with
+          | Some k -> pp_tallies (or_fail (Wtrie.Append.range_topk ?prefix ~lo ?hi wt ~k))
+          | None -> assert false);
     wt
   in
   Cmd.v
     (Cmd.info "query"
-       ~doc:"Evaluate a whole batch of operations in one amortized traversal; one result line per operation (per-op errors are printed as data, exit 0).")
-    Term.(const run $ file_arg $ batch $ domains $ stats_arg)
+       ~doc:"Evaluate queries against the index: --batch for a vector of point operations in one amortized traversal (per-op errors are printed as data, exit 0), or one of the range-analytics modes --select-all / --count-range / --distinct / --top-k over the [--lo, --hi) window.")
+    Term.(const run $ file_arg $ batch $ select_all $ count_range $ distinct $ top_k
+          $ prefix $ lo_arg $ hi_arg $ domains $ stats_arg)
 
 let distinct_cmd =
   let run file lo hi stats =
     with_stats stats @@ fun () ->
     let wt = build file in
-    let hi = clamp_hi wt hi in
-    List.iter
-      (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
-      (Range.Append.distinct wt ~lo ~hi);
+    Array.iter
+      (fun (s, c) -> Printf.printf "%8d  %s\n" c s)
+      (or_fail (Wtrie.Append.range_distinct ~lo ?hi wt));
     wt
   in
   Cmd.v
@@ -592,7 +651,7 @@ let majority_cmd =
   let run file lo hi stats =
     with_stats stats @@ fun () ->
     let wt = build file in
-    let hi = clamp_hi wt hi in
+    let lo, hi = window_or_fail wt lo hi in
     (match Range.Append.majority wt ~lo ~hi with
     | Some (s, c) -> Printf.printf "%s (%d of %d)\n" (Binarize.to_bytes s) c (hi - lo)
     | None ->
@@ -609,14 +668,13 @@ let top_k_cmd =
   let run file k lo hi stats =
     with_stats stats @@ fun () ->
     let wt = build file in
-    let hi = clamp_hi wt hi in
-    List.iter
-      (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
-      (Range.Append.top_k wt ~lo ~hi k);
+    Array.iter
+      (fun (s, c) -> Printf.printf "%8d  %s\n" c s)
+      (or_fail (Wtrie.Append.range_topk ~lo ?hi wt ~k));
     wt
   in
   Cmd.v
-    (Cmd.info "top-k" ~doc:"The K most frequent strings in [--lo, --hi) (exact).")
+    (Cmd.info "top-k" ~doc:"The K most frequent strings in [--lo, --hi) (exact; ties go to the lexicographically smaller string).")
     Term.(const run $ file_arg $ k $ lo_arg $ hi_arg $ stats_arg)
 
 let quantile_cmd =
@@ -624,7 +682,7 @@ let quantile_cmd =
   let run file k lo hi stats =
     with_stats stats @@ fun () ->
     let wt = build file in
-    let hi = clamp_hi wt hi in
+    let lo, hi = window_or_fail wt lo hi in
     (match Range.Append.quantile wt ~lo ~hi k with
     | Some s -> print_endline (Binarize.to_bytes s)
     | None ->
@@ -642,7 +700,7 @@ let at_least_cmd =
   let run file t lo hi stats =
     with_stats stats @@ fun () ->
     let wt = build file in
-    let hi = clamp_hi wt hi in
+    let lo, hi = window_or_fail wt lo hi in
     List.iter
       (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
       (Range.Append.at_least wt ~lo ~hi ~threshold:t);

@@ -2,93 +2,85 @@
 
    The motivating scenario from the paper's introduction: an access log
    is compressed and indexed on the fly (Append is O(|s| + h_s)), the
-   sequence order is the time order, and prefix queries answer
-   domain-level analytics over arbitrary time windows — e.g. "what was
-   the most accessed domain during winter vacation?".
+   sequence order is the time order, and the range-analytics suite
+   answers domain-level questions over arbitrary time windows — e.g.
+   "what was the most accessed URL during winter vacation?".
+
+   Everything below goes through the byte-string front door
+   ([Wtrie.Append]); no bitstrings in sight.
 
    Build:  dune exec examples/url_log_analytics.exe *)
 
-module Bitstring = Wt_strings.Bitstring
-module Binarize = Wt_strings.Binarize
-module Append_wt = Wt_core.Append_wt
-module Range = Wt_core.Range
 module Urls = Wt_workload.Urls
+
+(* "http://host07.example.com/a/b/file4" -> "http://host07.example.com/"
+   (skip past the scheme before looking for the first slash). *)
+let host url =
+  match String.index_from_opt url (min 8 (String.length url)) '/' with
+  | None -> url
+  | Some i -> String.sub url 0 (i + 1)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Format.asprintf "%a" Wtrie.pp_error e)
 
 let () =
   let n = 200_000 in
   let g = Urls.create ~seed:2026 ~hosts:40 () in
 
   (* Stream the log into the index as it "arrives". *)
-  let wt = Append_wt.create () in
+  let wt = Wtrie.Append.create () in
   let t0 = Unix.gettimeofday () in
+  let raw_bits = ref 0 in
   for _ = 1 to n do
-    Append_wt.append wt (Urls.next_encoded g)
+    let line = Urls.next g in
+    raw_bits := !raw_bits + (8 * String.length line);
+    Wtrie.Append.append wt line
   done;
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "indexed %d log lines in %.2fs (%.0f ns/append)\n" n dt
     (dt *. 1e9 /. float_of_int n);
-
-  let st = Append_wt.stats wt in
-  let raw_bits_per_line =
-    let g' = Urls.create ~seed:2026 ~hosts:40 () in
-    let acc = ref 0 in
-    for _ = 1 to 1000 do
-      acc := !acc + Bitstring.length (Urls.next_encoded g')
-    done;
-    float_of_int !acc /. 1000.
-  in
+  let bits_per_line = float_of_int (Wtrie.Append.space_bits wt) /. float_of_int n in
+  let raw_per_line = float_of_int !raw_bits /. float_of_int n in
   Printf.printf "space: %.1f bits/line vs %.1f raw bits/line (%.1fx compression)\n"
-    (float_of_int st.total_bits /. float_of_int n)
-    raw_bits_per_line
-    (raw_bits_per_line /. (float_of_int st.total_bits /. float_of_int n));
+    bits_per_line raw_per_line (raw_per_line /. bits_per_line);
 
   (* "Winter vacation" = a window of positions in time order. *)
-  let window_lo = n / 2 and window_hi = (n / 2) + 20_000 in
-  Printf.printf "\ntime window [%d, %d):\n" window_lo window_hi;
+  let lo = n / 2 and hi = (n / 2) + 20_000 in
+  Printf.printf "\ntime window [%d, %d):\n" lo hi;
 
-  (* Per-domain hit counts in the window: one RankPrefix pair per host. *)
-  Printf.printf "top domains (rank_prefix per host):\n";
-  let counts =
-    List.init (Urls.host_count g) (fun h ->
-        let p = Urls.host_prefix g h in
-        let c =
-          Append_wt.rank_prefix wt p window_hi - Append_wt.rank_prefix wt p window_lo
-        in
-        (h, p, c))
-  in
-  let top = List.sort (fun (_, _, a) (_, _, b) -> compare b a) counts in
-  List.iteri
-    (fun i (h, _, c) ->
-      if i < 5 then Printf.printf "  host #%02d: %6d hits\n" h c)
-    top;
+  (* The most accessed URLs in the window: one priority-queue traversal,
+     no enumeration of the alphabet. *)
+  Printf.printf "top 5 URLs (range_topk):\n";
+  let top = ok (Wtrie.Append.range_topk wt ~lo ~hi ~k:5) in
+  Array.iter (fun (s, c) -> Printf.printf "  %6d  %s\n" c s) top;
 
-  (* The same, discovered without knowing the hosts: frequent strings in
-     the window via the Section 5 threshold heuristic. *)
-  Printf.printf "\nURLs with >= 500 hits in the window (at_least):\n";
-  List.iter
-    (fun (s, c) -> Printf.printf "  %6d  %s\n" c (Binarize.to_bytes s))
-    (Range.Append.at_least wt ~lo:window_lo ~hi:window_hi ~threshold:500);
+  (* Zoom in on the busiest domain: its total traffic, its per-endpoint
+     breakdown, and the exact arrival times of its first accesses. *)
+  let busiest = match top.(0) with s, _ -> host s in
+  let hits = ok (Wtrie.Append.range_count wt ~prefix:busiest ~lo ~hi) in
+  Printf.printf "\nbusiest domain %s: %d hits in the window\n" busiest hits;
 
-  (* Majority check: is any single URL more than half of the window? *)
-  (match Range.Append.majority wt ~lo:window_lo ~hi:window_hi with
-  | Some (s, c) -> Printf.printf "\nmajority URL: %s (%d hits)\n" (Binarize.to_bytes s) c
-  | None -> Printf.printf "\nno single URL is a majority of the window\n");
+  Printf.printf "its endpoints (range_distinct):\n";
+  let breakdown = ok (Wtrie.Append.range_distinct ~prefix:busiest ~lo ~hi wt) in
+  Array.iteri
+    (fun i (s, c) -> if i < 5 then Printf.printf "  %6d  %s\n" c s)
+    breakdown;
+  if Array.length breakdown > 5 then
+    Printf.printf "  ... %d more endpoints\n" (Array.length breakdown - 5);
 
-  (* Report the individual accesses of one domain inside the window by
-     iterating SelectPrefix. *)
-  let h0 = match top with (h, _, _) :: _ -> h | [] -> 0 in
-  let p = Urls.host_prefix g h0 in
-  let before = Append_wt.rank_prefix wt p window_lo in
-  Printf.printf "\nfirst 3 accesses to host #%02d inside the window:\n" h0;
-  for k = 0 to 2 do
-    match Append_wt.select_prefix wt p (before + k) with
-    | Some pos when pos < window_hi ->
-        Printf.printf "  t=%d  %s\n" pos (Binarize.to_bytes (Append_wt.access wt pos))
-    | _ -> ()
-  done;
+  let times = ok (Wtrie.Append.select_all ~prefix:busiest ~lo ~hi wt) in
+  Printf.printf "first 3 accesses inside the window:\n";
+  Array.iteri
+    (fun k pos ->
+      if k < 3 then Printf.printf "  t=%d  %s\n" pos (ok (Wtrie.Append.access wt ~pos)))
+    times;
 
   (* The log keeps growing while queries run. *)
   for _ = 1 to 1000 do
-    Append_wt.append wt (Urls.next_encoded g)
+    Wtrie.Append.append wt (Urls.next g)
   done;
-  Printf.printf "\nappended 1000 more lines; length now %d\n" (Append_wt.length wt)
+  let len = Wtrie.Append.length wt in
+  let recent = ok (Wtrie.Append.range_count wt ~prefix:busiest ~lo:(len - 1000) ~hi:len) in
+  Printf.printf "\nappended 1000 more lines; length now %d (%d of them hit %s)\n" len
+    recent busiest

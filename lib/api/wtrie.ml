@@ -22,16 +22,20 @@
     - {!Append} — append-only streams (Section 4.1);
     - {!Dynamic} — insert/delete at any position (Section 4.2).
 
-    All three satisfy {!module-type-STRING_API}; the mutable ones extend
-    it ({!module-type-APPEND_API}, {!module-type-DYNAMIC_API}).  Each
-    operation comes in one primary shape — labelled arguments, [(_,
-    {!error}) result] for everything partial — plus [query_batch] for
-    vectors of operations; the pre-batch shapes ([access_exn],
-    [select_opt], ...) survive as deprecated aliases (see
-    docs/observability.md for the migration table).  The [t] equalities
-    are exposed, so [Static.t] is [Wt_core.Wavelet_trie.t] etc. and the
-    lower-level toolkits ([Wt_core.Range], [Wt_core.Persist], ...) keep
-    working on the same values. *)
+    All three share the {!module-type-QUERY_API} read side — every
+    query, from scalar point lookups through [query_batch] to the range
+    analytics ([select_all], [range_count], [range_distinct],
+    [range_topk]), is declared once and behaves identically across
+    variants.  {!module-type-STRING_API} adds construction; the mutable
+    ones extend it ({!module-type-APPEND_API},
+    {!module-type-DYNAMIC_API}).  Each operation comes in exactly one
+    shape — labelled arguments, [(_, {!error}) result] for everything
+    partial; the pre-batch alias shapes ([access_exn], [select_opt],
+    ...) are gone (see docs/observability.md for the migration table).
+    The [t] equalities are exposed, so [Static.t] is
+    [Wt_core.Wavelet_trie.t] etc. and the lower-level toolkits
+    ([Wt_core.Range], [Wt_core.Persist], ...) keep working on the same
+    values. *)
 
 type error = Wt_core.Indexed_sequence.error =
   | Position_out_of_bounds of { pos : int; len : int }
@@ -51,26 +55,19 @@ type value = Wt_core.Indexed_sequence.value = Str of string | Int of int
 
 let pp_value = Wt_core.Indexed_sequence.pp_value
 
-[@@@alert "-deprecated"]
-
-type api_error = error
-[@@deprecated "use [error]: all front-door operations now share one error type"]
-
-let pp_api_error = pp_error [@@deprecated "use [pp_error]"]
-
-[@@@alert "+deprecated"]
-
+module type QUERY_API = Wt_core.Indexed_sequence.QUERY_API
 module type STRING_API = Wt_core.Indexed_sequence.STRING_API
 module type APPEND_API = Wt_core.Indexed_sequence.APPEND_API
 module type DYNAMIC_API = Wt_core.Indexed_sequence.DYNAMIC_API
 
-(* Sealing with the API signatures (a) attaches the batch entry points
-   from the engine — routed through the domain pool when [~domains] is
-   given — and (b) arms the [@@deprecated] alerts on the pre-batch
-   aliases for downstream users. *)
+(* Sealing with the API signatures attaches the batch entry points from
+   the engine — routed through the domain pool when [~domains] is given —
+   and the range-analytics suite from [lib/analytics], then hides every
+   helper outside QUERY_API and the variant's constructors/mutators. *)
 
 module Static : STRING_API with type t = Wt_core.Wavelet_trie.t = struct
   include Wt_core.String_api.Static
+  include Wt_analytics.Analytics.Static
 
   let query_batch ?domains t ops =
     Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Static.query_batch t ops
@@ -78,6 +75,7 @@ end
 
 module Append : APPEND_API with type t = Wt_core.Append_wt.t = struct
   include Wt_core.String_api.Append
+  include Wt_analytics.Analytics.Append
 
   let query_batch ?domains t ops =
     Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Append.query_batch t ops
@@ -85,6 +83,7 @@ end
 
 module Dynamic : DYNAMIC_API with type t = Wt_core.Dynamic_wt.t = struct
   include Wt_core.String_api.Dynamic
+  include Wt_analytics.Analytics.Dynamic
 
   let query_batch ?domains t ops =
     Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Dynamic.query_batch t ops

@@ -63,11 +63,6 @@ let pp_error fmt = function
   | No_occurrence { count; occurrences } ->
       Format.fprintf fmt "no occurrence %d (only %d present)" count occurrences
 
-type api_error = error
-[@@deprecated "use [error]: all front-door operations now share one error type"]
-
-let pp_api_error = pp_error [@@deprecated "use [pp_error]"]
-
 (** One operation of a query batch.  Strings and prefixes are byte
     strings, exactly as in the scalar API. *)
 type op =
@@ -86,20 +81,28 @@ let pp_value fmt = function
   | Str s -> Format.fprintf fmt "%s" s
   | Int n -> Format.fprintf fmt "%d" n
 
-(** Queries over byte strings.
+(** The read side shared verbatim by every variant.
 
-    The primary API is labelled and uniform: every partial operation
-    returns [(_, error) result] with the shared {!error} type, and the
-    batch entry point {!val-query_batch} evaluates a vector of
-    operations in one amortized trie traversal.  The pre-batch shapes
-    survive as deprecated aliases ([access_exn], [rank_exn],
-    [select_opt], ...); see docs/observability.md for the migration
-    table. *)
-module type STRING_API = sig
+    One signature, included by {!STRING_API} (and therefore by the
+    append and dynamic extensions), so a query operation is declared
+    exactly once and cannot drift across variants.  The API is labelled
+    and uniform: every partial operation returns [(_, error) result]
+    with the shared {!error} type; {!val-query_batch} evaluates a
+    vector of point operations in one amortized trie traversal, and the
+    range-analytics suite ([select_all] / [range_count] /
+    [range_distinct] / [range_topk], implemented in [lib/analytics])
+    answers window queries with one frontier walk instead of one scalar
+    query per reported item.
+
+    Range conventions: [lo]/[hi] delimit the position window
+    [\[lo, hi)] of the sequence, defaulting to the whole sequence;
+    [?prefix] restricts an operation to stored strings starting with
+    that byte prefix (default: all strings).  All range operations are
+    pure reads — they are safe on [Dynamic.snapshot] copies published
+    through [Wt_par.Snapshot] while the owner keeps mutating. *)
+module type QUERY_API = sig
   type t
 
-  val of_list : string list -> t
-  val of_array : string array -> t
   val length : t -> int
 
   val distinct_count : t -> int
@@ -147,28 +150,47 @@ module type STRING_API = sig
       queries while updating the dynamic variant, query a [snapshot]
       published through [Wt_par.Snapshot] instead. *)
 
-  (** {2 Deprecated pre-batch aliases} *)
+  (** {2 Range analytics}
 
-  val access_exn : t -> int -> string
-  [@@deprecated "use [access t ~pos] (returns a result)"]
+      Window queries over positions [\[lo, hi)], each answered by one
+      root-to-frontier traversal of the trie ([lib/analytics]) instead
+      of a loop of scalar queries. *)
 
-  val rank_exn : t -> string -> int -> int
-  [@@deprecated "use [rank t s ~pos] (returns a result)"]
+  val select_all : ?prefix:string -> ?lo:int -> ?hi:int -> t -> (int array, error) result
+  (** All positions in [\[lo, hi)] whose string starts with [prefix],
+      ascending.  Equivalent to iterating [select_prefix] over every
+      occurrence index and filtering by the window, but the Patricia
+      descent happens once and the occurrence block is mapped back to
+      root positions level by level. *)
 
-  val select_opt : t -> string -> int -> int option
-  [@@deprecated "use [select t s ~count] (returns a result)"]
+  val range_count : ?prefix:string -> t -> lo:int -> hi:int -> (int, error) result
+  (** Number of positions in [\[lo, hi)] whose string starts with
+      [prefix]: [rank_prefix hi - rank_prefix lo] in one descent. *)
 
-  val select_exn : t -> string -> int -> int
-  [@@deprecated "use [select t s ~count] (returns a result)"]
+  val range_distinct :
+    ?prefix:string -> ?lo:int -> ?hi:int -> t -> ((string * int) array, error) result
+  (** The distinct strings occurring in [\[lo, hi)] (matching [prefix])
+      with their in-window occurrence counts, in lexicographic order of
+      the stored (binarized) strings.  Touches only subtrees that
+      contain window elements. *)
 
-  val rank_prefix_exn : t -> string -> int -> int
-  [@@deprecated "use [rank_prefix t ~prefix ~pos] (returns a result)"]
+  val range_topk :
+    ?prefix:string -> ?lo:int -> ?hi:int -> t -> k:int -> ((string * int) array, error) result
+  (** The [k] most frequent strings in [\[lo, hi)] (matching [prefix])
+      with their in-window counts, most frequent first — exact, via a
+      max-priority queue over trie nodes ordered by subrange size, so
+      only nodes whose window count exceeds the k-th answer are
+      expanded.  Ties are broken towards the lexicographically smaller
+      string. *)
+end
 
-  val select_prefix_opt : t -> string -> int -> int option
-  [@@deprecated "use [select_prefix t ~prefix ~count] (returns a result)"]
+(** {!QUERY_API} plus construction: the full surface of the immutable
+    (static) variant, and the base the mutating tiers extend. *)
+module type STRING_API = sig
+  include QUERY_API
 
-  val select_prefix_exn : t -> string -> int -> int
-  [@@deprecated "use [select_prefix t ~prefix ~count] (returns a result)"]
+  val of_list : string list -> t
+  val of_array : string array -> t
 end
 
 module type APPEND_API = sig

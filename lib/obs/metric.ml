@@ -26,7 +26,12 @@
       dispatched, shards they were split into, pool tasks executed
       (and the subset the submitting domain stole back from the queue),
       queue-wait and per-shard-run latency histograms, and dynamic-trie
-      snapshots published for isolated readers.
+      snapshots published for isolated readers;
+    - [Analytics_*]: the range-analytics suite ([lib/analytics]) —
+      one count per front-door invocation of [select_all],
+      [range_count], [range_distinct] and [range_topk]; the same ids
+      key the per-call latency histograms recorded at the byte-string
+      façade.
 
     Counter metrics count invocations; the same ids key the latency
     histograms recorded by {!Probe.time} at the string-API layer. *)
@@ -74,8 +79,12 @@ type t =
   | Par_queue_wait
   | Par_shard_run
   | Par_snapshot_publish
+  | Analytics_select_all
+  | Analytics_range_count
+  | Analytics_distinct
+  | Analytics_topk
 
-let count = 42
+let count = 46
 
 let index = function
   | Rrr_rank -> 0
@@ -120,6 +129,10 @@ let index = function
   | Par_queue_wait -> 39
   | Par_shard_run -> 40
   | Par_snapshot_publish -> 41
+  | Analytics_select_all -> 42
+  | Analytics_range_count -> 43
+  | Analytics_distinct -> 44
+  | Analytics_topk -> 45
 
 let all =
   [|
@@ -131,7 +144,8 @@ let all =
     Durable_wal_replay; Durable_wal_dropped_bytes; Durable_checkpoint;
     Exec_batch; Exec_batch_ops; Exec_level; Bv_cursor_hit; Bv_cursor_miss;
     Par_batch; Par_shards; Par_task; Par_steal; Par_queue_wait; Par_shard_run;
-    Par_snapshot_publish;
+    Par_snapshot_publish; Analytics_select_all; Analytics_range_count;
+    Analytics_distinct; Analytics_topk;
   |]
 
 let name = function
@@ -177,5 +191,9 @@ let name = function
   | Par_queue_wait -> "par_queue_wait"
   | Par_shard_run -> "par_shard_run"
   | Par_snapshot_publish -> "par_snapshot_publish"
+  | Analytics_select_all -> "analytics_select_all"
+  | Analytics_range_count -> "analytics_range_count"
+  | Analytics_distinct -> "analytics_distinct"
+  | Analytics_topk -> "analytics_topk"
 
 let of_name s = Array.find_opt (fun m -> name m = s) all

@@ -10,14 +10,15 @@ The wtrie CLI over a small line file.
   > STOP
 
 Point queries share one convention: --at for positions, --prefix for
-byte prefixes, --count for occurrence indices.
+byte prefixes, --count for occurrence indices.  Malformed arguments
+print the shared error rendering and exit 64 (EX_USAGE).
 
   $ wtrie access log.txt --at 2
   blog.net/post
 
   $ wtrie access log.txt --at 99
   position 99 out of bounds (sequence length 6)
-  [1]
+  [64]
 
   $ wtrie rank log.txt site.com/home
   3
@@ -30,7 +31,7 @@ byte prefixes, --count for occurrence indices.
 
   $ wtrie select log.txt nope --count 0
   no occurrence 0 (only 0 present)
-  [1]
+  [64]
 
 Prefix queries:
 
@@ -70,7 +71,46 @@ failures are data, not process failures.
   $ echo "rank site.com/home 3" | wtrie query log.txt --batch -
   1
 
-Range analytics:
+Range analytics: one frontier traversal per query instead of a loop of
+scalar queries.  The query subcommand exposes the windowed suite
+(--select-all / --count-range / --distinct / --top-k over [--lo, --hi),
+optionally restricted by --prefix):
+
+  $ wtrie query log.txt --select-all --prefix site.com/
+  0
+  1
+  3
+  5
+
+  $ wtrie query log.txt --select-all --prefix site.com/home --lo 1 --hi 5
+  3
+
+  $ wtrie query log.txt --count-range --lo 1 --hi 5 --prefix site.com/
+  2
+
+  $ wtrie query log.txt --distinct --lo 1 --hi 6
+         1  blog.net/post
+         1  shop.org/cart
+         2  site.com/home
+         1  site.com/login
+
+  $ wtrie query log.txt --top-k 2 --prefix site.com/
+         3  site.com/home
+         1  site.com/login
+
+A window outside the sequence is a usage error, same convention as the
+point queries:
+
+  $ wtrie query log.txt --top-k 2 --lo 99
+  position 99 out of bounds (sequence length 6)
+  [64]
+
+  $ wtrie distinct log.txt --hi 7
+  position 7 out of bounds (sequence length 6)
+  [64]
+
+The standalone range commands ride the same engine (top-k ties go to
+the lexicographically smaller string):
 
   $ wtrie distinct log.txt
          1  blog.net/post
@@ -86,7 +126,7 @@ Range analytics:
 
   $ wtrie top-k log.txt 2
          3  site.com/home
-         1  site.com/login
+         1  blog.net/post
 
   $ wtrie quantile log.txt 0
   blog.net/post

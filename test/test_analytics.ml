@@ -1,0 +1,267 @@
+(* Range analytics (lib/analytics): oracle equivalence of select_all /
+   range_count / range_distinct / range_topk against the naive
+   scalar-loop over a plain array, QCheck-driven on all three variants;
+   interleaved dynamic inserts/deletes; frozen-snapshot reads while the
+   owner mutates; the window/argument error contract; and the
+   Analytics_* probe counters. *)
+
+module Xoshiro = Wt_bits.Xoshiro
+module I = Wt_core.Indexed_sequence
+module Probe = Wt_obs.Probe
+
+let check_int = Alcotest.(check int)
+let positions = Alcotest.(array int)
+let tallies = Alcotest.(array (pair string int))
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* ------------------------------------------------------------------ *)
+(* Naive oracles: the k-scalar-query loop over the window [lo, hi).
+   Binarization is order-preserving (MSB-first, marker bits), so the
+   implementation's path order is plain byte-lexicographic order here. *)
+
+let o_select_all arr ?(prefix = "") ~lo ~hi () =
+  let out = ref [] in
+  for i = hi - 1 downto lo do
+    if starts_with ~prefix arr.(i) then out := i :: !out
+  done;
+  Array.of_list !out
+
+let o_tally arr ?(prefix = "") ~lo ~hi () =
+  let tbl = Hashtbl.create 16 in
+  for i = lo to hi - 1 do
+    let s = arr.(i) in
+    if starts_with ~prefix s then
+      Hashtbl.replace tbl s (1 + Option.value (Hashtbl.find_opt tbl s) ~default:0)
+  done;
+  Hashtbl.fold (fun s c acc -> (s, c) :: acc) tbl []
+
+let o_distinct arr ?prefix ~lo ~hi () =
+  Array.of_list
+    (List.sort
+       (fun (a, _) (b, _) -> String.compare a b)
+       (o_tally arr ?prefix ~lo ~hi ()))
+
+let o_topk arr ?prefix ~lo ~hi ~k () =
+  let l =
+    List.sort
+      (fun (a, ca) (b, cb) -> if ca <> cb then compare cb ca else String.compare a b)
+      (o_tally arr ?prefix ~lo ~hi ())
+  in
+  Array.of_list (List.filteri (fun i _ -> i < k) l)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Format.asprintf "%a" I.pp_error e)
+
+(* One full cross-check of a variant against the oracles, for one
+   (prefix, window, k) case. *)
+let check_case (type a) name (module V : Wtrie.STRING_API with type t = a) (wt : a) arr
+    ?prefix ~lo ~hi ~k () =
+  let ctx = Printf.sprintf "%s prefix=%s lo=%d hi=%d k=%d" name
+      (match prefix with None -> "<none>" | Some p -> p) lo hi k
+  in
+  Alcotest.check positions (ctx ^ " select_all")
+    (o_select_all arr ?prefix ~lo ~hi ())
+    (ok (V.select_all ?prefix ~lo ~hi wt));
+  check_int (ctx ^ " range_count")
+    (Array.length (o_select_all arr ?prefix ~lo ~hi ()))
+    (ok (V.range_count ?prefix wt ~lo ~hi));
+  Alcotest.check tallies (ctx ^ " range_distinct")
+    (o_distinct arr ?prefix ~lo ~hi ())
+    (ok (V.range_distinct ?prefix ~lo ~hi wt));
+  Alcotest.check tallies (ctx ^ " range_topk")
+    (o_topk arr ?prefix ~lo ~hi ~k ())
+    (ok (V.range_topk ?prefix ~lo ~hi wt ~k))
+
+let check_all_variants arr ?prefix ~lo ~hi ~k () =
+  check_case "static" (module Wtrie.Static) (Wtrie.Static.of_array arr) arr ?prefix ~lo
+    ~hi ~k ();
+  check_case "append" (module Wtrie.Append) (Wtrie.Append.of_array arr) arr ?prefix ~lo
+    ~hi ~k ();
+  check_case "dynamic" (module Wtrie.Dynamic) (Wtrie.Dynamic.of_array arr) arr ?prefix
+    ~lo ~hi ~k ()
+
+(* ------------------------------------------------------------------ *)
+(* QCheck property: random short-alphabet sequences (heavy collisions,
+   so tallies and ties are exercised), random windows, random prefixes
+   including the empty one. *)
+
+let word_gen = QCheck.Gen.(string_size ~gen:(char_range 'a' 'c') (int_range 1 4))
+
+let case_gen =
+  let open QCheck.Gen in
+  list_size (int_range 0 120) word_gen >>= fun xs ->
+  let n = List.length xs in
+  int_range 0 n >>= fun lo ->
+  int_range lo n >>= fun hi ->
+  oneof
+    [
+      return None;
+      map Option.some (string_size ~gen:(char_range 'a' 'c') (int_range 0 2));
+    ]
+  >>= fun prefix ->
+  int_range 0 6 >>= fun k -> return (xs, lo, hi, prefix, k)
+
+let case_print (xs, lo, hi, prefix, k) =
+  Printf.sprintf "[%s] lo=%d hi=%d prefix=%s k=%d" (String.concat "," xs) lo hi
+    (match prefix with None -> "<none>" | Some p -> Printf.sprintf "%S" p)
+    k
+
+let qcheck_oracle =
+  QCheck.Test.make ~count:200 ~name:"range ops = naive loop (all variants)"
+    (QCheck.make ~print:case_print case_gen)
+    (fun (xs, lo, hi, prefix, k) ->
+      let arr = Array.of_list xs in
+      check_all_variants arr ?prefix ~lo ~hi ~k ();
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Golden URL-log cases: defaults (?lo/?hi omitted), prefix narrowing,
+   the tie-break direction. *)
+
+let urls =
+  [|
+    "site.com/home"; "site.com/login"; "blog.net/post"; "site.com/home";
+    "shop.org/cart"; "site.com/home"; "blog.net/post"; "site.com/api/v1";
+  |]
+
+let test_golden () =
+  let wt = Wtrie.Append.of_array urls in
+  Alcotest.check positions "select_all defaults" [| 0; 1; 3; 5; 7 |]
+    (ok (Wtrie.Append.select_all ~prefix:"site.com/" wt));
+  Alcotest.check positions "select_all window" [| 3; 5 |]
+    (ok (Wtrie.Append.select_all ~prefix:"site.com/home" ~lo:1 ~hi:6 wt));
+  check_int "range_count" 2 (ok (Wtrie.Append.range_count ~prefix:"blog.net/" wt ~lo:2 ~hi:8));
+  Alcotest.check tallies "distinct window"
+    [| ("blog.net/post", 2); ("shop.org/cart", 1); ("site.com/api/v1", 1); ("site.com/home", 2) |]
+    (ok (Wtrie.Append.range_distinct ~lo:2 ~hi:8 wt));
+  (* counts tie at 2: blog.net/post sorts before site.com/home *)
+  Alcotest.check tallies "topk tie-break"
+    [| ("blog.net/post", 2); ("site.com/home", 2) |]
+    (ok (Wtrie.Append.range_topk ~lo:2 ~hi:8 wt ~k:2));
+  Alcotest.check tallies "topk k beyond distinct"
+    [| ("site.com/home", 3); ("blog.net/post", 2); ("shop.org/cart", 1);
+       ("site.com/api/v1", 1); ("site.com/login", 1) |]
+    (ok (Wtrie.Append.range_topk wt ~k:99))
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic variant: interleaved inserts/deletes, cross-checked against
+   a maintained naive array every few mutations. *)
+
+let test_dynamic_interleaved () =
+  let rng = Xoshiro.create 77 in
+  let wt = Wtrie.Dynamic.create () in
+  let naive = ref [] in
+  let word () =
+    Printf.sprintf "h%d.net/%d" (Xoshiro.int rng 5) (Xoshiro.int rng 13)
+  in
+  let insert_at pos s =
+    Wtrie.Dynamic.insert wt ~pos s;
+    let l = !naive in
+    naive := List.filteri (fun i _ -> i < pos) l @ (s :: List.filteri (fun i _ -> i >= pos) l)
+  in
+  let delete_at pos =
+    Wtrie.Dynamic.delete wt ~pos;
+    naive := List.filteri (fun i _ -> i <> pos) !naive
+  in
+  for step = 1 to 240 do
+    let n = List.length !naive in
+    (match Xoshiro.int rng 3 with
+    | 0 when n > 4 -> delete_at (Xoshiro.int rng n)
+    | 1 -> Wtrie.Dynamic.append wt (let s = word () in naive := !naive @ [ s ]; s) |> ignore
+    | _ -> insert_at (Xoshiro.int rng (n + 1)) (word ()));
+    if step mod 20 = 0 then begin
+      let arr = Array.of_list !naive in
+      let n = Array.length arr in
+      let lo = Xoshiro.int rng (n + 1) in
+      let hi = lo + Xoshiro.int rng (n - lo + 1) in
+      let prefix = if Xoshiro.int rng 2 = 0 then None else Some (Printf.sprintf "h%d." (Xoshiro.int rng 5)) in
+      check_case "dynamic-interleaved" (module Wtrie.Dynamic) wt arr ?prefix ~lo ~hi
+        ~k:(Xoshiro.int rng 5) ()
+    end
+  done
+
+(* Snapshot isolation: a frozen snapshot keeps answering from the
+   captured state while the owner keeps mutating. *)
+let test_snapshot_reads () =
+  let wt = Wtrie.Dynamic.of_array urls in
+  let frozen = Array.copy urls in
+  let snap = Wtrie.Dynamic.snapshot wt in
+  (* owner churn after the snapshot *)
+  for i = 0 to 49 do
+    Wtrie.Dynamic.insert wt ~pos:0 (Printf.sprintf "new%d" i)
+  done;
+  Wtrie.Dynamic.delete wt ~pos:3;
+  check_case "snapshot" (module Wtrie.Dynamic) snap frozen ~prefix:"site.com/" ~lo:1
+    ~hi:7 ~k:3 ();
+  check_case "snapshot-nopfx" (module Wtrie.Dynamic) snap frozen ~lo:0
+    ~hi:(Array.length frozen) ~k:2 ();
+  (* and the owner answers from its mutated state *)
+  check_int "owner count" 1
+    (ok (Wtrie.Dynamic.range_count ~prefix:"new7" wt ~lo:0 ~hi:(Wtrie.Dynamic.length wt)))
+
+(* ------------------------------------------------------------------ *)
+(* Error contract and degenerate windows. *)
+
+let test_errors () =
+  let wt = Wtrie.Append.of_array [| "a"; "b"; "a"; "c"; "a" |] in
+  let err r = match r with Ok _ -> Alcotest.fail "expected error" | Error e -> e in
+  Alcotest.(check bool) "lo negative" true
+    (err (Wtrie.Append.select_all ~lo:(-1) wt) = I.Position_out_of_bounds { pos = -1; len = 5 });
+  Alcotest.(check bool) "hi beyond n" true
+    (err (Wtrie.Append.range_distinct ~hi:6 wt) = I.Position_out_of_bounds { pos = 6; len = 5 });
+  Alcotest.(check bool) "hi < lo" true
+    (err (Wtrie.Append.range_count wt ~lo:3 ~hi:2) = I.Position_out_of_bounds { pos = 2; len = 5 });
+  Alcotest.(check bool) "negative k" true
+    (err (Wtrie.Append.range_topk wt ~k:(-2)) = I.Negative_count { count = -2 });
+  Alcotest.check tallies "k = 0" [||] (ok (Wtrie.Append.range_topk wt ~k:0));
+  Alcotest.check positions "absent prefix" [||]
+    (ok (Wtrie.Append.select_all ~prefix:"zzz" wt));
+  check_int "absent prefix count" 0 (ok (Wtrie.Append.range_count ~prefix:"zzz" wt ~lo:0 ~hi:5));
+  Alcotest.check tallies "empty window" [||]
+    (ok (Wtrie.Append.range_distinct ~lo:2 ~hi:2 wt));
+  (* empty sequence: every default-window op answers, empty *)
+  let e = Wtrie.Append.create () in
+  Alcotest.check positions "empty seq select_all" [||] (ok (Wtrie.Append.select_all e));
+  Alcotest.check tallies "empty seq distinct" [||] (ok (Wtrie.Append.range_distinct e));
+  Alcotest.check tallies "empty seq topk" [||] (ok (Wtrie.Append.range_topk e ~k:3));
+  check_int "empty seq count" 0 (ok (Wtrie.Append.range_count e ~lo:0 ~hi:0))
+
+(* ------------------------------------------------------------------ *)
+(* Observability: one counter hit per front-door call. *)
+
+let test_probes () =
+  let wt = Wtrie.Append.of_array urls in
+  Probe.reset ();
+  Probe.enable ();
+  ignore (ok (Wtrie.Append.select_all ~prefix:"site.com/" wt));
+  ignore (ok (Wtrie.Append.range_count wt ~lo:0 ~hi:4));
+  ignore (ok (Wtrie.Append.range_distinct wt));
+  ignore (ok (Wtrie.Append.range_topk wt ~k:2));
+  ignore (ok (Wtrie.Append.range_topk wt ~k:1));
+  Probe.disable ();
+  check_int "select_all counter" 1 (Probe.counter Wt_obs.Metric.Analytics_select_all);
+  check_int "range_count counter" 1 (Probe.counter Wt_obs.Metric.Analytics_range_count);
+  check_int "distinct counter" 1 (Probe.counter Wt_obs.Metric.Analytics_distinct);
+  check_int "topk counter" 2 (Probe.counter Wt_obs.Metric.Analytics_topk);
+  Probe.reset ()
+
+let () =
+  Alcotest.run "wt_analytics"
+    [
+      ( "oracle",
+        [
+          QCheck_alcotest.to_alcotest qcheck_oracle;
+          Alcotest.test_case "golden url-log" `Quick test_golden;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "interleaved mutations" `Quick test_dynamic_interleaved;
+          Alcotest.test_case "frozen snapshot reads" `Quick test_snapshot_reads;
+        ] );
+      ("errors", [ Alcotest.test_case "window/argument contract" `Quick test_errors ]);
+      ("probes", [ Alcotest.test_case "analytics counters" `Quick test_probes ]);
+    ]
