@@ -784,6 +784,76 @@ let durability_block () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Serving front-end: closed-loop throughput and latency through the
+   full socket → micro-batch → sharded-execute → demux path, plus an
+   overload leg whose capacity is pinned by configuration (small batch
+   budget on a long window) so the shed fraction measures admission
+   control, not the runner's speed. *)
+
+let serve_block () =
+  let n = 16384 in
+  let g = Urls.create ~seed:42 () in
+  let strings = Urls.raw_sequence g n in
+  let wt = Append_wt.of_array (Array.map Binarize.of_bytes strings) in
+  let module Server = Wt_serve.Server in
+  let module Client = Wt_serve.Client in
+  let rng = Xoshiro.create 77 in
+  let opgen _ =
+    let module Is = Wt_core.Indexed_sequence in
+    if Xoshiro.int rng 2 = 0 then Wt_serve.Wire.Query (Is.Access { pos = Xoshiro.int rng n })
+    else
+      Wt_serve.Wire.Query
+        (Is.Rank { s = strings.(Xoshiro.int rng n); pos = Xoshiro.int rng (n + 1) })
+  in
+  let with_server tweak f =
+    let cfg = tweak { (Server.default_config ()) with port = 0 } in
+    let srv = Server.create ~config:cfg (Wt_par.Snapshot.create wt) in
+    let d = Domain.spawn (fun () -> Server.serve srv) in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.request_stop srv;
+        Domain.join d)
+      (fun () -> f srv)
+  in
+  let load srv ~conns ~window ~ops =
+    Client.run_load ~host:"127.0.0.1" ~port:(Server.port srv) ~conns ~window ~ops ~opgen ()
+  in
+  let uncontended, closed_loop =
+    with_server (fun c -> c) (fun srv ->
+        (load srv ~conns:1 ~window:1 ~ops:2_000, load srv ~conns:8 ~window:8 ~ops:20_000))
+  in
+  (* capacity = batch_max per window regardless of machine speed, so the
+     closed-loop clients overrun it and the shed fraction is a property
+     of admission control rather than of the runner *)
+  let overload =
+    with_server
+      (fun c -> { c with window_us = 5_000; batch_max = 256; queue_max = 64 })
+      (fun srv -> load srv ~conns:16 ~window:64 ~ops:20_000)
+  in
+  let leg (r : Client.report) extra =
+    Wt_obs.Json.Obj
+      ([
+         ("completed", Wt_obs.Json.Int r.Client.completed);
+         ("throughput_rps", Wt_obs.Json.Float r.Client.throughput_rps);
+         ("p50_us", Wt_obs.Json.Float r.Client.p50_us);
+         ("p99_us", Wt_obs.Json.Float r.Client.p99_us);
+       ]
+      @ extra)
+  in
+  let shed_fraction =
+    if overload.Client.completed = 0 then 0.
+    else float_of_int overload.Client.overloaded /. float_of_int overload.Client.completed
+  in
+  Wt_obs.Json.Obj
+    [
+      ("strings", Wt_obs.Json.Int n);
+      ("uncontended", leg uncontended []);
+      ("closed_loop", leg closed_loop []);
+      ( "overload",
+        leg overload [ ("shed_fraction", Wt_obs.Json.Float shed_fraction) ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Observability metrics block: build each variant through the [Wtrie]
    front door with probes on, run a scripted query/mutation mix, and
    emit the captured report (per-op counters, latency percentiles,
@@ -1067,6 +1137,7 @@ let metrics_block () =
       ("parallel", parallel_block ());
       ("analytics", analytics_block ());
       ("durability", durability_block ());
+      ("serve", serve_block ());
     ]
 
 let print_metrics_block ~json_only =

@@ -64,6 +64,13 @@ let gated =
     (Higher_better, "durability.snapshot.load_mb_per_s");
     (Higher_better, "durability.wal.replay_records_per_s");
     (Lower_better, "durability.wal.append_us_per_record");
+    (* serving: end-to-end closed-loop throughput, and the overload
+       leg's shed fraction (config-bound capacity, so it measures
+       admission control, not the runner).  p50/p99 latencies ride
+       along in the JSON but are not gated: microsecond percentiles
+       through a kernel socket are dominated by scheduler noise. *)
+    (Higher_better, "serve.closed_loop.throughput_rps");
+    (Higher_better, "serve.overload.shed_fraction");
   ]
 (* The multi-domain figures (speedup_2/speedup_4) are deliberately not
    gated: they measure the runner's core count more than the code. *)

@@ -30,7 +30,16 @@ module Json = Wtrie.Json
 open Cmdliner
 
 let read_lines path =
-  let ic = if path = "-" then stdin else open_in path in
+  let ic =
+    if path = "-" then stdin
+    else
+      (* I/O failures (missing file, permissions) are exit 74 (EX_IOERR),
+         distinct from 64 (bad arguments) and 2 (cannot run) *)
+      try open_in path
+      with Sys_error msg ->
+        Printf.eprintf "wtrie: %s\n" msg;
+        exit 74
+  in
   let lines = ref [] in
   (try
      while true do
@@ -710,6 +719,235 @@ let at_least_cmd =
     (Cmd.info "at-least" ~doc:"Strings occurring at least T times in [--lo, --hi).")
     Term.(const run $ file_arg $ t $ lo_arg $ hi_arg $ stats_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Serving: the overload-safe TCP front-end and its load generator.
+   Socket-level failures exit 74 (EX_IOERR); malformed flags exit 64. *)
+
+module Server = Wtrie.Serve.Server
+module Sclient = Wtrie.Serve.Client
+module Swire = Wtrie.Serve.Wire
+
+let serve_usage fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("wtrie serve: " ^ m);
+      exit 64)
+    fmt
+
+let serve_cmd =
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+  in
+  let port_arg =
+    Arg.(value & opt int 0 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+  in
+  let port_file_arg =
+    Arg.(value & opt (some string) None & info [ "port-file" ] ~docv:"PATH" ~doc:"Write the bound port here once listening (for scripts using --port 0).")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc:"Execute batches sharded over N domains (default: the serving domain alone).")
+  in
+  let batch_ops_arg =
+    Arg.(value & opt (some int) None & info [ "batch-ops" ] ~docv:"K" ~doc:"Cut a batch at K coalesced operations.")
+  in
+  let window_us_arg =
+    Arg.(value & opt (some int) None & info [ "window-us" ] ~docv:"US" ~doc:"Cut a batch when its oldest operation has waited US microseconds.")
+  in
+  let queue_max_arg =
+    Arg.(value & opt (some int) None & info [ "queue-max" ] ~docv:"N" ~doc:"Admission-control watermark: shed queries past N queued operations.")
+  in
+  let max_conns_arg =
+    Arg.(value & opt (some int) None & info [ "max-conns" ] ~docv:"N" ~doc:"Stop accepting past N concurrent connections.")
+  in
+  let read_timeout_arg =
+    Arg.(value & opt (some int) None & info [ "read-timeout-ms" ] ~docv:"MS" ~doc:"Close a connection stalled mid-frame for MS milliseconds.")
+  in
+  let run file host port port_file domains batch_ops window_us queue_max max_conns read_timeout_ms =
+    if port < 0 || port > 65535 then serve_usage "--port must be in 0..65535 (got %d)" port;
+    let positive flag v =
+      match v with
+      | Some v when v < 1 -> serve_usage "%s must be >= 1 (got %d)" flag v
+      | _ -> v
+    in
+    let batch_ops = positive "--batch-ops" batch_ops in
+    let queue_max = positive "--queue-max" queue_max in
+    let max_conns = positive "--max-conns" max_conns in
+    let read_timeout_ms = positive "--read-timeout-ms" read_timeout_ms in
+    let domains = positive "--domains" domains in
+    (match window_us with
+    | Some w when w < 0 -> serve_usage "--window-us must be >= 0 (got %d)" w
+    | _ -> ());
+    let wt = build file in
+    let snap = Wtrie.Snapshot.create wt in
+    let d = Server.default_config () in
+    let cfg =
+      {
+        d with
+        host;
+        port;
+        domains;
+        batch_max = Option.value ~default:d.Server.batch_max batch_ops;
+        window_us = Option.value ~default:d.Server.window_us window_us;
+        queue_max = Option.value ~default:d.Server.queue_max queue_max;
+        max_conns = Option.value ~default:d.Server.max_conns max_conns;
+        read_timeout_ms = Option.value ~default:d.Server.read_timeout_ms read_timeout_ms;
+      }
+    in
+    let srv =
+      try Server.create ~config:cfg snap
+      with Unix.Unix_error (e, fn, _) ->
+        Printf.eprintf "wtrie serve: cannot listen on %s:%d: %s (%s)\n" host port
+          (Unix.error_message e) fn;
+        exit 74
+    in
+    Printf.printf "listening on %s:%d (%d strings, pid %d)\n%!" host (Server.port srv)
+      (Wtrie.Append.length wt) (Unix.getpid ());
+    (match port_file with
+    | Some p ->
+        let oc = open_out p in
+        Printf.fprintf oc "%d\n" (Server.port srv);
+        close_out oc
+    | None -> ());
+    let stop _ = Server.request_stop srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Server.serve srv;
+    let st = Server.stats srv in
+    Printf.printf
+      "drained: %d connections, %d requests, %d batches, %d shed, %d expired, %d bad frames\n%!"
+      st.Server.accepted st.Server.requests st.Server.batches st.Server.shed st.Server.expired
+      st.Server.bad_frames
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve FILE over TCP: concurrently arriving queries are coalesced into micro-batches with admission control, per-request deadlines, and graceful SIGTERM drain (see docs/serving.md).")
+    Term.(const run $ file_arg $ host_arg $ port_arg $ port_file_arg $ domains_arg
+          $ batch_ops_arg $ window_us_arg $ queue_max_arg $ max_conns_arg $ read_timeout_arg)
+
+let loadgen_cmd =
+  let target_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc:"Server address.")
+  in
+  let conns_arg =
+    Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 10_000 & info [ "ops" ] ~docv:"N" ~doc:"Total requests to drive.")
+  in
+  let window_arg =
+    Arg.(value & opt int 8 & info [ "window" ] ~docv:"N" ~doc:"Pipelined requests kept outstanding per connection.")
+  in
+  let timeout_us_arg =
+    Arg.(value & opt int 0 & info [ "timeout-us" ] ~docv:"US" ~doc:"Per-request deadline (0 = none).")
+  in
+  let connect_timeout_arg =
+    Arg.(value & opt float 5.0 & info [ "connect-timeout" ] ~docv:"S" ~doc:"Retry refused connections for S seconds.")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let fail_usage fmt =
+    Printf.ksprintf
+      (fun m ->
+        prerr_endline ("wtrie loadgen: " ^ m);
+        exit 64)
+      fmt
+  in
+  let run target conns ops window timeout_us connect_timeout json =
+    let host, port =
+      match String.rindex_opt target ':' with
+      | Some i -> (
+          let h = String.sub target 0 i in
+          let p = String.sub target (i + 1) (String.length target - i - 1) in
+          match int_of_string_opt p with
+          | Some p when p > 0 && p <= 65535 -> (h, p)
+          | _ -> fail_usage "TARGET must be HOST:PORT (got %s)" target)
+      | None -> fail_usage "TARGET must be HOST:PORT (got %s)" target
+    in
+    if conns < 1 then fail_usage "--conns must be >= 1 (got %d)" conns;
+    if ops < 1 then fail_usage "--ops must be >= 1 (got %d)" ops;
+    if window < 1 then fail_usage "--window must be >= 1 (got %d)" window;
+    let io_fail e =
+      Printf.eprintf "wtrie loadgen: cannot reach %s:%d: %s\n" host port (Unix.error_message e);
+      exit 74
+    in
+    (* sample real strings off the server so Rank/Select/prefix ops in
+       the generated mix query values that actually occur *)
+    let n, samples =
+      match Sclient.connect ~retry_for_s:connect_timeout ~host ~port () with
+      | exception Unix.Unix_error (e, _, _) -> io_fail e
+      | probe ->
+          let n = Sclient.length probe in
+          let samples =
+            if n = 0 then [||]
+            else
+              Array.init 16 (fun i ->
+                  match
+                    Sclient.call probe
+                      (Swire.Query (Wt_core.Indexed_sequence.Access { pos = i * n / 16 }))
+                  with
+                  | Swire.Ok_value (Wt_core.Indexed_sequence.Str s) -> s
+                  | _ -> "")
+          in
+          Sclient.close probe;
+          (n, samples)
+    in
+    let rng = Random.State.make [| 0x5eed; ops; conns |] in
+    let opgen _i =
+      let module Is = Wt_core.Indexed_sequence in
+      if n = 0 then Swire.Ping
+      else begin
+        let sample () = samples.(Random.State.int rng (Array.length samples)) in
+        match Random.State.int rng 8 with
+        | 0 | 1 | 2 | 3 -> Swire.Query (Is.Access { pos = Random.State.int rng n })
+        | 4 | 5 -> Swire.Query (Is.Rank { s = sample (); pos = Random.State.int rng (n + 1) })
+        | 6 -> Swire.Query (Is.Select { s = sample (); count = 1 + Random.State.int rng 2 })
+        | _ ->
+            let s = sample () in
+            let prefix = String.sub s 0 (min (String.length s) (1 + Random.State.int rng 3)) in
+            Swire.Query (Is.Rank_prefix { prefix; pos = Random.State.int rng (n + 1) })
+      end
+    in
+    let r =
+      match Sclient.run_load ~host ~port ~conns ~window ~ops ~timeout_us ~opgen () with
+      | r -> r
+      | exception Unix.Unix_error (e, _, _) -> io_fail e
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("sent", Json.Int r.Sclient.sent);
+                ("completed", Json.Int r.Sclient.completed);
+                ("ok", Json.Int r.Sclient.ok);
+                ("query_error", Json.Int r.Sclient.query_error);
+                ("overloaded", Json.Int r.Sclient.overloaded);
+                ("expired", Json.Int r.Sclient.expired);
+                ("bad", Json.Int r.Sclient.bad);
+                ("lost", Json.Int r.Sclient.lost);
+                ("elapsed_s", Json.Float r.Sclient.elapsed_s);
+                ("throughput_rps", Json.Float r.Sclient.throughput_rps);
+                ("p50_us", Json.Float r.Sclient.p50_us);
+                ("p90_us", Json.Float r.Sclient.p90_us);
+                ("p99_us", Json.Float r.Sclient.p99_us);
+                ("max_us", Json.Float r.Sclient.max_us);
+              ]))
+    else begin
+      Printf.printf "sent %d  completed %d  ok %d  query-errors %d  shed %d  expired %d  bad %d  lost %d\n"
+        r.Sclient.sent r.Sclient.completed r.Sclient.ok r.Sclient.query_error r.Sclient.overloaded
+        r.Sclient.expired r.Sclient.bad r.Sclient.lost;
+      Printf.printf "throughput %.0f req/s  latency p50 %.0f us  p90 %.0f us  p99 %.0f us  max %.0f us\n"
+        r.Sclient.throughput_rps r.Sclient.p50_us r.Sclient.p90_us r.Sclient.p99_us r.Sclient.max_us
+    end;
+    (* a run that never completed a single request could not actually
+       talk to the server: that's an I/O failure, not a report *)
+    if r.Sclient.completed = 0 then exit 74
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Closed-loop pipelined load generator against a running 'wtrie serve' (mixed Access/Rank/Select/prefix workload sampled from the served sequence).")
+    Term.(const run $ target_arg $ conns_arg $ ops_arg $ window_arg $ timeout_us_arg
+          $ connect_timeout_arg $ json_arg)
+
 let () =
   (* CI and tests can kill any durable writer mid-write by setting
      WTRIE_FAULT_CRASH_AFTER=<bytes>; the process then exits 70 with a
@@ -723,7 +961,7 @@ let () =
         index_cmd; ingest_cmd; verify_cmd; recover_cmd; stats_cmd; access_cmd;
         rank_cmd; select_cmd; prefix_count_cmd; prefix_list_cmd; query_cmd;
         trace_cmd; distinct_cmd; majority_cmd; at_least_cmd; top_k_cmd;
-        quantile_cmd;
+        quantile_cmd; serve_cmd; loadgen_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with
@@ -745,3 +983,10 @@ let () =
   | exception Persist.Format_error msg ->
       Printf.eprintf "wtrie: %s\n" msg;
       exit 2
+  (* anything the commands didn't map themselves: I/O trouble is 74 *)
+  | exception Unix.Unix_error (e, fn, _) ->
+      Printf.eprintf "wtrie: %s (%s)\n" (Unix.error_message e) fn;
+      exit 74
+  | exception Sys_error msg ->
+      Printf.eprintf "wtrie: %s\n" msg;
+      exit 74

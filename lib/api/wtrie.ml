@@ -136,6 +136,19 @@ module Trace = Wt_obs.Trace
 
 module Flight = Wt_obs.Flight
 
+(** The overload-safe TCP serving front-end ([wtrie serve] in the CLI):
+    {!Serve.Server} micro-batches concurrently arriving single queries
+    into sharded {!Snapshot} executions with admission control,
+    deadlines, and graceful drain; {!Serve.Wire} is the bounded binary
+    protocol; {!Serve.Client} is the blocking client and closed-loop
+    load generator.  See docs/serving.md. *)
+module Serve = struct
+  module Server = Wt_serve.Server
+  module Batcher = Wt_serve.Batcher
+  module Wire = Wt_serve.Wire
+  module Client = Wt_serve.Client
+end
+
 let with_trace = Wt_obs.Trace.with_trace
 (** [with_trace f] traces [f ()] and returns its result together with
     the Chrome [trace_event] JSON ({!Json.t}) of every span it opened:

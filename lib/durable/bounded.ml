@@ -1,0 +1,21 @@
+(* One bounds check for every length-prefixed decoder in the tree.
+
+   A declared length read off a wire frame, a WAL record header or a
+   container header is attacker-/corruption-controlled: acting on it
+   before validation turns a flipped bit into an [Out_of_memory] (a
+   64 MiB allocation per garbage frame is a denial of service all by
+   itself) or into a huge blocking read.  Every decoder therefore runs
+   the declared value through {!ok} *before* allocating or copying:
+
+   - [cap] is the format's own sanity bound (no sane WAL record is
+     bigger than [Wal.max_record_len], no sane wire frame bigger than
+     the server's [max_frame], ...);
+   - [remaining] is how many bytes could possibly still exist (rest of
+     the file for on-disk formats; [max_int] for a stream whose end is
+     unknown).
+
+   The helper only answers; the caller picks its failure shape
+   ([Format_error] on disk, a protocol error frame on the wire). *)
+
+let[@inline] ok ~declared ~cap ~remaining =
+  declared >= 0 && declared <= cap && declared <= remaining

@@ -34,6 +34,11 @@ let version = 2
 let max_tag_len = 255
 let tmp_prefix = ".wt-tmp-"
 
+(* Sanity cap on a declared payload length ({!Bounded}): far above any
+   real index, far below anything that could be asked of the allocator
+   by a corrupt header. *)
+let max_payload_len = 1 lsl 36
+
 let fail fmt = Printf.ksprintf (fun m -> raise (Format_error m)) fmt
 
 (* ------------------------------------------------------------------ *)
@@ -145,7 +150,8 @@ let read_tagged path =
   if v <> version then
     fail "index format version %d, expected %d (re-index to upgrade)" v version;
   let tlen = get_u32 s (off + 4) in
-  if tlen > max_tag_len then fail "corrupt header (tag length %d out of bounds)" tlen;
+  if not (Bounded.ok ~declared:tlen ~cap:max_tag_len ~remaining:(len - off - 8)) then
+    fail "corrupt header (tag length %d out of bounds)" tlen;
   need (off + 8) (tlen + 12) "header";
   let tag = String.sub s (off + 8) tlen in
   let header_len = off + 8 + tlen + 8 in
@@ -153,7 +159,10 @@ let read_tagged path =
   if Crc32c.string ~len:header_len s <> get_u32 s header_len then
     fail "index header checksum mismatch";
   let payload_off = header_len + 4 in
-  if payload_len > len - payload_off then fail "truncated index payload";
+  (* bounds before bytes: a flipped length field must fail here, not in
+     the allocator *)
+  if not (Bounded.ok ~declared:payload_len ~cap:max_payload_len ~remaining:(len - payload_off))
+  then fail "truncated index payload";
   let footer_off = payload_off + payload_len in
   need footer_off 16 "footer";
   if len <> footer_off + 16 then

@@ -139,8 +139,11 @@ let scan path =
   else
     let v = get_u32 s mlen in
     let tlen = get_u32 s (mlen + 4) in
-    if v <> version || tlen > Container.max_tag_len || mlen + 8 + tlen + 12 > len then
-      bad_header ()
+    if
+      v <> version
+      || (not (Bounded.ok ~declared:tlen ~cap:Container.max_tag_len ~remaining:(len - mlen - 8)))
+      || mlen + 8 + tlen + 12 > len
+    then bad_header ()
     else
       let tag = String.sub s (mlen + 8) tlen in
       let hdr_end = mlen + 8 + tlen + 8 in
@@ -159,8 +162,10 @@ let scan path =
               else begin
                 let blen = get_u32 s !pos in
                 let crc = get_u32 s (!pos + 4) in
-                if blen = 0 || blen > max_record_len || !pos + 8 + blen > len then
-                  torn := true
+                (* a flipped length field is the start of the torn tail,
+                   never an allocation ({!Bounded}) *)
+                if blen = 0 || not (Bounded.ok ~declared:blen ~cap:max_record_len ~remaining:(len - !pos - 8))
+                then torn := true
                 else if Crc32c.string ~pos:(!pos + 8) ~len:blen s <> crc then
                   torn := true
                 else

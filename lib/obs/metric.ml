@@ -31,7 +31,14 @@
       one count per front-door invocation of [select_all],
       [range_count], [range_distinct] and [range_topk]; the same ids
       key the per-call latency histograms recorded at the byte-string
-      façade.
+      façade;
+    - [Serve_*]: the TCP serving front-end ([lib/serve]) — connections
+      accepted and defensively closed, query requests admitted,
+      micro-batches flushed, requests shed with [Overloaded]
+      (admission control) or expired with [Deadline_exceeded], wire
+      frames rejected by the bounded decoder, plus two histograms:
+      [Serve_queue_depth] (pending-queue depth sampled at each flush)
+      and [Serve_queue_wait] (admit-to-execute wait, ns).
 
     Counter metrics count invocations; the same ids key the latency
     histograms recorded by {!Probe.time} at the string-API layer. *)
@@ -83,8 +90,17 @@ type t =
   | Analytics_range_count
   | Analytics_distinct
   | Analytics_topk
+  | Serve_accept
+  | Serve_conn_close
+  | Serve_request
+  | Serve_batch
+  | Serve_shed
+  | Serve_deadline
+  | Serve_bad_frame
+  | Serve_queue_depth
+  | Serve_queue_wait
 
-let count = 46
+let count = 55
 
 let index = function
   | Rrr_rank -> 0
@@ -133,6 +149,15 @@ let index = function
   | Analytics_range_count -> 43
   | Analytics_distinct -> 44
   | Analytics_topk -> 45
+  | Serve_accept -> 46
+  | Serve_conn_close -> 47
+  | Serve_request -> 48
+  | Serve_batch -> 49
+  | Serve_shed -> 50
+  | Serve_deadline -> 51
+  | Serve_bad_frame -> 52
+  | Serve_queue_depth -> 53
+  | Serve_queue_wait -> 54
 
 let all =
   [|
@@ -145,7 +170,9 @@ let all =
     Exec_batch; Exec_batch_ops; Exec_level; Bv_cursor_hit; Bv_cursor_miss;
     Par_batch; Par_shards; Par_task; Par_steal; Par_queue_wait; Par_shard_run;
     Par_snapshot_publish; Analytics_select_all; Analytics_range_count;
-    Analytics_distinct; Analytics_topk;
+    Analytics_distinct; Analytics_topk; Serve_accept; Serve_conn_close;
+    Serve_request; Serve_batch; Serve_shed; Serve_deadline; Serve_bad_frame;
+    Serve_queue_depth; Serve_queue_wait;
   |]
 
 let name = function
@@ -195,5 +222,14 @@ let name = function
   | Analytics_range_count -> "analytics_range_count"
   | Analytics_distinct -> "analytics_distinct"
   | Analytics_topk -> "analytics_topk"
+  | Serve_accept -> "serve_accept"
+  | Serve_conn_close -> "serve_conn_close"
+  | Serve_request -> "serve_request"
+  | Serve_batch -> "serve_batch"
+  | Serve_shed -> "serve_shed"
+  | Serve_deadline -> "serve_deadline_expired"
+  | Serve_bad_frame -> "serve_bad_frame"
+  | Serve_queue_depth -> "serve_queue_depth"
+  | Serve_queue_wait -> "serve_queue_wait"
 
 let of_name s = Array.find_opt (fun m -> name m = s) all

@@ -1,0 +1,140 @@
+(** Group-commit micro-batching with admission control and deadlines.
+
+    Single queries arriving concurrently are coalesced into one batch
+    for the sharded executor: a batch is cut when it reaches
+    [batch_max] operations or when its oldest member has waited
+    [window_ns] — whichever comes first — so an idle server answers a
+    lone query within one window and a busy server amortises dispatch
+    over hundreds of operations.
+
+    Robustness is built into admission rather than bolted on:
+
+    - {b backpressure}: at most [queue_max] operations wait; past that
+      {!admit} refuses with [`Overloaded] and the caller answers the
+      client immediately instead of queueing unbounded work;
+    - {b deadlines}: each operation may carry an absolute deadline.
+      The flush instant is pulled {e earlier} than the window when the
+      tightest queued deadline minus a running estimate of batch
+      execution time would otherwise be missed, and operations already
+      past their deadline at flush time are handed back unexecuted
+      ([None]) so the engine never spends work on an answer nobody is
+      waiting for.
+
+    The batcher is deliberately single-threaded — it lives inside the
+    server's event loop; parallelism happens {e inside} the [exec]
+    callback (sharded over the domain pool), not around it. *)
+
+module Probe = Wt_obs.Probe
+module Trace = Wt_obs.Trace
+module Is = Wt_core.Indexed_sequence
+
+type 'k pending = {
+  key : 'k;
+  op : Is.op;
+  admit_ns : int;
+  deadline_ns : int;  (** absolute; [max_int] = none *)
+}
+
+type 'k t = {
+  batch_max : int;
+  window_ns : int;
+  queue_max : int;
+  q : 'k pending Queue.t;
+  mutable min_deadline_ns : int;  (** over queued entries; [max_int] if none *)
+  mutable exec_est_ns : int;  (** EMA of recent batch execution times *)
+}
+
+let create ~batch_max ~window_ns ~queue_max () =
+  {
+    batch_max = max 1 batch_max;
+    window_ns = max 0 window_ns;
+    queue_max = max 1 queue_max;
+    q = Queue.create ();
+    min_deadline_ns = max_int;
+    (* seed the execution estimate at 100µs: wrong by at most a small
+       factor for any realistic batch, corrected after the first flush *)
+    exec_est_ns = 100_000;
+  }
+
+let pending t = Queue.length t.q
+
+type admission = Admitted | Overloaded
+
+(* [admit t ~now_ns ~key ~timeout_us op] queues [op] unless the queue is
+   full.  [timeout_us <= 0] means no deadline. *)
+let admit t ~now_ns ~key ~timeout_us op =
+  if Queue.length t.q >= t.queue_max then begin
+    Probe.hit Serve_shed;
+    Overloaded
+  end
+  else begin
+    let deadline_ns = if timeout_us <= 0 then max_int else now_ns + (timeout_us * 1000) in
+    Queue.push { key; op; admit_ns = now_ns; deadline_ns } t.q;
+    if deadline_ns < t.min_deadline_ns then t.min_deadline_ns <- deadline_ns;
+    Probe.hit Serve_request;
+    Admitted
+  end
+
+(* The instant the queue must be flushed: the oldest admission plus the
+   batching window, pulled earlier if the tightest deadline minus the
+   execution estimate lands sooner.  [None] when nothing is queued. *)
+let due_at t =
+  match Queue.peek_opt t.q with
+  | None -> None
+  | Some oldest ->
+      let window_due = oldest.admit_ns + t.window_ns in
+      let deadline_due =
+        if t.min_deadline_ns = max_int then max_int else t.min_deadline_ns - t.exec_est_ns
+      in
+      Some (min window_due deadline_due)
+
+let due t ~now_ns =
+  Queue.length t.q >= t.batch_max
+  || (match due_at t with None -> false | Some d -> now_ns >= d)
+
+(* [flush t ~now_ns ~exec] cuts one batch (up to [batch_max] in arrival
+   order) and returns, in that order, [(key, Some result)] for executed
+   operations and [(key, None)] for those already past their deadline.
+   [exec] receives only the live operations. *)
+let flush t ~now_ns ~exec =
+  let n = min t.batch_max (Queue.length t.q) in
+  if n = 0 then [||]
+  else begin
+    Probe.hit Serve_batch;
+    Probe.duration Serve_queue_depth (Queue.length t.q);
+    let taken = Array.init n (fun _ -> Queue.pop t.q) in
+    (* min-deadline is a queue-wide invariant; rebuild it from what's left *)
+    t.min_deadline_ns <- Queue.fold (fun m p -> min m p.deadline_ns) max_int t.q;
+    let expired = ref 0 in
+    Array.iter
+      (fun p ->
+        Probe.duration Serve_queue_wait (now_ns - p.admit_ns);
+        if p.deadline_ns < now_ns then incr expired)
+      taken;
+    if !expired > 0 then Probe.record Serve_deadline !expired;
+    let live = Array.of_seq (Seq.filter (fun p -> p.deadline_ns >= now_ns) (Array.to_seq taken)) in
+    let results =
+      Trace.with_span
+        ~args:[ ("ops", Array.length live); ("expired", !expired) ]
+        "serve.batch"
+        (fun () ->
+          if Array.length live = 0 then [||]
+          else begin
+            let t0 = Probe.now_ns () in
+            let r = exec (Array.map (fun p -> p.op) live) in
+            let dt = Probe.now_ns () - t0 in
+            t.exec_est_ns <- ((3 * t.exec_est_ns) + dt) / 4;
+            r
+          end)
+    in
+    let live_i = ref 0 in
+    Array.map
+      (fun p ->
+        if p.deadline_ns < now_ns then (p.key, None)
+        else begin
+          let r = results.(!live_i) in
+          incr live_i;
+          (p.key, Some r)
+        end)
+      taken
+  end

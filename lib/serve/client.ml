@@ -1,0 +1,280 @@
+(** Client side of the serving protocol: a small blocking client for
+    tests and tooling, plus a closed-loop pipelined load generator that
+    doubles as the benchmark driver and the CI smoke-test hammer. *)
+
+module Is = Wt_core.Indexed_sequence
+
+(* ------------------------------------------------------------------ *)
+(* Blocking request/reply client *)
+
+type t = { fd : Unix.file_descr; rd : Wire.reader; mutable next_id : int }
+
+exception Server_closed
+(** The server closed the connection (EOF or reset) while a reply was
+    outstanding — expected under defensive disconnects. *)
+
+let write_all fd s =
+  let n = String.length s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write_substring fd s !off (n - !off)
+  done
+
+(* [connect ~host ~port ()] retries refused connections for
+   [retry_for_s] (default 5s), covering the race between starting a
+   server process and its listen call. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ()
+
+let connect ?(retry_for_s = 5.0) ~host ~port () =
+  ignore_sigpipe ();
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let deadline = Unix.gettimeofday () +. retry_for_s in
+  let rec go () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        { fd; rd = Wire.reader (); next_id = 1 }
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ECONNABORTED) as e, fn, arg) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if Unix.gettimeofday () < deadline then begin
+          ignore (Unix.select [] [] [] 0.05);
+          go ()
+        end
+        else raise (Unix.Unix_error (e, fn, arg))
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  go ()
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let read_reply t =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Wire.next t.rd with
+    | Wire.Frame payload -> (
+        match Wire.decode_reply payload with
+        | Ok r -> r
+        | Error msg -> failwith ("serve client: undecodable reply: " ^ msg))
+    | Wire.Broken msg -> failwith ("serve client: broken reply stream: " ^ msg)
+    | Wire.Need_more -> (
+        match Unix.read t.fd buf 0 (Bytes.length buf) with
+        | 0 -> raise Server_closed
+        | n ->
+            Wire.feed t.rd buf 0 n;
+            go ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            raise Server_closed)
+  in
+  go ()
+
+(* [call t body] sends one request and blocks for its reply's status. *)
+let call ?(timeout_us = 0) t body =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  write_all t.fd (Wire.encode_request { Wire.id; timeout_us; body });
+  let r = read_reply t in
+  if r.Wire.rid <> id then
+    failwith (Printf.sprintf "serve client: reply id %d for request %d" r.Wire.rid id);
+  r.Wire.status
+
+let ping t = match call t Wire.Ping with Wire.Pong -> true | _ -> false
+
+let length t =
+  match call t Wire.Length with
+  | Wire.Ok_value (Is.Int n) -> n
+  | _ -> failwith "serve client: unexpected reply to Length"
+
+(* ------------------------------------------------------------------ *)
+(* Closed-loop load generator *)
+
+type report = {
+  sent : int;
+  completed : int;  (** replies received, of any status *)
+  ok : int;
+  query_error : int;
+  overloaded : int;
+  expired : int;
+  bad : int;
+  lost : int;  (** outstanding when the server closed the connection *)
+  elapsed_s : float;
+  throughput_rps : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+  max_us : float;  (** latency stats cover served replies (ok + query_error) *)
+}
+
+type lconn = {
+  l_fd : Unix.file_descr;
+  l_rd : Wire.reader;
+  l_sendq : Buffer.t;
+  mutable l_sent_off : int;
+  mutable l_outstanding : int;
+  mutable l_alive : bool;
+  l_inflight : (int, int) Hashtbl.t;  (** id -> send-time ns *)
+}
+
+let percentile sorted n q =
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (q *. float_of_int n)))
+
+(* [run_load ~host ~port ~conns ~window ~ops ~opgen ()] opens [conns]
+   pipelined connections, keeps [window] requests outstanding on each,
+   and drives [ops] requests total ([opgen i] supplies request [i]'s
+   body).  Closed-loop: a new request is issued only when a reply (of
+   any status) frees a slot, so offered load adapts to server capacity
+   the way a well-behaved client fleet does. *)
+let run_load ~host ~port ~conns ~window ~ops ?(timeout_us = 0) ~opgen () =
+  ignore_sigpipe ();
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let mk () =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd addr;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    Unix.set_nonblock fd;
+    {
+      l_fd = fd;
+      l_rd = Wire.reader ();
+      l_sendq = Buffer.create 4096;
+      l_sent_off = 0;
+      l_outstanding = 0;
+      l_alive = true;
+      l_inflight = Hashtbl.create 64;
+    }
+  in
+  let cs = Array.init (max 1 conns) (fun _ -> mk ()) in
+  let sent = ref 0 in
+  let ok = ref 0 and query_error = ref 0 and overloaded = ref 0 in
+  let expired = ref 0 and bad = ref 0 and lost = ref 0 in
+  let completed = ref 0 in
+  let lat = Array.make (max 1 ops) 0. in
+  let lat_n = ref 0 in
+  let next_id = ref 1 in
+  let scratch = Bytes.create 65536 in
+  let now_ns () = Wt_obs.Probe.now_ns () in
+  let t0 = now_ns () in
+  (* hard stop so a wedged server cannot hang the harness *)
+  let give_up_ns = t0 + 120_000_000_000 in
+  let top_up c =
+    while c.l_alive && c.l_outstanding < window && !sent < ops do
+      let id = !next_id in
+      incr next_id;
+      let body = opgen !sent in
+      incr sent;
+      Buffer.add_string c.l_sendq (Wire.encode_request { Wire.id; timeout_us; body });
+      Hashtbl.replace c.l_inflight id (now_ns ());
+      c.l_outstanding <- c.l_outstanding + 1
+    done
+  in
+  let kill c =
+    if c.l_alive then begin
+      c.l_alive <- false;
+      lost := !lost + c.l_outstanding;
+      c.l_outstanding <- 0;
+      try Unix.close c.l_fd with Unix.Unix_error _ -> ()
+    end
+  in
+  let flush_send c =
+    let pending = Buffer.length c.l_sendq - c.l_sent_off in
+    if pending > 0 then begin
+      let s = Buffer.contents c.l_sendq in
+      match Unix.write_substring c.l_fd s c.l_sent_off pending with
+      | n ->
+          c.l_sent_off <- c.l_sent_off + n;
+          if c.l_sent_off = Buffer.length c.l_sendq then begin
+            Buffer.clear c.l_sendq;
+            c.l_sent_off <- 0
+          end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) -> kill c
+    end
+  in
+  let absorb c payload =
+    match Wire.decode_reply payload with
+    | Error _ -> incr bad
+    | Ok { Wire.rid; status } ->
+        (match Hashtbl.find_opt c.l_inflight rid with
+        | Some sent_ns ->
+            Hashtbl.remove c.l_inflight rid;
+            c.l_outstanding <- c.l_outstanding - 1;
+            incr completed;
+            let record_lat () =
+              if !lat_n < Array.length lat then begin
+                lat.(!lat_n) <- float_of_int (now_ns () - sent_ns) /. 1e3;
+                incr lat_n
+              end
+            in
+            (match status with
+            | Wire.Ok_value _ | Wire.Pong ->
+                incr ok;
+                record_lat ()
+            | Wire.Query_error _ ->
+                incr query_error;
+                record_lat ()
+            | Wire.Overloaded -> incr overloaded
+            | Wire.Deadline_exceeded -> incr expired
+            | Wire.Bad_request _ -> incr bad)
+        | None -> incr bad)
+  in
+  let handle_read c =
+    match Unix.read c.l_fd scratch 0 (Bytes.length scratch) with
+    | 0 -> kill c
+    | n ->
+        Wire.feed c.l_rd scratch 0 n;
+        let continue = ref true in
+        while !continue do
+          match Wire.next c.l_rd with
+          | Wire.Frame p -> absorb c p
+          | Wire.Need_more -> continue := false
+          | Wire.Broken _ ->
+              kill c;
+              continue := false
+        done
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> kill c
+  in
+  let live () = Array.exists (fun c -> c.l_alive) cs in
+  let work_left () = !sent < ops || Array.exists (fun c -> c.l_alive && c.l_outstanding > 0) cs
+  in
+  while live () && work_left () && now_ns () < give_up_ns do
+    Array.iter (fun c -> if c.l_alive then top_up c) cs;
+    let reads = Array.to_list cs |> List.filter_map (fun c -> if c.l_alive then Some c.l_fd else None) in
+    let writes =
+      Array.to_list cs
+      |> List.filter_map (fun c ->
+             if c.l_alive && Buffer.length c.l_sendq - c.l_sent_off > 0 then Some c.l_fd else None)
+    in
+    match Unix.select reads writes [] 0.1 with
+    | readable, writable, _ ->
+        Array.iter
+          (fun c ->
+            if c.l_alive && List.memq c.l_fd writable then flush_send c;
+            if c.l_alive && List.memq c.l_fd readable then handle_read c)
+          cs
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Array.iter kill cs;
+  lost := !lost + (!sent - !completed - !lost);
+  let elapsed_s = float_of_int (now_ns () - t0) /. 1e9 in
+  let served = Array.sub lat 0 !lat_n in
+  Array.sort compare served;
+  {
+    sent = !sent;
+    completed = !completed;
+    ok = !ok;
+    query_error = !query_error;
+    overloaded = !overloaded;
+    expired = !expired;
+    bad = !bad;
+    lost = !lost;
+    elapsed_s;
+    throughput_rps = (if elapsed_s > 0. then float_of_int !completed /. elapsed_s else 0.);
+    p50_us = percentile served !lat_n 0.50;
+    p90_us = percentile served !lat_n 0.90;
+    p99_us = percentile served !lat_n 0.99;
+    max_us = (if !lat_n = 0 then 0. else served.(!lat_n - 1));
+  }

@@ -1,0 +1,408 @@
+(** The overload-safe TCP serving front-end.
+
+    A single-domain [Unix.select] event loop owns every socket; query
+    execution is the only parallel part (sharded over the domain pool by
+    {!Wt_par.Par_exec}, against the latest {!Wt_par.Snapshot}).  The
+    loop accepts connections, peels {!Wire} frames off them, answers
+    [Ping]/[Length] inline, and admits queries to the {!Batcher}; due
+    batches are executed and their replies demultiplexed back to each
+    connection's write buffer in request order.
+
+    Degradation is graceful by construction:
+
+    - a full queue or a connection past its in-flight cap answers
+      [Overloaded] immediately ({!Batcher});
+    - at [max_conns] the listener is simply left out of the select
+      read set, so new connections queue in the kernel backlog instead
+      of growing server state;
+    - a connection that sends garbage, declares an absurd frame length,
+      stalls mid-frame past the read timeout, or refuses to drain its
+      replies past [outbuf_max] is closed — and only it: per-connection
+      failures never reach the loop;
+    - [SIGTERM]/{!request_stop} flips an atomic the loop polls; it then
+      stops accepting, executes everything already admitted, drains
+      write buffers within [drain_grace_ms], and returns so the process
+      can exit 0.
+
+    A fatal loop error (a bug, not a client) dumps the flight-recorder
+    ring when [WTRIE_FLIGHT_DUMP] is set, then re-raises. *)
+
+module Probe = Wt_obs.Probe
+module Flight = Wt_obs.Flight
+module Snapshot = Wt_par.Snapshot
+module Append_wt = Wt_core.Append_wt
+
+type config = {
+  host : string;
+  port : int;  (** 0 = ephemeral; read the bound port with {!port} *)
+  batch_max : int;
+  window_us : int;
+  queue_max : int;
+  max_conns : int;
+  max_frame : int;
+  conn_inflight_max : int;
+  outbuf_max : int;
+  read_timeout_ms : int;  (** mid-frame stall allowance (slow-loris) *)
+  drain_grace_ms : int;
+  domains : int option;  (** [None] = execute on the loop's domain *)
+  pool : Wt_par.Pool.t option;
+}
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+  | None -> default
+
+let default_config () =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    batch_max = env_int "WTRIE_SERVE_BATCH_OPS" 512;
+    window_us = env_int "WTRIE_SERVE_WINDOW_US" 200;
+    queue_max = env_int "WTRIE_SERVE_QUEUE_MAX" 8192;
+    max_conns = env_int "WTRIE_SERVE_MAX_CONNS" 1024;
+    max_frame = env_int "WTRIE_SERVE_MAX_FRAME" Wire.default_max_frame;
+    conn_inflight_max = env_int "WTRIE_SERVE_CONN_INFLIGHT" 1024;
+    outbuf_max = env_int "WTRIE_SERVE_OUTBUF_MAX" (4 lsl 20);
+    read_timeout_ms = env_int "WTRIE_SERVE_READ_TIMEOUT_MS" 10_000;
+    drain_grace_ms = 5_000;
+    domains = None;
+    pool = None;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  cid : int;
+  rd : Wire.reader;
+  outq : string Queue.t;  (** encoded frames awaiting the socket *)
+  mutable out_head_pos : int;  (** bytes of the head frame already written *)
+  mutable out_bytes : int;
+  mutable inflight : int;  (** admitted queries not yet answered *)
+  mutable last_rx_ns : int;
+  mutable alive : bool;
+}
+
+(* Plain fields, not atomics: every mutation happens on the loop domain.
+   Exposed so tests and the CLI can report what the server actually did. *)
+type stats = {
+  mutable accepted : int;
+  mutable closed_defensive : int;
+  mutable requests : int;
+  mutable batches : int;
+  mutable shed : int;
+  mutable expired : int;
+  mutable bad_frames : int;
+}
+
+type t = {
+  cfg : config;
+  snap : Append_wt.t Snapshot.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  batcher : (conn * int) Batcher.t;
+  conns : (int, conn) Hashtbl.t;
+  stop : bool Atomic.t;
+  stats : stats;
+  scratch : Bytes.t;
+  mutable next_cid : int;
+}
+
+let port t = t.bound_port
+let stats t = t.stats
+let request_stop t = Atomic.set t.stop true
+let stopping t = Atomic.get t.stop
+
+(* [create ?config snap] binds and listens; [Unix.Unix_error] from
+   socket/bind propagates to the caller (the CLI maps it to exit 74). *)
+let create ?config snap =
+  let cfg = match config with Some c -> c | None -> default_config () in
+  (* a peer that disappears mid-write must surface as EPIPE on the
+     write call, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ | Sys_error _ -> ());
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (match
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd addr;
+     Unix.listen fd 128;
+     Unix.set_nonblock fd
+   with
+  | () -> ()
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e);
+  let bound_port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> cfg.port
+  in
+  Flight.record ~a:bound_port ~note:"serve.listen" Mark;
+  {
+    cfg;
+    snap;
+    listen_fd = fd;
+    bound_port;
+    batcher =
+      Batcher.create ~batch_max:cfg.batch_max ~window_ns:(cfg.window_us * 1000)
+        ~queue_max:cfg.queue_max ();
+    conns = Hashtbl.create 64;
+    stop = Atomic.make false;
+    stats =
+      {
+        accepted = 0;
+        closed_defensive = 0;
+        requests = 0;
+        batches = 0;
+        shed = 0;
+        expired = 0;
+        bad_frames = 0;
+      };
+    scratch = Bytes.create 65536;
+    next_cid = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connection plumbing *)
+
+let close_conn t ?(defensive = false) c =
+  if c.alive then begin
+    c.alive <- false;
+    Hashtbl.remove t.conns c.cid;
+    if defensive then begin
+      t.stats.closed_defensive <- t.stats.closed_defensive + 1;
+      Probe.hit Serve_conn_close
+    end;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+let send_reply t c reply =
+  if c.alive then begin
+    let s = Wire.encode_reply reply in
+    Queue.push s c.outq;
+    c.out_bytes <- c.out_bytes + String.length s;
+    (* a reader that never drains its replies is backpressured by
+       disconnect, not by unbounded server memory *)
+    if c.out_bytes > t.cfg.outbuf_max then close_conn t ~defensive:true c
+  end
+
+let handle_write t c =
+  let continue = ref true in
+  while !continue && not (Queue.is_empty c.outq) do
+    let head = Queue.peek c.outq in
+    let len = String.length head - c.out_head_pos in
+    match Unix.write_substring c.fd head c.out_head_pos len with
+    | n ->
+        c.out_bytes <- c.out_bytes - n;
+        if n = len then begin
+          ignore (Queue.pop c.outq);
+          c.out_head_pos <- 0
+        end
+        else begin
+          c.out_head_pos <- c.out_head_pos + n;
+          continue := false
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error (_, _, _) ->
+        close_conn t c;
+        continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let overloaded t c rid =
+  t.stats.shed <- t.stats.shed + 1;
+  send_reply t c { Wire.rid; status = Wire.Overloaded }
+
+let handle_frame t c now_ns payload =
+  match Wire.decode_request payload with
+  | Error msg ->
+      (* a syntactically valid frame with an undecodable payload gets a
+         correlated error reply; the connection survives *)
+      t.stats.bad_frames <- t.stats.bad_frames + 1;
+      Probe.hit Serve_bad_frame;
+      send_reply t c { Wire.rid = Wire.request_id_hint payload; status = Wire.Bad_request msg }
+  | Ok { Wire.id; timeout_us = _; body = Wire.Ping } ->
+      send_reply t c { Wire.rid = id; status = Wire.Pong }
+  | Ok { Wire.id; timeout_us = _; body = Wire.Length } ->
+      let len = Append_wt.length (Snapshot.read t.snap) in
+      send_reply t c { Wire.rid = id; status = Wire.Ok_value (Wt_core.Indexed_sequence.Int len) }
+  | Ok { Wire.id; timeout_us; body = Wire.Query op } ->
+      if c.inflight >= t.cfg.conn_inflight_max then begin
+        Probe.hit Serve_shed;
+        overloaded t c id
+      end
+      else begin
+        match Batcher.admit t.batcher ~now_ns ~key:(c, id) ~timeout_us op with
+        | Batcher.Overloaded -> overloaded t c id
+        | Batcher.Admitted ->
+            c.inflight <- c.inflight + 1;
+            t.stats.requests <- t.stats.requests + 1
+      end
+
+let handle_read t c =
+  match Unix.read c.fd t.scratch 0 (Bytes.length t.scratch) with
+  | 0 -> close_conn t c (* orderly EOF; any in-flight replies are dropped at demux *)
+  | n ->
+      c.last_rx_ns <- Probe.now_ns ();
+      Wire.feed c.rd t.scratch 0 n;
+      let continue = ref true in
+      while !continue && c.alive do
+        match Wire.next c.rd with
+        | Wire.Need_more -> continue := false
+        | Wire.Broken _ ->
+            (* an implausible frame length: nothing downstream of it can
+               be trusted, so the stream dies rather than resynchronise *)
+            t.stats.bad_frames <- t.stats.bad_frames + 1;
+            Probe.hit Serve_bad_frame;
+            close_conn t ~defensive:true c;
+            continue := false
+        | Wire.Frame payload -> handle_frame t c (Probe.now_ns ()) payload
+      done
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> close_conn t c
+
+let accept_burst t =
+  let continue = ref true in
+  while !continue && Hashtbl.length t.conns < t.cfg.max_conns do
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        let cid = t.next_cid in
+        t.next_cid <- cid + 1;
+        let c =
+          {
+            fd;
+            cid;
+            rd = Wire.reader ~max_frame:t.cfg.max_frame ();
+            outq = Queue.create ();
+            out_head_pos = 0;
+            out_bytes = 0;
+            inflight = 0;
+            last_rx_ns = Probe.now_ns ();
+            alive = true;
+          }
+        in
+        Hashtbl.replace t.conns cid c;
+        t.stats.accepted <- t.stats.accepted + 1;
+        Probe.hit Serve_accept
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+        continue := false
+    | exception Unix.Unix_error (_, _, _) -> continue := false
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Batch execution *)
+
+let flush_batch t =
+  let now_ns = Probe.now_ns () in
+  let trie = Snapshot.read t.snap in
+  let results =
+    Batcher.flush t.batcher ~now_ns ~exec:(fun ops ->
+        Wt_par.Par_exec.query_batch ?pool:t.cfg.pool ?domains:t.cfg.domains
+          Wt_exec.Exec.Append.query_batch trie ops)
+  in
+  if Array.length results > 0 then t.stats.batches <- t.stats.batches + 1;
+  Array.iter
+    (fun ((c, rid), res) ->
+      c.inflight <- c.inflight - 1;
+      match res with
+      | None ->
+          t.stats.expired <- t.stats.expired + 1;
+          send_reply t c { Wire.rid; status = Wire.Deadline_exceeded }
+      | Some (Ok v) -> send_reply t c { Wire.rid; status = Wire.Ok_value v }
+      | Some (Error e) -> send_reply t c { Wire.rid; status = Wire.Query_error e })
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Event loop *)
+
+let conn_list t = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns []
+
+let reap_stalled t now_ns =
+  let timeout_ns = t.cfg.read_timeout_ms * 1_000_000 in
+  if timeout_ns > 0 then
+    List.iter
+      (fun c ->
+        (* only a connection stuck mid-frame is a slow-loris suspect; an
+           idle connection with no partial frame may sit forever *)
+        if Wire.buffered c.rd > 0 && now_ns - c.last_rx_ns > timeout_ns then
+          close_conn t ~defensive:true c)
+      (conn_list t)
+
+let select_timeout t now_ns =
+  match Batcher.due_at t.batcher with
+  | None -> 0.05
+  | Some due -> Float.max 0. (Float.min 0.05 (float_of_int (due - now_ns) /. 1e9))
+
+let loop_once t =
+  let now_ns = Probe.now_ns () in
+  let conns = conn_list t in
+  let reads =
+    let base = List.map (fun c -> c.fd) conns in
+    (* accept pushback: past max_conns the listener stays out of the
+       read set and new connections wait in the kernel backlog *)
+    if Hashtbl.length t.conns < t.cfg.max_conns && not (stopping t) then t.listen_fd :: base
+    else base
+  in
+  let writes = List.filter_map (fun c -> if c.out_bytes > 0 then Some c.fd else None) conns in
+  let readable, writable, _ =
+    match Unix.select reads writes [] (select_timeout t now_ns) with
+    | r -> r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  if List.memq t.listen_fd readable then accept_burst t;
+  List.iter (fun c -> if List.memq c.fd readable then handle_read t c) conns;
+  let now_ns = Probe.now_ns () in
+  while Batcher.due t.batcher ~now_ns do
+    flush_batch t
+  done;
+  (* write after flushing so replies produced this iteration go out
+     without waiting for the next select round *)
+  List.iter (fun c -> if c.alive && (List.memq c.fd writable || c.out_bytes > 0) then handle_write t c) conns;
+  reap_stalled t (Probe.now_ns ())
+
+let drain t =
+  Flight.record ~note:"serve.drain" Mark;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* everything already admitted is executed and answered *)
+  while Batcher.pending t.batcher > 0 do
+    flush_batch t
+  done;
+  let deadline = Probe.now_ns () + (t.cfg.drain_grace_ms * 1_000_000) in
+  let rec pump () =
+    let waiting = List.filter (fun c -> c.alive && c.out_bytes > 0) (conn_list t) in
+    if waiting <> [] && Probe.now_ns () < deadline then begin
+      (match Unix.select [] (List.map (fun c -> c.fd) waiting) [] 0.05 with
+      | _, writable, _ ->
+          List.iter (fun c -> if List.memq c.fd writable then handle_write t c) waiting
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      pump ()
+    end
+  in
+  pump ();
+  List.iter (fun c -> close_conn t c) (conn_list t)
+
+(* [serve t] blocks until {!request_stop} (or SIGTERM via the CLI's
+   handler), then drains and returns.  Per-connection failures are
+   contained; anything that escapes the loop is a server bug and dumps
+   the flight ring (when [WTRIE_FLIGHT_DUMP] is set) before re-raising. *)
+let serve t =
+  match
+    while not (stopping t) do
+      loop_once t
+    done
+  with
+  | () -> drain t
+  | exception e ->
+      (match Sys.getenv_opt "WTRIE_FLIGHT_DUMP" with
+      | Some path when path <> "" -> (
+          try
+            let oc = open_out path in
+            output_string oc (Wt_obs.Json.to_string (Flight.to_json ()));
+            output_string oc "\n";
+            close_out oc
+          with Sys_error _ -> ())
+      | _ -> ());
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      List.iter (fun c -> close_conn t c) (conn_list t);
+      raise e

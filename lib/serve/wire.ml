@@ -1,0 +1,302 @@
+(** The serving wire protocol: length-prefixed binary frames.
+
+    {v
+      frame   := u32 payload length (1 .. max_frame) | payload
+      request := i64 id | i32 timeout_us | u8 op | op-specific
+                 op 0 Ping            (health check; never queued)
+                 op 1 Length          (sequence length; never queued)
+                 op 2 Access          i64 pos
+                 op 3 Rank            i64 pos   | rest = string
+                 op 4 Select          i64 count | rest = string
+                 op 5 Rank_prefix     i64 pos   | rest = prefix
+                 op 6 Select_prefix   i64 count | rest = prefix
+      reply   := i64 id | u8 status | status-specific
+                 0 Ok_int             i64
+                 1 Ok_str             rest = bytes
+                 2 Pong
+                 3 Query_error        u8 which | i64 fields
+                 4 Overloaded         (admission control shed this request)
+                 5 Deadline_exceeded  (request expired before execution)
+                 6 Bad_request        rest = reason
+    v}
+
+    All integers are big-endian; [i64] is two's complement, checked on
+    decode to fit an OCaml [int].  Strings carry no inner length — the
+    frame delimits them — so a frame parses in one pass with no nested
+    length fields to validate.
+
+    Decoding is {e total and bounded}: {!decode_request} and
+    {!decode_reply} never raise on any byte string, and the incremental
+    {!reader} validates the declared frame length against [max_frame]
+    (through {!Wt_durable.Bounded}, the same check the WAL and container
+    decoders run) as soon as the four header bytes arrive — an absurd
+    length marks the stream broken {e before} any allocation or further
+    reading, so a garbage or adversarial frame can cost at most the
+    bytes already received. *)
+
+module Is = Wt_core.Indexed_sequence
+
+let default_max_frame = 1 lsl 20
+(** 1 MiB: far above any sane request or reply, far below an
+    allocation-as-denial-of-service. *)
+
+let header_len = 4
+
+(* ------------------------------------------------------------------ *)
+(* Requests and replies *)
+
+type body =
+  | Ping  (** health check: answered [Pong] inline, even under overload *)
+  | Length  (** current sequence length: answered inline *)
+  | Query of Is.op  (** admitted, micro-batched, executed on the engine *)
+
+type request = { id : int; timeout_us : int; body : body }
+(** [timeout_us <= 0] means no deadline; positive values start counting
+    at server admission. *)
+
+type status =
+  | Ok_value of Is.value
+  | Pong
+  | Query_error of Is.error
+  | Overloaded
+  | Deadline_exceeded
+  | Bad_request of string
+
+type reply = { rid : int; status : status }
+
+(* ------------------------------------------------------------------ *)
+(* Binary helpers *)
+
+let add_i64 buf v = Buffer.add_int64_be buf (Int64.of_int v)
+let add_i32 buf v = Buffer.add_int32_be buf (Int32.of_int v)
+
+(* A 64-bit field that does not fit the 63-bit OCaml [int] is rejected,
+   not wrapped: silent truncation would answer a different query than
+   the client asked. *)
+let get_i64_fit s off =
+  let v = String.get_int64_be s off in
+  let i = Int64.to_int v in
+  if Int64.of_int i = v then Some i else None
+
+let get_i32 s off = Int32.to_int (String.get_int32_be s off)
+
+let frame payload =
+  let n = String.length payload in
+  let buf = Buffer.create (header_len + n) in
+  add_i32 buf n;
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Requests *)
+
+let op_tag = function
+  | Ping -> '\000'
+  | Length -> '\001'
+  | Query (Is.Access _) -> '\002'
+  | Query (Is.Rank _) -> '\003'
+  | Query (Is.Select _) -> '\004'
+  | Query (Is.Rank_prefix _) -> '\005'
+  | Query (Is.Select_prefix _) -> '\006'
+
+let encode_request { id; timeout_us; body } =
+  let buf = Buffer.create 32 in
+  add_i64 buf id;
+  add_i32 buf (max 0 timeout_us);
+  Buffer.add_char buf (op_tag body);
+  (match body with
+  | Ping | Length -> ()
+  | Query (Is.Access { pos }) -> add_i64 buf pos
+  | Query (Is.Rank { s; pos }) ->
+      add_i64 buf pos;
+      Buffer.add_string buf s
+  | Query (Is.Select { s; count }) ->
+      add_i64 buf count;
+      Buffer.add_string buf s
+  | Query (Is.Rank_prefix { prefix; pos }) ->
+      add_i64 buf pos;
+      Buffer.add_string buf prefix
+  | Query (Is.Select_prefix { prefix; count }) ->
+      add_i64 buf count;
+      Buffer.add_string buf prefix);
+  frame (Buffer.contents buf)
+
+let decode_request payload =
+  let n = String.length payload in
+  if n < 13 then Error "request payload shorter than its fixed header"
+  else
+    match get_i64_fit payload 0 with
+    | None -> Error "request id out of range"
+    | Some id -> (
+        let timeout_us = get_i32 payload 8 in
+        if timeout_us < 0 then Error "negative timeout"
+        else
+          let exact k v = if n = k then Ok v else Error "trailing bytes after request" in
+          let with_i64 make =
+            if n < 21 then Error "truncated request argument"
+            else
+              match get_i64_fit payload 13 with
+              | None -> Error "request argument out of range"
+              | Some arg -> Ok (make arg (String.sub payload 21 (n - 21)))
+          in
+          let req body = { id; timeout_us; body } in
+          match payload.[12] with
+          | '\000' -> exact 13 (req Ping)
+          | '\001' -> exact 13 (req Length)
+          | '\002' ->
+              Result.bind (with_i64 (fun pos rest -> (pos, rest))) (fun (pos, rest) ->
+                  if rest <> "" then Error "trailing bytes after request"
+                  else Ok (req (Query (Is.Access { pos }))))
+          | '\003' -> with_i64 (fun pos s -> req (Query (Is.Rank { s; pos })))
+          | '\004' -> with_i64 (fun count s -> req (Query (Is.Select { s; count })))
+          | '\005' -> with_i64 (fun pos prefix -> req (Query (Is.Rank_prefix { prefix; pos })))
+          | '\006' ->
+              with_i64 (fun count prefix -> req (Query (Is.Select_prefix { prefix; count })))
+          | _ -> Error "unknown request op")
+
+(* Best-effort id of an undecodable payload, so the error reply can
+   still be correlated; 0 when even the id bytes are missing. *)
+let request_id_hint payload =
+  if String.length payload >= 8 then Option.value ~default:0 (get_i64_fit payload 0) else 0
+
+(* ------------------------------------------------------------------ *)
+(* Replies *)
+
+let encode_reply { rid; status } =
+  let buf = Buffer.create 32 in
+  add_i64 buf rid;
+  (match status with
+  | Ok_value (Is.Int v) ->
+      Buffer.add_char buf '\000';
+      add_i64 buf v
+  | Ok_value (Is.Str s) ->
+      Buffer.add_char buf '\001';
+      Buffer.add_string buf s
+  | Pong -> Buffer.add_char buf '\002'
+  | Query_error e -> (
+      Buffer.add_char buf '\003';
+      match e with
+      | Is.Position_out_of_bounds { pos; len } ->
+          Buffer.add_char buf '\000';
+          add_i64 buf pos;
+          add_i64 buf len
+      | Is.Negative_count { count } ->
+          Buffer.add_char buf '\001';
+          add_i64 buf count
+      | Is.No_occurrence { count; occurrences } ->
+          Buffer.add_char buf '\002';
+          add_i64 buf count;
+          add_i64 buf occurrences)
+  | Overloaded -> Buffer.add_char buf '\004'
+  | Deadline_exceeded -> Buffer.add_char buf '\005'
+  | Bad_request msg ->
+      Buffer.add_char buf '\006';
+      Buffer.add_string buf msg);
+  frame (Buffer.contents buf)
+
+let decode_reply payload =
+  let n = String.length payload in
+  if n < 9 then Error "reply payload shorter than its fixed header"
+  else
+    match get_i64_fit payload 0 with
+    | None -> Error "reply id out of range"
+    | Some rid -> (
+        let reply status = { rid; status } in
+        let i64 off =
+          if n < off + 8 then Error "truncated reply field"
+          else
+            match get_i64_fit payload off with
+            | None -> Error "reply field out of range"
+            | Some v -> Ok v
+        in
+        let exact k v = if n = k then Ok v else Error "trailing bytes after reply" in
+        match payload.[8] with
+        | '\000' ->
+            Result.bind (i64 9) (fun v -> exact 17 (reply (Ok_value (Is.Int v))))
+        | '\001' -> Ok (reply (Ok_value (Is.Str (String.sub payload 9 (n - 9)))))
+        | '\002' -> exact 9 (reply Pong)
+        | '\003' ->
+            if n < 10 then Error "truncated query error"
+            else (
+              match payload.[9] with
+              | '\000' ->
+                  Result.bind (i64 10) (fun pos ->
+                      Result.bind (i64 18) (fun len ->
+                          exact 26 (reply (Query_error (Is.Position_out_of_bounds { pos; len })))))
+              | '\001' ->
+                  Result.bind (i64 10) (fun count ->
+                      exact 18 (reply (Query_error (Is.Negative_count { count }))))
+              | '\002' ->
+                  Result.bind (i64 10) (fun count ->
+                      Result.bind (i64 18) (fun occurrences ->
+                          exact 26 (reply (Query_error (Is.No_occurrence { count; occurrences })))))
+              | _ -> Error "unknown query error tag")
+        | '\004' -> exact 9 (reply Overloaded)
+        | '\005' -> exact 9 (reply Deadline_exceeded)
+        | '\006' -> Ok (reply (Bad_request (String.sub payload 9 (n - 9))))
+        | _ -> Error "unknown reply status")
+
+(* ------------------------------------------------------------------ *)
+(* Incremental frame reader *)
+
+type next = Frame of string | Need_more | Broken of string
+
+type reader = {
+  max_frame : int;
+  mutable buf : Bytes.t;
+  mutable start : int;  (** first unconsumed byte *)
+  mutable fill : int;  (** end of valid bytes *)
+  mutable broken : string option;
+}
+
+let reader ?(max_frame = default_max_frame) () =
+  { max_frame; buf = Bytes.create 4096; start = 0; fill = 0; broken = None }
+
+let buffered r = r.fill - r.start
+
+let feed r src pos len =
+  if Option.is_none r.broken && len > 0 then begin
+    (* compact before growing: the consumed prefix is free capacity *)
+    if r.start > 0 && r.fill + len > Bytes.length r.buf then begin
+      Bytes.blit r.buf r.start r.buf 0 (r.fill - r.start);
+      r.fill <- r.fill - r.start;
+      r.start <- 0
+    end;
+    if r.fill + len > Bytes.length r.buf then begin
+      let cap = max (2 * Bytes.length r.buf) (r.fill + len) in
+      let buf = Bytes.create cap in
+      Bytes.blit r.buf 0 buf 0 r.fill;
+      r.buf <- buf
+    end;
+    Bytes.blit src pos r.buf r.fill len;
+    r.fill <- r.fill + len
+  end
+
+let next r =
+  match r.broken with
+  | Some msg -> Broken msg
+  | None ->
+      if buffered r < header_len then Need_more
+      else begin
+        let declared = get_i32 (Bytes.unsafe_to_string r.buf) r.start in
+        (* validated before any allocation: the frame body is never
+           waited for, let alone copied, once the length is implausible *)
+        if
+          declared <= 0
+          || not (Wt_durable.Bounded.ok ~declared ~cap:r.max_frame ~remaining:max_int)
+        then begin
+          let msg = Printf.sprintf "declared frame length %d outside 1..%d" declared r.max_frame in
+          r.broken <- Some msg;
+          Broken msg
+        end
+        else if buffered r < header_len + declared then Need_more
+        else begin
+          let payload = Bytes.sub_string r.buf (r.start + header_len) declared in
+          r.start <- r.start + header_len + declared;
+          if r.start = r.fill then begin
+            r.start <- 0;
+            r.fill <- 0
+          end;
+          Frame payload
+        end
+      end

@@ -240,3 +240,39 @@ appends leading up to the torn write are preserved:
 
   $ grep -o '"kind":"snapshot_save"' flight.json | wc -l
   1
+
+Serving: I/O and socket failures exit 74 (EX_IOERR), malformed server
+flags exit 64 (EX_USAGE), and a missing input file is I/O, not usage:
+
+  $ wtrie access no-such-file.txt --at 0
+  wtrie: no-such-file.txt: No such file or directory
+  [74]
+
+  $ wtrie serve log.txt --port 123456
+  wtrie serve: --port must be in 0..65535 (got 123456)
+  [64]
+
+  $ wtrie serve log.txt --batch-ops 0
+  wtrie serve: --batch-ops must be >= 1 (got 0)
+  [64]
+
+  $ wtrie loadgen nonsense --ops 10
+  wtrie loadgen: TARGET must be HOST:PORT (got nonsense)
+  [64]
+
+  $ wtrie loadgen 127.0.0.1:1 --ops 10 --connect-timeout 0
+  wtrie loadgen: cannot reach 127.0.0.1:1: Connection refused
+  [74]
+
+End to end: serve the file on an ephemeral port, drive it with the
+load generator, then SIGTERM must drain and exit 0:
+
+  $ wtrie serve log.txt --port 0 --port-file port.txt >serve.log 2>&1 & echo $! > serve.pid
+  $ for i in $(seq 1 100); do [ -s port.txt ] && break; sleep 0.1; done
+  $ wtrie loadgen 127.0.0.1:$(cat port.txt) --conns 2 --ops 400 --window 4 | grep -c "^throughput"
+  1
+  $ kill -TERM $(cat serve.pid) && wait $(cat serve.pid)
+  $ grep -c "^listening on 127.0.0.1:" serve.log
+  1
+  $ grep -c "^drained:" serve.log
+  1

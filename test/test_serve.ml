@@ -1,0 +1,495 @@
+(* The serving front-end under test: the wire codec is fuzzed (random
+   bytes, truncations, bit flips — decode must be total; encode∘decode
+   must be the identity), and a live server on a loopback socket is
+   held to an oracle — every reply must equal what the in-process batch
+   engine returns for the same operation — while clients misbehave
+   around it: garbage frames, absurd declared lengths, mid-frame
+   disconnects, overload past the admission watermark, and deadlines
+   shorter than the batching window.  The server must shed and expire
+   loudly (Overloaded / Deadline_exceeded), keep serving afterwards,
+   and drain cleanly on request_stop. *)
+
+module Xoshiro = Wt_bits.Xoshiro
+module Is = Wt_core.Indexed_sequence
+module Snapshot = Wt_par.Snapshot
+module Wire = Wt_serve.Wire
+module Batcher = Wt_serve.Batcher
+module Server = Wt_serve.Server
+module Client = Wt_serve.Client
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let gen_string rng =
+  let n = Xoshiro.int rng 12 in
+  String.init n (fun _ -> Char.chr (Xoshiro.int rng 256))
+
+let gen_op rng =
+  match Xoshiro.int rng 5 with
+  | 0 -> Is.Access { pos = Xoshiro.int rng 2000 - 100 }
+  | 1 -> Is.Rank { s = gen_string rng; pos = Xoshiro.int rng 2000 - 100 }
+  | 2 -> Is.Select { s = gen_string rng; count = Xoshiro.int rng 20 - 5 }
+  | 3 -> Is.Rank_prefix { prefix = gen_string rng; pos = Xoshiro.int rng 2000 - 100 }
+  | _ -> Is.Select_prefix { prefix = gen_string rng; count = Xoshiro.int rng 20 - 5 }
+
+let gen_body rng =
+  match Xoshiro.int rng 8 with 0 -> Wire.Ping | 1 -> Wire.Length | _ -> Wire.Query (gen_op rng)
+
+let gen_request rng =
+  {
+    Wire.id = Xoshiro.int rng 1_000_000;
+    timeout_us = (if Xoshiro.int rng 4 = 0 then Xoshiro.int rng 10_000 else 0);
+    body = gen_body rng;
+  }
+
+let gen_status rng =
+  match Xoshiro.int rng 8 with
+  | 0 -> Wire.Ok_value (Is.Int (Xoshiro.int rng 10_000 - 5_000))
+  | 1 -> Wire.Ok_value (Is.Str (gen_string rng))
+  | 2 -> Wire.Pong
+  | 3 ->
+      Wire.Query_error
+        (Is.Position_out_of_bounds { pos = Xoshiro.int rng 100 - 50; len = Xoshiro.int rng 100 })
+  | 4 -> Wire.Query_error (Is.Negative_count { count = Xoshiro.int rng 100 - 99 })
+  | 5 ->
+      Wire.Query_error
+        (Is.No_occurrence { count = Xoshiro.int rng 100; occurrences = Xoshiro.int rng 100 })
+  | 6 -> Wire.Overloaded
+  | _ -> if Xoshiro.int rng 2 = 0 then Wire.Deadline_exceeded else Wire.Bad_request (gen_string rng)
+
+let payload_of_frame s = String.sub s 4 (String.length s - 4)
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec *)
+
+let test_request_roundtrip () =
+  let rng = Xoshiro.create 11 in
+  for _ = 1 to 2_000 do
+    let r = gen_request rng in
+    match Wire.decode_request (payload_of_frame (Wire.encode_request r)) with
+    | Ok r' -> Alcotest.(check bool) "request round-trips" true (r = r')
+    | Error m -> Alcotest.failf "round-trip rejected: %s" m
+  done
+
+let test_reply_roundtrip () =
+  let rng = Xoshiro.create 12 in
+  for _ = 1 to 2_000 do
+    let r = { Wire.rid = Xoshiro.int rng 1_000_000; status = gen_status rng } in
+    match Wire.decode_reply (payload_of_frame (Wire.encode_reply r)) with
+    | Ok r' -> Alcotest.(check bool) "reply round-trips" true (r = r')
+    | Error m -> Alcotest.failf "round-trip rejected: %s" m
+  done
+
+(* decode is total: arbitrary bytes, truncations and bit flips of valid
+   payloads may be rejected but must never raise *)
+let decode_total =
+  QCheck.Test.make ~count:2_000 ~name:"decode never raises on arbitrary bytes"
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      (match Wire.decode_request s with Ok _ | Error _ -> ());
+      (match Wire.decode_reply s with Ok _ | Error _ -> ());
+      true)
+
+let test_decode_corrupted_total () =
+  let rng = Xoshiro.create 13 in
+  for _ = 1 to 2_000 do
+    let p = payload_of_frame (Wire.encode_request (gen_request rng)) in
+    let p =
+      match Xoshiro.int rng 3 with
+      | 0 -> String.sub p 0 (Xoshiro.int rng (String.length p + 1)) (* truncate *)
+      | 1 ->
+          let b = Bytes.of_string p in
+          let i = Xoshiro.int rng (Bytes.length b) in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Xoshiro.int rng 8)));
+          Bytes.to_string b
+      | _ -> p ^ gen_string rng (* trailing junk *)
+    in
+    match Wire.decode_request p with Ok _ | Error _ -> ()
+  done
+
+(* the incremental reader recovers exactly the sent frames regardless of
+   how the byte stream is chopped up *)
+let test_reader_chunked () =
+  let rng = Xoshiro.create 14 in
+  for _ = 1 to 200 do
+    let reqs = Array.init (1 + Xoshiro.int rng 20) (fun _ -> gen_request rng) in
+    let stream = String.concat "" (Array.to_list (Array.map Wire.encode_request reqs)) in
+    let rd = Wire.reader () in
+    let got = ref [] in
+    let pos = ref 0 in
+    while !pos < String.length stream do
+      let n = min (1 + Xoshiro.int rng 40) (String.length stream - !pos) in
+      Wire.feed rd (Bytes.of_string stream) !pos n;
+      pos := !pos + n;
+      let continue = ref true in
+      while !continue do
+        match Wire.next rd with
+        | Wire.Frame p -> got := p :: !got
+        | Wire.Need_more -> continue := false
+        | Wire.Broken m -> Alcotest.failf "clean stream broke: %s" m
+      done
+    done;
+    let got = Array.of_list (List.rev !got) in
+    Alcotest.(check int) "frame count" (Array.length reqs) (Array.length got);
+    Array.iteri
+      (fun i p ->
+        Alcotest.(check bool) "frame payload" true
+          (Wire.decode_request p = Ok reqs.(i)))
+      got
+  done
+
+(* a reader fed arbitrary garbage never raises and never allocates a
+   frame bigger than max_frame *)
+let reader_garbage_total =
+  QCheck.Test.make ~count:500 ~name:"reader survives garbage streams"
+    QCheck.(string_of_size Gen.(0 -- 256))
+    (fun s ->
+      let rd = Wire.reader ~max_frame:64 () in
+      Wire.feed rd (Bytes.of_string s) 0 (String.length s);
+      let continue = ref true in
+      while !continue do
+        match Wire.next rd with
+        | Wire.Frame p ->
+            if String.length p > 64 then failwith "oversized frame escaped";
+            ()
+        | Wire.Need_more | Wire.Broken _ -> continue := false
+      done;
+      true)
+
+let test_reader_rejects_absurd_length () =
+  let rd = Wire.reader ~max_frame:1024 () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 0x7FFFFFFFl;
+  Wire.feed rd b 0 4;
+  (match Wire.next rd with
+  | Wire.Broken _ -> ()
+  | Wire.Frame _ | Wire.Need_more -> Alcotest.fail "absurd length not rejected at the header");
+  (* and the stream stays broken *)
+  match Wire.next rd with
+  | Wire.Broken _ -> ()
+  | _ -> Alcotest.fail "broken stream resynchronised"
+
+(* ------------------------------------------------------------------ *)
+(* Batcher semantics (no sockets) *)
+
+let test_batcher_admission_and_deadline () =
+  let b = Batcher.create ~batch_max:4 ~window_ns:1_000_000 ~queue_max:3 () in
+  let admit ~now ~dl i =
+    Batcher.admit b ~now_ns:now ~key:i ~timeout_us:dl (Is.Access { pos = i })
+  in
+  Alcotest.(check bool) "admit 1" true (admit ~now:0 ~dl:0 1 = Batcher.Admitted);
+  Alcotest.(check bool) "admit 2" true (admit ~now:0 ~dl:500 2 = Batcher.Admitted);
+  Alcotest.(check bool) "admit 3" true (admit ~now:0 ~dl:0 3 = Batcher.Admitted);
+  Alcotest.(check bool) "queue full sheds" true (admit ~now:0 ~dl:0 4 = Batcher.Overloaded);
+  Alcotest.(check bool) "not due yet" false (Batcher.due b ~now_ns:1);
+  (* the 500us deadline pulls the due instant below the 1ms window *)
+  (match Batcher.due_at b with
+  | Some d -> Alcotest.(check bool) "deadline pulls flush earlier" true (d < 1_000_000)
+  | None -> Alcotest.fail "queue non-empty but no due instant");
+  (* flush at t=600us: request 2 (deadline 500us) expired, others run *)
+  let results =
+    Batcher.flush b ~now_ns:600_000 ~exec:(fun ops -> Array.map (fun _ -> `Ran) ops)
+  in
+  Alcotest.(check int) "all accounted" 3 (Array.length results);
+  Array.iter
+    (fun (k, r) ->
+      match (k, r) with
+      | 2, None -> ()
+      | 2, Some _ -> Alcotest.fail "expired op was executed"
+      | _, Some `Ran -> ()
+      | _, None -> Alcotest.fail "live op was expired")
+    results;
+  Alcotest.(check int) "queue drained" 0 (Batcher.pending b)
+
+let test_batcher_batch_max_cut () =
+  let b = Batcher.create ~batch_max:2 ~window_ns:1_000_000_000 ~queue_max:100 () in
+  for i = 1 to 5 do
+    ignore (Batcher.admit b ~now_ns:0 ~key:i ~timeout_us:0 (Is.Access { pos = i }))
+  done;
+  Alcotest.(check bool) "due at batch_max regardless of window" true (Batcher.due b ~now_ns:1);
+  let r = Batcher.flush b ~now_ns:1 ~exec:(fun ops -> Array.map (fun _ -> ()) ops) in
+  Alcotest.(check int) "cut at batch_max" 2 (Array.length r);
+  Alcotest.(check int) "remainder queued" 3 (Batcher.pending b)
+
+(* ------------------------------------------------------------------ *)
+(* Live-server harness *)
+
+let strings =
+  Array.init 500 (fun i ->
+      match i mod 5 with
+      | 0 -> Printf.sprintf "alpha-%d" i
+      | 1 -> Printf.sprintf "beta-%d" (i mod 7)
+      | 2 -> "common"
+      | 3 -> Printf.sprintf "alpha-%d" (i mod 3)
+      | _ -> Printf.sprintf "gamma/%d/x" i)
+
+let with_server ?(tweak = fun c -> c) f =
+  let wt = Wtrie.Append.create () in
+  Array.iter (Wtrie.Append.append wt) strings;
+  let cfg = tweak { (Server.default_config ()) with port = 0; window_us = 100 } in
+  let srv = Server.create ~config:cfg (Snapshot.create wt) in
+  let d = Domain.spawn (fun () -> Server.serve srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop srv;
+      Domain.join d)
+    (fun () -> f wt srv)
+
+let oracle wt op = (Wt_exec.Exec.Append.query_batch wt [| op |]).(0)
+
+let status_of_result = function
+  | Ok v -> Wire.Ok_value v
+  | Error e -> Wire.Query_error e
+
+(* every socket reply equals the in-process engine's answer, including
+   the error cases *)
+let test_oracle_sequential () =
+  with_server (fun wt srv ->
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      Alcotest.(check bool) "ping" true (Client.ping c);
+      Alcotest.(check int) "length" (Array.length strings) (Client.length c);
+      let rng = Xoshiro.create 21 in
+      for _ = 1 to 300 do
+        let op = gen_op rng in
+        let got = Client.call c (Wire.Query op) in
+        Alcotest.(check bool) "socket reply = engine result" true
+          (got = status_of_result (oracle wt op))
+      done)
+
+let test_oracle_concurrent_clients () =
+  with_server ~tweak:(fun c -> { c with domains = Some 2 }) (fun wt srv ->
+      let port = Server.port srv in
+      let worker seed () =
+        let c = Client.connect ~host:"127.0.0.1" ~port () in
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let rng = Xoshiro.create seed in
+        let bad = ref 0 in
+        for _ = 1 to 200 do
+          let op = gen_op rng in
+          if Client.call c (Wire.Query op) <> status_of_result (oracle wt op) then incr bad
+        done;
+        !bad
+      in
+      let ds = List.map (fun s -> Domain.spawn (worker s)) [ 31; 32; 33 ] in
+      let bad = List.fold_left (fun acc d -> acc + Domain.join d) 0 ds in
+      Alcotest.(check int) "all concurrent replies match the oracle" 0 bad)
+
+(* ------------------------------------------------------------------ *)
+(* Defensive handling *)
+
+let raw_connect srv =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, Server.port srv));
+  fd
+
+(* read until EOF or timeout; returns collected bytes and whether the
+   peer closed *)
+let read_until_eof ?(timeout = 5.0) fd =
+  let buf = Buffer.create 256 in
+  let scratch = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let eof = ref false in
+  let continue = ref true in
+  while !continue do
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0. then continue := false
+    else
+      match Unix.select [ fd ] [] [] left with
+      | [], _, _ -> continue := false
+      | _ -> (
+          match Unix.read fd scratch 0 (Bytes.length scratch) with
+          | 0 ->
+              eof := true;
+              continue := false
+          | n -> Buffer.add_subbytes buf scratch 0 n
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              eof := true;
+              continue := false)
+  done;
+  (Buffer.contents buf, !eof)
+
+let write_raw fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+let test_garbage_and_disconnects () =
+  with_server (fun _wt srv ->
+      (* absurd declared frame length: connection dies, server does not *)
+      let fd = raw_connect srv in
+      write_raw fd "\xFF\xFF\xFF\xFF garbage follows";
+      let _, eof = read_until_eof fd in
+      Alcotest.(check bool) "absurd length closes the connection" true eof;
+      Unix.close fd;
+      (* valid frame, undecodable payload: Bad_request reply, conn survives *)
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      let fd2 = raw_connect srv in
+      write_raw fd2 "\x00\x00\x00\x03abc";
+      let got, _ = read_until_eof ~timeout:2.0 fd2 in
+      Alcotest.(check bool) "undecodable payload gets a reply" true (String.length got > 4);
+      (match Wire.decode_reply (payload_of_frame got) with
+      | Ok { Wire.status = Wire.Bad_request _; _ } -> ()
+      | _ -> Alcotest.fail "expected Bad_request");
+      Unix.close fd2;
+      (* mid-frame disconnect: a frame header promising more than is sent *)
+      let fd3 = raw_connect srv in
+      write_raw fd3 "\x00\x00\x00\x40half";
+      Unix.close fd3;
+      (* the server is still healthy for well-behaved clients *)
+      Alcotest.(check bool) "server alive after abuse" true (Client.ping c);
+      Alcotest.(check int) "still serving" (Array.length strings) (Client.length c);
+      Client.close c;
+      let st = Server.stats srv in
+      Alcotest.(check bool) "bad frames were counted" true (st.Server.bad_frames >= 2))
+
+let test_slow_loris_reaped () =
+  with_server ~tweak:(fun c -> { c with read_timeout_ms = 100 }) (fun _wt srv ->
+      let fd = raw_connect srv in
+      (* a frame header, then silence: stalled mid-frame *)
+      write_raw fd "\x00\x00\x00\x20";
+      let _, eof = read_until_eof ~timeout:5.0 fd in
+      Alcotest.(check bool) "stalled connection reaped" true eof;
+      Unix.close fd;
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      Alcotest.(check bool) "server alive after reap" true (Client.ping c);
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
+(* Overload and deadlines *)
+
+let test_overload_sheds_and_recovers () =
+  with_server
+    ~tweak:(fun c -> { c with queue_max = 4; batch_max = 256; window_us = 20_000 })
+    (fun wt srv ->
+      let rng = Xoshiro.create 41 in
+      let ops = Array.init 2_000 (fun _ -> gen_op rng) in
+      let r =
+        Client.run_load ~host:"127.0.0.1" ~port:(Server.port srv) ~conns:4 ~window:16
+          ~ops:(Array.length ops)
+          ~opgen:(fun i -> Wire.Query ops.(i))
+          ()
+      in
+      Alcotest.(check int) "every request answered" r.Client.sent r.Client.completed;
+      Alcotest.(check int) "none lost" 0 r.Client.lost;
+      Alcotest.(check int) "no undecodable replies" 0 r.Client.bad;
+      Alcotest.(check bool) "overload was shed, not absorbed" true (r.Client.overloaded > 0);
+      (* health checks bypass the queue: Ping answers even while loaded *)
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      Alcotest.(check bool) "ping under pressure" true (Client.ping c);
+      (* and correctness is intact after the storm *)
+      let op = Is.Rank { s = "common"; pos = Array.length strings } in
+      Alcotest.(check bool) "still correct after overload" true
+        (Client.call c (Wire.Query op) = status_of_result (oracle wt op));
+      Client.close c)
+
+let test_deadline_beats_window () =
+  (* the batching window is 500ms; a 5ms deadline must still be honoured
+     (flush pulled earlier), so the reply arrives in well under the
+     window — executed or expired, but never stuck *)
+  with_server
+    ~tweak:(fun c -> { c with window_us = 500_000; batch_max = 1_000_000 })
+    (fun _wt srv ->
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let t0 = Unix.gettimeofday () in
+      let got = Client.call ~timeout_us:5_000 c (Wire.Query (Is.Access { pos = 0 })) in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match got with
+      | Wire.Ok_value _ | Wire.Deadline_exceeded -> ()
+      | _ -> Alcotest.fail "unexpected status for deadlined request");
+      Alcotest.(check bool)
+        (Printf.sprintf "deadlined reply not held for the window (%.0f ms)" (dt *. 1e3))
+        true (dt < 0.25))
+
+let test_expired_never_executed () =
+  with_server
+    ~tweak:(fun c -> { c with window_us = 50_000; batch_max = 1_000_000 })
+    (fun _wt srv ->
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (* 1us deadline, 50ms window: expired long before any flush *)
+      let got = Client.call ~timeout_us:1 c (Wire.Query (Is.Access { pos = 0 })) in
+      Alcotest.(check bool) "expired request reports Deadline_exceeded" true
+        (got = Wire.Deadline_exceeded);
+      let st = Server.stats srv in
+      Alcotest.(check bool) "expiry counted" true (st.Server.expired >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Latency under contention and graceful drain *)
+
+let test_contended_latency_bounded () =
+  with_server (fun _wt srv ->
+      let rng = Xoshiro.create 51 in
+      let opgen _ = Wire.Query (Is.Access { pos = Xoshiro.int rng (Array.length strings) }) in
+      let port = Server.port srv in
+      let quiet = Client.run_load ~host:"127.0.0.1" ~port ~conns:1 ~window:1 ~ops:500 ~opgen () in
+      let busy = Client.run_load ~host:"127.0.0.1" ~port ~conns:4 ~window:8 ~ops:3_000 ~opgen () in
+      Alcotest.(check int) "quiet: all answered" quiet.Client.sent quiet.Client.completed;
+      Alcotest.(check int) "busy: all answered" busy.Client.sent busy.Client.completed;
+      (* p99 of admitted work stays within 2x uncontended (with a floor
+         against scheduler noise on starved CI runners) *)
+      let bound = Float.max (2.0 *. quiet.Client.p99_us) 25_000.0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "contended p99 %.0fus within bound %.0fus" busy.Client.p99_us bound)
+        true (busy.Client.p99_us <= bound))
+
+let test_drain_answers_admitted () =
+  with_server
+    ~tweak:(fun c -> { c with window_us = 5_000_000 (* effectively never flush *) })
+    (fun _wt srv ->
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      (* fire a request that will sit in the queue, then stop the server:
+         drain must execute and answer it rather than drop it *)
+      let sent = Wire.encode_request { Wire.id = 7; timeout_us = 0; body = Wire.Query (Is.Access { pos = 3 }) } in
+      let rec write_all off =
+        if off < String.length sent then
+          write_all (off + Unix.write_substring c.Client.fd sent off (String.length sent - off))
+      in
+      write_all 0;
+      ignore (Unix.select [] [] [] 0.1);
+      Server.request_stop srv;
+      let r = Client.read_reply c in
+      Alcotest.(check int) "drained reply id" 7 r.Wire.rid;
+      match r.Wire.status with
+      | Wire.Ok_value (Is.Str s) ->
+          Alcotest.(check string) "drained reply value" strings.(3) s
+      | _ -> Alcotest.fail "expected the queued query's answer at drain")
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "reply round-trip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "corrupted payloads are rejected, never raise" `Quick
+            test_decode_corrupted_total;
+          Alcotest.test_case "reader reassembles chunked streams" `Quick test_reader_chunked;
+          Alcotest.test_case "reader rejects absurd lengths before allocating" `Quick
+            test_reader_rejects_absurd_length;
+        ]
+        @ qsuite [ decode_total; reader_garbage_total ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "admission control and deadlines" `Quick
+            test_batcher_admission_and_deadline;
+          Alcotest.test_case "batch_max cuts" `Quick test_batcher_batch_max_cut;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "oracle: socket = engine" `Quick test_oracle_sequential;
+          Alcotest.test_case "oracle under concurrent clients" `Quick
+            test_oracle_concurrent_clients;
+          Alcotest.test_case "garbage frames and disconnects" `Quick test_garbage_and_disconnects;
+          Alcotest.test_case "slow-loris reaped" `Quick test_slow_loris_reaped;
+          Alcotest.test_case "overload sheds and recovers" `Quick test_overload_sheds_and_recovers;
+          Alcotest.test_case "deadline beats the window" `Quick test_deadline_beats_window;
+          Alcotest.test_case "expired requests are not executed" `Quick
+            test_expired_never_executed;
+          Alcotest.test_case "contended p99 bounded" `Quick test_contended_latency_bounded;
+          Alcotest.test_case "drain answers admitted work" `Quick test_drain_answers_admitted;
+        ] );
+    ]
