@@ -383,7 +383,7 @@ let s5_range () =
   List.iter
     (fun n ->
       let seq = url_sequence ~seed:42 n in
-      let wt = Wavelet_trie.of_array seq in
+      let wt = Wt_core.Flat_wt.of_array seq in
       let rng = Xoshiro.create 31 in
       let width = 1024 in
       let batch = 200 in
@@ -807,7 +807,7 @@ let serve_block () =
   in
   let with_server tweak f =
     let cfg = tweak { (Server.default_config ()) with port = 0 } in
-    let srv = Server.create ~config:cfg (Wt_par.Snapshot.create wt) in
+    let srv = Server.create ~config:cfg ~backend:Server.append_backend (Wt_par.Snapshot.create wt) in
     let d = Domain.spawn (fun () -> Server.serve srv) in
     Fun.protect
       ~finally:(fun () ->
@@ -947,6 +947,68 @@ let batch_block () =
       ("batch_ops", Json.Int b);
       per "access" scalar_access batch_access;
       per "rank" scalar_rank batch_rank;
+    ]
+
+(* Restart economics of the format-v3 flat arena: one v2 pointer-tree
+   deserialize vs the v3 checksum-plus-mmap open of the same ~131k-URL
+   sequence, and the batch engine on the arena vs the pointer trie.
+   The open numbers are the whole story of v3 — the arena needs no
+   decode, so reopening is independent of the payload size touched. *)
+let flat_block () =
+  let n = 131072 in
+  let g = Urls.create ~seed:42 () in
+  let strings = Urls.raw_sequence g n in
+  let fwt = Wtrie.Static.of_array strings in
+  let pwt = Wavelet_trie.of_array (Array.map Wt_core.String_api.encode strings) in
+  let v2 = Filename.temp_file "wt_bench_v2" ".wtx" in
+  let v3 = Filename.temp_file "wt_bench_v3" ".wtx" in
+  Persist.save_static pwt v2;
+  Wtrie.Static.save_file_exn fwt v3;
+  let best f =
+    let d = ref infinity in
+    for _ = 1 to 5 do
+      d := min !d (time_batch f)
+    done;
+    !d
+  in
+  let v2_load = best (fun () -> ignore (Persist.load_static v2 : Wavelet_trie.t)) in
+  let mmap_open =
+    best (fun () ->
+        let t = Wtrie.Static.open_file_exn ~mode:`Mmap v3 in
+        assert (Wtrie.Static.length t = n);
+        Wtrie.Static.close t)
+  in
+  let copy_open =
+    best (fun () ->
+        let t = Wtrie.Static.open_file_exn ~mode:`Copy v3 in
+        assert (Wtrie.Static.length t = n);
+        Wtrie.Static.close t)
+  in
+  Sys.remove v2;
+  Sys.remove v3;
+  let b = 16384 in
+  let rng = Xoshiro.create 41 in
+  let ops =
+    Array.init b (fun i ->
+        if i land 1 = 0 then Wtrie.Access { pos = Xoshiro.int rng n }
+        else
+          Wtrie.Rank
+            { s = strings.(Xoshiro.int rng n); pos = Xoshiro.int rng (n + 1) })
+  in
+  let flat_batch = best (fun () -> ignore (Wt_exec.Exec.Static.query_batch fwt ops)) in
+  let pointer_batch = best (fun () -> ignore (Wt_exec.Exec.Pointer.query_batch pwt ops)) in
+  let ns dt = dt *. 1e9 /. float_of_int b in
+  Json.Obj
+    [
+      ("n", Json.Int n);
+      ("v2_load_ms", Json.Float (v2_load *. 1e3));
+      ("v3_mmap_open_ms", Json.Float (mmap_open *. 1e3));
+      ("v3_copy_open_ms", Json.Float (copy_open *. 1e3));
+      ("open_speedup_vs_v2", Json.Float (v2_load /. mmap_open));
+      ("batch_ops", Json.Int b);
+      ("flat_batch_ns_per_op", Json.Float (ns flat_batch));
+      ("pointer_batch_ns_per_op", Json.Float (ns pointer_batch));
+      ("batch_vs_pointer_ratio", Json.Float (flat_batch /. pointer_batch));
     ]
 
 (* Parallel scaling of the batched engine: the identical Zipf URL batch
@@ -1105,7 +1167,7 @@ let metrics_block () =
     Probe.enable ();
     let wt = Wtrie.Static.of_array strings in
     metrics_queries (module Wtrie.Static) wt strings;
-    capture "static" (Wavelet_trie.stats wt)
+    capture "static" (Wt_core.Flat_wt.stats wt)
   in
   let append =
     Probe.reset ();
@@ -1134,6 +1196,7 @@ let metrics_block () =
     [
       ("metrics", Json.Obj [ static; append; dynamic ]);
       ("batch", batch_block ());
+      ("flat", flat_block ());
       ("parallel", parallel_block ());
       ("analytics", analytics_block ());
       ("durability", durability_block ());

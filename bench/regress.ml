@@ -71,6 +71,9 @@ let gated =
        through a kernel socket are dominated by scheduler noise. *)
     (Higher_better, "serve.closed_loop.throughput_rps");
     (Higher_better, "serve.overload.shed_fraction");
+    (* format v3: reopen cost and the flat engine's batch latency *)
+    (Higher_better, "flat.open_speedup_vs_v2");
+    (Lower_better, "flat.flat_batch_ns_per_op");
   ]
 (* The multi-domain figures (speedup_2/speedup_4) are deliberately not
    gated: they measure the runner's core count more than the code. *)
@@ -88,6 +91,29 @@ let latency_ops j path =
 
 let failures = ref 0
 let fail fmt = Printf.ksprintf (fun m -> incr failures; Printf.printf "FAIL  %s\n" m) fmt
+
+(* Absolute gates on CURRENT alone — the format-v3 acceptance bar, not
+   a baseline comparison: the mmap reopen must beat the v2 deserialize
+   by at least 50x, and the batch engine on the flat arena must hold
+   parity with the pointer tree (within THRESHOLD, the same tolerance
+   the relative checks use, since the ratio is a quotient of two
+   noisy timings). *)
+let absolute ~threshold cur =
+  (match number cur "flat.open_speedup_vs_v2" with
+  | Some v when v >= 50. ->
+      Printf.printf "ok    %-45s %12.1f  (>= 50x floor)\n" "flat.open_speedup_vs_v2" v
+  | Some v -> fail "%-45s %12.1f  (below the 50x floor)" "flat.open_speedup_vs_v2" v
+  | None -> fail "flat.open_speedup_vs_v2 missing from current");
+  let ceiling = 1. +. threshold in
+  match number cur "flat.batch_vs_pointer_ratio" with
+  | Some v when v <= ceiling ->
+      Printf.printf "ok    %-45s %12.2f  (<= %.2f ceiling)\n" "flat.batch_vs_pointer_ratio"
+        v ceiling
+  | Some v ->
+      fail "%-45s %12.2f  (flat batch worse than pointer by > %.0f%%)"
+        "flat.batch_vs_pointer_ratio" v (threshold *. 100.)
+  | None -> fail "flat.batch_vs_pointer_ratio missing from current"
+
 
 let structural base cur =
   List.iter
@@ -155,6 +181,7 @@ let () =
         (if !soft then ", soft" else "");
       structural base cur;
       throughput ~threshold:!threshold base cur;
+      absolute ~threshold:!threshold cur;
       if !failures = 0 then print_endline "regress: clean"
       else begin
         Printf.printf "regress: %d failure(s)\n" !failures;

@@ -7,24 +7,26 @@
      dune exec bin/wtrie_cli.exe -- prefix-count mylog.txt "GET /api/"
      dune exec bin/wtrie_cli.exe -- majority mylog.txt --lo 1000 --hi 2000
 
-   Each line of the file is one element of the sequence, in order.  The
-   sequence lives behind the [Wtrie.Append] front door; pass [--stats]
-   to any query command to get the observability report (operation
-   counters, latency histograms, space-vs-LB breakdown) on stderr.
+   Each line of the file is one element of the sequence, in order.
+   Sources go through one front door: a line file builds in memory, a
+   saved index opens via [Wtrie.Storage] (format v3 maps the flat arena
+   in place — O(1), zero-copy; format v2 still loads), a durable store
+   directory replays.  Pass [--stats] to any query command to get the
+   observability report (operation counters, latency histograms,
+   space-vs-LB breakdown) on stderr.
 
-   Durability: [index] writes a checksummed format-v2 snapshot
-   atomically; [ingest] maintains a crash-safe snapshot+WAL store
-   directory; [verify] deep-checks either form and [recover] truncates
-   a torn WAL tail and checkpoints.  Query commands accept a line file,
-   a saved index, or an (append) store directory interchangeably. *)
+   Durability: [index] writes a checksummed format-v3 static index
+   atomically; [convert] upgrades any older index in place; [ingest]
+   maintains a crash-safe snapshot+WAL store directory; [verify]
+   deep-checks every form and [recover] truncates a torn WAL tail and
+   checkpoints.  Query commands accept a line file, a saved index, or
+   an (append) store directory interchangeably. *)
 
 module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
-module Append_wt = Wt_core.Append_wt
-module Dynamic_wt = Wt_core.Dynamic_wt
 module Range = Wt_core.Range
 module Stats = Wt_core.Stats
-module Persist = Wt_core.Persist
+module Storage = Wtrie.Storage
 module Durable = Wtrie.Durable
 module Json = Wtrie.Json
 open Cmdliner
@@ -49,10 +51,26 @@ let read_lines path =
   if path <> "-" then close_in ic;
   Array.of_list (List.rev !lines)
 
+(* What a query command runs against: an append trie (line files,
+   stores, v2 append indexes) or a flat static arena (v3 indexes, and
+   v2 static indexes flattened on load).  Most commands only need the
+   uniform QUERY_API and go through [pack]; the range-toolkit and
+   serving commands match on the variant. *)
+type src = App of Wtrie.Append.t | Flat of Wtrie.Static.t
+
+type packed = Packed : (module Wtrie.QUERY_API with type t = 'a) * 'a -> packed
+
+let pack = function
+  | App wt -> Packed ((module Wtrie.Append), wt)
+  | Flat wt -> Packed ((module Wtrie.Static), wt)
+
+let src_length src =
+  let (Packed ((module Q), wt)) = pack src in
+  Q.length wt
+
 (* Build from a line file, or load directly when given a saved index or
-   a durable store directory.  [Wtrie.Append.t] is [Append_wt.t], so
-   Persist, Durable and Range all work on the same value the front door
-   builds. *)
+   a durable store directory — every stored form behind [Wtrie.Storage],
+   so a v3 index is an mmap away. *)
 let build path =
   if path <> "-" && Sys.file_exists path && Sys.is_directory path then begin
     if not (Durable.is_store path) then begin
@@ -65,41 +83,48 @@ let build path =
         "warning: %s has a torn write-ahead log (%d bytes unrecovered); run 'wtrie recover %s'\n"
         path r.Durable.dropped_bytes path;
     match Durable.append_trie t with
-    | Some wt -> wt
+    | Some wt -> App wt
     | None ->
         Printf.eprintf "%s holds a dynamic store; this command reads append stores only\n" path;
         exit 2
   end
-  else if path <> "-" && Sys.file_exists path && Persist.is_index_file path then
-    Persist.load_append path
+  else if path <> "-" && Sys.file_exists path && Storage.is_index_file path then begin
+    match Storage.load_index path with
+    | Storage.Static wt -> Flat wt
+    | Storage.Append wt -> App wt
+    | Storage.Dynamic _ ->
+        Printf.eprintf "%s holds a dynamic index; re-save it as static or append\n" path;
+        exit 2
+  end
   else begin
     let lines = read_lines path in
     let wt = Wtrie.Append.create () in
     Array.iter (Wtrie.Append.append wt) lines;
-    wt
+    App wt
   end
 
 (* Observability plumbing: when requested, probes cover the whole
    command (build + queries) and the report lands on stderr so stdout
    stays script-friendly. *)
 
-let capture_report wt =
-  let r =
-    Wtrie.Report.capture
-      ~space:[ Wtrie.Stats.to_breakdown ~variant:"append" (Append_wt.stats wt) ]
-      ()
-  in
+let src_stats = function
+  | App wt -> ("append", Wt_core.Append_wt.stats wt)
+  | Flat wt -> ("static", Wt_core.Flat_wt.stats wt)
+
+let capture_report src =
+  let variant, st = src_stats src in
+  let r = Wtrie.Report.capture ~space:[ Wtrie.Stats.to_breakdown ~variant st ] () in
   Wtrie.Probe.disable ();
   Wtrie.Probe.reset ();
   r
 
 let with_stats enabled f =
-  if not enabled then ignore (f () : Wtrie.Append.t)
+  if not enabled then ignore (f () : src)
   else begin
     Wtrie.Probe.reset ();
     Wtrie.Probe.enable ();
-    let wt = f () in
-    Format.eprintf "%a@." Wtrie.Report.pp (capture_report wt)
+    let src = f () in
+    Format.eprintf "%a@." Wtrie.Report.pp (capture_report src)
   end
 
 (* common arguments *)
@@ -126,10 +151,10 @@ let fail_query e =
 let or_fail = function Ok v -> v | Error e -> fail_query e
 
 (* Validate [--lo]/[--hi] into a concrete window for the range commands
-   that bypass the front door ([Range.Append] toolkit calls raise on bad
+   that bypass the front door (the [Range] toolkit calls raise on bad
    windows instead of returning errors). *)
-let window_or_fail wt lo hi =
-  let len = Wtrie.Append.length wt in
+let window_or_fail src lo hi =
+  let len = src_length src in
   let hi = match hi with None -> len | Some h -> h in
   if lo < 0 || lo > len then fail_query (Wtrie.Position_out_of_bounds { pos = lo; len });
   if hi < lo || hi > len then fail_query (Wtrie.Position_out_of_bounds { pos = hi; len });
@@ -140,15 +165,52 @@ let index_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output index file.")
   in
   let run file out =
-    let wt = build file in
-    (* Persist writes atomically: a crash mid-save leaves any previous
-       index at OUT intact. *)
-    Persist.save_append wt out;
-    Printf.printf "indexed %d strings into %s\n" (Wtrie.Append.length wt) out
+    (* Build the static trie straight from the lines when possible;
+       an existing index/store source is decoded first. *)
+    let wt =
+      if file <> "-" && Sys.file_exists file
+         && (Sys.is_directory file || Storage.is_index_file file)
+      then begin
+        let src = build file in
+        let (Packed ((module Q), t)) = pack src in
+        match src with
+        | Flat wt -> wt
+        | App _ ->
+            Wtrie.Static.of_array
+              (Array.init (Q.length t) (fun pos ->
+                   match Q.access t ~pos with Ok s -> s | Error _ -> assert false))
+      end
+      else Wtrie.Static.of_array (read_lines file)
+    in
+    (* save_file writes atomically: a crash mid-save leaves any
+       previous index at OUT intact.  The payload is the flat arena
+       itself, so later opens are an mmap, not a deserialize. *)
+    (match Wtrie.Static.save_file wt out with
+    | Ok () -> ()
+    | Error e -> fail_query e);
+    Printf.printf "indexed %d strings into %s\n" (Wtrie.Static.length wt) out
   in
   Cmd.v
-    (Cmd.info "index" ~doc:"Build the index once and save it atomically; query commands accept it in place of the text file.")
+    (Cmd.info "index"
+       ~doc:"Build the static index once and save it atomically (format v3: the file is the query structure; opening it back is an O(1) mmap).  Query commands accept it in place of the text file.")
     Term.(const run $ file_arg $ out)
+
+let convert_cmd =
+  let src_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SRC" ~doc:"Existing index file (any format version or variant).")
+  in
+  let out =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc:"Output index file (format v3, static).")
+  in
+  let run src out =
+    let variant, n = Storage.convert src out in
+    Printf.printf "converted %s (%s index, length %d) into %s (v3 static)\n" src variant n
+      out
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Rewrite any readable index as a format-v3 static index: the flat arena as the container payload, mmap-opened in O(1) by every other command.")
+    Term.(const run $ src_arg $ out)
 
 (* ------------------------------------------------------------------ *)
 (* Durability commands: ingest (crash-safe append store), verify,
@@ -189,37 +251,6 @@ let ingest_cmd =
        ~doc:"Append a file of lines to a crash-safe store (write-ahead logged; survives being killed mid-append).")
     Term.(const run $ dir $ file $ checkpoint)
 
-(* Deep verification of a plain index file: container checksums, then
-   the variant's own structural invariants. *)
-let verify_file path =
-  let tag, _payload = Wt_durable.Container.read_tagged path in
-  let length =
-    match tag with
-    | "static" ->
-        let wt = Persist.load_static path in
-        let n = Wt_core.Wavelet_trie.length wt in
-        (* no check_invariants on the static trie: decode a sample sweep
-           instead, so a payload that unmarshals but lies still trips *)
-        let step = max 1 (n / 256) in
-        let i = ref 0 in
-        while !i < n do
-          ignore (Wt_core.Wavelet_trie.access wt !i);
-          i := !i + step
-        done;
-        n
-    | "append" ->
-        let wt = Persist.load_append path in
-        (try Append_wt.check_invariants wt
-         with Failure m -> raise (Persist.Format_error ("index fails invariants: " ^ m)));
-        Append_wt.length wt
-    | "dynamic" ->
-        let wt = Persist.load_dynamic path in
-        (try Dynamic_wt.check_invariants wt
-         with Failure m -> raise (Persist.Format_error ("index fails invariants: " ^ m)));
-        Dynamic_wt.length wt
-    | t -> raise (Persist.Format_error (Printf.sprintf "unknown index variant %S" t))
-  in
-  (tag, length)
 
 let verify_cmd =
   let path =
@@ -259,7 +290,7 @@ let verify_cmd =
         r.Durable.v_clean
       end
       else begin
-        let tag, length = verify_file path in
+        let tag, length = Storage.verify_index path in
         if json then
           emit
             [
@@ -274,7 +305,7 @@ let verify_cmd =
     with
     | true -> ()
     | false -> exit 1
-    | exception Persist.Format_error msg ->
+    | exception Storage.Format_error msg ->
         if json then
           emit [ ("ok", Json.Bool false); ("error", Json.Str msg) ]
         else Printf.eprintf "%s: corrupt: %s\n" path msg;
@@ -308,7 +339,7 @@ let recover_cmd =
             "recovered %s: replayed %d records, dropped %d bytes, checkpointed as generation %d\n"
             path r.Durable.replayed r.Durable.dropped_bytes
             (r.Durable.snapshot_generation + 1)
-    | exception Persist.Format_error msg ->
+    | exception Storage.Format_error msg ->
         if json then
           print_endline
             (Json.to_string (Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]))
@@ -327,13 +358,15 @@ let stats_cmd =
   let run file json =
     Wtrie.Probe.reset ();
     Wtrie.Probe.enable ();
-    let wt = build file in
-    ignore (Wtrie.Append.count_prefix wt ~prefix:"");
-    let report = capture_report wt in
+    let src = build file in
+    let (Packed ((module Q), wt)) = pack src in
+    ignore (Q.count_prefix wt ~prefix:"");
+    let _, st = src_stats src in
+    let report = capture_report src in
     if json then print_endline (Wtrie.Report.to_json_string report)
     else begin
-      Format.printf "%a@." Stats.pp (Append_wt.stats wt);
-      Printf.printf "distinct strings: %d\n" (Wtrie.Append.distinct_count wt);
+      Format.printf "%a@." Stats.pp st;
+      Printf.printf "distinct strings: %d\n" (Q.distinct_count wt);
       Format.printf "%a@." Wtrie.Report.pp report
     end
   in
@@ -356,9 +389,10 @@ let access_cmd =
   let at = Arg.(required & opt (some int) None & info [ "at" ] ~docv:"POS" ~doc:"Position to read.") in
   let run file at stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
-    print_endline (or_fail (Wtrie.Append.access wt ~pos:at));
-    wt
+    let src = build file in
+    let (Packed ((module Q), wt)) = pack src in
+    print_endline (or_fail (Q.access wt ~pos:at));
+    src
   in
   Cmd.v (Cmd.info "access" ~doc:"Print the string at position --at.")
     Term.(const run $ file_arg $ at $ stats_arg)
@@ -368,10 +402,11 @@ let rank_cmd =
   let at = at_arg ~doc:"Count occurrences before POS (default: sequence length)." in
   let run file s at stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
-    let pos = match at with None -> Wtrie.Append.length wt | Some p -> p in
-    Printf.printf "%d\n" (or_fail (Wtrie.Append.rank wt s ~pos));
-    wt
+    let src = build file in
+    let (Packed ((module Q), wt)) = pack src in
+    let pos = match at with None -> Q.length wt | Some p -> p in
+    Printf.printf "%d\n" (or_fail (Q.rank wt s ~pos));
+    src
   in
   Cmd.v (Cmd.info "rank" ~doc:"Count occurrences of STRING before --at.")
     Term.(const run $ file_arg $ s $ at $ stats_arg)
@@ -383,9 +418,10 @@ let select_cmd =
   in
   let run file s count stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
-    Printf.printf "%d\n" (or_fail (Wtrie.Append.select wt s ~count));
-    wt
+    let src = build file in
+    let (Packed ((module Q), wt)) = pack src in
+    Printf.printf "%d\n" (or_fail (Q.select wt s ~count));
+    src
   in
   Cmd.v
     (Cmd.info "select" ~doc:"Position of the --count-th (0-based) occurrence of STRING.")
@@ -395,11 +431,12 @@ let prefix_count_cmd =
   let at = at_arg ~doc:"Count matches before POS (default: sequence length)." in
   let run file p at stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
+    let src = build file in
+    let (Packed ((module Q), wt)) = pack src in
     (match at with
-    | None -> Printf.printf "%d\n" (Wtrie.Append.count_prefix wt ~prefix:p)
-    | Some pos -> Printf.printf "%d\n" (or_fail (Wtrie.Append.rank_prefix wt ~prefix:p ~pos)));
-    wt
+    | None -> Printf.printf "%d\n" (Q.count_prefix wt ~prefix:p)
+    | Some pos -> Printf.printf "%d\n" (or_fail (Q.rank_prefix wt ~prefix:p ~pos)));
+    src
   in
   Cmd.v
     (Cmd.info "prefix-count" ~doc:"Count strings starting with --prefix before --at.")
@@ -409,20 +446,21 @@ let prefix_list_cmd =
   let count = count_arg ~doc:"Print at most K matches (default 20)." in
   let run file p count stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
+    let src = build file in
+    let (Packed ((module Q), wt)) = pack src in
     let limit = match count with None -> 20 | Some k -> k in
     (* one batch: the k-th SelectPrefix and the Access at its position
        share trie traversals with all the others *)
     let rec go k =
       if k < limit then
-        match Wtrie.Append.select_prefix wt ~prefix:p ~count:k with
+        match Q.select_prefix wt ~prefix:p ~count:k with
         | Ok pos ->
-            Printf.printf "%8d  %s\n" pos (or_fail (Wtrie.Append.access wt ~pos));
+            Printf.printf "%8d  %s\n" pos (or_fail (Q.access wt ~pos));
             go (k + 1)
         | Error _ -> ()
     in
     go 0;
-    wt
+    src
   in
   Cmd.v
     (Cmd.info "prefix-list"
@@ -454,16 +492,17 @@ let trace_cmd =
       Printf.eprintf "--gen-ops must be >= 1 (got %d)\n" gen_ops;
       exit 2
     end;
-    let wt =
+    let src =
       match file with
       | Some f -> build f
       | None ->
           let wt = Wtrie.Append.create () in
           Wtrie.Append.append_batch wt
             (Wt_workload.Urls.raw_sequence (Wt_workload.Urls.create ~seed:42 ()) 4096);
-          wt
+          App wt
     in
-    let n = Wtrie.Append.length wt in
+    let (Packed ((module Q), wt)) = pack src in
+    let n = Q.length wt in
     if n = 0 then begin
       Printf.eprintf "cannot trace over an empty sequence\n";
       exit 2
@@ -474,7 +513,7 @@ let trace_cmd =
     let rng = Wt_bits.Xoshiro.create 11 in
     let zipf = Wt_workload.Zipf.create n in
     let str_at pos =
-      match Wtrie.Append.access wt ~pos with Ok s -> s | Error _ -> assert false
+      match Q.access wt ~pos with Ok s -> s | Error _ -> assert false
     in
     let ops =
       Array.init gen_ops (fun i ->
@@ -494,7 +533,7 @@ let trace_cmd =
     in
     let results, trace =
       Wtrie.with_trace ~sample_every:sample (fun () ->
-          Wtrie.Append.query_batch ?domains wt ops)
+          Q.query_batch ?domains wt ops)
     in
     ignore (results : (Wtrie.value, Wtrie.error) result array);
     let oc = open_out out in
@@ -601,7 +640,8 @@ let query_cmd =
       exit 2
     end;
     with_stats stats @@ fun () ->
-    let wt = build file in
+    let src = build file in
+    let (Packed ((module Q), wt)) = pack src in
     (match batch with
     | Some batch ->
         let lines = read_lines batch in
@@ -616,7 +656,7 @@ let query_cmd =
           (function
             | Ok v -> Format.printf "%a@." Wtrie.pp_value v
             | Error e -> Format.printf "error: %a@." Wtrie.pp_error e)
-          (Wtrie.Append.query_batch ?domains wt ops)
+          (Q.query_batch ?domains wt ops)
     | None ->
         let pp_tallies =
           Array.iter (fun (s, c) -> Printf.printf "%8d  %s\n" c s)
@@ -624,18 +664,18 @@ let query_cmd =
         if select_all then
           Array.iter
             (fun pos -> Printf.printf "%d\n" pos)
-            (or_fail (Wtrie.Append.select_all ?prefix ~lo ?hi wt))
+            (or_fail (Q.select_all ?prefix ~lo ?hi wt))
         else if count_range then begin
-          let hi = match hi with None -> Wtrie.Append.length wt | Some h -> h in
-          Printf.printf "%d\n" (or_fail (Wtrie.Append.range_count ?prefix wt ~lo ~hi))
+          let hi = match hi with None -> Q.length wt | Some h -> h in
+          Printf.printf "%d\n" (or_fail (Q.range_count ?prefix wt ~lo ~hi))
         end
         else if distinct then
-          pp_tallies (or_fail (Wtrie.Append.range_distinct ?prefix ~lo ?hi wt))
+          pp_tallies (or_fail (Q.range_distinct ?prefix ~lo ?hi wt))
         else
           match top_k with
-          | Some k -> pp_tallies (or_fail (Wtrie.Append.range_topk ?prefix ~lo ?hi wt ~k))
+          | Some k -> pp_tallies (or_fail (Q.range_topk ?prefix ~lo ?hi wt ~k))
           | None -> assert false);
-    wt
+    src
   in
   Cmd.v
     (Cmd.info "query"
@@ -646,11 +686,12 @@ let query_cmd =
 let distinct_cmd =
   let run file lo hi stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
+    let src = build file in
+    let (Packed ((module Q), wt)) = pack src in
     Array.iter
       (fun (s, c) -> Printf.printf "%8d  %s\n" c s)
-      (or_fail (Wtrie.Append.range_distinct ~lo ?hi wt));
-    wt
+      (or_fail (Q.range_distinct ~lo ?hi wt));
+    src
   in
   Cmd.v
     (Cmd.info "distinct" ~doc:"Distinct strings (with counts) in [--lo, --hi).")
@@ -659,14 +700,19 @@ let distinct_cmd =
 let majority_cmd =
   let run file lo hi stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
-    let lo, hi = window_or_fail wt lo hi in
-    (match Range.Append.majority wt ~lo ~hi with
+    let src = build file in
+    let lo, hi = window_or_fail src lo hi in
+    let m =
+      match src with
+      | App wt -> Range.Append.majority wt ~lo ~hi
+      | Flat wt -> Range.Static.majority wt ~lo ~hi
+    in
+    (match m with
     | Some (s, c) -> Printf.printf "%s (%d of %d)\n" (Binarize.to_bytes s) c (hi - lo)
     | None ->
         print_endline "no majority";
         exit 1);
-    wt
+    src
   in
   Cmd.v
     (Cmd.info "majority" ~doc:"The majority string of [--lo, --hi), if any.")
@@ -676,11 +722,12 @@ let top_k_cmd =
   let k = Arg.(required & pos 1 (some int) None & info [] ~docv:"K") in
   let run file k lo hi stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
+    let src = build file in
+    let (Packed ((module Q), wt)) = pack src in
     Array.iter
       (fun (s, c) -> Printf.printf "%8d  %s\n" c s)
-      (or_fail (Wtrie.Append.range_topk ~lo ?hi wt ~k));
-    wt
+      (or_fail (Q.range_topk ~lo ?hi wt ~k));
+    src
   in
   Cmd.v
     (Cmd.info "top-k" ~doc:"The K most frequent strings in [--lo, --hi) (exact; ties go to the lexicographically smaller string).")
@@ -690,14 +737,19 @@ let quantile_cmd =
   let k = Arg.(required & pos 1 (some int) None & info [] ~docv:"K") in
   let run file k lo hi stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
-    let lo, hi = window_or_fail wt lo hi in
-    (match Range.Append.quantile wt ~lo ~hi k with
+    let src = build file in
+    let lo, hi = window_or_fail src lo hi in
+    let q =
+      match src with
+      | App wt -> Range.Append.quantile wt ~lo ~hi k
+      | Flat wt -> Range.Static.quantile wt ~lo ~hi k
+    in
+    (match q with
     | Some s -> print_endline (Binarize.to_bytes s)
     | None ->
         prerr_endline "k out of range";
         exit 1);
-    wt
+    src
   in
   Cmd.v
     (Cmd.info "quantile"
@@ -708,12 +760,17 @@ let at_least_cmd =
   let t = Arg.(required & pos 1 (some int) None & info [] ~docv:"T") in
   let run file t lo hi stats =
     with_stats stats @@ fun () ->
-    let wt = build file in
-    let lo, hi = window_or_fail wt lo hi in
+    let src = build file in
+    let lo, hi = window_or_fail src lo hi in
+    let hits =
+      match src with
+      | App wt -> Range.Append.at_least wt ~lo ~hi ~threshold:t
+      | Flat wt -> Range.Static.at_least wt ~lo ~hi ~threshold:t
+    in
     List.iter
       (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
-      (Range.Append.at_least wt ~lo ~hi ~threshold:t);
-    wt
+      hits;
+    src
   in
   Cmd.v
     (Cmd.info "at-least" ~doc:"Strings occurring at least T times in [--lo, --hi).")
@@ -777,8 +834,7 @@ let serve_cmd =
     (match window_us with
     | Some w when w < 0 -> serve_usage "--window-us must be >= 0 (got %d)" w
     | _ -> ());
-    let wt = build file in
-    let snap = Wtrie.Snapshot.create wt in
+    let src = build file in
     let d = Server.default_config () in
     let cfg =
       {
@@ -794,14 +850,21 @@ let serve_cmd =
       }
     in
     let srv =
-      try Server.create ~config:cfg snap
+      try
+        match src with
+        | App wt ->
+            Server.create ~config:cfg ~backend:Server.append_backend
+              (Wtrie.Snapshot.create wt)
+        | Flat wt ->
+            Server.create ~config:cfg ~backend:Server.static_backend
+              (Wtrie.Snapshot.create wt)
       with Unix.Unix_error (e, fn, _) ->
         Printf.eprintf "wtrie serve: cannot listen on %s:%d: %s (%s)\n" host port
           (Unix.error_message e) fn;
         exit 74
     in
     Printf.printf "listening on %s:%d (%d strings, pid %d)\n%!" host (Server.port srv)
-      (Wtrie.Append.length wt) (Unix.getpid ());
+      (src_length src) (Unix.getpid ());
     (match port_file with
     | Some p ->
         let oc = open_out p in
@@ -958,7 +1021,7 @@ let () =
   let group =
     Cmd.group info
       [
-        index_cmd; ingest_cmd; verify_cmd; recover_cmd; stats_cmd; access_cmd;
+        index_cmd; convert_cmd; ingest_cmd; verify_cmd; recover_cmd; stats_cmd; access_cmd;
         rank_cmd; select_cmd; prefix_count_cmd; prefix_list_cmd; query_cmd;
         trace_cmd; distinct_cmd; majority_cmd; at_least_cmd; top_k_cmd;
         quantile_cmd; serve_cmd; loadgen_cmd;
@@ -980,7 +1043,7 @@ let () =
           Printf.eprintf "wtrie: flight recorder dumped to %s\n" path
       | _ -> ());
       exit 70
-  | exception Persist.Format_error msg ->
+  | exception Storage.Format_error msg ->
       Printf.eprintf "wtrie: %s\n" msg;
       exit 2
   (* anything the commands didn't map themselves: I/O trouble is 74 *)

@@ -71,7 +71,8 @@ let () =
     batch;
 
   (* Section 5 analytics on a position range (= time window).  Range
-     works on the same value: [Wtrie.Static.t] IS [Wavelet_trie.t]. *)
+     works on the same value: [Wtrie.Static.t] IS [Wt_core.Flat_wt.t],
+     the flat format-v3 arena. *)
   Printf.printf "distinct in window [2, 9):\n";
   List.iter
     (fun (s, c) -> Printf.printf "  %-18s x%d\n" (Binarize.to_bytes s) c)
@@ -91,7 +92,27 @@ let () =
   Printf.printf "after delete: distinct = %d\n" (Wtrie.Dynamic.distinct_count dwt);
 
   (* Space accounting vs the information-theoretic lower bound. *)
-  Format.printf "space: @[%a@]@." Wtrie.Stats.pp (Wt_core.Wavelet_trie.stats wt);
+  Format.printf "space: @[%a@]@." Wtrie.Stats.pp (Wt_core.Flat_wt.stats wt);
+
+  (* Storage: the static trie saves as a format-v3 container whose
+     payload is the query structure itself, so re-opening is a checksum
+     check plus an mmap — no deserialization. *)
+  let path = Filename.temp_file "quickstart" ".wtx" in
+  (match Wtrie.Static.save_file wt path with
+  | Ok () -> (
+      match Wtrie.Static.open_file path (* ~mode:`Mmap is the default *) with
+      | Ok wt2 ->
+          Printf.printf "reopened from %s: length %d, home hits %d\n"
+            (Filename.basename path) (Wtrie.Static.length wt2)
+            (Wtrie.Static.count wt2 "site.com/home");
+          Wtrie.Static.close wt2;
+          (* after close, queries fail deterministically: *)
+          (match Wtrie.Static.access wt2 ~pos:0 with
+          | Error e -> Format.printf "after close: %a@." Wtrie.pp_error e
+          | Ok _ -> assert false)
+      | Error e -> Format.printf "open failed: %a@." Wtrie.pp_error e)
+  | Error e -> Format.printf "save failed: %a@." Wtrie.pp_error e);
+  Sys.remove path;
 
   (* Observability: flip the probes on, run some queries, snapshot a
      report (operation counters, traversal work, latency histograms). *)

@@ -32,8 +32,14 @@
     shape — labelled arguments, [(_, {!error}) result] for everything
     partial; the pre-batch alias shapes ([access_exn], [select_opt],
     ...) are gone (see docs/observability.md for the migration table).
-    The [t] equalities are exposed, so [Static.t] is
-    [Wt_core.Wavelet_trie.t] etc. and the lower-level toolkits
+
+    {!Static} runs on the pointer-free flat arena ({!Wt_core.Flat_wt}):
+    the format-v3 container payload queried in place, so
+    {!STATIC_API.save_file} / {!STATIC_API.open_file} round-trip through
+    disk with an O(1) [`Mmap] open (one read-only mapping, shareable
+    across serving processes).  The [t] equalities are exposed
+    ([Static.t] is [Wt_core.Flat_wt.t], [Dynamic.t] is
+    [Wt_core.Dynamic_wt.t], ...) so the lower-level toolkits
     ([Wt_core.Range], [Wt_core.Persist], ...) keep working on the same
     values. *)
 
@@ -41,6 +47,8 @@ type error = Wt_core.Indexed_sequence.error =
   | Position_out_of_bounds of { pos : int; len : int }
   | Negative_count of { count : int }
   | No_occurrence of { count : int; occurrences : int }
+  | Trie_closed
+  | Storage_error of { path : string; reason : string }
 
 let pp_error = Wt_core.Indexed_sequence.pp_error
 
@@ -57,6 +65,7 @@ let pp_value = Wt_core.Indexed_sequence.pp_value
 
 module type QUERY_API = Wt_core.Indexed_sequence.QUERY_API
 module type STRING_API = Wt_core.Indexed_sequence.STRING_API
+module type STATIC_API = Wt_core.Indexed_sequence.STATIC_API
 module type APPEND_API = Wt_core.Indexed_sequence.APPEND_API
 module type DYNAMIC_API = Wt_core.Indexed_sequence.DYNAMIC_API
 
@@ -65,12 +74,29 @@ module type DYNAMIC_API = Wt_core.Indexed_sequence.DYNAMIC_API
    and the range-analytics suite from [lib/analytics], then hides every
    helper outside QUERY_API and the variant's constructors/mutators. *)
 
-module Static : STRING_API with type t = Wt_core.Wavelet_trie.t = struct
+module Static : STATIC_API with type t = Wt_core.Flat_wt.t = struct
   include Wt_core.String_api.Static
-  include Wt_analytics.Analytics.Static
+  module A = Wt_analytics.Analytics.Static
+
+  (* The analytics and batch entry points bypass the scalar façade, so
+     they repeat its guards: a closed trie reports [Trie_closed] and a
+     corrupted arena [Storage_error] through the result, never an
+     exception ([protect] comes from {!Wt_core.String_api.Static}). *)
+  let select_all ?prefix ?lo ?hi t = protect t (fun () -> A.select_all ?prefix ?lo ?hi t)
+  let range_count ?prefix t ~lo ~hi = protect t (fun () -> A.range_count ?prefix t ~lo ~hi)
+
+  let range_distinct ?prefix ?lo ?hi t =
+    protect t (fun () -> A.range_distinct ?prefix ?lo ?hi t)
+
+  let range_topk ?prefix ?lo ?hi t ~k = protect t (fun () -> A.range_topk ?prefix ?lo ?hi t ~k)
 
   let query_batch ?domains t ops =
-    Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Static.query_batch t ops
+    match
+      protect t (fun () ->
+          Ok (Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Static.query_batch t ops))
+    with
+    | Ok results -> results
+    | Error e -> Array.map (fun _ -> Error e) ops
 end
 
 module Append : APPEND_API with type t = Wt_core.Append_wt.t = struct
@@ -87,6 +113,109 @@ module Dynamic : DYNAMIC_API with type t = Wt_core.Dynamic_wt.t = struct
 
   let query_batch ?domains t ops =
     Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Dynamic.query_batch t ops
+end
+
+(** Index files on disk, behind one front door.
+
+    A format-v3 index ({!Static.save_file}) holds the flat arena and
+    opens in O(1) via mmap; format-v2 indexes ({!Wt_core.Persist},
+    [Marshal]-based) are still readable — {!load_index} dispatches on
+    the container's version and variant tag, and {!convert} rewrites
+    any readable index as v3 static.  All failures raise
+    {!Format_error} (the shared container exception). *)
+module Storage = struct
+  exception Format_error = Wt_core.Persist.Format_error
+
+  type loaded = Static of Static.t | Append of Append.t | Dynamic of Dynamic.t
+
+  let index_version = Wt_durable.Container.version_of_file
+  (** The container format version of an index file, or [None] when the
+      file does not start with the container magic. *)
+
+  let is_index_file = Wt_core.Persist.is_index_file
+
+  let variant_name = function Static _ -> "static" | Append _ -> "append" | Dynamic _ -> "dynamic"
+
+  let length = function
+    | Static t -> Static.length t
+    | Append t -> Append.length t
+    | Dynamic t -> Dynamic.length t
+
+  (* [load_index path] opens any readable index.  v3 maps the flat
+     arena in place ([?mode] as in {!STATIC_API.open_file}); v2 indexes
+     deserialize into their native variant, except v2 static, whose
+     pointer trie is flattened on load so every static value the
+     library hands out is the arena representation. *)
+  let load_index ?mode path =
+    match index_version path with
+    | Some v when v = Wt_durable.Container.version_v3 ->
+        Static (Static.open_file_exn ?mode path)
+    | _ -> (
+        match Wt_core.Persist.tag_of_file path with
+        | Some "static" ->
+            Static (Wt_core.Flat_wt.of_wavelet_trie (Wt_core.Persist.load_static path))
+        | Some "append" -> Append (Wt_core.Persist.load_append path)
+        | Some "dynamic" -> Dynamic (Wt_core.Persist.load_dynamic path)
+        | Some t -> raise (Format_error (Printf.sprintf "unknown index variant %S" t))
+        | None ->
+            (* not a verifiable v2 container: re-run the tagged read so
+               the precise corruption reason surfaces *)
+            let tag, _ = Wt_durable.Container.read_tagged path in
+            raise (Format_error (Printf.sprintf "unknown index variant %S" tag)))
+
+  (* Deep verification for [wtrie verify]: full checksums, then the
+     variant's structural invariants.  Returns (variant, length). *)
+  let verify_index path =
+    match index_version path with
+    | Some v when v = Wt_durable.Container.version_v3 -> (
+        (* [`Copy] re-verifies the payload checksum, unlike the mmap
+           fast path *)
+        match Static.open_file ~mode:`Copy path with
+        | Error e -> raise (Format_error (Format.asprintf "%a" pp_error e))
+        | Ok t ->
+            (try Wt_core.Flat_wt.check_invariants t
+             with Failure m -> raise (Format_error ("index fails invariants: " ^ m)));
+            ("static", Static.length t))
+    | _ -> (
+        let tag, _payload = Wt_durable.Container.read_tagged path in
+        match tag with
+        | "static" ->
+            let wt = Wt_core.Persist.load_static path in
+            let n = Wt_core.Wavelet_trie.length wt in
+            (* no check_invariants on the pointer trie: decode a sample
+               sweep instead, so a payload that unmarshals but lies
+               still trips *)
+            let step = max 1 (n / 256) in
+            let i = ref 0 in
+            while !i < n do
+              ignore (Wt_core.Wavelet_trie.access wt !i);
+              i := !i + step
+            done;
+            ("static", n)
+        | "append" ->
+            let wt = Wt_core.Persist.load_append path in
+            (try Wt_core.Append_wt.check_invariants wt
+             with Failure m -> raise (Format_error ("index fails invariants: " ^ m)));
+            ("append", Wt_core.Append_wt.length wt)
+        | "dynamic" ->
+            let wt = Wt_core.Persist.load_dynamic path in
+            (try Wt_core.Dynamic_wt.check_invariants wt
+             with Failure m -> raise (Format_error ("index fails invariants: " ^ m)));
+            ("dynamic", Wt_core.Dynamic_wt.length wt)
+        | t -> raise (Format_error (Printf.sprintf "unknown index variant %S" t)))
+
+  (* [convert src dst] rewrites any readable index as a format-v3
+     static arena.  Returns (source variant, length). *)
+  let convert src dst =
+    let loaded = load_index ~mode:`Copy src in
+    let flat =
+      match loaded with
+      | Static t -> t
+      | Append t -> Wt_core.Flat_wt.of_array (Wt_core.Append_wt.to_array t)
+      | Dynamic t -> Wt_core.Flat_wt.of_array (Wt_core.Dynamic_wt.to_array t)
+    in
+    Static.save_file_exn flat dst;
+    (variant_name loaded, length loaded)
 end
 
 (** The multicore serving layer behind [query_batch ~domains]:

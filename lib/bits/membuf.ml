@@ -1,0 +1,90 @@
+(* Read-only byte-addressed view over a char Bigarray.
+
+   The flat static trie (format v3) queries its on-disk arena in place;
+   a [Membuf.t] is the bounds-checked window it reads through, backed
+   either by a private copy ([of_string]) or directly by an [mmap]ed
+   file ([of_bigarray]).  Every read validates its range, so a corrupt
+   arena offset surfaces as [Invalid_argument] — never a segfault —
+   whichever backing is in use.
+
+   Bit numbering matches {!Bitbuf}: within byte [i], bit [j] of the
+   stream lives at bit [j] (LSB-first), so a bit stream serialized byte
+   by byte with [Bitbuf.get_bits bb (8*i) 8] reads back identically
+   here. *)
+
+type ba = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { ba : ba; len : int }
+
+let length t = t.len
+
+let of_bigarray (ba : ba) = { ba; len = Bigarray.Array1.dim ba }
+
+let of_string s =
+  let n = String.length s in
+  let ba = Bigarray.Array1.create Bigarray.char Bigarray.c_layout n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set ba i (String.unsafe_get s i)
+  done;
+  { ba; len = n }
+
+let to_string t = String.init t.len (fun i -> Bigarray.Array1.unsafe_get t.ba i)
+
+let check t off n what =
+  if off < 0 || n < 0 || off > t.len - n then
+    invalid_arg (Printf.sprintf "Membuf.%s: [%d, %d) outside [0, %d)" what off (off + n) t.len)
+
+let sub t off len =
+  check t off len "sub";
+  { ba = Bigarray.Array1.sub t.ba off len; len }
+
+let get t i =
+  check t i 1 "get";
+  Char.code (Bigarray.Array1.unsafe_get t.ba i)
+
+let get_u32 t off =
+  check t off 4 "get_u32";
+  let b i = Char.code (Bigarray.Array1.unsafe_get t.ba (off + i)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+(* 64-bit little-endian, rejected when it does not fit a non-negative
+   OCaml int (top two bits of the last byte): a corrupt length field
+   must fail here, not wrap around in later arithmetic. *)
+let get_u64 t off =
+  check t off 8 "get_u64";
+  let b i = Char.code (Bigarray.Array1.unsafe_get t.ba (off + i)) in
+  let top = b 7 in
+  if top land 0xC0 <> 0 then invalid_arg "Membuf.get_u64: value exceeds 62 bits";
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24) lor (b 4 lsl 32)
+  lor (b 5 lsl 40) lor (b 6 lsl 48) lor (top lsl 56)
+
+let get_bit t pos =
+  let byte = pos lsr 3 in
+  check t byte 1 "get_bit";
+  Char.code (Bigarray.Array1.unsafe_get t.ba byte) land (1 lsl (pos land 7)) <> 0
+
+(* [get_bits t pos len] reads [len <= 62] bits starting at bit [pos],
+   LSB-first, mirroring [Bitbuf.get_bits].  Accumulated in <= 8-bit
+   chunks so no intermediate shift exceeds 61 (OCaml ints are 63-bit). *)
+let get_bits t pos len =
+  if len < 0 || len > 62 then invalid_arg "Membuf.get_bits: len outside [0, 62]";
+  if len = 0 then 0
+  else begin
+    let first_byte = pos lsr 3 in
+    let last_byte = (pos + len - 1) lsr 3 in
+    check t first_byte (last_byte - first_byte + 1) "get_bits";
+    let sh = pos land 7 in
+    let take = min len (8 - sh) in
+    let acc = ref ((Char.code (Bigarray.Array1.unsafe_get t.ba first_byte) lsr sh)
+                   land ((1 lsl take) - 1)) in
+    let got = ref take in
+    let byte = ref (first_byte + 1) in
+    while !got < len do
+      let take = min 8 (len - !got) in
+      let v = Char.code (Bigarray.Array1.unsafe_get t.ba !byte) land ((1 lsl take) - 1) in
+      acc := !acc lor (v lsl !got);
+      got := !got + take;
+      incr byte
+    done;
+    !acc
+  end

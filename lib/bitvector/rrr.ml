@@ -500,3 +500,393 @@ module Iter = struct
 end
 
 let pp fmt t = Format.fprintf fmt "%s" (Bitbuf.to_string (to_bitbuf t))
+
+(* ------------------------------------------------------------------ *)
+(* Flat serialized form: the same blocks/directories laid out in one
+   contiguous byte blob, queried in place through {!Wt_bits.Membuf}.
+   This is the inline bitvector encoding of the format-v3 arena
+   ([Wt_core.Flat_wt]): no deserialization, the on-disk bytes are the
+   query structure.
+
+   Blob layout (all integers little-endian, bit streams LSB-first):
+
+     u64 len_bits | u64 total_ones
+     | (nsb+1) x u32 sb_ones        cumulative ones before superblock
+     | (nsb+1) x u32 sb_off         offset-stream bit pos at superblock
+     | classes   (nblocks x 6 bits, byte-padded)
+     | offsets   (variable-width offsets, byte-padded)
+
+   [nblocks]/[nsb] are derived from [len_bits], so the blob is
+   self-delimiting given its base offset. *)
+module Flat = struct
+  module Membuf = Wt_bits.Membuf
+
+  type rrr = t
+  (* the pointer representation, input of the serializer *)
+
+  type t = {
+    mb : Membuf.t;
+    len : int;
+    total_ones : int;
+    nblocks : int;
+    sb_ones_off : int; (* byte offset of the sb_ones directory *)
+    sb_off_off : int; (* byte offset of the sb_off directory *)
+    classes_bit : int; (* bit offset of the classes stream *)
+    offsets_bit : int; (* bit offset of the offsets stream *)
+    size : int; (* blob size in bytes *)
+  }
+
+  let nsb_of_nblocks nblocks = (nblocks + sb_blocks - 1) / sb_blocks
+
+  (* Append one bit stream of a pointer [rrr] byte-aligned: Bitbuf and
+     Membuf share the LSB-first layout, so byte [i] of the stream is
+     exactly [get_bits (8*i) 8]. *)
+  let append_stream buf bb =
+    let len = Bitbuf.length bb in
+    let i = ref 0 in
+    while !i < len do
+      let take = min 8 (len - !i) in
+      Buffer.add_char buf (Char.chr (Bitbuf.get_bits bb !i take));
+      i := !i + take
+    done
+
+  let add_u32_le buf v = Buffer.add_int32_le buf (Int32.of_int v)
+  let add_u64_le buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+  let append buf (rrr : rrr) =
+    add_u64_le buf rrr.len;
+    add_u64_le buf rrr.total_ones;
+    Array.iter (fun v -> add_u32_le buf v) rrr.sb_ones;
+    Array.iter (fun v -> add_u32_le buf v) rrr.sb_off;
+    append_stream buf rrr.classes;
+    append_stream buf rrr.offsets
+
+  (* [of_membuf mb base]: a view of the blob starting at byte [base].
+     Validates the directory shape; every subsequent read is
+     bounds-checked by [Membuf], so a corrupt blob raises
+     [Invalid_argument] instead of reading out of range. *)
+  let of_membuf mb base =
+    let len = Membuf.get_u64 mb base in
+    let total_ones = Membuf.get_u64 mb (base + 8) in
+    if total_ones > len then invalid_arg "Rrr.Flat: ones exceed length";
+    let nblocks = nblocks_of_len len in
+    let nsb = nsb_of_nblocks nblocks in
+    let sb_ones_off = base + 16 in
+    let sb_off_off = sb_ones_off + (4 * (nsb + 1)) in
+    let classes_off = sb_off_off + (4 * (nsb + 1)) in
+    let classes_bytes = ((nblocks * class_bits) + 7) / 8 in
+    let offsets_off = classes_off + classes_bytes in
+    let offsets_bits = Membuf.get_u32 mb (sb_off_off + (4 * nsb)) in
+    let size = offsets_off + ((offsets_bits + 7) / 8) - base in
+    if Membuf.length mb < base + size then invalid_arg "Rrr.Flat: blob truncated";
+    {
+      mb;
+      len;
+      total_ones;
+      nblocks;
+      sb_ones_off;
+      sb_off_off;
+      classes_bit = classes_off * 8;
+      offsets_bit = offsets_off * 8;
+      size;
+    }
+
+  let length t = t.len
+  let ones t = t.total_ones
+  let zeros t = t.len - t.total_ones
+  let size t = t.size
+  let space_bits t = t.size * 8
+
+  let sb_ones t sb = Membuf.get_u32 t.mb (t.sb_ones_off + (4 * sb))
+  let sb_offp t sb = Membuf.get_u32 t.mb (t.sb_off_off + (4 * sb))
+  let class_of t blk = Membuf.get_bits t.mb (t.classes_bit + (blk * class_bits)) class_bits
+  let off_bits t pos w = Membuf.get_bits t.mb (t.offsets_bit + pos) w
+
+  let decode_block t off_pos c =
+    let w = offset_width.(c) in
+    if w = 0 then if c = 0 then 0 else Broadword.mask block_bits
+    else decode_offset (off_bits t off_pos w) c
+
+  let rank1_in_block t off_pos c r =
+    let w = offset_width.(c) in
+    if w = 0 then if c = 0 then 0 else min r c
+    else begin
+      let off = ref (off_bits t off_pos w) in
+      let rem = ref c in
+      let ones = ref 0 in
+      let i = ref 0 in
+      while !i < r && !rem > 0 do
+        let skip = binom.(block_bits - 1 - !i).(!rem) in
+        if !off >= skip then begin
+          off := !off - skip;
+          incr ones;
+          decr rem
+        end;
+        incr i
+      done;
+      !ones
+    end
+
+  let access_in_block t off_pos c r =
+    let w = offset_width.(c) in
+    if w = 0 then c <> 0
+    else begin
+      let off = ref (off_bits t off_pos w) in
+      let rem = ref c in
+      let i = ref 0 in
+      let bit = ref false in
+      let continue = ref true in
+      while !continue do
+        let hit =
+          !rem > 0
+          &&
+          let skip = binom.(block_bits - 1 - !i).(!rem) in
+          if !off >= skip then begin
+            off := !off - skip;
+            decr rem;
+            true
+          end
+          else false
+        in
+        if !i = r then begin
+          bit := hit;
+          continue := false
+        end
+        else if !rem = 0 then begin
+          bit := false;
+          continue := false
+        end
+        else incr i
+      done;
+      !bit
+    end
+
+  let walk_to_block t target =
+    let sb = target / sb_blocks in
+    let ones = ref (sb_ones t sb) in
+    let off = ref (sb_offp t sb) in
+    for blk = sb * sb_blocks to target - 1 do
+      let c = class_of t blk in
+      ones := !ones + c;
+      off := !off + offset_width.(c)
+    done;
+    (!ones, !off)
+
+  let block_len t blk = min block_bits (t.len - (blk * block_bits))
+
+  let rank1 t pos =
+    if pos = 0 then 0
+    else begin
+      let blk = pos / block_bits in
+      if blk >= t.nblocks then t.total_ones
+      else begin
+        let ones, off = walk_to_block t blk in
+        let r = pos mod block_bits in
+        if r = 0 then ones else ones + rank1_in_block t off (class_of t blk) r
+      end
+    end
+
+  let rank t b pos =
+    Fid.check_rank_pos ~who:"Rrr.Flat" ~len:t.len pos;
+    Probe.hit Rrr_rank;
+    if b then rank1 t pos else pos - rank1 t pos
+
+  let access t pos =
+    Fid.check_access_pos ~who:"Rrr.Flat" ~len:t.len pos;
+    Probe.hit Rrr_access;
+    let blk = pos / block_bits in
+    let _, off = walk_to_block t blk in
+    access_in_block t off (class_of t blk) (pos mod block_bits)
+
+  let access_rank t pos =
+    Fid.check_access_pos ~who:"Rrr.Flat" ~len:t.len pos;
+    Probe.hit Rrr_access;
+    let blk = pos / block_bits in
+    let ones, off_pos = walk_to_block t blk in
+    let c = class_of t blk in
+    let r = pos mod block_bits in
+    let w = offset_width.(c) in
+    let b, in_block =
+      if w = 0 then (c <> 0, if c = 0 then 0 else r)
+      else begin
+        let off = ref (off_bits t off_pos w) in
+        let rem = ref c in
+        let cnt = ref 0 in
+        let i = ref 0 in
+        let bit = ref false in
+        let continue = ref true in
+        while !continue do
+          let hit =
+            !rem > 0
+            &&
+            let skip = binom.(block_bits - 1 - !i).(!rem) in
+            if !off >= skip then begin
+              off := !off - skip;
+              decr rem;
+              true
+            end
+            else false
+          in
+          if !i = r then begin
+            bit := hit;
+            continue := false
+          end
+          else begin
+            if hit then incr cnt;
+            if !rem = 0 then begin
+              bit := false;
+              continue := false
+            end
+            else incr i
+          end
+        done;
+        (!bit, !cnt)
+      end
+    in
+    let r1 = ones + in_block in
+    (b, if b then r1 else pos - r1)
+
+  let select t b k =
+    let count = if b then t.total_ones else zeros t in
+    Fid.check_select_idx ~who:"Rrr.Flat" ~count k;
+    Probe.hit Rrr_select;
+    let nsb = nsb_of_nblocks t.nblocks in
+    let count_before sb =
+      if b then sb_ones t sb else min t.len (sb * sb_bits) - sb_ones t sb
+    in
+    let lo = ref 0 and hi = ref nsb in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if count_before mid <= k then lo := mid else hi := mid
+    done;
+    let sb = !lo in
+    let remaining = ref (k - count_before sb) in
+    let blk = ref (sb * sb_blocks) in
+    let off = ref (sb_offp t sb) in
+    let block_count blk =
+      let c = class_of t blk in
+      if b then c else block_len t blk - c
+    in
+    let c = ref (block_count !blk) in
+    while !remaining >= !c do
+      remaining := !remaining - !c;
+      off := !off + offset_width.(class_of t !blk);
+      incr blk;
+      c := block_count !blk
+    done;
+    let cls = class_of t !blk in
+    let bits = decode_block t !off cls in
+    let inblock =
+      if b then Broadword.select_in_word bits !remaining
+      else Broadword.select0_in_word bits (block_len t !blk) !remaining
+    in
+    (!blk * block_bits) + inblock
+
+  (* Rank cursor over a flat view: same caching discipline as
+     {!Cursor} (cached decoded block + prefix sums, short forward
+     walks), same [Bv_cursor_hit]/[Bv_cursor_miss] accounting. *)
+  module Cursor = struct
+    type nonrec bv = t [@@warning "-34"]
+
+    type t = {
+      bv : bv;
+      mutable blk : int;
+      mutable bits : int;
+      mutable ones_before : int;
+      mutable off : int;
+    }
+
+    let create bv = { bv; blk = -1; bits = 0; ones_before = 0; off = 0 }
+
+    let seek t blk =
+      if blk = t.blk then Probe.hit Bv_cursor_hit
+      else begin
+        (if t.blk >= 0 && blk > t.blk && blk - t.blk <= sb_blocks then begin
+           Probe.hit Bv_cursor_hit;
+           for b = t.blk to blk - 1 do
+             let c = class_of t.bv b in
+             t.ones_before <- t.ones_before + c;
+             t.off <- t.off + offset_width.(c)
+           done
+         end
+         else begin
+           Probe.hit Bv_cursor_miss;
+           let ones, off = walk_to_block t.bv blk in
+           t.ones_before <- ones;
+           t.off <- off
+         end);
+        t.blk <- blk;
+        t.bits <- decode_block t.bv t.off (class_of t.bv blk)
+      end
+
+    let rank1 t pos =
+      if pos <= 0 then 0
+      else begin
+        let blk = pos / block_bits in
+        if blk >= t.bv.nblocks then t.bv.total_ones
+        else begin
+          seek t blk;
+          t.ones_before
+          + Broadword.popcount (t.bits land Broadword.mask (pos mod block_bits))
+        end
+      end
+
+    let rank t b pos =
+      Fid.check_rank_pos ~who:"Rrr.Flat.Cursor" ~len:t.bv.len pos;
+      Probe.hit Rrr_rank;
+      let r1 = rank1 t pos in
+      if b then r1 else pos - r1
+
+    let access_rank t pos =
+      Fid.check_access_pos ~who:"Rrr.Flat.Cursor" ~len:t.bv.len pos;
+      Probe.hit Rrr_access;
+      seek t (pos / block_bits);
+      let r = pos mod block_bits in
+      let b = t.bits land (1 lsl r) <> 0 in
+      let r1 = t.ones_before + Broadword.popcount (t.bits land Broadword.mask r) in
+      (b, if b then r1 else pos - r1)
+  end
+
+  module Iter = struct
+    type nonrec bv = t [@@warning "-34"]
+
+    type t = {
+      bv : bv;
+      mutable cursor : int;
+      mutable blk : int;
+      mutable bits : int;
+      mutable off : int;
+    }
+
+    let create bv pos =
+      if pos < 0 || pos > bv.len then invalid_arg "Rrr.Flat.Iter.create";
+      if pos >= bv.len then { bv; cursor = pos; blk = -1; bits = 0; off = 0 }
+      else begin
+        let blk = pos / block_bits in
+        let _, off = walk_to_block bv blk in
+        let c = class_of bv blk in
+        let bits = decode_block bv off c in
+        { bv; cursor = pos; blk; bits; off }
+      end
+
+    let pos t = t.cursor
+    let has_next t = t.cursor < t.bv.len
+
+    let next t =
+      if t.cursor >= t.bv.len then invalid_arg "Rrr.Flat.Iter.next: exhausted";
+      let blk = t.cursor / block_bits in
+      if blk <> t.blk then begin
+        if t.blk >= 0 && blk = t.blk + 1 then
+          t.off <- t.off + offset_width.(class_of t.bv t.blk)
+        else begin
+          let _, off = walk_to_block t.bv blk in
+          t.off <- off
+        end;
+        t.blk <- blk;
+        t.bits <- decode_block t.bv t.off (class_of t.bv blk)
+      end;
+      let b = t.bits land (1 lsl (t.cursor mod block_bits)) <> 0 in
+      t.cursor <- t.cursor + 1;
+      b
+  end
+end

@@ -90,3 +90,55 @@ module Iter : sig
 end
 
 val pp : Format.formatter -> t -> unit
+
+(** Flat serialized form: the same blocks and directories in one
+    contiguous byte blob, queried in place through {!Wt_bits.Membuf} —
+    the inline bitvector encoding of the format-v3 arena.  [append]
+    serializes a built bitvector; [of_membuf] opens a view at a byte
+    offset with no decoding.  Queries hit the same [Rrr_*] /
+    [Bv_cursor_*] probes as the pointer form. *)
+module Flat : sig
+  type rrr := t
+  type t
+
+  val append : Buffer.t -> rrr -> unit
+  (** Serialize the blob (self-delimiting given its base offset). *)
+
+  val of_membuf : Wt_bits.Membuf.t -> int -> t
+  (** [of_membuf mb base] views the blob starting at byte [base].
+      Raises [Invalid_argument] on a structurally corrupt blob; all
+      subsequent reads are bounds-checked. *)
+
+  val length : t -> int
+  val ones : t -> int
+  val zeros : t -> int
+
+  val size : t -> int
+  (** Blob size in bytes. *)
+
+  val space_bits : t -> int
+
+  val rank : t -> bool -> int -> int
+  val select : t -> bool -> int -> int
+  val access : t -> int -> bool
+  val access_rank : t -> int -> bool * int
+
+  module Cursor : sig
+    type bv := t
+    type t
+
+    val create : bv -> t
+    val rank : t -> bool -> int -> int
+    val access_rank : t -> int -> bool * int
+  end
+
+  module Iter : sig
+    type bv := t
+    type t
+
+    val create : bv -> int -> t
+    val next : t -> bool
+    val pos : t -> int
+    val has_next : t -> bool
+  end
+end

@@ -1,0 +1,381 @@
+(* Pointer-free flat static Wavelet Trie — the format-v3 arena.
+
+   The whole trie lives in one contiguous byte blob: a 64-byte header,
+   a level-ordered table of fixed-size node records addressed by index
+   instead of pointers, the concatenated node labels as one bit stream,
+   and the RRR bitvector blobs inline ({!Wt_bitvector.Rrr.Flat}), with
+   their rank/select directories precomputed at build time.  Queries
+   run directly against the blob through {!Wt_bits.Membuf} — the
+   on-disk container payload *is* the in-memory query structure, so
+   [open] is a checksummed header read plus an [mmap] (zero-copy, one
+   read-only mapping shareable across serving processes).
+
+   Arena layout (integers little-endian, bit streams LSB-first):
+
+     header (64 bytes):
+       off  0  magic "WTF3" (4 bytes)
+       off  4  u32 arena version (= 1)
+       off  8  u64 n               sequence length
+       off 16  u64 node_count
+       off 24  u64 nodes_off       byte offset of the node table (= 64)
+       off 32  u64 labels_off      byte offset of the label stream
+       off 40  u64 labels_len_bits
+       off 48  u64 arena_len       total blob size in bytes
+       off 56  u64 reserved (= 0)
+
+     node record (32 bytes, BFS order; children of node i are the
+     consecutive records [child0, child0+1]):
+       off  0  u32 child0          0-child index; 0 marks a leaf (the
+                                   root is never a child, so index 0 is
+                                   free as the sentinel)
+       off  4  u32 count           subsequence length (β length /
+                                   leaf occurrence count)
+       off  8  u32 label_len       label length in bits
+       off 12  u32 reserved (= 0)
+       off 16  u64 label_off       bit offset into the label stream
+       off 24  u64 payload         internal: absolute byte offset of
+                                   the node's RRR blob; leaf: 0
+
+     labels:  labels_len_bits bits, byte-padded
+     blobs:   RRR blobs ({!Rrr.Flat} layout), one per internal node
+
+   Safety: every arena read is bounds-checked by [Membuf], so a corrupt
+   blob raises [Invalid_argument] (or {!Wt_durable.Container.Format_error}
+   at open) — never a segfault — even when the backing is an unverified
+   mmap.  [child] additionally requires child indices to increase, so
+   traversals over corrupt tables terminate.  After {!close} the file
+   descriptor is released and the handle flips to a closed state: every
+   subsequent operation raises {!Closed} deterministically, while the
+   mapping itself stays alive (GC-rooted through the handle) so
+   in-flight reads in other domains remain memory-safe. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Bitbuf = Wt_bits.Bitbuf
+module Membuf = Wt_bits.Membuf
+module Rrr = Wt_bitvector.Rrr
+module Container = Wt_durable.Container
+module Probe = Wt_obs.Probe
+module Trace = Wt_obs.Trace
+
+exception Closed
+
+let arena_magic = "WTF3"
+let arena_version = 1
+let header_len = 64
+let node_len = 32
+
+let tag = "static"
+(* Same variant tag as the v2 static container; the two are told apart
+   by the container's format-version field. *)
+
+type t = {
+  mb : Membuf.t;
+  n : int;
+  node_count : int;
+  nodes_off : int;
+  labels_bit : int; (* bit offset of the label stream *)
+  source : string; (* file path when opened from storage, for errors *)
+  mutable closed : bool;
+  release : unit -> unit; (* backing fd, when mmap-opened *)
+}
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Container.Format_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Building: serialize a pointer trie's BFS walk straight into the
+   arena blob. *)
+
+type rec_ = {
+  r_child0 : int;
+  r_count : int;
+  r_llen : int;
+  r_loff : int;
+  r_blob : int option; (* blob offset relative to the blob section *)
+}
+
+let append_stream buf bb =
+  let len = Bitbuf.length bb in
+  let i = ref 0 in
+  while !i < len do
+    let take = min 8 (len - !i) in
+    Buffer.add_char buf (Char.chr (Bitbuf.get_bits bb !i take));
+    i := !i + take
+  done
+
+let add_u32 buf v = Buffer.add_int32_le buf (Int32.of_int v)
+let add_u64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let arena_of_wavelet_trie (wt : Wavelet_trie.t) : string =
+  Probe.time Flat_build (fun () ->
+      let n = Wavelet_trie.length wt in
+      if n >= 1 lsl 32 then invalid_arg "Flat_wt: sequence length exceeds 2^32";
+      let labels = Bitbuf.create () in
+      let blobs = Buffer.create 1024 in
+      let recs = ref [] in
+      let node_count = ref 0 in
+      let next = ref 1 in
+      Wavelet_trie.iter_bfs wt (fun ~label ~bv ~count ->
+          let r_loff = Bitbuf.length labels in
+          Bitstring.append_to_bitbuf label labels;
+          let r_child0, r_blob =
+            match bv with
+            | None -> (0, None)
+            | Some bv ->
+                let off = Buffer.length blobs in
+                Rrr.Flat.append blobs bv;
+                let c0 = !next in
+                next := !next + 2;
+                (c0, Some off)
+          in
+          incr node_count;
+          recs :=
+            { r_child0; r_count = count; r_llen = Bitstring.length label; r_loff; r_blob }
+            :: !recs);
+      let node_count = !node_count in
+      if node_count >= 1 lsl 32 then invalid_arg "Flat_wt: node count exceeds 2^32";
+      let labels_bits = Bitbuf.length labels in
+      let labels_off = header_len + (node_len * node_count) in
+      let blobs_off = labels_off + ((labels_bits + 7) / 8) in
+      let arena_len = blobs_off + Buffer.length blobs in
+      let out = Buffer.create arena_len in
+      Buffer.add_string out arena_magic;
+      add_u32 out arena_version;
+      add_u64 out n;
+      add_u64 out node_count;
+      add_u64 out header_len;
+      add_u64 out labels_off;
+      add_u64 out labels_bits;
+      add_u64 out arena_len;
+      add_u64 out 0;
+      List.iter
+        (fun r ->
+          add_u32 out r.r_child0;
+          add_u32 out r.r_count;
+          add_u32 out r.r_llen;
+          add_u32 out 0;
+          add_u64 out r.r_loff;
+          add_u64 out (match r.r_blob with None -> 0 | Some rel -> blobs_off + rel))
+        (List.rev !recs);
+      append_stream out labels;
+      Buffer.add_buffer out blobs;
+      Buffer.contents out)
+
+(* ------------------------------------------------------------------ *)
+(* Opening: validate the header shape, then serve queries in place.
+   [release] is invoked (once) by {!close} to free the backing fd. *)
+
+let of_membuf ?(source = "<memory>") ?(release = fun () -> ()) mb =
+  let len = Membuf.length mb in
+  if len < header_len then fail "flat arena: truncated header (%d bytes)" len;
+  let magic_ok =
+    Membuf.get mb 0 = Char.code 'W'
+    && Membuf.get mb 1 = Char.code 'T'
+    && Membuf.get mb 2 = Char.code 'F'
+    && Membuf.get mb 3 = Char.code '3'
+  in
+  if not magic_ok then fail "flat arena: bad magic";
+  let v = Membuf.get_u32 mb 4 in
+  if v <> arena_version then fail "flat arena: version %d, expected %d" v arena_version;
+  match
+    let n = Membuf.get_u64 mb 8 in
+    let node_count = Membuf.get_u64 mb 16 in
+    let nodes_off = Membuf.get_u64 mb 24 in
+    let labels_off = Membuf.get_u64 mb 32 in
+    let labels_bits = Membuf.get_u64 mb 40 in
+    let arena_len = Membuf.get_u64 mb 48 in
+    (n, node_count, nodes_off, labels_off, labels_bits, arena_len)
+  with
+  | exception Invalid_argument _ -> fail "flat arena: corrupt header field"
+  | n, node_count, nodes_off, labels_off, labels_bits, arena_len ->
+      if arena_len <> len then
+        fail "flat arena: declared size %d, actual %d" arena_len len;
+      if nodes_off <> header_len then fail "flat arena: bad node-table offset";
+      if node_count > (len - header_len) / node_len then
+        fail "flat arena: node table exceeds the blob";
+      if labels_off <> header_len + (node_len * node_count) then
+        fail "flat arena: bad label-stream offset";
+      if labels_off + ((labels_bits + 7) / 8) > len then
+        fail "flat arena: label stream exceeds the blob";
+      if (n = 0) <> (node_count = 0) then
+        fail "flat arena: length and node count disagree on emptiness";
+      let t =
+        {
+          mb;
+          n;
+          node_count;
+          nodes_off;
+          labels_bit = labels_off * 8;
+          source;
+          closed = false;
+          release;
+        }
+      in
+      (if node_count > 0 then
+         let root_count = Membuf.get_u32 mb (nodes_off + 4) in
+         if root_count <> n then
+           fail "flat arena: root count %d disagrees with length %d" root_count n);
+      t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.release ()
+  end
+
+let is_closed t = t.closed
+let source t = t.source
+
+(* ------------------------------------------------------------------ *)
+
+module Node = struct
+  type trie = t
+  type node = { t : t; idx : int; mutable bv_memo : Rrr.Flat.t option }
+  (* [bv_memo] caches the parsed bitvector view: node values live
+     within one traversal (they are created by [root]/[child] and never
+     shared across domains), so the memo is domain-local by
+     construction. *)
+
+  let root (trie : trie) =
+    if trie.closed then raise Closed;
+    if trie.node_count = 0 then None else Some { t = trie; idx = 0; bv_memo = None }
+
+  let length (trie : trie) =
+    if trie.closed then raise Closed;
+    trie.n
+
+  let base node = node.t.nodes_off + (node_len * node.idx)
+  let child0 node = Membuf.get_u32 node.t.mb (base node)
+  let count node = Membuf.get_u32 node.t.mb (base node + 4)
+  let is_leaf node = child0 node = 0
+
+  let label node =
+    let len = Membuf.get_u32 node.t.mb (base node + 8) in
+    let bitpos = node.t.labels_bit + Membuf.get_u64 node.t.mb (base node + 16) in
+    let out = Bitbuf.create ~capacity_bits:len () in
+    let i = ref 0 in
+    while !i < len do
+      let take = min 56 (len - !i) in
+      Bitbuf.add_bits out take (Membuf.get_bits node.t.mb (bitpos + !i) take);
+      i := !i + take
+    done;
+    Bitstring.unsafe_of_bitbuf out
+
+  let child node b =
+    let c0 = child0 node in
+    if c0 = 0 then invalid_arg "Flat_wt.Node.child: leaf";
+    (* child indices must increase: traversals over a corrupt table
+       terminate instead of looping *)
+    if c0 <= node.idx || c0 + 1 >= node.t.node_count then
+      invalid_arg "Flat_wt.Node.child: corrupt child index";
+    { t = node.t; idx = (if b then c0 + 1 else c0); bv_memo = None }
+
+  let bv_of node =
+    match node.bv_memo with
+    | Some bv -> bv
+    | None ->
+        let p = Membuf.get_u64 node.t.mb (base node + 24) in
+        if p = 0 then invalid_arg "Flat_wt.Node: leaf has no bitvector";
+        let bv = Rrr.Flat.of_membuf node.t.mb p in
+        node.bv_memo <- Some bv;
+        bv
+
+  let bv_rank node b pos = Rrr.Flat.rank (bv_of node) b pos
+  let bv_select node b k = Rrr.Flat.select (bv_of node) b k
+  let bv_access node pos = Rrr.Flat.access (bv_of node) pos
+  let bv_access_rank node pos = Rrr.Flat.access_rank (bv_of node) pos
+
+  let iter_bits node pos =
+    let it = Rrr.Flat.Iter.create (bv_of node) pos in
+    fun () -> Rrr.Flat.Iter.next it
+
+  let bv_space_bits node = Rrr.Flat.space_bits (bv_of node)
+
+  type cursor = Rrr.Flat.Cursor.t
+
+  let bv_cursor node = Rrr.Flat.Cursor.create (bv_of node)
+  let cursor_rank = Rrr.Flat.Cursor.rank
+  let cursor_access_rank = Rrr.Flat.Cursor.access_rank
+end
+
+module Q = Query.Make (Node)
+
+let length t =
+  if t.closed then raise Closed;
+  t.n
+
+let access = Q.access
+let rank = Q.rank
+let select = Q.select
+let rank_prefix = Q.rank_prefix
+let select_prefix = Q.select_prefix
+let distinct_count = Q.distinct_count
+let to_array = Q.to_array
+let dump = Q.dump
+let pp = Q.pp_tree
+
+let space_bits t =
+  if t.closed then raise Closed;
+  8 * Membuf.length t.mb
+
+let stats t = Q.stats ~space_bits t
+
+(* ------------------------------------------------------------------ *)
+(* Construction and storage *)
+
+let of_wavelet_trie wt = of_membuf (Membuf.of_string (arena_of_wavelet_trie wt))
+let of_array strings = of_wavelet_trie (Wavelet_trie.of_array strings)
+let of_list l = of_array (Array.of_list l)
+
+let save_file t path =
+  if t.closed then raise Closed;
+  Probe.time Flat_save (fun () ->
+      Container.write_v3 ~tag ~payload:(Membuf.to_string t.mb) path)
+
+let open_file ?(mode = `Mmap) path =
+  Trace.with_span "flat.open" (fun () ->
+      match mode with
+      | `Copy ->
+          Probe.time Flat_open_copy (fun () ->
+              of_membuf ~source:path
+                (Membuf.of_string (Container.read_v3 ~expect_tag:tag path)))
+      | `Mmap ->
+          Probe.time Flat_open_mmap (fun () ->
+              let m = Container.map_v3 ~expect_tag:tag path in
+              match
+                of_membuf ~source:path ~release:m.Container.close
+                  (Membuf.of_bigarray m.Container.data)
+              with
+              | t -> t
+              | exception e ->
+                  m.Container.close ();
+                  raise e))
+
+(* Structural deep check (the [wtrie verify] walk): child topology,
+   count consistency between each β and its children, label and blob
+   bounds.  Raises [Failure] on the first violation. *)
+let check_invariants t =
+  if t.closed then raise Closed;
+  let check cond fmt =
+    Printf.ksprintf (fun m -> if not cond then failwith ("flat arena: " ^ m)) fmt
+  in
+  match Node.root t with
+  | None -> check (t.n = 0) "empty node table but length %d" t.n
+  | Some root ->
+      check (Node.count root = t.n) "root count %d <> length %d" (Node.count root) t.n;
+      let rec go node =
+        ignore (Bitstring.length (Node.label node));
+        let c = Node.count node in
+        if Node.is_leaf node then check (c > 0) "leaf with count 0"
+        else begin
+          let bv = Node.bv_of node in
+          check (Rrr.Flat.length bv = c) "node %d: β length %d <> count %d" node.Node.idx
+            (Rrr.Flat.length bv) c;
+          let z = Node.child node false and o = Node.child node true in
+          check
+            (Node.count z = Rrr.Flat.zeros bv && Node.count o = Rrr.Flat.ones bv)
+            "node %d: children counts disagree with β" node.Node.idx;
+          go z;
+          go o
+        end
+      in
+      go root

@@ -54,6 +54,12 @@ type error =
   | No_occurrence of { count : int; occurrences : int }
       (** A [select]-style operation asked for occurrence [count]
           (0-based) but only [occurrences] matches exist. *)
+  | Trie_closed
+      (** The operation reached a static trie whose backing mapping has
+          been [close]d; the handle is permanently invalid. *)
+  | Storage_error of { path : string; reason : string }
+      (** Opening or saving an index file failed: I/O error, corrupt or
+          truncated container, format-version or variant mismatch. *)
 
 let pp_error fmt = function
   | Position_out_of_bounds { pos; len } ->
@@ -62,6 +68,8 @@ let pp_error fmt = function
       Format.fprintf fmt "negative occurrence index %d" count
   | No_occurrence { count; occurrences } ->
       Format.fprintf fmt "no occurrence %d (only %d present)" count occurrences
+  | Trie_closed -> Format.fprintf fmt "trie is closed"
+  | Storage_error { path; reason } -> Format.fprintf fmt "%s: %s" path reason
 
 (** One operation of a query batch.  Strings and prefixes are byte
     strings, exactly as in the scalar API. *)
@@ -191,6 +199,40 @@ module type STRING_API = sig
 
   val of_list : string list -> t
   val of_array : string array -> t
+end
+
+(** {!STRING_API} plus file storage: the full surface of the flat
+    static variant.  [save_file] writes the format-v3 container (the
+    arena itself as payload); [open_file] reopens it either zero-copy
+    through [mmap] (the default — ~O(1), one read-only mapping
+    shareable across processes) or as a fully-CRC-verified private copy.
+    Failures come back as {!error} ([Storage_error], or [Trie_closed]
+    after {!STATIC_API.close}); the [_exn] forms raise
+    [Failure] with the same rendering. *)
+module type STATIC_API = sig
+  include STRING_API
+
+  val save_file : t -> string -> (unit, error) result
+  (** Atomically write the trie as a format-v3 container. *)
+
+  val save_file_exn : t -> string -> unit
+
+  val open_file : ?mode:[ `Mmap | `Copy ] -> string -> (t, error) result
+  (** [open_file path] opens a v3 index.  [`Mmap] (default) verifies the
+      header and footer checksums and maps the arena in place — no
+      deserialization, no payload copy.  [`Copy] additionally verifies
+      the payload checksum and reads the arena into private memory. *)
+
+  val open_file_exn : ?mode:[ `Mmap | `Copy ] -> string -> t
+
+  val close : t -> unit
+  (** Release the backing file descriptor.  Idempotent.  Subsequent
+      operations on this handle fail deterministically with
+      [Trie_closed] (never a crash); in-flight reads in other domains
+      remain memory-safe — the mapping itself is reclaimed only when
+      the handle is garbage-collected. *)
+
+  val is_closed : t -> bool
 end
 
 module type APPEND_API = sig

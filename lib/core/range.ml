@@ -331,8 +331,12 @@ module Make (N : Node_view.S) = struct
         end
 end
 
-(** Pre-applied instances for the three Wavelet Trie variants. *)
-module Static = Make (Wavelet_trie.Node)
+(** Pre-applied instances for the Wavelet Trie variants.  [Static] runs
+    on the flat arena ({!Flat_wt}); [Pointer] on the linked static
+    representation. *)
+module Static = Make (Flat_wt.Node)
+
+module Pointer = Make (Wavelet_trie.Node)
 
 module Append = Make (Append_wt.Node)
 module Dynamic = Make (Dynamic_wt.Node)

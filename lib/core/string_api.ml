@@ -34,6 +34,8 @@ open struct
     | Position_out_of_bounds of { pos : int; len : int }
     | Negative_count of { count : int }
     | No_occurrence of { count : int; occurrences : int }
+    | Trie_closed
+    | Storage_error of { path : string; reason : string }
 end
 
 module Make (I : Indexed_sequence.S) = struct
@@ -129,11 +131,65 @@ module Make_dynamic (I : Indexed_sequence.DYNAMIC) = struct
   let append_batch t ss = Array.iter (append t) ss
 end
 
-module Static = struct
+module Pointer = struct
   include Make (Wavelet_trie)
 
   let of_list l = Wavelet_trie.of_list (List.map encode l)
   let of_array a = Wavelet_trie.of_array (Array.map encode a)
+end
+
+module Static = struct
+  module M = Make (Flat_wt)
+  include M
+
+  (* Result-returning ops on a closed handle report [Trie_closed]
+     instead of letting {!Flat_wt.Closed} escape, and a traversal that
+     trips over a corrupted arena (possible under the mmap fast path,
+     which skips the payload checksum) reports [Storage_error] instead
+     of leaking the internal bounds-check exception.  The [_exn]
+     variants keep the exceptions. *)
+  let protect t f =
+    if Flat_wt.is_closed t then Error Trie_closed
+    else
+      match f () with
+      | r -> r
+      | exception Flat_wt.Closed -> Error Trie_closed
+      | exception (Invalid_argument reason | Failure reason) ->
+          Error
+            (Storage_error
+               { path = Flat_wt.source t; reason = "corrupt arena: " ^ reason })
+      | exception Wt_durable.Container.Format_error reason ->
+          Error (Storage_error { path = Flat_wt.source t; reason })
+
+  let access t ~pos = protect t (fun () -> M.access t ~pos)
+  let rank t s ~pos = protect t (fun () -> M.rank t s ~pos)
+  let select t s ~count = protect t (fun () -> M.select t s ~count)
+  let rank_prefix t ~prefix ~pos = protect t (fun () -> M.rank_prefix t ~prefix ~pos)
+
+  let select_prefix t ~prefix ~count =
+    protect t (fun () -> M.select_prefix t ~prefix ~count)
+
+  let of_list l = Flat_wt.of_list (List.map encode l)
+  let of_array a = Flat_wt.of_array (Array.map encode a)
+  let of_wavelet_trie = Flat_wt.of_wavelet_trie
+
+  (* Storage front door: every failure mode lands in the shared error
+     variant — [Format_error] and I/O problems as [Storage_error],
+     operations on a closed handle as [Trie_closed]. *)
+  let wrap_storage path f =
+    match f () with
+    | v -> Ok v
+    | exception Flat_wt.Closed -> Error Trie_closed
+    | exception Wt_durable.Container.Format_error reason ->
+        Error (Storage_error { path; reason })
+    | exception Sys_error reason -> Error (Storage_error { path; reason })
+
+  let save_file t path = wrap_storage path (fun () -> Flat_wt.save_file t path)
+  let save_file_exn = Flat_wt.save_file
+  let open_file ?mode path = wrap_storage path (fun () -> Flat_wt.open_file ?mode path)
+  let open_file_exn ?mode path = Flat_wt.open_file ?mode path
+  let close = Flat_wt.close
+  let is_closed = Flat_wt.is_closed
 end
 
 module Append = struct

@@ -31,6 +31,7 @@ exception Format_error of string
 
 let magic = "wavelet-trie-index"
 let version = 2
+let version_v3 = 3
 let max_tag_len = 255
 let tmp_prefix = ".wt-tmp-"
 
@@ -102,7 +103,7 @@ let atomic_write path writer =
 (* ------------------------------------------------------------------ *)
 (* Writing *)
 
-let header_bytes ~tag ~payload_len =
+let header_bytes ?(version = version) ~tag ~payload_len () =
   if String.length tag > max_tag_len then invalid_arg "Container.write: tag too long";
   let buf = Buffer.create 64 in
   Buffer.add_string buf magic;
@@ -121,14 +122,18 @@ let footer_bytes ~payload_len ~payload_crc =
   add_u32 buf (Crc32c.string (Buffer.contents buf));
   Buffer.contents buf
 
-let write ~tag ~payload path =
+let write_versioned ~version ~tag ~payload path =
   let payload_len = String.length payload in
-  let header = header_bytes ~tag ~payload_len in
+  let header = header_bytes ~version ~tag ~payload_len () in
   let footer = footer_bytes ~payload_len ~payload_crc:(Crc32c.string payload) in
   atomic_write path (fun oc ->
       Fault.output_string oc header;
       Fault.output_string oc payload;
       Fault.output_string oc footer)
+
+let write ~tag ~payload path = write_versioned ~version ~tag ~payload path
+
+let write_v3 ~tag ~payload path = write_versioned ~version:version_v3 ~tag ~payload path
 
 (* ------------------------------------------------------------------ *)
 (* Reading *)
@@ -138,8 +143,10 @@ let read_file path =
   | exception Sys_error m -> fail "cannot open index: %s" m
   | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> In_channel.input_all ic)
 
-let read_tagged path =
-  let s = read_file path in
+(* Parse and CRC-check the header at the start of [s] — possibly just a
+   prefix of the file of total size [file_len].  Returns
+   (version, tag, payload_off, payload_len). *)
+let parse_header s ~file_len =
   let len = String.length s in
   let need off n what = if off + n > len then fail "truncated index %s" what in
   need 0 (String.length magic + 8) "header";
@@ -147,10 +154,8 @@ let read_tagged path =
     fail "not a wavelet-trie index file";
   let off = String.length magic in
   let v = get_u32 s off in
-  if v <> version then
-    fail "index format version %d, expected %d (re-index to upgrade)" v version;
   let tlen = get_u32 s (off + 4) in
-  if not (Bounded.ok ~declared:tlen ~cap:max_tag_len ~remaining:(len - off - 8)) then
+  if not (Bounded.ok ~declared:tlen ~cap:max_tag_len ~remaining:(file_len - off - 8)) then
     fail "corrupt header (tag length %d out of bounds)" tlen;
   need (off + 8) (tlen + 12) "header";
   let tag = String.sub s (off + 8) tlen in
@@ -158,13 +163,23 @@ let read_tagged path =
   let payload_len = get_u64 s (off + 8 + tlen) "header" in
   if Crc32c.string ~len:header_len s <> get_u32 s header_len then
     fail "index header checksum mismatch";
-  let payload_off = header_len + 4 in
+  (v, tag, header_len + 4, payload_len)
+
+let check_version ~expect v =
+  if v <> expect then
+    fail "index format version %d, expected %d (re-index to upgrade)" v expect
+
+let read_tagged_versioned ~expect_version path =
+  let s = read_file path in
+  let len = String.length s in
+  let v, tag, payload_off, payload_len = parse_header s ~file_len:len in
+  check_version ~expect:expect_version v;
   (* bounds before bytes: a flipped length field must fail here, not in
      the allocator *)
   if not (Bounded.ok ~declared:payload_len ~cap:max_payload_len ~remaining:(len - payload_off))
   then fail "truncated index payload";
   let footer_off = payload_off + payload_len in
-  need footer_off 16 "footer";
+  if footer_off + 16 > len then fail "truncated index footer";
   if len <> footer_off + 16 then
     fail "index has %d trailing bytes after the footer" (len - footer_off - 16);
   if Crc32c.string ~pos:footer_off ~len:12 s <> get_u32 s (footer_off + 12) then
@@ -176,11 +191,109 @@ let read_tagged path =
     fail "index payload checksum mismatch";
   (tag, String.sub s payload_off payload_len)
 
+let read_tagged path = read_tagged_versioned ~expect_version:version path
+
 let read ~expect_tag path =
   let tag, payload = read_tagged path in
   if tag <> expect_tag then
     fail "index holds a %S trie, expected %S" tag expect_tag;
   payload
+
+(* ------------------------------------------------------------------ *)
+(* Format v3: the payload is a flat arena queried in place, so the
+   container offers a second read path — [map_v3] checks the header and
+   footer CRCs (O(1)) and [mmap]s the payload read-only instead of
+   copying and checksumming all of it.  [read_v3] is the fully-verified
+   copying open (every CRC, including the payload's). *)
+
+let read_v3 ~expect_tag path =
+  let tag, payload = read_tagged_versioned ~expect_version:version_v3 path in
+  if tag <> expect_tag then
+    fail "index holds a %S trie, expected %S" tag expect_tag;
+  payload
+
+type ba = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type mapping = { data : ba; close : unit -> unit }
+
+let map_v3 ~expect_tag path =
+  let parse ic =
+    let file_len = in_channel_length ic in
+    let head =
+      match really_input_string ic (min file_len 4096) with
+      | s -> s
+      | exception End_of_file -> fail "truncated index header"
+    in
+    let v, tag, payload_off, payload_len = parse_header head ~file_len in
+    check_version ~expect:version_v3 v;
+    if tag <> expect_tag then fail "index holds a %S trie, expected %S" tag expect_tag;
+    if
+      not
+        (Bounded.ok ~declared:payload_len ~cap:max_payload_len
+           ~remaining:(file_len - payload_off))
+    then fail "truncated index payload";
+    let footer_off = payload_off + payload_len in
+    if file_len <> footer_off + 16 then
+      fail "index has %d trailing bytes after the footer" (file_len - footer_off - 16);
+    seek_in ic footer_off;
+    let footer =
+      match really_input_string ic 16 with
+      | s -> s
+      | exception End_of_file -> fail "truncated index footer"
+    in
+    if Crc32c.string ~len:12 footer <> get_u32 footer 12 then
+      fail "index footer checksum mismatch";
+    if get_u64 footer 0 "footer" <> payload_len then
+      fail "payload length disagrees between header and footer";
+    (payload_off, payload_len)
+  in
+  let payload_off, payload_len =
+    match open_in_bin path with
+    | exception Sys_error m -> fail "cannot open index: %s" m
+    | ic -> Fun.protect ~finally:(fun () -> close_in ic) (fun () -> parse ic)
+  in
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error (e, _, _) -> fail "cannot map index: %s" (Unix.error_message e)
+  | fd -> (
+      let close_fd () = try Unix.close fd with Unix.Unix_error _ -> () in
+      match Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |] with
+      | exception Unix.Unix_error (e, _, _) ->
+          close_fd ();
+          fail "cannot map index: %s" (Unix.error_message e)
+      | exception Sys_error m ->
+          close_fd ();
+          fail "cannot map index: %s" m
+      | g ->
+          let ba = Bigarray.array1_of_genarray g in
+          if Bigarray.Array1.dim ba < payload_off + payload_len then begin
+            close_fd ();
+            fail "index shrank while mapping"
+          end;
+          (* The sub view roots the whole mapping; the munmap happens at
+             GC once every view dies.  [close] only releases the fd —
+             in-flight reads through existing views stay safe. *)
+          let data = Bigarray.Array1.sub ba payload_off payload_len in
+          let closed = ref false in
+          let close () =
+            if not !closed then begin
+              closed := true;
+              close_fd ()
+            end
+          in
+          { data; close })
+
+let version_of_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          match really_input_string ic (String.length magic + 4) with
+          | s when String.sub s 0 (String.length magic) = magic ->
+              Some (get_u32 s (String.length magic))
+          | _ -> None
+          | exception End_of_file -> None)
 
 let tag_of_file path = match read_tagged path with
   | tag, _ -> Some tag

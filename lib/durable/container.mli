@@ -16,7 +16,12 @@ val magic : string
 (** First bytes of every container (shared with format v1). *)
 
 val version : int
-(** The current on-disk format version, 2. *)
+(** The Marshal-payload container format version, 2. *)
+
+val version_v3 : int
+(** The flat-arena container format version, 3: same framing, but the
+    payload is a [Wt_core.Flat_wt] arena queried in place, so it can be
+    opened by {!map_v3} with no deserialization. *)
 
 val max_tag_len : int
 
@@ -35,6 +40,35 @@ val read_tagged : string -> string * string
 
 val tag_of_file : string -> string option
 (** The variant tag of a fully-verified container, or [None]. *)
+
+val write_v3 : tag:string -> payload:string -> string -> unit
+(** Like {!write} but stamps format version 3 (flat-arena payload). *)
+
+val read_v3 : expect_tag:string -> string -> string
+(** Fully-verified v3 read: every checksum including the payload's, the
+    payload returned as a private copy.  {!Format_error} on corruption,
+    truncation, version or tag mismatch. *)
+
+type ba = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type mapping = {
+  data : ba;  (** the payload bytes, a read-only window of the mapping *)
+  close : unit -> unit;
+      (** release the file descriptor (idempotent).  The mapping itself
+          is reclaimed by the GC once every view of [data] dies, so
+          in-flight reads through existing views remain memory-safe. *)
+}
+
+(** [map_v3 ~expect_tag path] is the ~O(1) open: header and footer
+    CRCs are verified (the payload CRC is not — use {!read_v3} for a
+    full check), then the file is [mmap]ed read-only and the payload
+    window returned without copying.  One mapping is shareable across
+    any number of serving processes. *)
+val map_v3 : expect_tag:string -> string -> mapping
+
+val version_of_file : string -> int option
+(** The declared format version of a file bearing this library's magic
+    (no checksum verification), or [None]. *)
 
 val is_container : string -> bool
 (** Whether the file starts with this library's magic bytes. *)

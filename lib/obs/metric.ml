@@ -32,6 +32,10 @@
       [range_count], [range_distinct] and [range_topk]; the same ids
       key the per-call latency histograms recorded at the byte-string
       façade;
+    - [Flat_*]: the flat static arena ([lib/core]'s [Flat_wt], format
+      v3) — arenas built from pointer tries, saved to v3 containers,
+      and opened by [mmap] (zero-copy) or full-CRC copy; the same ids
+      key the build/save/open latency histograms;
     - [Serve_*]: the TCP serving front-end ([lib/serve]) — connections
       accepted and defensively closed, query requests admitted,
       micro-batches flushed, requests shed with [Overloaded]
@@ -99,8 +103,12 @@ type t =
   | Serve_bad_frame
   | Serve_queue_depth
   | Serve_queue_wait
+  | Flat_build
+  | Flat_save
+  | Flat_open_mmap
+  | Flat_open_copy
 
-let count = 55
+let count = 59
 
 let index = function
   | Rrr_rank -> 0
@@ -158,6 +166,10 @@ let index = function
   | Serve_bad_frame -> 52
   | Serve_queue_depth -> 53
   | Serve_queue_wait -> 54
+  | Flat_build -> 55
+  | Flat_save -> 56
+  | Flat_open_mmap -> 57
+  | Flat_open_copy -> 58
 
 let all =
   [|
@@ -172,7 +184,8 @@ let all =
     Par_snapshot_publish; Analytics_select_all; Analytics_range_count;
     Analytics_distinct; Analytics_topk; Serve_accept; Serve_conn_close;
     Serve_request; Serve_batch; Serve_shed; Serve_deadline; Serve_bad_frame;
-    Serve_queue_depth; Serve_queue_wait;
+    Serve_queue_depth; Serve_queue_wait; Flat_build; Flat_save; Flat_open_mmap;
+    Flat_open_copy;
   |]
 
 let name = function
@@ -231,5 +244,9 @@ let name = function
   | Serve_bad_frame -> "serve_bad_frame"
   | Serve_queue_depth -> "serve_queue_depth"
   | Serve_queue_wait -> "serve_queue_wait"
+  | Flat_build -> "flat_build"
+  | Flat_save -> "flat_save"
+  | Flat_open_mmap -> "flat_open_mmap"
+  | Flat_open_copy -> "flat_open_copy"
 
 let of_name s = Array.find_opt (fun m -> name m = s) all

@@ -31,6 +31,40 @@ module Probe = Wt_obs.Probe
 module Flight = Wt_obs.Flight
 module Snapshot = Wt_par.Snapshot
 module Append_wt = Wt_core.Append_wt
+module Is = Wt_core.Indexed_sequence
+
+(* What the loop needs from a trie variant: its length (the inline
+   [Length] reply) and its batch engine.  The trie type is packed away
+   in {!source}, so one server type serves every variant. *)
+type 'trie backend = {
+  length : 'trie -> int;
+  engine :
+    ?pool:Wt_par.Pool.t ->
+    ?domains:int ->
+    'trie ->
+    Is.op array ->
+    (Is.value, Is.error) result array;
+}
+
+type source = Source : 'trie backend * 'trie Snapshot.t -> source
+
+let append_backend =
+  {
+    length = Append_wt.length;
+    engine =
+      (fun ?pool ?domains trie ops ->
+        Wt_par.Par_exec.query_batch ?pool ?domains Wt_exec.Exec.Append.query_batch trie
+          ops);
+  }
+
+let static_backend =
+  {
+    length = Wt_core.Flat_wt.length;
+    engine =
+      (fun ?pool ?domains trie ops ->
+        Wt_par.Par_exec.query_batch ?pool ?domains Wt_exec.Exec.Static.query_batch trie
+          ops);
+  }
 
 type config = {
   host : string;
@@ -96,7 +130,7 @@ type stats = {
 
 type t = {
   cfg : config;
-  snap : Append_wt.t Snapshot.t;
+  source : source;
   listen_fd : Unix.file_descr;
   bound_port : int;
   batcher : (conn * int) Batcher.t;
@@ -114,7 +148,7 @@ let stopping t = Atomic.get t.stop
 
 (* [create ?config snap] binds and listens; [Unix.Unix_error] from
    socket/bind propagates to the caller (the CLI maps it to exit 74). *)
-let create ?config snap =
+let create ?config ~backend snap =
   let cfg = match config with Some c -> c | None -> default_config () in
   (* a peer that disappears mid-write must surface as EPIPE on the
      write call, not kill the process *)
@@ -137,7 +171,7 @@ let create ?config snap =
   Flight.record ~a:bound_port ~note:"serve.listen" Mark;
   {
     cfg;
-    snap;
+    source = Source (backend, snap);
     listen_fd = fd;
     bound_port;
     batcher =
@@ -223,8 +257,9 @@ let handle_frame t c now_ns payload =
   | Ok { Wire.id; timeout_us = _; body = Wire.Ping } ->
       send_reply t c { Wire.rid = id; status = Wire.Pong }
   | Ok { Wire.id; timeout_us = _; body = Wire.Length } ->
-      let len = Append_wt.length (Snapshot.read t.snap) in
-      send_reply t c { Wire.rid = id; status = Wire.Ok_value (Wt_core.Indexed_sequence.Int len) }
+      let (Source (b, snap)) = t.source in
+      let len = b.length (Snapshot.read snap) in
+      send_reply t c { Wire.rid = id; status = Wire.Ok_value (Is.Int len) }
   | Ok { Wire.id; timeout_us; body = Wire.Query op } ->
       if c.inflight >= t.cfg.conn_inflight_max then begin
         Probe.hit Serve_shed;
@@ -295,11 +330,11 @@ let accept_burst t =
 
 let flush_batch t =
   let now_ns = Probe.now_ns () in
-  let trie = Snapshot.read t.snap in
+  let (Source (b, snap)) = t.source in
+  let trie = Snapshot.read snap in
   let results =
     Batcher.flush t.batcher ~now_ns ~exec:(fun ops ->
-        Wt_par.Par_exec.query_batch ?pool:t.cfg.pool ?domains:t.cfg.domains
-          Wt_exec.Exec.Append.query_batch trie ops)
+        b.engine ?pool:t.cfg.pool ?domains:t.cfg.domains trie ops)
   in
   if Array.length results > 0 then t.stats.batches <- t.stats.batches + 1;
   Array.iter

@@ -186,7 +186,15 @@ let encode_reply { rid; status } =
       | Is.No_occurrence { count; occurrences } ->
           Buffer.add_char buf '\002';
           add_i64 buf count;
-          add_i64 buf occurrences)
+          add_i64 buf occurrences
+      | Is.Trie_closed -> Buffer.add_char buf '\003'
+      | Is.Storage_error { path; reason } ->
+          (* two length-prefixed strings: the frame alone cannot delimit
+             both *)
+          Buffer.add_char buf '\004';
+          add_i64 buf (String.length path);
+          Buffer.add_string buf path;
+          Buffer.add_string buf reason)
   | Overloaded -> Buffer.add_char buf '\004'
   | Deadline_exceeded -> Buffer.add_char buf '\005'
   | Bad_request msg ->
@@ -230,6 +238,14 @@ let decode_reply payload =
                   Result.bind (i64 10) (fun count ->
                       Result.bind (i64 18) (fun occurrences ->
                           exact 26 (reply (Query_error (Is.No_occurrence { count; occurrences })))))
+              | '\003' -> exact 10 (reply (Query_error Is.Trie_closed))
+              | '\004' ->
+                  Result.bind (i64 10) (fun plen ->
+                      if plen < 0 || plen > n - 18 then Error "storage error path length out of range"
+                      else
+                        let path = String.sub payload 18 plen in
+                        let reason = String.sub payload (18 + plen) (n - 18 - plen) in
+                        Ok (reply (Query_error (Is.Storage_error { path; reason }))))
               | _ -> Error "unknown query error tag")
         | '\004' -> exact 9 (reply Overloaded)
         | '\005' -> exact 9 (reply Deadline_exceeded)

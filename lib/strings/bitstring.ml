@@ -27,6 +27,8 @@ let prefix t n = sub t 0 n
 
 let of_bitbuf buf = { buf = Bitbuf.copy buf; off = 0; len = Bitbuf.length buf }
 
+let unsafe_of_bitbuf buf = { buf; off = 0; len = Bitbuf.length buf }
+
 let append_to_bitbuf t out = Bitbuf.blit t.buf t.off out t.len
 
 let concat ts =

@@ -65,6 +65,10 @@ val to_bool_list : t -> bool list
 val of_bitbuf : Wt_bits.Bitbuf.t -> t
 (** Copies the buffer. *)
 
+val unsafe_of_bitbuf : Wt_bits.Bitbuf.t -> t
+(** Wraps the buffer without copying.  The caller must not mutate it
+    afterwards (bitstrings are assumed immutable). *)
+
 val append_to_bitbuf : t -> Wt_bits.Bitbuf.t -> unit
 (** Append all bits to a buffer (used to build label streams). *)
 

@@ -134,7 +134,9 @@ the lexicographically smaller string):
   $ wtrie quantile log.txt 5
   site.com/login
 
-Index caching:
+Index caching: `wtrie index` writes a format-v3 file whose payload is
+the flat query arena itself, so every later command opens it with an
+O(1) checksum-plus-mmap, not a deserialize.
 
   $ wtrie index log.txt log.wtx
   indexed 6 strings into log.wtx
@@ -145,10 +147,38 @@ Index caching:
   $ wtrie access log.wtx --at 4
   shop.org/cart
 
+The mmap-opened index answers byte-for-byte the same as the line file
+(same batch as above, now served from the arena):
+
+  $ wtrie query log.wtx --batch ops.txt
+  blog.net/post
+  3
+  3
+  3
+  2
+  error: position 99 out of bounds (sequence length 6)
+  error: no occurrence 0 (only 0 present)
+
+  $ wtrie query log.wtx --top-k 2 --prefix site.com/
+         3  site.com/home
+         1  site.com/login
+
 Deep verification of a saved index:
 
   $ wtrie verify log.wtx
-  log.wtx: ok (append index, length 6)
+  log.wtx: ok (static index, length 6)
+
+Conversion: `wtrie convert` rewrites any readable index — v2 of any
+variant, or v3 — as a format-v3 static index (idempotent on v3 input):
+
+  $ wtrie convert log.wtx log-converted.wtx
+  converted log.wtx (static index, length 6) into log-converted.wtx (v3 static)
+
+  $ wtrie verify log-converted.wtx
+  log-converted.wtx: ok (static index, length 6)
+
+  $ wtrie rank log-converted.wtx site.com/home
+  3
 
 Durable store: crash-safe, write-ahead logged ingestion.
 
@@ -275,4 +305,25 @@ load generator, then SIGTERM must drain and exit 0:
   $ grep -c "^listening on 127.0.0.1:" serve.log
   1
   $ grep -c "^drained:" serve.log
+  1
+
+Serving the v3 index directly: the server maps the arena read-only, so
+even after an abrupt kill -9 a fresh server is back up instantly — the
+reopen is a header checksum plus an mmap, no rebuild or deserialize:
+
+  $ wtrie serve log.wtx --port 0 --port-file portv3.txt >servev3.log 2>&1 & echo $! > servev3.pid
+  $ for i in $(seq 1 100); do [ -s portv3.txt ] && break; sleep 0.1; done
+  $ wtrie loadgen 127.0.0.1:$(cat portv3.txt) --conns 2 --ops 200 --window 4 | grep -c "^throughput"
+  1
+  $ kill -9 $(cat servev3.pid)
+  $ wait $(cat servev3.pid) 2>/dev/null || true
+  $ rm -f portv3.txt
+  $ wtrie serve log.wtx --port 0 --port-file portv3.txt >servev3b.log 2>&1 & echo $! > servev3b.pid
+  $ for i in $(seq 1 100); do [ -s portv3.txt ] && break; sleep 0.1; done
+  $ wtrie loadgen 127.0.0.1:$(cat portv3.txt) --conns 2 --ops 200 --window 4 | grep -c "^throughput"
+  1
+  $ kill -TERM $(cat servev3b.pid) && wait $(cat servev3b.pid)
+  $ grep -c "^listening on 127.0.0.1:" servev3b.log
+  1
+  $ grep -c "^drained:" servev3b.log
   1

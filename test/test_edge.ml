@@ -85,7 +85,7 @@ let test_prefix_ending_inside_label () =
   check_int "mid-label prefix 2" 1 (Wavelet_trie.rank_prefix wt (bs "11111") 3);
   check_int "mismatch inside label" 0 (Wavelet_trie.rank_prefix wt (bs "001") 3);
   (* range.distinct restricted to a mid-label prefix *)
-  let d = Range.Static.distinct wt ~prefix:(bs "000") ~lo:0 ~hi:3 in
+  let d = Range.Pointer.distinct wt ~prefix:(bs "000") ~lo:0 ~hi:3 in
   check_int "distinct under mid-label prefix" 2 (List.length d);
   List.iter
     (fun (s, c) ->
@@ -217,20 +217,20 @@ let test_iter_range_boundaries () =
   (* empty range at every position *)
   for lo = 0 to 300 do
     let got = ref 0 in
-    Range.Static.iter_range wt ~lo ~hi:lo (fun _ -> incr got);
+    Range.Pointer.iter_range wt ~lo ~hi:lo (fun _ -> incr got);
     check_int "empty range" 0 !got
   done;
   (* single-element ranges equal access *)
   for pos = 0 to 299 do
     let got = ref [] in
-    Range.Static.iter_range wt ~lo:pos ~hi:(pos + 1) (fun s -> got := s :: !got);
+    Range.Pointer.iter_range wt ~lo:pos ~hi:(pos + 1) (fun s -> got := s :: !got);
     match !got with
     | [ s ] -> check_bool "singleton" true (Bitstring.equal s seq.(pos))
     | _ -> Alcotest.fail "expected exactly one element"
   done;
   (* full range *)
   let got = ref 0 in
-  Range.Static.iter_range wt ~lo:0 ~hi:300 (fun _ -> incr got);
+  Range.Pointer.iter_range wt ~lo:0 ~hi:300 (fun _ -> incr got);
   check_int "full" 300 !got
 
 let () =

@@ -122,6 +122,82 @@ let test_snapshot_truncations () =
   Sys.remove path
 
 (* ------------------------------------------------------------------ *)
+(* Format-v3 arena sweeps: the flat static index must fail closed under
+   the same sweeps as the v2 snapshot.  [`Copy] re-verifies the payload
+   CRC, so every corrupted byte must surface as a [Storage_error]
+   result; the mmap fast path skips the payload CRC but must still
+   reject anything whose structural validation trips — and must never
+   crash, whichever bytes it maps. *)
+
+let save_v3 path =
+  let wt = Wtrie.Static.of_array (Array.map Binarize.to_bytes (sample 64)) in
+  Wtrie.Static.save_file_exn wt path;
+  wt
+
+let expect_storage_error what r =
+  match r with
+  | Error (Wtrie.Storage_error _) -> ()
+  | Error e ->
+      Alcotest.fail
+        (Format.asprintf "%s: unexpected error %a" what Wtrie.pp_error e)
+  | Ok _ -> Alcotest.fail (Printf.sprintf "%s: load succeeded on a corrupted index" what)
+
+let test_v3_bit_flips () =
+  let path = tmp "flip_v3.wtx" in
+  let wt = save_v3 path in
+  let golden = Result.get_ok (Wtrie.Static.access wt ~pos:0) in
+  let pristine = read_file path in
+  let len = String.length pristine in
+  let stride = max 1 (len / 509) in
+  let off = ref 0 in
+  while !off < len do
+    write_file path (flip_bit pristine !off (!off mod 8));
+    expect_storage_error
+      (Printf.sprintf "v3 bit flip at offset %d/%d (copy)" !off len)
+      (Wtrie.Static.open_file ~mode:`Copy path);
+    (* mmap open skips the payload checksum: a flip may open, but then
+       every query must either answer or error — never crash. *)
+    (match Wtrie.Static.open_file ~mode:`Mmap path with
+    | Error _ -> ()
+    | Ok t ->
+        for pos = 0 to Wtrie.Static.length t - 1 do
+          match Wtrie.Static.access t ~pos with Ok _ | Error _ -> ()
+        done;
+        ignore (Wtrie.Static.rank t "s000-a" ~pos:3 : (int, Wtrie.error) result);
+        Wtrie.Static.close t);
+    off := !off + stride
+  done;
+  write_file path pristine;
+  let reopened = Wtrie.Static.open_file_exn ~mode:`Copy path in
+  Alcotest.(check string)
+    "pristine v3 still loads" golden
+    (Result.get_ok (Wtrie.Static.access reopened ~pos:0));
+  Sys.remove path
+
+let test_v3_truncations () =
+  let path = tmp "cut_v3.wtx" in
+  ignore (save_v3 path : Wtrie.Static.t);
+  let pristine = read_file path in
+  let len = String.length pristine in
+  let stride = max 1 (len / 509) in
+  let cut = ref 0 in
+  while !cut < len do
+    write_file path (String.sub pristine 0 !cut);
+    expect_storage_error
+      (Printf.sprintf "v3 truncated to %d/%d bytes (copy)" !cut len)
+      (Wtrie.Static.open_file ~mode:`Copy path);
+    expect_storage_error
+      (Printf.sprintf "v3 truncated to %d/%d bytes (mmap)" !cut len)
+      (Wtrie.Static.open_file ~mode:`Mmap path);
+    cut := !cut + stride
+  done;
+  write_file path pristine;
+  let t = Wtrie.Static.open_file_exn path in
+  check_int "pristine v3 length" 64 (Wtrie.Static.length t);
+  Wtrie.Static.close t;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
 (* WAL sweeps *)
 
 let base_inputs = List.init 10 (fun i -> Printf.sprintf "input-%02d-%s" i (String.make (i mod 5) 'x'))
@@ -465,6 +541,11 @@ let () =
         [
           Alcotest.test_case "bit-flip sweep" `Quick test_snapshot_bit_flips;
           Alcotest.test_case "truncation sweep" `Quick test_snapshot_truncations;
+        ] );
+      ( "v3 arena",
+        [
+          Alcotest.test_case "bit-flip sweep" `Quick test_v3_bit_flips;
+          Alcotest.test_case "truncation sweep" `Quick test_v3_truncations;
         ] );
       ( "wal",
         [

@@ -1,0 +1,332 @@
+(* The flat format-v3 arena (lib/core/flat_wt): golden structure against
+   the paper's worked examples, full QUERY_API equivalence between the
+   pointer trie and the arena — freshly built, reopened by copy, and
+   reopened by mmap — v2 -> v3 migration through Wtrie.Storage, and
+   deterministic closed-handle behaviour after [close]. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Xoshiro = Wt_bits.Xoshiro
+module Wavelet_trie = Wt_core.Wavelet_trie
+module Flat_wt = Wt_core.Flat_wt
+module Str_pointer = Wt_core.String_api.Pointer
+module An_pointer = Wt_analytics.Analytics.Pointer
+module Persist = Wt_core.Persist
+module Container = Wt_durable.Container
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bs = Bitstring.of_string
+
+let fig2_seq =
+  List.map bs [ "0001"; "0011"; "0100"; "00100"; "0100"; "00100"; "0100" ]
+
+let fig2_dump =
+  [
+    ("0", Some "0010101");
+    ("", Some "0111");
+    ("1", None);
+    ("", Some "100");
+    ("0", None);
+    ("", None);
+    ("00", None);
+  ]
+
+let dump_testable = Alcotest.(list (pair string (option string)))
+
+(* ------------------------------------------------------------------ *)
+(* Golden structure: the arena linearizes the same canonical trie the
+   pointer builders produce, so the paper's worked examples must dump
+   byte-for-byte identically. *)
+
+let test_figure2_flat () =
+  let wt = Flat_wt.of_list fig2_seq in
+  Alcotest.check dump_testable "figure 2 structure" fig2_dump (Flat_wt.dump wt);
+  Flat_wt.check_invariants wt;
+  (* the paper's worked point queries on that trie *)
+  check_int "length" 7 (Flat_wt.length wt);
+  check_int "distinct" 4 (Flat_wt.distinct_count wt);
+  check_bool "access 3" true (Bitstring.equal (bs "00100") (Flat_wt.access wt 3));
+  check_int "rank 0100 @7" 3 (Flat_wt.rank wt (bs "0100") 7);
+  check_bool "select 00100 #1" true (Flat_wt.select wt (bs "00100") 1 = Some 5);
+  check_bool "select absent" true (Flat_wt.select wt (bs "1111") 0 = None)
+
+(* Figure 3's post-insert sequence (0110 inserted at position 3), built
+   statically: the structure is canonical in the sequence, so the flat
+   build must match the dump the dynamic split produces. *)
+let test_figure3_flat () =
+  let seq =
+    List.map bs
+      [ "0001"; "0011"; "0100"; "0110"; "00100"; "0100"; "00100"; "0100" ]
+  in
+  let expected =
+    [
+      ("0", Some "00110101");
+      ("", Some "0111");
+      ("1", None);
+      ("", Some "100");
+      ("0", None);
+      ("", None);
+      ("", Some "0100");
+      ("0", None);
+      ("0", None);
+    ]
+  in
+  let wt = Flat_wt.of_list seq in
+  Alcotest.check dump_testable "figure 3 structure" expected (Flat_wt.dump wt);
+  Flat_wt.check_invariants wt;
+  check_bool "select 0110 #0" true (Flat_wt.select wt (bs "0110") 0 = Some 3)
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence: pointer trie = flat arena = copy-opened = mmap-opened,
+   over the whole string-level QUERY_API. *)
+
+let words =
+  [|
+    "a"; "ab"; "abc"; "b"; "ba"; "bb"; "c"; "ca"; "site.com/home";
+    "site.com/login"; "blog.net/post"; "";
+  |]
+
+let make_seq rng n = Array.init n (fun _ -> words.(Xoshiro.int rng (Array.length words)))
+
+let result_t =
+  let pp ppf = function
+    | Ok v -> Format.fprintf ppf "Ok %a" Wtrie.pp_value v
+    | Error e -> Format.fprintf ppf "Error (%a)" Wtrie.pp_error e
+  in
+  Alcotest.testable pp ( = )
+
+let int_result = Alcotest.(result int (testable Wtrie.pp_error ( = )))
+let str_result = Alcotest.(result string (testable Wtrie.pp_error ( = )))
+
+(* Exercise one reopened/rebuilt arena against the pointer trie built
+   from the same strings.  [ctx] labels the variant under test. *)
+let check_equiv ctx arr pwt fwt =
+  let n = Array.length arr in
+  check_int (ctx ^ " length") (Str_pointer.length pwt) (Wtrie.Static.length fwt);
+  check_int (ctx ^ " distinct")
+    (Str_pointer.distinct_count pwt)
+    (Wtrie.Static.distinct_count fwt);
+  for pos = -1 to n do
+    Alcotest.check str_result
+      (Printf.sprintf "%s access %d" ctx pos)
+      (Str_pointer.access pwt ~pos)
+      (Wtrie.Static.access fwt ~pos)
+  done;
+  let sample = Array.to_list (Array.sub arr 0 (min n 6)) @ [ "absent!"; "" ] in
+  List.iter
+    (fun s ->
+      check_int (ctx ^ " count " ^ s) (Str_pointer.count pwt s) (Wtrie.Static.count fwt s);
+      List.iter
+        (fun pos ->
+          Alcotest.check int_result
+            (Printf.sprintf "%s rank %s @%d" ctx s pos)
+            (Str_pointer.rank pwt s ~pos)
+            (Wtrie.Static.rank fwt s ~pos))
+        [ -1; 0; n / 2; n; n + 1 ];
+      for count = -1 to Str_pointer.count pwt s + 1 do
+        Alcotest.check int_result
+          (Printf.sprintf "%s select %s #%d" ctx s count)
+          (Str_pointer.select pwt s ~count)
+          (Wtrie.Static.select fwt s ~count)
+      done;
+      let prefix = if String.length s > 1 then String.sub s 0 1 else s in
+      check_int
+        (ctx ^ " count_prefix " ^ prefix)
+        (Str_pointer.count_prefix pwt ~prefix)
+        (Wtrie.Static.count_prefix fwt ~prefix);
+      Alcotest.check int_result
+        (ctx ^ " rank_prefix " ^ prefix)
+        (Str_pointer.rank_prefix pwt ~prefix ~pos:(n / 2))
+        (Wtrie.Static.rank_prefix fwt ~prefix ~pos:(n / 2));
+      for count = -1 to Str_pointer.count_prefix pwt ~prefix + 1 do
+        Alcotest.check int_result
+          (Printf.sprintf "%s select_prefix %s #%d" ctx prefix count)
+          (Str_pointer.select_prefix pwt ~prefix ~count)
+          (Wtrie.Static.select_prefix fwt ~prefix ~count)
+      done)
+    sample;
+  (* range analytics, pointer instance vs the arena instance *)
+  let lo = n / 4 and hi = n - (n / 4) in
+  let tallies = Alcotest.(result (array (pair string int)) (testable Wtrie.pp_error ( = ))) in
+  Alcotest.check
+    Alcotest.(result (array int) (testable Wtrie.pp_error ( = )))
+    (ctx ^ " select_all")
+    (An_pointer.select_all ~lo ~hi pwt)
+    (Wtrie.Static.select_all ~lo ~hi fwt);
+  Alcotest.check int_result (ctx ^ " range_count")
+    (An_pointer.range_count pwt ~lo ~hi)
+    (Wtrie.Static.range_count fwt ~lo ~hi);
+  Alcotest.check tallies (ctx ^ " range_distinct")
+    (An_pointer.range_distinct ~lo ~hi pwt)
+    (Wtrie.Static.range_distinct ~lo ~hi fwt);
+  Alcotest.check tallies (ctx ^ " range_topk")
+    (An_pointer.range_topk ~lo ~hi pwt ~k:3)
+    (Wtrie.Static.range_topk ~lo ~hi fwt ~k:3);
+  (* the batch engine over the arena agrees with the scalar answers *)
+  if n > 0 then begin
+  let ops =
+    Array.init n (fun i ->
+        let s = arr.(i mod n) in
+        match i mod 5 with
+        | 0 -> Wtrie.Access { pos = i }
+        | 1 -> Wtrie.Rank { s; pos = i }
+        | 2 -> Wtrie.Select { s; count = i mod 3 }
+        | 3 -> Wtrie.Rank_prefix { prefix = (if s = "" then s else String.sub s 0 1); pos = i }
+        | _ -> Wtrie.Select_prefix { prefix = s; count = i mod 3 })
+  in
+  let scalar = function
+    | Wtrie.Access { pos } -> Result.map (fun s -> Wtrie.Str s) (Str_pointer.access pwt ~pos)
+    | Wtrie.Rank { s; pos } -> Result.map (fun v -> Wtrie.Int v) (Str_pointer.rank pwt s ~pos)
+    | Wtrie.Select { s; count } ->
+        Result.map (fun v -> Wtrie.Int v) (Str_pointer.select pwt s ~count)
+    | Wtrie.Rank_prefix { prefix; pos } ->
+        Result.map (fun v -> Wtrie.Int v) (Str_pointer.rank_prefix pwt ~prefix ~pos)
+    | Wtrie.Select_prefix { prefix; count } ->
+        Result.map (fun v -> Wtrie.Int v) (Str_pointer.select_prefix pwt ~prefix ~count)
+  in
+  Array.iteri
+    (fun i r ->
+      Alcotest.check result_t (Printf.sprintf "%s batch[%d]" ctx i) (scalar ops.(i)) r)
+    (Wtrie.Static.query_batch fwt ops)
+  end
+
+let with_saved fwt f =
+  let path = Filename.temp_file "wt_flat" ".wtx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Wtrie.Static.save_file_exn fwt path;
+      f path)
+
+let test_equivalence () =
+  let rng = Xoshiro.create 7 in
+  List.iter
+    (fun n ->
+      let arr = make_seq rng n in
+      let pwt = Str_pointer.of_array arr in
+      let fwt = Wtrie.Static.of_array arr in
+      check_equiv "fresh" arr pwt fwt;
+      Wt_core.Flat_wt.check_invariants fwt;
+      with_saved fwt (fun path ->
+          let copy = Wtrie.Static.open_file_exn ~mode:`Copy path in
+          check_equiv "copy" arr pwt copy;
+          let mmap = Wtrie.Static.open_file_exn ~mode:`Mmap path in
+          check_equiv "mmap" arr pwt mmap;
+          Wtrie.Static.close copy;
+          Wtrie.Static.close mmap))
+    [ 0; 1; 2; 13; 64; 257 ]
+
+(* ------------------------------------------------------------------ *)
+(* v2 -> v3 migration: an old pointer-tree container loads (flattened)
+   and converts; the converted file is a v3 arena answering the same
+   queries. *)
+
+let test_v2_migration () =
+  let rng = Xoshiro.create 23 in
+  let arr = make_seq rng 97 in
+  let pwt = Str_pointer.of_array arr in
+  let raw = Wavelet_trie.of_array (Array.map Wt_core.String_api.encode arr) in
+  let v2 = Filename.temp_file "wt_flat_v2" ".wtx" in
+  let v3 = Filename.temp_file "wt_flat_v3" ".wtx" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove v2;
+      Sys.remove v3)
+    (fun () ->
+      Persist.save_static raw v2;
+      check_bool "v2 file is not v3" true
+        (Container.version_of_file v2 <> Some Container.version_v3);
+      (* load_index flattens the v2 pointer payload on load *)
+      (match Wtrie.Storage.load_index v2 with
+      | Wtrie.Storage.Static fwt -> check_equiv "v2-load" arr pwt fwt
+      | _ -> Alcotest.fail "v2 static index did not load as Static");
+      let variant, n = Wtrie.Storage.convert v2 v3 in
+      Alcotest.(check string) "source variant" "static" variant;
+      check_int "converted length" (Array.length arr) n;
+      check_bool "converted file is v3" true
+        (Container.version_of_file v3 = Some Container.version_v3);
+      let fwt = Wtrie.Static.open_file_exn v3 in
+      check_equiv "converted" arr pwt fwt;
+      Wtrie.Static.close fwt)
+
+(* ------------------------------------------------------------------ *)
+(* Closed handles: after [close], every result-returning operation
+   reports [Trie_closed] — deterministically, never a crash — and
+   [close] is idempotent. *)
+
+let test_close () =
+  let arr = [| "a"; "b"; "a"; "c" |] in
+  let built = Wtrie.Static.of_array arr in
+  with_saved built (fun path ->
+      let wt = Wtrie.Static.open_file_exn path in
+      check_int "open answers" 4 (Wtrie.Static.length wt);
+      Wtrie.Static.close wt;
+      check_bool "is_closed" true (Wtrie.Static.is_closed wt);
+      let closed = Alcotest.testable Wtrie.pp_error ( = ) in
+      let expect_closed name r =
+        match r with
+        | Error Wtrie.Trie_closed -> ()
+        | Error e -> Alcotest.check closed name Wtrie.Trie_closed e
+        | Ok _ -> Alcotest.fail (name ^ ": succeeded on a closed handle")
+      in
+      expect_closed "access" (Wtrie.Static.access wt ~pos:0);
+      expect_closed "rank" (Wtrie.Static.rank wt "a" ~pos:2);
+      expect_closed "select" (Wtrie.Static.select wt "a" ~count:0);
+      expect_closed "rank_prefix" (Wtrie.Static.rank_prefix wt ~prefix:"a" ~pos:2);
+      expect_closed "select_prefix" (Wtrie.Static.select_prefix wt ~prefix:"a" ~count:0);
+      expect_closed "select_all" (Wtrie.Static.select_all wt);
+      expect_closed "range_count" (Wtrie.Static.range_count wt ~lo:0 ~hi:1);
+      expect_closed "range_distinct" (Wtrie.Static.range_distinct wt);
+      expect_closed "range_topk" (Wtrie.Static.range_topk wt ~k:1);
+      expect_closed "save_file" (Wtrie.Static.save_file wt path);
+      Array.iter (expect_closed "batch")
+        (Wtrie.Static.query_batch wt [| Access { pos = 0 }; Rank { s = "a"; pos = 1 } |]);
+      (* idempotent, and the handle stays deterministically closed *)
+      Wtrie.Static.close wt;
+      expect_closed "access after re-close" (Wtrie.Static.access wt ~pos:0);
+      (* the in-memory arena it was saved from is unaffected *)
+      check_int "original still answers" 4 (Wtrie.Static.length built))
+
+(* ------------------------------------------------------------------ *)
+(* Storage errors surface through the shared error type, not
+   exceptions. *)
+
+let test_storage_errors () =
+  (match Wtrie.Static.open_file "no-such-file.wtx" with
+  | Error (Wtrie.Storage_error _) -> ()
+  | Error e -> Alcotest.failf "expected Storage_error, got %a" Wtrie.pp_error e
+  | Ok _ -> Alcotest.fail "opened a missing file");
+  let path = Filename.temp_file "wt_flat_bad" ".wtx" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "this is not a container";
+      close_out oc;
+      List.iter
+        (fun mode ->
+          match Wtrie.Static.open_file ~mode path with
+          | Error (Wtrie.Storage_error _) -> ()
+          | Error e -> Alcotest.failf "expected Storage_error, got %a" Wtrie.pp_error e
+          | Ok _ -> Alcotest.fail "opened garbage")
+        [ `Copy; `Mmap ])
+
+let () =
+  Alcotest.run "wt_flat"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "figure 2 on the arena" `Quick test_figure2_flat;
+          Alcotest.test_case "figure 3 sequence on the arena" `Quick test_figure3_flat;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "pointer = flat = copy = mmap" `Quick test_equivalence;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "v2 load + convert to v3" `Quick test_v2_migration;
+          Alcotest.test_case "errors are data" `Quick test_storage_errors;
+        ] );
+      ("close", [ Alcotest.test_case "deterministic after close" `Quick test_close ]);
+    ]

@@ -107,7 +107,7 @@ let test_report_roundtrip () =
       let report =
         Report.capture
           ~space:
-            [ Wt_core.Stats.to_breakdown ~variant:"static" (Wavelet_trie.stats wt) ]
+            [ Wt_core.Stats.to_breakdown ~variant:"static" (Wt_core.Flat_wt.stats wt) ]
           ()
       in
       (* deterministic clock: 1000 ns lands in the [512, 1024) bucket *)

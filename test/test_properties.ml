@@ -79,7 +79,7 @@ let prop_distinct_counts words =
   let seq = encode_seq words in
   let wt = Wavelet_trie.of_array seq in
   let n = Array.length seq in
-  let d = Range.Static.distinct wt ~lo:0 ~hi:n in
+  let d = Range.Pointer.distinct wt ~lo:0 ~hi:n in
   List.fold_left (fun acc (_, c) -> acc + c) 0 d = n
   && List.for_all (fun (s, c) -> Wavelet_trie.rank wt s n = c) d
   && List.length d = Wavelet_trie.distinct_count wt

@@ -5,6 +5,7 @@ module Bitstring = Wt_strings.Bitstring
 module Binarize = Wt_strings.Binarize
 module Xoshiro = Wt_bits.Xoshiro
 module Wavelet_trie = Wt_core.Wavelet_trie
+module Flat_wt = Wt_core.Flat_wt
 module Append_wt = Wt_core.Append_wt
 module Dynamic_wt = Wt_core.Dynamic_wt
 module Range = Wt_core.Range
@@ -55,7 +56,7 @@ type ops = {
 }
 
 let static_ops seq =
-  let wt = Wavelet_trie.of_array (Array.map encode seq) in
+  let wt = Flat_wt.of_array (Array.map encode seq) in
   {
     iter = (fun ?prefix ~lo ~hi f -> Range.Static.iter_range ?prefix wt ~lo ~hi f);
     distinct = (fun ?prefix ~lo ~hi () -> Range.Static.distinct ?prefix wt ~lo ~hi);
@@ -183,7 +184,7 @@ let naive_top_k seq lo hi k =
 let test_top_k () =
   let rng = Xoshiro.create 777 in
   let seq = make_seq rng 400 in
-  let wt = Wavelet_trie.of_array (Array.map encode seq) in
+  let wt = Flat_wt.of_array (Array.map encode seq) in
   for _ = 1 to 60 do
     let lo = Xoshiro.int rng 401 in
     let hi = lo + Xoshiro.int rng (400 - lo + 1) in
@@ -217,7 +218,7 @@ let test_top_k () =
 let test_quantile () =
   let rng = Xoshiro.create 888 in
   let seq = make_seq rng 350 in
-  let wt = Wavelet_trie.of_array (Array.map encode seq) in
+  let wt = Flat_wt.of_array (Array.map encode seq) in
   for _ = 1 to 80 do
     let lo = Xoshiro.int rng 351 in
     let hi = lo + Xoshiro.int rng (350 - lo + 1) in

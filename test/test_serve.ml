@@ -227,7 +227,7 @@ let with_server ?(tweak = fun c -> c) f =
   let wt = Wtrie.Append.create () in
   Array.iter (Wtrie.Append.append wt) strings;
   let cfg = tweak { (Server.default_config ()) with port = 0; window_us = 100 } in
-  let srv = Server.create ~config:cfg (Snapshot.create wt) in
+  let srv = Server.create ~config:cfg ~backend:Server.append_backend (Snapshot.create wt) in
   let d = Domain.spawn (fun () -> Server.serve srv) in
   Fun.protect
     ~finally:(fun () ->
