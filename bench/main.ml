@@ -854,6 +854,70 @@ let serve_block () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Tiered store: sustained WAL-backed ingest against an in-memory
+   dynamic append of the same volume (compaction keeps the delta
+   bounded, so the per-string cost stays flat where the monolithic
+   dynamic trie's grows with n), and merged-read p99 against the pure
+   flat arena the runs are built from (the price of the k-way view). *)
+
+let tiered_block () =
+  let n = 16384 in
+  let g = Urls.create ~seed:42 () in
+  let strings = Urls.raw_sequence g n in
+  let module T = Wtrie.Tiered in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "wt_bench_tiered" in
+  rm_store dir;
+  let t = T.create ~threshold:4096 dir in
+  let dt_ingest =
+    time_batch (fun () ->
+        Array.iter (T.ingest t) strings;
+        T.wait_compaction t;
+        T.flush t)
+  in
+  let runs = T.run_count t and generation = T.generation t in
+  let delta = T.delta_length t in
+  let dyn = Wtrie.Dynamic.create () in
+  let dt_dyn = time_batch (fun () -> Array.iter (Wtrie.Dynamic.append dyn) strings) in
+  (* read-side p99 over scalar access: merged run+delta view vs the
+     flat arena alone *)
+  let flat = Wtrie.Static.of_array strings in
+  let rng = Xoshiro.create 7 in
+  let p99 access =
+    let reps = 4096 in
+    let lat =
+      Array.init reps (fun _ ->
+          let pos = Xoshiro.int rng n in
+          let t0 = now () in
+          access pos;
+          now () -. t0)
+    in
+    Array.sort compare lat;
+    lat.(int_of_float (0.99 *. float_of_int (reps - 1))) *. 1e6
+  in
+  let tiered_p99 =
+    p99 (fun pos -> ignore (T.access t ~pos : (string, Wtrie.error) result))
+  in
+  let static_p99 =
+    p99 (fun pos -> ignore (Wtrie.Static.access flat ~pos : (string, Wtrie.error) result))
+  in
+  T.close t;
+  rm_store dir;
+  let per_s dt = float_of_int n /. dt in
+  Wt_obs.Json.Obj
+    [
+      ("strings", Wt_obs.Json.Int n);
+      ("runs", Wt_obs.Json.Int runs);
+      ("generation", Wt_obs.Json.Int generation);
+      ("delta", Wt_obs.Json.Int delta);
+      ("ingest_strings_per_s", Wt_obs.Json.Float (per_s dt_ingest));
+      ("dynamic_strings_per_s", Wt_obs.Json.Float (per_s dt_dyn));
+      ("ingest_speedup_vs_dynamic", Wt_obs.Json.Float (dt_dyn /. dt_ingest));
+      ("read_p99_us", Wt_obs.Json.Float tiered_p99);
+      ("static_read_p99_us", Wt_obs.Json.Float static_p99);
+      ("read_p99_ratio_vs_static", Wt_obs.Json.Float (tiered_p99 /. static_p99));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Observability metrics block: build each variant through the [Wtrie]
    front door with probes on, run a scripted query/mutation mix, and
    emit the captured report (per-op counters, latency percentiles,
@@ -1201,6 +1265,7 @@ let metrics_block () =
       ("analytics", analytics_block ());
       ("durability", durability_block ());
       ("serve", serve_block ());
+      ("tiered", tiered_block ());
     ]
 
 let print_metrics_block ~json_only =

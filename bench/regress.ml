@@ -74,6 +74,10 @@ let gated =
     (* format v3: reopen cost and the flat engine's batch latency *)
     (Higher_better, "flat.open_speedup_vs_v2");
     (Lower_better, "flat.flat_batch_ns_per_op");
+    (* tiered store: sustained WAL-backed ingest rate and the merged
+       run+delta read path's tail latency *)
+    (Higher_better, "tiered.ingest_strings_per_s");
+    (Lower_better, "tiered.read_p99_us");
   ]
 (* The multi-domain figures (speedup_2/speedup_4) are deliberately not
    gated: they measure the runner's core count more than the code. *)
@@ -105,14 +109,34 @@ let absolute ~threshold cur =
   | Some v -> fail "%-45s %12.1f  (below the 50x floor)" "flat.open_speedup_vs_v2" v
   | None -> fail "flat.open_speedup_vs_v2 missing from current");
   let ceiling = 1. +. threshold in
-  match number cur "flat.batch_vs_pointer_ratio" with
+  (match number cur "flat.batch_vs_pointer_ratio" with
   | Some v when v <= ceiling ->
       Printf.printf "ok    %-45s %12.2f  (<= %.2f ceiling)\n" "flat.batch_vs_pointer_ratio"
         v ceiling
   | Some v ->
       fail "%-45s %12.2f  (flat batch worse than pointer by > %.0f%%)"
         "flat.batch_vs_pointer_ratio" v (threshold *. 100.)
-  | None -> fail "flat.batch_vs_pointer_ratio missing from current"
+  | None -> fail "flat.batch_vs_pointer_ratio missing from current");
+  (* tiered acceptance bar: WAL-backed ingest into the bounded delta
+     must at least match appending into one monolithic dynamic trie
+     (that is the point of tiering), and the merged read path may cost
+     at most 4x the flat arena it is built from. *)
+  (match number cur "tiered.ingest_speedup_vs_dynamic" with
+  | Some v when v >= 1. ->
+      Printf.printf "ok    %-45s %12.2f  (>= 1.0 floor)\n"
+        "tiered.ingest_speedup_vs_dynamic" v
+  | Some v ->
+      fail "%-45s %12.2f  (tiered ingest slower than dynamic append)"
+        "tiered.ingest_speedup_vs_dynamic" v
+  | None -> fail "tiered.ingest_speedup_vs_dynamic missing from current");
+  match number cur "tiered.read_p99_ratio_vs_static" with
+  | Some v when v <= 4. ->
+      Printf.printf "ok    %-45s %12.2f  (<= 4.0 ceiling)\n"
+        "tiered.read_p99_ratio_vs_static" v
+  | Some v ->
+      fail "%-45s %12.2f  (merged read p99 more than 4x the flat arena)"
+        "tiered.read_p99_ratio_vs_static" v
+  | None -> fail "tiered.read_p99_ratio_vs_static missing from current"
 
 
 let structural base cur =

@@ -56,13 +56,17 @@ let read_lines path =
    v2 static indexes flattened on load).  Most commands only need the
    uniform QUERY_API and go through [pack]; the range-toolkit and
    serving commands match on the variant. *)
-type src = App of Wtrie.Append.t | Flat of Wtrie.Static.t
+type src =
+  | App of Wtrie.Append.t
+  | Flat of Wtrie.Static.t
+  | Tier of Wtrie.Tiered.t
 
 type packed = Packed : (module Wtrie.QUERY_API with type t = 'a) * 'a -> packed
 
 let pack = function
   | App wt -> Packed ((module Wtrie.Append), wt)
   | Flat wt -> Packed ((module Wtrie.Static), wt)
+  | Tier t -> Packed ((module Wtrie.Tiered), t)
 
 let src_length src =
   let (Packed ((module Q), wt)) = pack src in
@@ -72,7 +76,17 @@ let src_length src =
    a durable store directory — every stored form behind [Wtrie.Storage],
    so a v3 index is an mmap away. *)
 let build path =
-  if path <> "-" && Sys.file_exists path && Sys.is_directory path then begin
+  if path <> "-" && Sys.file_exists path && Sys.is_directory path
+     && Wtrie.Tiered.is_store path
+  then begin
+    let t, r = Wtrie.Tiered.open_read_only path in
+    if r.Wtrie.Tiered.r_dropped_bytes > 0 || r.Wtrie.Tiered.r_wal_reset then
+      Printf.eprintf
+        "warning: %s has a torn write-ahead log (%d bytes unrecovered); run 'wtrie recover %s'\n"
+        path r.Wtrie.Tiered.r_dropped_bytes path;
+    Tier t
+  end
+  else if path <> "-" && Sys.file_exists path && Sys.is_directory path then begin
     if not (Durable.is_store path) then begin
       Printf.eprintf "%s is a directory but not a durable store\n" path;
       exit 2
@@ -110,6 +124,7 @@ let build path =
 let src_stats = function
   | App wt -> ("append", Wt_core.Append_wt.stats wt)
   | Flat wt -> ("static", Wt_core.Flat_wt.stats wt)
+  | Tier t -> ("tiered", Wtrie.Tiered.stats t)
 
 let capture_report src =
   let variant, st = src_stats src in
@@ -175,7 +190,7 @@ let index_cmd =
         let (Packed ((module Q), t)) = pack src in
         match src with
         | Flat wt -> wt
-        | App _ ->
+        | App _ | Tier _ ->
             Wtrie.Static.of_array
               (Array.init (Q.length t) (fun pos ->
                    match Q.access t ~pos with Ok s -> s | Error _ -> assert false))
@@ -227,29 +242,68 @@ let ingest_cmd =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"FILE" ~doc:"Input file; one string per line ('-' for stdin).")
   in
   let checkpoint =
-    Arg.(value & opt int (1 lsl 20) & info [ "checkpoint-bytes" ] ~docv:"N" ~doc:"Checkpoint the WAL into a fresh snapshot once it exceeds N bytes.")
+    Arg.(value & opt int (1 lsl 20) & info [ "checkpoint-bytes" ] ~docv:"N" ~doc:"Checkpoint the WAL into a fresh snapshot once it exceeds N bytes (snapshot+WAL stores).")
   in
-  let run dir file checkpoint_bytes =
+  let tiered =
+    Arg.(value & flag & info [ "tiered" ] ~doc:"Use the tiered LSM-style store: ingests land in a small dynamic delta and a background domain compacts it into immutable runs.  An existing store's layout always wins over this flag.")
+  in
+  let compact_strings =
+    Arg.(value & opt (some int) None & info [ "compact-strings" ] ~docv:"N" ~doc:"Tiered stores: compact the delta into a run once it holds N strings.")
+  in
+  let run dir file checkpoint_bytes tiered compact_strings =
     let lines = read_lines file in
-    let t =
-      if Durable.is_store dir then begin
-        let t, r = Durable.open_ ~checkpoint_bytes dir in
-        if r.Durable.replayed > 0 || r.Durable.dropped_bytes > 0 then
-          Printf.eprintf "recovered %s: %d WAL records replayed, %d torn bytes dropped\n"
-            dir r.Durable.replayed r.Durable.dropped_bytes;
-        t
-      end
-      else Durable.create ~checkpoint_bytes ~variant:`Append dir
-    in
-    Array.iter (Durable.append t) lines;
-    Durable.close t;
-    Printf.printf "ingested %d strings into %s (length %d, generation %d)\n"
-      (Array.length lines) dir (Durable.length t) (Durable.generation t)
+    (match compact_strings with
+    | Some n when n < 1 ->
+        Printf.eprintf "wtrie ingest: --compact-strings must be >= 1 (got %d)\n" n;
+        exit 64
+    | _ -> ());
+    (* an existing store dictates its own layout; the flag only picks
+       the layout of a store created here *)
+    if Wtrie.Tiered.is_store dir || ((not (Durable.is_store dir)) && tiered) then begin
+      let module T = Wtrie.Tiered in
+      let t =
+        if T.is_store dir then begin
+          let t, r = T.open_ ?threshold:compact_strings dir in
+          if r.T.r_replayed > 0 || r.T.r_dropped_bytes > 0 || r.T.r_rolled_forward then
+            Printf.eprintf
+              "recovered %s: %d WAL records replayed, %d torn bytes dropped%s\n" dir
+              r.T.r_replayed r.T.r_dropped_bytes
+              (if r.T.r_rolled_forward then ", mid-compaction commit completed" else "");
+          t
+        end
+        else T.create ?threshold:compact_strings dir
+      in
+      Array.iter (T.ingest t) lines;
+      T.wait_compaction t;
+      T.flush t;
+      let len = T.length t and gen = T.generation t in
+      let runs = T.run_count t and delta = T.delta_length t in
+      T.close t;
+      Printf.printf
+        "ingested %d strings into %s (tiered, length %d, generation %d, %d runs + %d in delta)\n"
+        (Array.length lines) dir len gen runs delta
+    end
+    else begin
+      let t =
+        if Durable.is_store dir then begin
+          let t, r = Durable.open_ ~checkpoint_bytes dir in
+          if r.Durable.replayed > 0 || r.Durable.dropped_bytes > 0 then
+            Printf.eprintf "recovered %s: %d WAL records replayed, %d torn bytes dropped\n"
+              dir r.Durable.replayed r.Durable.dropped_bytes;
+          t
+        end
+        else Durable.create ~checkpoint_bytes ~variant:`Append dir
+      in
+      Array.iter (Durable.append t) lines;
+      Durable.close t;
+      Printf.printf "ingested %d strings into %s (length %d, generation %d)\n"
+        (Array.length lines) dir (Durable.length t) (Durable.generation t)
+    end
   in
   Cmd.v
     (Cmd.info "ingest"
-       ~doc:"Append a file of lines to a crash-safe store (write-ahead logged; survives being killed mid-append).")
-    Term.(const run $ dir $ file $ checkpoint)
+       ~doc:"Append a file of lines to a crash-safe store (write-ahead logged; survives being killed mid-append).  With $(b,--tiered), the store is LSM-style: delta + immutable runs + background compaction.")
+    Term.(const run $ dir $ file $ checkpoint $ tiered $ compact_strings)
 
 
 let verify_cmd =
@@ -259,7 +313,39 @@ let verify_cmd =
   let run path json =
     let emit obj = print_endline (Json.to_string (Json.Obj obj)) in
     match
-      if Sys.file_exists path && Sys.is_directory path then begin
+      if Sys.file_exists path && Sys.is_directory path && Wtrie.Tiered.is_store path
+      then begin
+        let module T = Wtrie.Tiered in
+        let r = T.verify path in
+        if json then
+          emit
+            [
+              ("ok", Json.Bool r.T.v_clean);
+              ("kind", Json.Str "store");
+              ("variant", Json.Str "tiered");
+              ("generation", Json.Int r.T.v_generation);
+              ("runs", Json.Int r.T.v_runs);
+              ("length", Json.Int r.T.v_length);
+              ("distinct", Json.Int r.T.v_distinct);
+              ("wal_records", Json.Int r.T.v_wal_records);
+              ("wal_dropped_bytes", Json.Int r.T.v_dropped_bytes);
+              ("wal_reset_needed", Json.Bool r.T.v_wal_reset);
+              ("rolled_forward", Json.Bool r.T.v_rolled_forward);
+            ]
+        else if r.T.v_clean then
+          Printf.printf
+            "%s: ok (tiered store, generation %d, %d runs, length %d, wal records %d)\n"
+            path r.T.v_generation r.T.v_runs r.T.v_length r.T.v_wal_records
+        else
+          Printf.printf
+            "%s: recoverable (tiered store, %d wal records intact, %d bytes torn%s%s); run 'wtrie recover %s'\n"
+            path r.T.v_wal_records r.T.v_dropped_bytes
+            (if r.T.v_wal_reset then ", wal header reset needed" else "")
+            (if r.T.v_rolled_forward then ", mid-compaction commit pending" else "")
+            path;
+        r.T.v_clean
+      end
+      else if Sys.file_exists path && Sys.is_directory path then begin
         let r = Durable.verify path in
         if json then
           emit
@@ -321,6 +407,38 @@ let recover_cmd =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"STORE" ~doc:"Durable store directory.")
   in
   let run path json =
+    if Sys.file_exists path && Sys.is_directory path && Wtrie.Tiered.is_store path
+    then begin
+      let module T = Wtrie.Tiered in
+      match T.recover path with
+      | r ->
+          if json then
+            print_endline
+              (Json.to_string
+                 (Json.Obj
+                    [
+                      ("ok", Json.Bool true);
+                      ("replayed", Json.Int r.T.r_replayed);
+                      ("dropped_bytes", Json.Int r.T.r_dropped_bytes);
+                      ("wal_reset", Json.Bool r.T.r_wal_reset);
+                      ("rolled_forward", Json.Bool r.T.r_rolled_forward);
+                      ("generation", Json.Int r.T.r_generation);
+                    ]))
+          else
+            Printf.printf
+              "recovered %s: replayed %d records, dropped %d bytes%s, delta compacted into a run\n"
+              path r.T.r_replayed r.T.r_dropped_bytes
+              (if r.T.r_rolled_forward then ", completed a mid-compaction commit"
+               else "")
+      | exception Storage.Format_error msg ->
+          if json then
+            print_endline
+              (Json.to_string
+                 (Json.Obj [ ("ok", Json.Bool false); ("error", Json.Str msg) ]))
+          else Printf.eprintf "%s: unrecoverable: %s\n" path msg;
+          exit 2
+    end
+    else
     match Durable.recover path with
     | r ->
         if json then
@@ -706,6 +824,11 @@ let majority_cmd =
       match src with
       | App wt -> Range.Append.majority wt ~lo ~hi
       | Flat wt -> Range.Static.majority wt ~lo ~hi
+      | Tier t -> (
+          (* the merged top-1 is the only majority candidate *)
+          match Wtrie.Tiered.range_topk ~lo ~hi t ~k:1 with
+          | Ok [| (s, c) |] when 2 * c > hi - lo -> Some (Binarize.of_bytes s, c)
+          | _ -> None)
     in
     (match m with
     | Some (s, c) -> Printf.printf "%s (%d of %d)\n" (Binarize.to_bytes s) c (hi - lo)
@@ -743,6 +866,22 @@ let quantile_cmd =
       match src with
       | App wt -> Range.Append.quantile wt ~lo ~hi k
       | Flat wt -> Range.Static.quantile wt ~lo ~hi k
+      | Tier _ when k < 0 -> invalid_arg "Range.quantile"
+      | Tier t -> (
+          (* walk the lex-sorted merged distinct tallies to the k-th
+             occupant (counting multiplicity), as the single-trie
+             range-quantile does *)
+          match Wtrie.Tiered.range_distinct ~lo ~hi t with
+          | Error _ -> None
+          | Ok items ->
+              let rec walk i acc =
+                if i >= Array.length items then None
+                else
+                  let s, c = items.(i) in
+                  if k < acc + c then Some (Binarize.of_bytes s)
+                  else walk (i + 1) (acc + c)
+              in
+              walk 0 0)
     in
     (match q with
     | Some s -> print_endline (Binarize.to_bytes s)
@@ -766,6 +905,14 @@ let at_least_cmd =
       match src with
       | App wt -> Range.Append.at_least wt ~lo ~hi ~threshold:t
       | Flat wt -> Range.Static.at_least wt ~lo ~hi ~threshold:t
+      | Tier tr ->
+          if t < 1 then invalid_arg "Range.at_least: threshold must be >= 1";
+          (match Wtrie.Tiered.range_distinct ~lo ~hi tr with
+          | Error _ -> []
+          | Ok items ->
+              Array.to_list items
+              |> List.filter_map (fun (s, c) ->
+                     if c >= t then Some (Binarize.of_bytes s, c) else None))
     in
     List.iter
       (fun (s, c) -> Printf.printf "%8d  %s\n" c (Binarize.to_bytes s))
@@ -858,6 +1005,11 @@ let serve_cmd =
         | Flat wt ->
             Server.create ~config:cfg ~backend:Server.static_backend
               (Wtrie.Snapshot.create wt)
+        | Tier t ->
+            (* serve the store's epoch-published merged views; ingest
+               processes publish new tier lists through the same handle *)
+            Server.create ~config:cfg ~backend:Server.tiered_backend
+              (Wtrie.Tiered.handle t)
       with Unix.Unix_error (e, fn, _) ->
         Printf.eprintf "wtrie serve: cannot listen on %s:%d: %s (%s)\n" host port
           (Unix.error_message e) fn;

@@ -115,6 +115,29 @@ module Dynamic : DYNAMIC_API with type t = Wt_core.Dynamic_wt.t = struct
     Wt_par.Par_exec.query_batch ?domains Wt_exec.Exec.Dynamic.query_batch t ops
 end
 
+(** The write-optimized tiered store ([lib/tiered]): ingests land in a
+    small {!Dynamic}-style delta backed by a WAL, reads go through a
+    merged view over [immutable runs…; delta], and a background domain
+    compacts the delta into flat-arena run files, publishing each new
+    tier list through {!Snapshot} epochs.  The store satisfies the
+    whole {!module-type-QUERY_API} (sealed below), plus
+    [create]/[open_]/[ingest]/[flush]/[compact]/[verify]/[recover] and
+    the durable-store error conventions ([Wt_durable.Container.
+    Format_error] for corrupt stores).  See docs/durability.md.
+
+    {[
+      let t = Wtrie.Tiered.create "store.tiered" in
+      Wtrie.Tiered.ingest t "a.com/x";
+      Wtrie.Tiered.flush t;                 (* fsync the ack point *)
+      Wtrie.Tiered.compact t;               (* delta -> immutable run *)
+      assert (Wtrie.Tiered.count t "a.com/x" = 1)
+    ]} *)
+module Tiered = Wt_tiered.Tiered
+
+(* seal the read-side conformance: the merged view answers the same
+   QUERY_API as every single-trie variant *)
+module _ : QUERY_API with type t = Tiered.t = Tiered
+
 (** Index files on disk, behind one front door.
 
     A format-v3 index ({!Static.save_file}) holds the flat arena and

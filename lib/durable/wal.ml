@@ -96,6 +96,17 @@ let frame_bytes op =
 
 let record_size op = String.length (frame_bytes op)
 
+(* Atomic header+records replacement: the whole new log (fresh header
+   plus every given record) lands via temp + fsync + rename, so a crash
+   mid-write leaves the previous log byte-for-byte intact.  The tiered
+   store's compaction commit rotates its WAL with this — the records
+   are the ingests that arrived after the compacted prefix was sealed,
+   and they must survive the rotation atomically. *)
+let create_with ~tag ~generation ops path =
+  Container.atomic_write path (fun oc ->
+      Fault.output_string oc (header_bytes ~tag ~generation);
+      List.iter (fun op -> Fault.output_string oc (frame_bytes op)) ops)
+
 let append_op oc op =
   let frame = frame_bytes op in
   Fault.output_string oc frame;

@@ -13,6 +13,13 @@ type op = Append of string | Insert of int * string | Delete of int
 val create : tag:string -> generation:int -> string -> unit
 (** Atomically (re)initialize a WAL file to a bare header. *)
 
+val create_with : tag:string -> generation:int -> op list -> string -> unit
+(** Atomically replace a WAL with a fresh header followed by the given
+    records (temp + fsync + rename): either the old log survives intact
+    or the new one is complete.  Used by log rotations that must carry
+    records forward — e.g. the tiered store's compaction commit, which
+    moves the post-seal ingests into the next generation's log. *)
+
 val header_size : tag:string -> int
 
 val append_op : out_channel -> op -> int

@@ -36,6 +36,14 @@
       v3) — arenas built from pointer tries, saved to v3 containers,
       and opened by [mmap] (zero-copy) or full-CRC copy; the same ids
       key the build/save/open latency histograms;
+    - [Tiered_*]: the write-optimized tiered store ([lib/tiered]) —
+      ingests acknowledged (and their payload bytes), WAL fsync
+      barriers ([flush]), compactions committed (the same id keys the
+      compaction-duration histogram) and the run-file bytes they wrote
+      (write amplification = [tiered_compact_bytes] /
+      [tiered_ingest_bytes]), plus two sampled histograms:
+      [Tiered_delta_strings] (delta size at each seal) and
+      [Tiered_run_count] (immutable run count after each commit);
     - [Serve_*]: the TCP serving front-end ([lib/serve]) — connections
       accepted and defensively closed, query requests admitted,
       micro-batches flushed, requests shed with [Overloaded]
@@ -107,8 +115,15 @@ type t =
   | Flat_save
   | Flat_open_mmap
   | Flat_open_copy
+  | Tiered_ingest
+  | Tiered_ingest_bytes
+  | Tiered_flush
+  | Tiered_compact
+  | Tiered_compact_bytes
+  | Tiered_delta_strings
+  | Tiered_run_count
 
-let count = 59
+let count = 66
 
 let index = function
   | Rrr_rank -> 0
@@ -170,6 +185,13 @@ let index = function
   | Flat_save -> 56
   | Flat_open_mmap -> 57
   | Flat_open_copy -> 58
+  | Tiered_ingest -> 59
+  | Tiered_ingest_bytes -> 60
+  | Tiered_flush -> 61
+  | Tiered_compact -> 62
+  | Tiered_compact_bytes -> 63
+  | Tiered_delta_strings -> 64
+  | Tiered_run_count -> 65
 
 let all =
   [|
@@ -185,7 +207,8 @@ let all =
     Analytics_distinct; Analytics_topk; Serve_accept; Serve_conn_close;
     Serve_request; Serve_batch; Serve_shed; Serve_deadline; Serve_bad_frame;
     Serve_queue_depth; Serve_queue_wait; Flat_build; Flat_save; Flat_open_mmap;
-    Flat_open_copy;
+    Flat_open_copy; Tiered_ingest; Tiered_ingest_bytes; Tiered_flush;
+    Tiered_compact; Tiered_compact_bytes; Tiered_delta_strings; Tiered_run_count;
   |]
 
 let name = function
@@ -248,5 +271,12 @@ let name = function
   | Flat_save -> "flat_save"
   | Flat_open_mmap -> "flat_open_mmap"
   | Flat_open_copy -> "flat_open_copy"
+  | Tiered_ingest -> "tiered_ingest"
+  | Tiered_ingest_bytes -> "tiered_ingest_bytes"
+  | Tiered_flush -> "tiered_flush"
+  | Tiered_compact -> "tiered_compact"
+  | Tiered_compact_bytes -> "tiered_compact_bytes"
+  | Tiered_delta_strings -> "tiered_delta_strings"
+  | Tiered_run_count -> "tiered_run_count"
 
 let of_name s = Array.find_opt (fun m -> name m = s) all

@@ -66,6 +66,17 @@ let static_backend =
           ops);
   }
 
+(* Serves the tiered store's epoch-published merged views ([runs…;
+   delta]); the per-tier sub-batches go through the pool exactly like
+   the single-trie backends.  Pair it with [Wt_tiered.Tiered.handle]. *)
+let tiered_backend =
+  {
+    length = Wt_tiered.Tiered.View.length;
+    engine =
+      (fun ?pool ?domains view ops ->
+        Wt_tiered.Tiered.View.query_batch ?pool ?domains view ops);
+  }
+
 type config = {
   host : string;
   port : int;  (** 0 = ephemeral; read the bound port with {!port} *)

@@ -1,0 +1,1058 @@
+(** Write-optimized tiered store: a small fully-dynamic delta absorbing
+    ingests, immutable flat-arena runs absorbing compactions, and a
+    merged read view over both.
+
+    The paper's fully-dynamic trie pays O(|s| + h_s log n) per update
+    with n the whole sequence; the LSM-style arrangement here keeps the
+    mutable structure small (n = delta size, bounded by the compaction
+    threshold) and amortizes the rest into static runs that answer
+    reads at flat-arena speed.  The moving parts:
+
+    - {b Ingest} appends the raw byte string to the WAL (the ack
+      point), then to the in-memory [Dynamic_wt] delta.  The WAL is
+      the delta's replay source — there is no separate delta snapshot
+      file.
+    - {b Reads} go through a {!View}: the tier list
+      [runs…; sealed?; delta] with prefix-sum offsets.  The view
+      implements the whole query surface — scalar access/rank/select
+      via per-tier decomposition, the analytics suite via per-tier
+      windows merged by decoded string, and [query_batch] via a
+      two-phase per-tier batch decomposition that reuses the batch
+      engine and the domain pool on every tier.
+    - {b Compaction} seals the delta (the compactor takes ownership;
+      queries keep a frozen [Dynamic_wt.snapshot] of it as a tier),
+      builds a [Flat_wt] arena off the owner's critical path — on a
+      background domain or, for the synchronous [compact], optionally
+      through a [Wt_par.Pool] — and commits with a strict ordering:
+      run file durable, WAL rotated to the next generation carrying
+      only post-seal ingests, manifest swapped.  Each window of that
+      ordering is recoverable (see {!open_}).
+    - {b Publication}: every commit (and [publish]) installs a frozen
+      view in a {!Wt_par.Snapshot}, so concurrent readers and the
+      serving front-end never observe a torn tier list; a batch in
+      flight keeps the epoch's tiers alive until it completes.
+
+    On-disk layout (a store is a directory):
+    - [manifest.wtx] — format-v2 container, tag ["tiered-manifest"],
+      payload = marshalled [(generation, run file names oldest-first,
+      next run number)];
+    - [run-NNNNNN.wtx] — format-v3 flat-arena containers;
+    - [wal.log] — {!Wt_durable.Wal} log, tag ["tiered"], generation
+      equal to the manifest's; append records only.
+
+    Crash windows of a compaction commit, and how {!open_} resolves
+    them (g = manifest generation on disk, w = WAL generation):
+    - after the run write, before the WAL rotation: the run file is an
+      orphan ([w = g]); the full WAL replays, the orphan is deleted and
+      the next compaction rewrites it atomically;
+    - after the WAL rotation, before the manifest swap ([w = g+1]):
+      roll forward — the pending run [run-<next>] holds exactly the
+      records the rotation dropped, so the run is adopted, the
+      manifest rewritten at [g+1], and the (suffix-only) WAL replayed;
+    - [w < g] or torn WAL header: the log is stale (its records are
+      already inside a run) — reset it;
+    - [w > g+1]: impossible under the protocol; refuse to open. *)
+
+module Bitstring = Wt_strings.Bitstring
+module Binarize = Wt_strings.Binarize
+module Iseq = Wt_core.Indexed_sequence
+module Flat_wt = Wt_core.Flat_wt
+module Dynamic_wt = Wt_core.Dynamic_wt
+module Stats = Wt_core.Stats
+module Container = Wt_durable.Container
+module Wal = Wt_durable.Wal
+module Fault = Wt_durable.Fault
+module Snapshot = Wt_par.Snapshot
+module Pool = Wt_par.Pool
+module Probe = Wt_obs.Probe
+module Trace = Wt_obs.Trace
+module Flight = Wt_obs.Flight
+
+let manifest_tag = "tiered-manifest"
+let wal_tag = "tiered"
+let default_threshold = 4096
+let fail fmt = Printf.ksprintf (fun m -> raise (Container.Format_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Merged read view *)
+
+module View = struct
+  type tier = Run of Flat_wt.t | Dyn of Dynamic_wt.t
+
+  type t = {
+    tiers : tier array;
+    offsets : int array;  (** |tiers|+1 prefix sums of tier lengths *)
+  }
+
+  let tier_length = function
+    | Run f -> Flat_wt.length f
+    | Dyn d -> Dynamic_wt.length d
+
+  let make tiers =
+    let n = Array.length tiers in
+    let offsets = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      offsets.(i + 1) <- offsets.(i) + tier_length tiers.(i)
+    done;
+    { tiers; offsets }
+
+  let length v = v.offsets.(Array.length v.tiers)
+  let tier_count v = Array.length v.tiers
+  let tier_len v i = v.offsets.(i + 1) - v.offsets.(i)
+
+  (* The tier holding global position [pos] (valid: 0 <= pos < length):
+     the greatest [i] with [offsets.(i) <= pos], found by binary search
+     over the prefix sums.  Empty tiers share an offset with their
+     successor and are skipped by the greatest-index rule. *)
+  let locate v pos =
+    let lo = ref 0 and hi = ref (Array.length v.tiers - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if v.offsets.(mid) <= pos then lo := mid else hi := mid - 1
+    done;
+    !lo
+
+  (* Per-tier scalar primitives. *)
+  let t_access t p =
+    match t with Run f -> Flat_wt.access f p | Dyn d -> Dynamic_wt.access d p
+
+  let t_rank t s p =
+    match t with Run f -> Flat_wt.rank f s p | Dyn d -> Dynamic_wt.rank d s p
+
+  let t_rank_prefix t s p =
+    match t with
+    | Run f -> Flat_wt.rank_prefix f s p
+    | Dyn d -> Dynamic_wt.rank_prefix d s p
+
+  let t_select t s k =
+    match t with Run f -> Flat_wt.select f s k | Dyn d -> Dynamic_wt.select d s k
+
+  let t_select_prefix t s k =
+    match t with
+    | Run f -> Flat_wt.select_prefix f s k
+    | Dyn d -> Dynamic_wt.select_prefix d s k
+
+  let t_space_bits = function
+    | Run f -> Flat_wt.space_bits f
+    | Dyn d -> Dynamic_wt.space_bits d
+
+  let t_stats = function Run f -> Flat_wt.stats f | Dyn d -> Dynamic_wt.stats d
+
+  (* Per-tier analytics at the bitstring level; windows pre-clipped. *)
+  module AR = Wt_analytics.Analytics.Make (Flat_wt.Node)
+  module AD = Wt_analytics.Analytics.Make (Dynamic_wt.Node)
+
+  let t_select_all ?prefix t ~lo ~hi =
+    match t with
+    | Run f -> AR.select_all ?prefix f ~lo ~hi
+    | Dyn d -> AD.select_all ?prefix d ~lo ~hi
+
+  let t_range_count ?prefix t ~lo ~hi =
+    match t with
+    | Run f -> AR.range_count ?prefix f ~lo ~hi
+    | Dyn d -> AD.range_count ?prefix d ~lo ~hi
+
+  let t_range_distinct ?prefix t ~lo ~hi =
+    match t with
+    | Run f -> AR.range_distinct ?prefix f ~lo ~hi
+    | Dyn d -> AD.range_distinct ?prefix d ~lo ~hi
+
+  (* The global window [lo, hi) clipped to tier [i], in tier-local
+     coordinates; [None] when they do not intersect. *)
+  let clip v i ~lo ~hi =
+    let a = max lo v.offsets.(i) and b = min hi v.offsets.(i + 1) in
+    if a >= b then None else Some (a - v.offsets.(i), b - v.offsets.(i))
+
+  (* Merge per-tier distinct tallies by decoded byte string.  Tiers are
+     independent tries, so equal strings can sit at structurally
+     different leaves; the decoded bytes are the canonical key.  The
+     table keeps one representative bitstring per key for ordering. *)
+  let tally ?prefix v ~lo ~hi =
+    let tbl = Hashtbl.create 64 in
+    Array.iteri
+      (fun i t ->
+        match clip v i ~lo ~hi with
+        | None -> ()
+        | Some (l, h) ->
+            Array.iter
+              (fun (path, c) ->
+                let key = Binarize.to_bytes path in
+                match Hashtbl.find_opt tbl key with
+                | Some (_, r) -> r := !r + c
+                | None -> Hashtbl.add tbl key (path, ref c))
+              (t_range_distinct ?prefix t ~lo:l ~hi:h))
+      v.tiers;
+    tbl
+
+  let tally_items ?prefix v ~lo ~hi =
+    Hashtbl.fold (fun _ (p, r) acc -> (p, !r) :: acc) (tally ?prefix v ~lo ~hi) []
+
+  (* Bitstring-level analytics over the merged view.  Windows are
+     assumed valid, as in {!Wt_analytics.Analytics.Make}. *)
+  let select_all_bits ?prefix v ~lo ~hi =
+    let parts = ref [] in
+    for i = Array.length v.tiers - 1 downto 0 do
+      match clip v i ~lo ~hi with
+      | None -> ()
+      | Some (l, h) ->
+          let arr = t_select_all ?prefix v.tiers.(i) ~lo:l ~hi:h in
+          let off = v.offsets.(i) in
+          parts := Array.map (fun p -> p + off) arr :: !parts
+    done;
+    (* per-tier results are ascending and tiers are position-disjoint *)
+    Array.concat !parts
+
+  let range_count_bits ?prefix v ~lo ~hi =
+    let acc = ref 0 in
+    Array.iteri
+      (fun i t ->
+        match clip v i ~lo ~hi with
+        | None -> ()
+        | Some (l, h) -> acc := !acc + t_range_count ?prefix t ~lo:l ~hi:h)
+      v.tiers;
+    !acc
+
+  let range_distinct_bits ?prefix v ~lo ~hi =
+    let items = tally_items ?prefix v ~lo ~hi in
+    let items =
+      List.sort (fun (a, _) (b, _) -> Bitstring.compare a b) items
+    in
+    Array.of_list items
+
+  (* Global top-k needs global counts: a string in no single tier's
+     top k can win on the merged tallies, so per-tier topk is not
+     sound — merge full distinct tallies, then order. *)
+  let range_topk_bits ?prefix v ~lo ~hi ~k =
+    if k = 0 then [||]
+    else
+      let items = tally_items ?prefix v ~lo ~hi in
+      let items =
+        List.sort
+          (fun (pa, ca) (pb, cb) ->
+            if ca <> cb then compare cb ca else Bitstring.compare pa pb)
+          items
+      in
+      let rec take k = function
+        | [] -> []
+        | _ when k = 0 -> []
+        | x :: tl -> x :: take (k - 1) tl
+      in
+      Array.of_list (take k items)
+
+  (* The merged view as an {!Iseq.S} indexed sequence, so the standard
+     byte façade ({!Wt_core.String_api.Make}) applies verbatim and the
+     merged scalar API reports byte-for-byte the same errors as every
+     other variant. *)
+  module Seq = struct
+    type nonrec t = t
+
+    let length = length
+    let access v pos =
+      let i = locate v pos in
+      t_access v.tiers.(i) (pos - v.offsets.(i))
+
+    (* rank over [0, pos): sum of per-tier ranks over clipped windows. *)
+    let fold_rank rank1 v s pos =
+      let acc = ref 0 and i = ref 0 in
+      let nt = Array.length v.tiers in
+      while !i < nt && v.offsets.(!i) < pos do
+        let upto = min (tier_len v !i) (pos - v.offsets.(!i)) in
+        if upto > 0 then acc := !acc + rank1 v.tiers.(!i) s upto;
+        incr i
+      done;
+      !acc
+
+    let rank v s pos = fold_rank t_rank v s pos
+    let rank_prefix v s pos = fold_rank t_rank_prefix v s pos
+
+    (* select: walk tiers subtracting each tier's total occurrence
+       count until the residual index lands inside one. *)
+    let fold_select count1 sel1 v s idx =
+      let nt = Array.length v.tiers in
+      let rec go i idx =
+        if i >= nt then None
+        else
+          let len = tier_len v i in
+          let c = if len = 0 then 0 else count1 v.tiers.(i) s len in
+          if idx < c then
+            Option.map (fun p -> v.offsets.(i) + p) (sel1 v.tiers.(i) s idx)
+          else go (i + 1) (idx - c)
+      in
+      go 0 idx
+
+    let select v s idx = fold_select t_rank t_select v s idx
+    let select_prefix v s idx = fold_select t_rank_prefix t_select_prefix v s idx
+
+    let distinct_count v =
+      Hashtbl.length (tally v ~lo:0 ~hi:(length v))
+
+    let space_bits v =
+      Array.fold_left (fun acc t -> acc + t_space_bits t) 0 v.tiers
+      + (64 * (Array.length v.tiers + 1))
+  end
+
+  (* ---------------------------------------------------------------- *)
+  (* Batched queries: two-phase per-tier decomposition.
+
+     Phase A sends every tier one batch carrying (a) translated
+     [Access]es for positions it owns, (b) clipped [Rank]-family
+     probes whose results sum into the merged answer, and (c) one
+     whole-tier count probe per [Select]-family op.  Phase B resolves
+     each select in the single tier holding its residual index.  Both
+     phases run each tier's sub-batch through {!Wt_par.Par_exec}, so
+     the pool parallelism of the flat and dynamic engines carries
+     over unchanged; results are merged back in input order. *)
+
+  type a_tag =
+    | Direct of int  (** phase-A result is op [i]'s final answer *)
+    | Sum of int  (** phase-A result adds into op [i]'s rank sum *)
+    | Sel_count of int * int  (** whole-tier count for select op [i], tier [j] *)
+
+  let run_tier ?pool ?domains v j ops =
+    match v.tiers.(j) with
+    | Run f -> Wt_par.Par_exec.query_batch ?pool ?domains Wt_exec.Exec.Static.query_batch f ops
+    | Dyn d -> Wt_par.Par_exec.query_batch ?pool ?domains Wt_exec.Exec.Dynamic.query_batch d ops
+
+  let query_batch ?pool ?domains v (ops : Iseq.op array) :
+      (Iseq.value, Iseq.error) result array =
+    let nt = Array.length v.tiers in
+    let n = length v in
+    let nops = Array.length ops in
+    let out = Array.make nops (Ok (Iseq.Int 0)) in
+    let errs = Array.make nops None in
+    let err i e = if errs.(i) = None then errs.(i) <- Some e in
+    let sums = Array.make nops 0 in
+    let sel_counts = Hashtbl.create 16 in
+    (* phase-A op lists per tier, accumulated in reverse *)
+    let a_ops = Array.make nt [] and a_tags = Array.make nt [] in
+    let push_a j op tag =
+      a_ops.(j) <- op :: a_ops.(j);
+      a_tags.(j) <- tag :: a_tags.(j)
+    in
+    let each_tier f =
+      for j = 0 to nt - 1 do
+        if tier_len v j > 0 then f j (tier_len v j)
+      done
+    in
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Iseq.Access { pos } ->
+            if pos < 0 || pos >= n then
+              err i (Iseq.Position_out_of_bounds { pos; len = n })
+            else
+              let j = locate v pos in
+              push_a j (Iseq.Access { pos = pos - v.offsets.(j) }) (Direct i)
+        | Iseq.Rank { s; pos } ->
+            if pos < 0 || pos > n then
+              err i (Iseq.Position_out_of_bounds { pos; len = n })
+            else
+              each_tier (fun j len ->
+                  if v.offsets.(j) < pos then
+                    push_a j
+                      (Iseq.Rank { s; pos = min len (pos - v.offsets.(j)) })
+                      (Sum i))
+        | Iseq.Rank_prefix { prefix; pos } ->
+            if pos < 0 || pos > n then
+              err i (Iseq.Position_out_of_bounds { pos; len = n })
+            else
+              each_tier (fun j len ->
+                  if v.offsets.(j) < pos then
+                    push_a j
+                      (Iseq.Rank_prefix
+                         { prefix; pos = min len (pos - v.offsets.(j)) })
+                      (Sum i))
+        | Iseq.Select { s; count } ->
+            if count < 0 then err i (Iseq.Negative_count { count })
+            else begin
+              Hashtbl.replace sel_counts i (Array.make nt 0);
+              each_tier (fun j len ->
+                  push_a j (Iseq.Rank { s; pos = len }) (Sel_count (i, j)))
+            end
+        | Iseq.Select_prefix { prefix; count } ->
+            if count < 0 then err i (Iseq.Negative_count { count })
+            else begin
+              Hashtbl.replace sel_counts i (Array.make nt 0);
+              each_tier (fun j len ->
+                  push_a j
+                    (Iseq.Rank_prefix { prefix; pos = len })
+                    (Sel_count (i, j)))
+            end)
+      ops;
+    let run_phase ops_per_tier consume =
+      Array.iteri
+        (fun j rev_ops ->
+          match rev_ops with
+          | [] -> ()
+          | _ ->
+              let ops_j = Array.of_list (List.rev rev_ops) in
+              let res = run_tier ?pool ?domains v j ops_j in
+              consume j res)
+        ops_per_tier
+    in
+    run_phase a_ops (fun j res ->
+        let tags = Array.of_list (List.rev a_tags.(j)) in
+        Array.iteri
+          (fun k r ->
+            let i =
+              match tags.(k) with Direct i | Sum i | Sel_count (i, _) -> i
+            in
+            match (tags.(k), r) with
+            | _, Error e -> err i e
+            | Direct _, Ok value -> out.(i) <- Ok value
+            | Sum _, Ok (Iseq.Int c) -> sums.(i) <- sums.(i) + c
+            | Sel_count (_, j'), Ok (Iseq.Int c) ->
+                (Hashtbl.find sel_counts i).(j') <- c
+            | (Sum _ | Sel_count _), Ok (Iseq.Str _) ->
+                (* engine shape violation; not reachable *)
+                err i
+                  (Iseq.Storage_error
+                     { path = "<tiered>"; reason = "batch result shape mismatch" }))
+          res);
+    (* phase B: one select per op, in the tier owning the residual *)
+    let b_ops = Array.make nt [] and b_idx = Array.make nt [] in
+    Array.iteri
+      (fun i op ->
+        if errs.(i) = None then
+          match op with
+          | Iseq.Select { s = _; count } | Iseq.Select_prefix { prefix = _; count }
+            -> (
+              let counts = Hashtbl.find sel_counts i in
+              let total = Array.fold_left ( + ) 0 counts in
+              if count >= total then
+                err i (Iseq.No_occurrence { count; occurrences = total })
+              else begin
+                let j = ref 0 and rem = ref count in
+                while !rem >= counts.(!j) do
+                  rem := !rem - counts.(!j);
+                  incr j
+                done;
+                let sub =
+                  match op with
+                  | Iseq.Select { s; _ } -> Iseq.Select { s; count = !rem }
+                  | Iseq.Select_prefix { prefix; _ } ->
+                      Iseq.Select_prefix { prefix; count = !rem }
+                  | _ -> assert false
+                in
+                b_ops.(!j) <- sub :: b_ops.(!j);
+                b_idx.(!j) <- i :: b_idx.(!j)
+              end)
+          | _ -> ())
+      ops;
+    run_phase b_ops (fun j res ->
+        let idx = Array.of_list (List.rev b_idx.(j)) in
+        Array.iteri
+          (fun k r ->
+            match r with
+            | Error e -> err idx.(k) e
+            | Ok (Iseq.Int p) -> out.(idx.(k)) <- Ok (Iseq.Int (v.offsets.(j) + p))
+            | Ok (Iseq.Str _) ->
+                err idx.(k)
+                  (Iseq.Storage_error
+                     { path = "<tiered>"; reason = "batch result shape mismatch" }))
+          res);
+    Array.iteri
+      (fun i op ->
+        match errs.(i) with
+        | Some e -> out.(i) <- Error e
+        | None -> (
+            match op with
+            | Iseq.Rank _ | Iseq.Rank_prefix _ -> out.(i) <- Ok (Iseq.Int sums.(i))
+            | _ -> ()))
+      ops;
+    out
+end
+
+(* The scalar byte façade over a view: same functor as every variant,
+   so error semantics cannot drift. *)
+module F = Wt_core.String_api.Make (View.Seq)
+
+(* ------------------------------------------------------------------ *)
+(* On-disk manifest *)
+
+let manifest_path dir = Filename.concat dir "manifest.wtx"
+let wal_path dir = Filename.concat dir "wal.log"
+let run_file i = Printf.sprintf "run-%06d.wtx" i
+
+let write_manifest dir ~generation ~runs ~next_run =
+  let payload =
+    Marshal.to_string ((generation, runs, next_run) : int * string list * int) []
+  in
+  Container.write ~tag:manifest_tag ~payload (manifest_path dir)
+
+let read_manifest dir =
+  let payload = Container.read ~expect_tag:manifest_tag (manifest_path dir) in
+  match (Marshal.from_string payload 0 : int * string list * int) with
+  | (g, runs, next_run) as m ->
+      if g < 0 || next_run < 0 || List.exists (fun r -> Filename.basename r <> r) runs
+      then fail "%s: implausible manifest contents" (manifest_path dir);
+      ignore m;
+      (g, runs, next_run)
+  | exception (Failure _ | Invalid_argument _ | End_of_file) ->
+      fail "%s: undecodable manifest payload" (manifest_path dir)
+
+let is_store dir =
+  Sys.file_exists dir && Sys.is_directory dir && Sys.file_exists (manifest_path dir)
+
+(* ------------------------------------------------------------------ *)
+(* The store *)
+
+type run = { rfile : string; rflat : Flat_wt.t }
+
+type t = {
+  dir : string;
+  threshold : int;
+  read_only : bool;
+  lock : Mutex.t;
+  mutable generation : int;
+  mutable next_run : int;
+  mutable runs : run list;  (** oldest first *)
+  mutable sealed : Dynamic_wt.t option;  (** compactor-owned *)
+  mutable sealed_q : Dynamic_wt.t option;  (** frozen copy queries read *)
+  mutable delta : Dynamic_wt.t;
+  mutable suffix : string list;  (** raw ingests since the seal, newest first *)
+  mutable wal_oc : out_channel option;
+  mutable wal_bytes : int;
+  mutable compacting : bool;
+  mutable compactor : unit Domain.t option;
+  mutable compact_exn : exn option;
+  mutable closed : bool;
+  view : View.t Snapshot.t;
+}
+
+type recovery = {
+  r_generation : int;
+  r_runs : int;
+  r_replayed : int;  (** WAL records replayed into the delta *)
+  r_dropped_bytes : int;  (** torn-tail bytes discarded *)
+  r_rolled_forward : bool;  (** a mid-commit crash was completed *)
+  r_wal_reset : bool;  (** a stale or unreadable WAL was discarded *)
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let ensure_writable t =
+  if t.closed then failwith "tiered store is closed";
+  if t.read_only then failwith "tiered store opened read-only";
+  match t.compact_exn with
+  | Some e ->
+      (* A failed compaction leaves disk state only recoverable by
+         reopen; refuse further mutation instead of compounding it. *)
+      raise e
+  | None -> ()
+
+(* Tier list under the lock.  [frozen] decides whether the live delta
+   goes in as-is (owner-side queries: always fresh, single-threaded) or
+   as a [Dynamic_wt.snapshot] (publication: other domains must never
+   share cursor state with the mutating owner). *)
+let tiers_locked t ~frozen =
+  let runs = List.map (fun r -> View.Run r.rflat) t.runs in
+  let sealed = match t.sealed_q with Some d -> [ View.Dyn d ] | None -> [] in
+  let delta = if frozen then Dynamic_wt.snapshot t.delta else t.delta in
+  Array.of_list (runs @ sealed @ [ View.Dyn delta ])
+
+let publish_locked t =
+  ignore (Snapshot.publish t.view (View.make (tiers_locked t ~frozen:true)))
+
+let current_view t =
+  with_lock t (fun () -> View.make (tiers_locked t ~frozen:false))
+
+let publish t = with_lock t (fun () -> publish_locked t)
+let handle t = t.view
+
+(* ------------------------------------------------------------------ *)
+(* Open / recovery *)
+
+let open_runs ~verify dir names =
+  List.map
+    (fun name ->
+      let path = Filename.concat dir name in
+      let rflat =
+        try Flat_wt.open_file ~mode:(if verify then `Copy else `Mmap) path
+        with Sys_error reason -> fail "%s: %s" path reason
+      in
+      if verify then Flat_wt.check_invariants rflat;
+      { rfile = name; rflat })
+    names
+
+let open_internal ~read_only ~verify ~threshold dir =
+  if not (is_store dir) then fail "%s: not a tiered store (no manifest.wtx)" dir;
+  if not read_only then Container.cleanup_tmp dir;
+  let generation, run_names, next_run = read_manifest dir in
+  let scan = Wal.scan (wal_path dir) in
+  if scan.s_header_ok && scan.s_tag = wal_tag && scan.s_generation > generation + 1
+  then
+    fail "%s: WAL generation %d is ahead of manifest generation %d" dir
+      scan.s_generation generation;
+  let rolled_forward =
+    scan.s_header_ok && scan.s_tag = wal_tag && scan.s_generation = generation + 1
+  in
+  let generation, run_names, next_run =
+    if rolled_forward then begin
+      (* The WAL rotation landed but the manifest swap did not: the
+         pending run holds exactly the records the rotation dropped.
+         Adopt it and complete the commit. *)
+      let pending = run_file next_run in
+      if not (Sys.file_exists (Filename.concat dir pending)) then
+        fail "%s: WAL is one generation ahead but pending run %s is missing" dir
+          pending;
+      let runs = run_names @ [ pending ] in
+      if not read_only then
+        write_manifest dir ~generation:(generation + 1) ~runs
+          ~next_run:(next_run + 1);
+      (generation + 1, runs, next_run + 1)
+    end
+    else (generation, run_names, next_run)
+  in
+  let runs = open_runs ~verify dir run_names in
+  (* Runs adopted; anything else named run-*.wtx is an orphan from a
+     crash between the run write and the WAL rotation. *)
+  if not read_only then
+    Array.iter
+      (fun f ->
+        if
+          String.length f > 4
+          && String.sub f 0 4 = "run-"
+          && Filename.check_suffix f ".wtx"
+          && not (List.mem f run_names)
+        then try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+  let wal_reset =
+    (not scan.s_header_ok) || scan.s_tag <> wal_tag || scan.s_generation <> generation
+  in
+  let delta = Dynamic_wt.create () in
+  let replayed, dropped =
+    if wal_reset then (0, scan.s_dropped_bytes)
+    else begin
+      List.iter
+        (fun op ->
+          match op with
+          | Wal.Append s -> Dynamic_wt.append delta (Binarize.of_bytes s)
+          | Wal.Insert _ | Wal.Delete _ ->
+              fail "%s: tiered WAL holds a non-append record" dir)
+        scan.s_ops;
+      (scan.s_records, scan.s_dropped_bytes)
+    end
+  in
+  if replayed > 0 then begin
+    Probe.record Durable_wal_replay replayed;
+    Flight.record ~a:replayed ~b:dropped Wal_replay
+  end;
+  if dropped > 0 then Probe.record Durable_wal_dropped_bytes dropped;
+  if verify then Dynamic_wt.check_invariants delta;
+  let wal_oc, wal_bytes =
+    if read_only then (None, 0)
+    else begin
+      if wal_reset then Wal.create ~tag:wal_tag ~generation (wal_path dir)
+      else if dropped > 0 then Wal.truncate_to (wal_path dir) scan.s_good_bytes;
+      (Some (Wal.open_append (wal_path dir)),
+       if wal_reset then Wal.header_size ~tag:wal_tag else scan.s_good_bytes)
+    end
+  in
+  let tiers =
+    Array.of_list
+      (List.map (fun r -> View.Run r.rflat) runs @ [ View.Dyn (Dynamic_wt.snapshot delta) ])
+  in
+  let t =
+    {
+      dir;
+      threshold;
+      read_only;
+      lock = Mutex.create ();
+      generation;
+      next_run;
+      runs;
+      sealed = None;
+      sealed_q = None;
+      delta;
+      suffix = [];
+      wal_oc;
+      wal_bytes;
+      compacting = false;
+      compactor = None;
+      compact_exn = None;
+      closed = false;
+      view = Snapshot.create (View.make tiers);
+    }
+  in
+  let recovery =
+    {
+      r_generation = generation;
+      r_runs = List.length runs;
+      r_replayed = replayed;
+      r_dropped_bytes = dropped;
+      r_rolled_forward = rolled_forward;
+      r_wal_reset = wal_reset;
+    }
+  in
+  (t, recovery)
+
+let create ?(threshold = default_threshold) dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  if Sys.file_exists (manifest_path dir) then
+    fail "%s: already a tiered store" dir;
+  write_manifest dir ~generation:0 ~runs:[] ~next_run:0;
+  Wal.create ~tag:wal_tag ~generation:0 (wal_path dir);
+  fst (open_internal ~read_only:false ~verify:false ~threshold dir)
+
+let open_ ?(threshold = default_threshold) ?(verify = false) dir =
+  open_internal ~read_only:false ~verify ~threshold dir
+
+let open_read_only ?(verify = false) dir =
+  open_internal ~read_only:true ~verify ~threshold:max_int dir
+
+(* ------------------------------------------------------------------ *)
+(* Compaction *)
+
+(* Commit ordering (each step atomic on its own, the sequence
+   recoverable at every boundary — see the module header):
+   1. run file durable; 2. WAL rotated to generation g+1 carrying the
+   post-seal suffix; 3. manifest swapped to g+1.  In-memory state and
+   the published view change only after all three. *)
+let commit t flat =
+  with_lock t (fun () ->
+      let g' = t.generation + 1 in
+      let name = run_file t.next_run in
+      let path = Filename.concat t.dir name in
+      Flat_wt.save_file flat path;
+      Probe.record Tiered_compact_bytes (Unix.stat path).Unix.st_size;
+      (match t.wal_oc with
+      | Some oc ->
+          t.wal_oc <- None;
+          close_out_noerr oc
+      | None -> ());
+      let suffix_ops = List.rev_map (fun s -> Wal.Append s) t.suffix in
+      Wal.create_with ~tag:wal_tag ~generation:g' suffix_ops (wal_path t.dir);
+      write_manifest t.dir ~generation:g'
+        ~runs:(List.map (fun r -> r.rfile) t.runs @ [ name ])
+        ~next_run:(t.next_run + 1);
+      t.wal_oc <- Some (Wal.open_append (wal_path t.dir));
+      t.wal_bytes <-
+        List.fold_left
+          (fun acc op -> acc + Wal.record_size op)
+          (Wal.header_size ~tag:wal_tag)
+          suffix_ops;
+      t.runs <- t.runs @ [ { rfile = name; rflat = flat } ];
+      t.generation <- g';
+      t.next_run <- t.next_run + 1;
+      t.sealed <- None;
+      t.sealed_q <- None;
+      t.suffix <- [];
+      Probe.hit Tiered_compact;
+      Probe.duration Tiered_run_count (List.length t.runs);
+      Flight.record ~a:g' Checkpoint;
+      publish_locked t)
+
+(* Seal the delta (cheap, under the lock): the compactor owns it from
+   here; queries see a frozen snapshot of it as a tier until the
+   commit swaps in the run. *)
+let seal t =
+  with_lock t (fun () ->
+      if Dynamic_wt.length t.delta = 0 then None
+      else begin
+        let d = t.delta in
+        t.sealed <- Some d;
+        t.sealed_q <- Some (Dynamic_wt.snapshot d);
+        t.delta <- Dynamic_wt.create ();
+        t.suffix <- [];
+        Probe.duration Tiered_delta_strings (Dynamic_wt.length d);
+        Some d
+      end)
+
+let do_compact ?pool t =
+  match seal t with
+  | None -> ()
+  | Some sealed -> (
+      let n = Dynamic_wt.length sealed in
+      try
+        Trace.with_span ~args:[ ("strings", n) ] "tiered.compact" (fun () ->
+            Probe.time Tiered_compact (fun () ->
+                let build () = Flat_wt.of_array (Dynamic_wt.to_array sealed) in
+                let flat =
+                  match pool with
+                  | None -> build ()
+                  | Some p ->
+                      let r = ref None in
+                      Pool.run p [| (fun () -> r := Some (build ())) |];
+                      Option.get !r
+                in
+                commit t flat))
+      with e ->
+        (* Disk may sit in any commit window; in-memory reads stay
+           correct (the sealed tier is still a view tier and its
+           records are still in some on-disk WAL or run).  Poison the
+           writer — recovery is a reopen. *)
+        with_lock t (fun () -> if t.compact_exn = None then t.compact_exn <- Some e);
+        raise e)
+
+let spawn_compactor t =
+  t.compacting <- true;
+  t.compactor <-
+    Some
+      (Domain.spawn (fun () ->
+           Fun.protect
+             ~finally:(fun () -> with_lock t (fun () -> t.compacting <- false))
+             (fun () -> try do_compact t with _ -> ())))
+
+(* Reap a finished background compactor (joins instantly when
+   [compacting] is false). *)
+let reap t =
+  if not t.compacting then
+    match t.compactor with
+    | Some d ->
+        Domain.join d;
+        t.compactor <- None
+    | None -> ()
+
+let wait_compaction t =
+  (match t.compactor with Some d -> Domain.join d | None -> ());
+  t.compactor <- None
+
+let maybe_compact t =
+  reap t;
+  if
+    (not t.compacting)
+    && t.compact_exn = None
+    && Dynamic_wt.length t.delta >= t.threshold
+  then spawn_compactor t
+
+let compact ?pool t =
+  wait_compaction t;
+  (match t.compact_exn with Some e -> raise e | None -> ());
+  if t.closed || t.read_only then failwith "tiered store is closed or read-only";
+  do_compact ?pool t
+
+(* ------------------------------------------------------------------ *)
+(* Ingest *)
+
+let ingest t s =
+  with_lock t (fun () ->
+      ensure_writable t;
+      let oc =
+        match t.wal_oc with Some oc -> oc | None -> failwith "tiered WAL closed"
+      in
+      let bytes = Wal.append_op oc (Wal.Append s) in
+      t.wal_bytes <- t.wal_bytes + bytes;
+      Probe.hit Tiered_ingest;
+      Probe.record Tiered_ingest_bytes (String.length s);
+      Probe.hit Durable_wal_append;
+      Flight.record ~a:bytes Wal_append;
+      Dynamic_wt.append t.delta (Binarize.of_bytes s);
+      if t.sealed <> None then t.suffix <- s :: t.suffix);
+  maybe_compact t
+
+let ingest_batch t ss =
+  List.iter (ingest t) ss;
+  publish t
+
+let flush t =
+  with_lock t (fun () ->
+      ensure_writable t;
+      match t.wal_oc with
+      | None -> ()
+      | Some oc ->
+          flush oc;
+          Fault.fsync (Unix.descr_of_out_channel oc);
+          Probe.hit Tiered_flush)
+
+let close t =
+  (try wait_compaction t with _ -> ());
+  with_lock t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        (match t.wal_oc with
+        | Some oc ->
+            t.wal_oc <- None;
+            (try Stdlib.flush oc with Sys_error _ -> ());
+            close_out_noerr oc
+        | None -> ());
+        List.iter (fun r -> Flat_wt.close r.rflat) t.runs
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let dir t = t.dir
+let generation t = t.generation
+let run_count t = List.length t.runs
+let delta_length t = Dynamic_wt.length t.delta
+let wal_bytes t = t.wal_bytes
+let is_compacting t = t.compacting
+
+let stats t : Stats.t =
+  let v = current_view t in
+  let per = Array.map View.t_stats v.View.tiers in
+  let n = View.length v in
+  let fold f = Array.fold_left (fun acc (s : Stats.t) -> acc +. f s) 0. per in
+  let foldi f = Array.fold_left (fun acc (s : Stats.t) -> acc + f s) 0 per in
+  {
+    n;
+    distinct = View.Seq.distinct_count v;
+    avg_height =
+      (if n = 0 then 0.
+       else fold (fun s -> s.avg_height *. float_of_int s.n) /. float_of_int n);
+    seq_h0_bits = fold (fun s -> s.seq_h0_bits);
+    trie_lb_bits = fold (fun s -> s.trie_lb_bits);
+    bv_bits = foldi (fun s -> s.bv_bits);
+    label_bits = foldi (fun s -> s.label_bits);
+    total_bits = foldi (fun s -> s.total_bits);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Query façade: the full QUERY_API over the store, answered on the
+   owner's always-fresh view, with the same protective error mapping as
+   the static variant's storage layer. *)
+
+let protect t f =
+  if t.closed then Error Iseq.Trie_closed
+  else
+    match f () with
+    | r -> r
+    | exception Flat_wt.Closed -> Error Iseq.Trie_closed
+    | exception Container.Format_error reason ->
+        Error (Iseq.Storage_error { path = t.dir; reason })
+    | exception Invalid_argument reason | (exception Failure reason) ->
+        Error
+          (Iseq.Storage_error { path = t.dir; reason = "corrupt tier: " ^ reason })
+
+let length t = View.length (current_view t)
+let distinct_count t = View.Seq.distinct_count (current_view t)
+let space_bits t = View.Seq.space_bits (current_view t)
+let access t ~pos = protect t (fun () -> F.access (current_view t) ~pos)
+let rank t s ~pos = protect t (fun () -> F.rank (current_view t) s ~pos)
+let select t s ~count = protect t (fun () -> F.select (current_view t) s ~count)
+
+let rank_prefix t ~prefix ~pos =
+  protect t (fun () -> F.rank_prefix (current_view t) ~prefix ~pos)
+
+let select_prefix t ~prefix ~count =
+  protect t (fun () -> F.select_prefix (current_view t) ~prefix ~count)
+
+let count t s = F.count (current_view t) s
+let count_prefix t ~prefix = F.count_prefix (current_view t) ~prefix
+
+let query_batch ?domains t ops =
+  match
+    protect t (fun () ->
+        Ok (View.query_batch ?domains (current_view t) ops))
+  with
+  | Ok res -> res
+  | Error e -> Array.map (fun _ -> Error e) ops
+
+(* Range analytics: merged-level validation and observability (one
+   counter hit, one latency sample, one span per call — the per-tier
+   traversals do not double-count the façade metrics because they run
+   at the bitstring level). *)
+
+let window v lo hi =
+  let len = View.length v in
+  let lo = Option.value lo ~default:0 in
+  let hi = Option.value hi ~default:len in
+  if lo < 0 || lo > len then Error (Iseq.Position_out_of_bounds { pos = lo; len })
+  else if hi < lo || hi > len then
+    Error (Iseq.Position_out_of_bounds { pos = hi; len })
+  else Ok (lo, hi)
+
+let bits_prefix = Option.map Wt_core.String_api.encode_prefix
+let decode_item (path, n) = (Binarize.to_bytes path, n)
+
+let select_all ?prefix ?lo ?hi t =
+  protect t (fun () ->
+      let v = current_view t in
+      match window v lo hi with
+      | Error e -> Error e
+      | Ok (lo, hi) ->
+          Probe.hit Analytics_select_all;
+          Trace.with_span ~args:[ ("lo", lo); ("hi", hi) ] "analytics.select_all"
+            (fun () ->
+              Probe.time Analytics_select_all (fun () ->
+                  Ok (View.select_all_bits ?prefix:(bits_prefix prefix) v ~lo ~hi))))
+
+let range_count ?prefix t ~lo ~hi =
+  protect t (fun () ->
+      let v = current_view t in
+      match window v (Some lo) (Some hi) with
+      | Error e -> Error e
+      | Ok (lo, hi) ->
+          Probe.hit Analytics_range_count;
+          Trace.with_span ~args:[ ("lo", lo); ("hi", hi) ] "analytics.range_count"
+            (fun () ->
+              Probe.time Analytics_range_count (fun () ->
+                  Ok (View.range_count_bits ?prefix:(bits_prefix prefix) v ~lo ~hi))))
+
+let range_distinct ?prefix ?lo ?hi t =
+  protect t (fun () ->
+      let v = current_view t in
+      match window v lo hi with
+      | Error e -> Error e
+      | Ok (lo, hi) ->
+          Probe.hit Analytics_distinct;
+          Trace.with_span ~args:[ ("lo", lo); ("hi", hi) ] "analytics.distinct"
+            (fun () ->
+              Probe.time Analytics_distinct (fun () ->
+                  Ok
+                    (Array.map decode_item
+                       (View.range_distinct_bits ?prefix:(bits_prefix prefix) v
+                          ~lo ~hi)))))
+
+let range_topk ?prefix ?lo ?hi t ~k =
+  if k < 0 then Error (Iseq.Negative_count { count = k })
+  else
+    protect t (fun () ->
+        let v = current_view t in
+        match window v lo hi with
+        | Error e -> Error e
+        | Ok (lo, hi) ->
+            Probe.hit Analytics_topk;
+            Trace.with_span
+              ~args:[ ("lo", lo); ("hi", hi); ("k", k) ]
+              "analytics.topk"
+              (fun () ->
+                Probe.time Analytics_topk (fun () ->
+                    Ok
+                      (Array.map decode_item
+                         (View.range_topk_bits ?prefix:(bits_prefix prefix) v ~lo
+                            ~hi ~k)))))
+
+(* ------------------------------------------------------------------ *)
+(* Verification / recovery *)
+
+type verify_report = {
+  v_generation : int;
+  v_runs : int;
+  v_length : int;
+  v_distinct : int;
+  v_wal_records : int;
+  v_dropped_bytes : int;
+  v_rolled_forward : bool;
+  v_wal_reset : bool;
+  v_clean : bool;  (** nothing needed fixing *)
+}
+
+let verify dir =
+  let t, r = open_internal ~read_only:true ~verify:true ~threshold:max_int dir in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      {
+        v_generation = r.r_generation;
+        v_runs = r.r_runs;
+        v_length = length t;
+        v_distinct = distinct_count t;
+        v_wal_records = r.r_replayed;
+        v_dropped_bytes = r.r_dropped_bytes;
+        v_rolled_forward = r.r_rolled_forward;
+        v_wal_reset = r.r_wal_reset;
+        v_clean =
+          (not r.r_rolled_forward) && (not r.r_wal_reset) && r.r_dropped_bytes = 0;
+      })
+
+let recover ?threshold dir =
+  let t, r = open_ ?threshold ~verify:true dir in
+  Fun.protect
+    ~finally:(fun () -> close t)
+    (fun () ->
+      compact t;
+      r)

@@ -534,6 +534,252 @@ let test_edge_cases () =
   rm_rf dir;
   rm_rf base
 
+(* ------------------------------------------------------------------ *)
+(* Tiered store: crashes inside the compaction commit protocol, and
+   corruption sweeps over the manifest and run containers.
+
+   The commit writes, in order: the run container, the rotated WAL
+   (generation g+1), the manifest (generation g+1) — each atomically.
+   A crash at ANY byte budget through that sequence must recover to the
+   full acknowledged ingest set: no lost string, no duplicate, and
+   [recover] -> [verify] must round-trip to a clean store. *)
+
+module Tiered = Wtrie.Tiered
+
+let tiered_inputs = List.init 12 (fun i -> Printf.sprintf "t-%02d-%s" i (String.make (i mod 4) 'y'))
+
+let copy_dir src dst =
+  rm_rf dst;
+  Sys.mkdir dst 0o755;
+  Array.iter
+    (fun f -> write_file (Filename.concat dst f) (read_file (Filename.concat src f)))
+    (Sys.readdir src)
+
+(* A base store with everything still in the delta (threshold never
+   reached), flushed and closed: the compaction under test does all
+   three commit steps from here. *)
+let build_tiered_base dir =
+  rm_rf dir;
+  let t = Tiered.create ~threshold:max_int dir in
+  List.iter (Tiered.ingest t) tiered_inputs;
+  Tiered.flush t;
+  Tiered.close t
+
+let tiered_contents dir =
+  let t, _ = Tiered.open_read_only ~verify:true dir in
+  Fun.protect
+    ~finally:(fun () -> Tiered.close t)
+    (fun () ->
+      List.init (Tiered.length t) (fun pos -> Result.get_ok (Tiered.access t ~pos)))
+
+(* Compact [base] into [measure] once, fault-free, to learn the byte
+   cost of each commit step (every write goes through the budgeted
+   [Fault.output_string], so file sizes are budget arithmetic). *)
+let measure_compaction base measure =
+  copy_dir base measure;
+  let tm, _ = Tiered.open_ ~threshold:max_int measure in
+  Tiered.compact tm;
+  Tiered.close tm;
+  let sz f = (Unix.stat (Filename.concat measure f)).Unix.st_size in
+  (sz "run-000000.wtx", sz "wal.log", sz "manifest.wtx")
+
+let test_tiered_compaction_crash_sweep () =
+  let base = fresh_dir "tiered_crash_base" in
+  build_tiered_base base;
+  let measure = fresh_dir "tiered_crash_measure" in
+  let run_b, wal_b, man_b = measure_compaction base measure in
+  rm_rf measure;
+  let total = run_b + wal_b + man_b in
+  let dir = fresh_dir "tiered_crash" in
+  let n = List.length tiered_inputs in
+  let crashes = ref 0 and completions = ref 0 and rolled = ref 0 in
+  (* a stride plus pinned budgets inside each commit window, so the
+     sweep provably hits all three crash sites *)
+  let budgets =
+    List.sort_uniq compare
+      (List.init 62 (fun i -> i * max 1 (total / 60))
+      @ [ 0; run_b - 1; run_b; run_b + 1; run_b + wal_b - 1; run_b + wal_b;
+          run_b + wal_b + 1; total - 1; total; total + 64 ])
+  in
+  List.iter
+    (fun budget ->
+      if budget >= 0 then begin
+        copy_dir base dir;
+        let t, _ = Tiered.open_ ~threshold:max_int dir in
+        Fault.arm_crash_after_bytes budget;
+        let crashed =
+          match Tiered.compact t with
+          | () -> false
+          | exception Fault.Injected_crash _ -> true
+        in
+        Fault.disarm ();
+        Tiered.close t;
+        incr (if crashed then crashes else completions);
+        let ctx m = Printf.sprintf "budget %d/%d (crashed=%b): %s" budget total crashed m in
+        (* even before repair, no acknowledged ingest may be missing:
+           every crash window leaves the records in the old WAL, the
+           new WAL + pending run, or the committed run *)
+        let rep0 = Tiered.verify dir in
+        check_int (ctx "no lost ingest pre-recovery") n rep0.Tiered.v_length;
+        check_bool (ctx "never a WAL reset") false rep0.Tiered.v_wal_reset;
+        if rep0.Tiered.v_rolled_forward then incr rolled;
+        check_bool (ctx "no duplicate pre-recovery") true (tiered_contents dir = tiered_inputs);
+        (* repair: adopt/replay, compact the delta, land clean *)
+        let r = Tiered.recover dir in
+        check_bool (ctx "recover never resets the WAL") false r.Tiered.r_wal_reset;
+        let rep = Tiered.verify dir in
+        check_bool (ctx "clean after recover") true rep.Tiered.v_clean;
+        check_int (ctx "no lost ingest") n rep.Tiered.v_length;
+        check_bool (ctx "exactly one run generation") true (rep.Tiered.v_runs = 1);
+        check_int (ctx "delta fully compacted") 0 rep.Tiered.v_wal_records;
+        check_bool (ctx "contents") true (tiered_contents dir = tiered_inputs)
+      end)
+    budgets;
+  (* the sweep must have exercised both outcomes, and the pinned budget
+     between the WAL rotation and the manifest swap must have produced
+     at least one roll-forward recovery *)
+  check_bool "sweep saw crashes" true (!crashes > 0);
+  check_bool "sweep saw completions" true (!completions > 0);
+  check_bool "sweep saw a roll-forward window" true (!rolled > 0);
+  rm_rf dir;
+  rm_rf base
+
+(* Bit-flip and truncation sweeps over the manifest: every corrupted
+   byte must fail closed as [Format_error] — the CRC leaves no silent
+   window — and the pristine bytes must still open. *)
+let test_tiered_manifest_sweeps () =
+  let base = fresh_dir "tiered_man_base" in
+  build_tiered_base base;
+  let t, _ = Tiered.open_ ~threshold:max_int base in
+  Tiered.compact t;
+  Tiered.close t;
+  let dir = fresh_dir "tiered_man" in
+  let man = Filename.concat dir "manifest.wtx" in
+  let pristine = read_file (Filename.concat base "manifest.wtx") in
+  let len = String.length pristine in
+  for off = 0 to len - 1 do
+    copy_dir base dir;
+    write_file man (flip_bit pristine off (off mod 8));
+    expect_format_error
+      (Printf.sprintf "manifest bit flip at %d/%d" off len)
+      (fun () -> ignore (Tiered.verify dir : Tiered.verify_report))
+  done;
+  for cut = 0 to len - 1 do
+    copy_dir base dir;
+    write_file man (String.sub pristine 0 cut);
+    expect_format_error
+      (Printf.sprintf "manifest truncated to %d/%d" cut len)
+      (fun () -> ignore (Tiered.verify dir : Tiered.verify_report))
+  done;
+  copy_dir base dir;
+  check_bool "pristine manifest verifies" true (Tiered.verify dir).Tiered.v_clean;
+  rm_rf dir;
+  rm_rf base
+
+(* The same sweeps over a committed run file: [verify] re-reads runs
+   through the checksummed copy path, so corruption anywhere in the run
+   container must surface as [Format_error]. *)
+let test_tiered_run_sweeps () =
+  let base = fresh_dir "tiered_run_base" in
+  build_tiered_base base;
+  let t, _ = Tiered.open_ ~threshold:max_int base in
+  Tiered.compact t;
+  Tiered.close t;
+  let dir = fresh_dir "tiered_run" in
+  let run = Filename.concat dir "run-000000.wtx" in
+  let pristine = read_file (Filename.concat base "run-000000.wtx") in
+  let len = String.length pristine in
+  let stride = max 1 (len / 251) in
+  let off = ref 0 in
+  while !off < len do
+    copy_dir base dir;
+    write_file run (flip_bit pristine !off (!off mod 8));
+    expect_format_error
+      (Printf.sprintf "run bit flip at %d/%d" !off len)
+      (fun () -> ignore (Tiered.verify dir : Tiered.verify_report));
+    off := !off + stride
+  done;
+  let cut = ref 0 in
+  while !cut < len do
+    copy_dir base dir;
+    write_file run (String.sub pristine 0 !cut);
+    expect_format_error
+      (Printf.sprintf "run truncated to %d/%d" !cut len)
+      (fun () -> ignore (Tiered.verify dir : Tiered.verify_report));
+    cut := !cut + stride
+  done;
+  (* a deleted run named by the manifest is equally fatal *)
+  copy_dir base dir;
+  Sys.remove run;
+  expect_format_error "missing run" (fun () ->
+      ignore (Tiered.verify dir : Tiered.verify_report));
+  copy_dir base dir;
+  check_bool "pristine run verifies" true (Tiered.verify dir).Tiered.v_clean;
+  rm_rf dir;
+  rm_rf base
+
+(* Deterministic reconstructions of each recovery class, plus WAL-tail
+   damage on the tiered log. *)
+let test_tiered_recovery_classes () =
+  let base = fresh_dir "tiered_cls_base" in
+  build_tiered_base base;
+  (* the fully-committed "after" state of one compaction *)
+  let after = fresh_dir "tiered_cls_after" in
+  ignore (measure_compaction base after : int * int * int);
+  let dir = fresh_dir "tiered_cls" in
+  let n = List.length tiered_inputs in
+  let file d f = Filename.concat d f in
+  (* roll-forward: run + rotated WAL landed, manifest swap did not *)
+  copy_dir base dir;
+  write_file (file dir "wal.log") (read_file (file after "wal.log"));
+  write_file (file dir "run-000000.wtx") (read_file (file after "run-000000.wtx"));
+  let rep = Tiered.verify dir in
+  check_bool "roll-forward classified" true rep.Tiered.v_rolled_forward;
+  check_bool "roll-forward not clean" false rep.Tiered.v_clean;
+  check_int "roll-forward keeps everything" n rep.Tiered.v_length;
+  let t, r = Tiered.open_ dir in
+  check_bool "open completes the commit" true r.Tiered.r_rolled_forward;
+  check_int "adopted generation" 1 (Tiered.generation t);
+  Tiered.close t;
+  check_bool "clean after adoption" true (Tiered.verify dir).Tiered.v_clean;
+  check_bool "contents after adoption" true (tiered_contents dir = tiered_inputs);
+  (* rotated WAL without the pending run: unrecoverable, fail closed *)
+  copy_dir base dir;
+  write_file (file dir "wal.log") (read_file (file after "wal.log"));
+  expect_format_error "missing pending run" (fun () ->
+      ignore (Tiered.verify dir : Tiered.verify_report));
+  (* stale WAL (behind the manifest): discarded, never replayed twice *)
+  copy_dir after dir;
+  write_file (file dir "wal.log") (read_file (file base "wal.log"));
+  let rep = Tiered.verify dir in
+  check_bool "stale wal -> reset" true rep.Tiered.v_wal_reset;
+  check_int "stale wal -> run state only" n rep.Tiered.v_length;
+  check_int "stale wal -> nothing replayed" 0 rep.Tiered.v_wal_records;
+  ignore (Tiered.recover dir : Tiered.recovery);
+  check_bool "clean after stale-wal recover" true (Tiered.verify dir).Tiered.v_clean;
+  check_bool "no duplicates after stale-wal recover" true (tiered_contents dir = tiered_inputs);
+  (* torn WAL tail: the intact prefix replays, the tail is dropped *)
+  copy_dir base dir;
+  let wal = read_file (file dir "wal.log") in
+  write_file (file dir "wal.log") (String.sub wal 0 (String.length wal - 5));
+  let rep = Tiered.verify dir in
+  check_bool "torn tail not clean" false rep.Tiered.v_clean;
+  check_int "torn tail drops one record" (n - 1) rep.Tiered.v_wal_records;
+  check_bool "torn tail counts dropped bytes" true (rep.Tiered.v_dropped_bytes > 0);
+  let r = Tiered.recover dir in
+  check_int "torn tail replays the prefix" (n - 1) r.Tiered.r_replayed;
+  check_bool "clean after torn-tail recover" true (Tiered.verify dir).Tiered.v_clean;
+  (* an orphan run (crash before the WAL rotation) is swept on open *)
+  copy_dir base dir;
+  write_file (file dir "run-000000.wtx") (read_file (file after "run-000000.wtx"));
+  let t, _ = Tiered.open_ dir in
+  Tiered.close t;
+  check_bool "orphan run deleted" false (Sys.file_exists (file dir "run-000000.wtx"));
+  check_bool "contents unaffected by orphan" true (tiered_contents dir = tiered_inputs);
+  rm_rf dir;
+  rm_rf after;
+  rm_rf base
+
 let () =
   Alcotest.run "wt_faults"
     [
@@ -559,4 +805,11 @@ let () =
           Alcotest.test_case "dynamic workload vs oracle" `Quick test_dynamic_oracle_crashes;
         ] );
       ("edges", [ Alcotest.test_case "garbage, stale, probes" `Quick test_edge_cases ]);
+      ( "tiered",
+        [
+          Alcotest.test_case "compaction crash sweep" `Quick test_tiered_compaction_crash_sweep;
+          Alcotest.test_case "manifest corruption sweeps" `Quick test_tiered_manifest_sweeps;
+          Alcotest.test_case "run corruption sweeps" `Quick test_tiered_run_sweeps;
+          Alcotest.test_case "recovery classes" `Quick test_tiered_recovery_classes;
+        ] );
     ]

@@ -198,6 +198,94 @@ let test_par_soak () =
   Pool.shutdown pool;
   Probe.reset ()
 
+(* Tiered-store soak: sustained ingest through many background and
+   forced compactions, with lockstep oracle queries, periodic
+   close/reopen (WAL replay + manifest + run reopen), and a final
+   clean-verify.  Wall-clock capped at 60s and gated behind WTRIE_SOAK
+   so the default runtest stays fast; CI and `WTRIE_SOAK=1 dune exec
+   test/test_soak.exe` run it for real. *)
+let test_tiered_soak () =
+  match Sys.getenv_opt "WTRIE_SOAK" with
+  | None -> ()
+  | Some _ ->
+      let module T = Wtrie.Tiered in
+      let module Pool = Wt_par.Pool in
+      let deadline = Unix.gettimeofday () +. 60.0 in
+      let dir =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "wt_soak_tiered_%d" (Unix.getpid ()))
+      in
+      let rm_rf d =
+        if Sys.file_exists d then begin
+          Array.iter (fun e -> Sys.remove (Filename.concat d e)) (Sys.readdir d);
+          Sys.rmdir d
+        end
+      in
+      rm_rf dir;
+      let t = ref (T.create ~threshold:2048 dir) in
+      let gen = Urls.create ~seed:777 ~hosts:16 () in
+      let rng = Xoshiro.create 777 in
+      let oracle = Naive.create () in
+      let pool = Pool.create ~size:4 () in
+      let steps = ref 0 and reopens = ref 0 and forced = ref 0 in
+      while Unix.gettimeofday () < deadline && !steps < 400_000 do
+        incr steps;
+        let line = Urls.next gen in
+        Naive.append oracle (Binarize.of_bytes line);
+        T.ingest !t line;
+        if !steps mod 5_000 = 0 then begin
+          let n = Naive.length oracle in
+          check_int "soak length" n (T.length !t);
+          for _ = 1 to 32 do
+            let pos = Xoshiro.int rng n in
+            check_bool "soak access" true
+              (T.access !t ~pos = Ok (Binarize.to_bytes (Naive.access oracle pos)))
+          done;
+          let probe = Binarize.to_bytes (Naive.access oracle (Xoshiro.int rng n)) in
+          check_int "soak count" (Naive.rank oracle (Binarize.of_bytes probe) n) (T.count !t probe);
+          (* merged batch across the live tiers, on the parallel engine *)
+          let ops =
+            Array.init 64 (fun i ->
+                if i land 1 = 0 then Wtrie.Access { pos = Xoshiro.int rng n }
+                else Wtrie.Rank { s = probe; pos = Xoshiro.int rng (n + 1) })
+          in
+          Array.iteri
+            (fun i r ->
+              match (ops.(i), r) with
+              | Wtrie.Access { pos }, Ok (Wtrie.Str s) ->
+                  check_bool "soak batch access" true
+                    (s = Binarize.to_bytes (Naive.access oracle pos))
+              | Wtrie.Rank { s; pos }, Ok (Wtrie.Int c) ->
+                  check_int "soak batch rank" (Naive.rank oracle (Binarize.of_bytes s) pos) c
+              | _ -> Alcotest.fail "soak batch: unexpected result shape")
+            (T.query_batch ~domains:4 !t ops)
+        end;
+        if !steps mod 17_000 = 0 then begin
+          incr forced;
+          T.compact ~pool !t
+        end;
+        if !steps mod 50_000 = 0 then begin
+          incr reopens;
+          T.close !t;
+          let t', r = T.open_ ~threshold:2048 dir in
+          check_bool "soak reopen clean" true
+            ((not r.T.r_wal_reset) && r.T.r_dropped_bytes = 0);
+          t := t';
+          check_int "soak reopen length" (Naive.length oracle) (T.length !t)
+        end
+      done;
+      T.compact ~pool !t;
+      Pool.shutdown pool;
+      check_int "soak final length" (Naive.length oracle) (T.length !t);
+      check_bool "soak ran through compactions" true (T.generation !t >= 2);
+      T.close !t;
+      let rep = T.verify dir in
+      check_bool "soak final verify clean" true rep.T.v_clean;
+      check_int "soak final verify length" (Naive.length oracle) rep.T.v_length;
+      Printf.printf "tiered soak: %d ingests, %d forced compactions, %d reopens, %d runs\n%!"
+        !steps !forced !reopens rep.T.v_runs;
+      rm_rf dir
+
 let () =
   Alcotest.run "wt_soak"
     [
@@ -206,5 +294,6 @@ let () =
           Alcotest.test_case "dynamic 12k mixed ops" `Slow test_dynamic_soak;
           Alcotest.test_case "append-only 30k stream" `Slow test_append_soak;
           Alcotest.test_case "domain pool mixed-size batches" `Slow test_par_soak;
+          Alcotest.test_case "tiered 60s ingest/compact (WTRIE_SOAK)" `Slow test_tiered_soak;
         ] );
     ]
