@@ -791,6 +791,11 @@ let durability_block () =
    control, not the runner's speed. *)
 
 let serve_block () =
+  (* throughput is measured with the full telemetry plane live — probes
+     recording, the runtime-events GC bridge polling — so the regression
+     gate prices the exporter's hot-path cost, not an idealized build *)
+  Wtrie.Probe.enable ();
+  Wtrie.Runtime.start ();
   let n = 16384 in
   let g = Urls.create ~seed:42 () in
   let strings = Urls.raw_sequence g n in
@@ -844,6 +849,8 @@ let serve_block () =
     if overload.Client.completed = 0 then 0.
     else float_of_int overload.Client.overloaded /. float_of_int overload.Client.completed
   in
+  Wtrie.Probe.disable ();
+  Wtrie.Probe.reset ();
   Wt_obs.Json.Obj
     [
       ("strings", Wt_obs.Json.Int n);

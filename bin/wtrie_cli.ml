@@ -966,8 +966,25 @@ let serve_cmd =
   let read_timeout_arg =
     Arg.(value & opt (some int) None & info [ "read-timeout-ms" ] ~docv:"MS" ~doc:"Close a connection stalled mid-frame for MS milliseconds.")
   in
-  let run file host port port_file domains batch_ops window_us queue_max max_conns read_timeout_ms =
+  let metrics_port_arg =
+    Arg.(value & opt (some int) None & info [ "metrics-port" ] ~docv:"PORT" ~doc:"Also serve the Prometheus metrics exposition over plain TCP on PORT (0 = ephemeral): each connection gets one HTTP/1.0 response and is closed, so curl and nc both work.")
+  in
+  let metrics_port_file_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-port-file" ] ~docv:"PATH" ~doc:"Write the bound metrics port here once listening (for scripts using --metrics-port 0).")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt (some int) None & info [ "slow-ms" ] ~docv:"MS" ~doc:"Record a slow-query exemplar (kind, queue-wait vs execution split, span id) for every request taking at least MS milliseconds; 0 logs every request. Exemplars ride the metrics exposition and the Stats reply.")
+  in
+  let run file host port port_file domains batch_ops window_us queue_max max_conns read_timeout_ms
+      metrics_port metrics_port_file slow_ms =
     if port < 0 || port > 65535 then serve_usage "--port must be in 0..65535 (got %d)" port;
+    (match metrics_port with
+    | Some p when p < 0 || p > 65535 ->
+        serve_usage "--metrics-port must be in 0..65535 (got %d)" p
+    | _ -> ());
+    (match slow_ms with
+    | Some ms when ms < 0 -> serve_usage "--slow-ms must be >= 0 (got %d)" ms
+    | _ -> ());
     let positive flag v =
       match v with
       | Some v when v < 1 -> serve_usage "%s must be >= 1 (got %d)" flag v
@@ -994,8 +1011,14 @@ let serve_cmd =
         queue_max = Option.value ~default:d.Server.queue_max queue_max;
         max_conns = Option.value ~default:d.Server.max_conns max_conns;
         read_timeout_ms = Option.value ~default:d.Server.read_timeout_ms read_timeout_ms;
+        metrics_port;
+        slow_ms;
       }
     in
+    (* the serving process is always live-scrapable: recording is on
+       and the runtime-events bridge feeds GC pauses into rt_* metrics *)
+    Wtrie.Probe.enable ();
+    Wtrie.Runtime.start ();
     let srv =
       try
         match src with
@@ -1017,27 +1040,37 @@ let serve_cmd =
     in
     Printf.printf "listening on %s:%d (%d strings, pid %d)\n%!" host (Server.port srv)
       (src_length src) (Unix.getpid ());
+    (match Server.metrics_port srv with
+    | Some mp -> Printf.printf "metrics on %s:%d\n%!" host mp
+    | None -> ());
     (match port_file with
     | Some p ->
         let oc = open_out p in
         Printf.fprintf oc "%d\n" (Server.port srv);
         close_out oc
     | None -> ());
+    (match (metrics_port_file, Server.metrics_port srv) with
+    | Some p, Some mp ->
+        let oc = open_out p in
+        Printf.fprintf oc "%d\n" mp;
+        close_out oc
+    | _ -> ());
     let stop _ = Server.request_stop srv in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Server.serve srv;
     let st = Server.stats srv in
     Printf.printf
-      "drained: %d connections, %d requests, %d batches, %d shed, %d expired, %d bad frames\n%!"
+      "drained: %d connections, %d requests, %d batches, %d shed, %d expired, %d bad frames, %d slow\n%!"
       st.Server.accepted st.Server.requests st.Server.batches st.Server.shed st.Server.expired
-      st.Server.bad_frames
+      st.Server.bad_frames st.Server.slow
   in
   Cmd.v
     (Cmd.info "serve"
-       ~doc:"Serve FILE over TCP: concurrently arriving queries are coalesced into micro-batches with admission control, per-request deadlines, and graceful SIGTERM drain (see docs/serving.md).")
+       ~doc:"Serve FILE over TCP: concurrently arriving queries are coalesced into micro-batches with admission control, per-request deadlines, and graceful SIGTERM drain (see docs/serving.md). With --metrics-port the live telemetry plane is scrapable over plain TCP.")
     Term.(const run $ file_arg $ host_arg $ port_arg $ port_file_arg $ domains_arg
-          $ batch_ops_arg $ window_us_arg $ queue_max_arg $ max_conns_arg $ read_timeout_arg)
+          $ batch_ops_arg $ window_us_arg $ queue_max_arg $ max_conns_arg $ read_timeout_arg
+          $ metrics_port_arg $ metrics_port_file_arg $ slow_ms_arg)
 
 let loadgen_cmd =
   let target_arg =
@@ -1163,6 +1196,161 @@ let loadgen_cmd =
     Term.(const run $ target_arg $ conns_arg $ ops_arg $ window_arg $ timeout_us_arg
           $ connect_timeout_arg $ json_arg)
 
+(* ------------------------------------------------------------------ *)
+(* wtrie top: a polling live view over a running server's telemetry,
+   built entirely on the Stats wire op — counters become rates between
+   frames, histograms become per-interval percentiles by diffing raw
+   buckets.  [--once] renders one cumulative frame and exits (tests). *)
+
+let top_cmd =
+  let target_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc:"Server address.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"S" ~doc:"Seconds between frames.")
+  in
+  let count_arg =
+    Arg.(value & opt (some int) None & info [ "count" ] ~docv:"N" ~doc:"Exit after N frames.")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ] ~doc:"Render a single cumulative frame and exit (for scripts and tests).")
+  in
+  let fail_usage fmt =
+    Printf.ksprintf
+      (fun m ->
+        prerr_endline ("wtrie top: " ^ m);
+        exit 64)
+      fmt
+  in
+  let run target interval count once =
+    let host, port =
+      match String.rindex_opt target ':' with
+      | Some i -> (
+          let h = String.sub target 0 i in
+          let p = String.sub target (i + 1) (String.length target - i - 1) in
+          match int_of_string_opt p with
+          | Some p when p > 0 && p <= 65535 -> (h, p)
+          | _ -> fail_usage "TARGET must be HOST:PORT (got %s)" target)
+      | None -> fail_usage "TARGET must be HOST:PORT (got %s)" target
+    in
+    if interval <= 0. then fail_usage "--interval must be > 0 (got %g)" interval;
+    (match count with
+    | Some c when c < 1 -> fail_usage "--count must be >= 1 (got %d)" c
+    | _ -> ());
+    let frames = if once then 1 else Option.value ~default:max_int count in
+    let module Report = Wtrie.Report in
+    let client =
+      match Sclient.connect ~host ~port () with
+      | c -> c
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "wtrie top: cannot reach %s:%d: %s\n" host port (Unix.error_message e);
+          exit 74
+    in
+    let geti obj k = match Json.member k obj with Some (Json.Int i) -> i | _ -> 0 in
+    let fmt_ns ns =
+      let f = float_of_int ns in
+      if f >= 1e9 then Printf.sprintf "%.2fs" (f /. 1e9)
+      else if f >= 1e6 then Printf.sprintf "%.1fms" (f /. 1e6)
+      else if f >= 1e3 then Printf.sprintf "%.1fus" (f /. 1e3)
+      else Printf.sprintf "%dns" ns
+    in
+    let find_lat r op = List.find_opt (fun l -> l.Report.op = op) r.Report.latencies in
+    (* per-interval percentiles: the raw log-buckets are cumulative, so
+       the interval distribution is the bucket-wise difference from the
+       previous frame (the whole history when there is none) *)
+    let interval_quantiles prev r op =
+      match find_lat r op with
+      | None -> None
+      | Some ln ->
+          let pb, pc =
+            match Option.bind prev (fun p -> find_lat p op) with
+            | Some lp -> (lp.Report.buckets, lp.Report.count)
+            | None -> ([], 0)
+          in
+          let db =
+            List.filter_map
+              (fun (b, c) ->
+                let c = c - (match List.assoc_opt b pb with Some x -> x | None -> 0) in
+                if c > 0 then Some (b, c) else None)
+              ln.Report.buckets
+          in
+          let dc = ln.Report.count - pc in
+          if dc <= 0 then None
+          else
+            Some
+              ( Report.quantile_of_buckets ~count:dc ~max_ns:ln.Report.max_ns db 0.50,
+                Report.quantile_of_buckets ~count:dc ~max_ns:ln.Report.max_ns db 0.99,
+                dc )
+    in
+    let rate prev r name =
+      match prev with
+      | None -> "-"
+      | Some p ->
+          Printf.sprintf "%.0f/s"
+            (float_of_int (Report.counter r name - Report.counter p name) /. interval)
+    in
+    let render frame_i j prev =
+      let report =
+        match Option.map Report.of_json (Json.member "report" j) with
+        | Some (Ok r) -> r
+        | Some (Error _) | None ->
+            prerr_endline "wtrie top: malformed stats reply";
+            exit 74
+      in
+      let server = match Json.member "server" j with Some s -> s | None -> Json.Obj [] in
+      let exemplars =
+        match Json.member "slow_queries" j with Some (Json.List l) -> List.length l | _ -> 0
+      in
+      Printf.printf "wtrie top %s:%d  frame %d\n" host port frame_i;
+      Printf.printf "  requests %d (%s)  batches %d (%s)  shed %d  expired %d  bad %d\n"
+        (geti server "requests") (rate prev report "serve_request")
+        (geti server "batches") (rate prev report "serve_batch")
+        (geti server "shed") (geti server "expired") (geti server "bad_frames");
+      Printf.printf "  conns %d  pending %d  slow %d (exemplars kept %d)\n"
+        (geti server "conns") (geti server "pending_ops") (geti server "slow") exemplars;
+      (match interval_quantiles prev report "serve_queue_wait" with
+      | Some (p50, p99, dc) ->
+          Printf.printf "  queue-wait p50 %s  p99 %s  (%d samples)\n" (fmt_ns p50) (fmt_ns p99) dc
+      | None -> Printf.printf "  queue-wait (no samples)\n");
+      let gc_line label op =
+        match interval_quantiles prev report op with
+        | Some (p50, p99, dc) ->
+            Printf.printf "  %s p50 %s  p99 %s  (%d pauses)\n" label (fmt_ns p50) (fmt_ns p99) dc
+        | None -> Printf.printf "  %s (no pauses)\n" label
+      in
+      gc_line "gc-minor" "rt_gc_minor";
+      gc_line "gc-major" "rt_gc_major";
+      Printf.printf "  gc-time %s total (%s)  runtime-events lost %d\n%!"
+        (fmt_ns (Report.counter report "rt_gc_ns"))
+        (rate prev report "rt_gc_ns")
+        (Report.counter report "rt_events_lost");
+      report
+    in
+    let prev = ref None in
+    (try
+       let i = ref 0 in
+       while !i < frames do
+         incr i;
+         let j =
+           match Json.of_string (Sclient.stats_json client) with
+           | Ok j -> j
+           | Error m ->
+               prerr_endline ("wtrie top: malformed stats reply: " ^ m);
+               exit 74
+         in
+         prev := Some (render !i j !prev);
+         if !i < frames then ignore (Unix.select [] [] [] interval)
+       done
+     with Sclient.Server_closed ->
+       prerr_endline "wtrie top: server closed the connection";
+       exit 74);
+    Sclient.close client
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live view over a running 'wtrie serve': polls the Stats op and renders request rates, queue-wait and GC-pause percentiles per interval, and slow-query exemplar counts.")
+    Term.(const run $ target_arg $ interval_arg $ count_arg $ once_arg)
+
 let () =
   (* CI and tests can kill any durable writer mid-write by setting
      WTRIE_FAULT_CRASH_AFTER=<bytes>; the process then exits 70 with a
@@ -1176,7 +1364,7 @@ let () =
         index_cmd; convert_cmd; ingest_cmd; verify_cmd; recover_cmd; stats_cmd; access_cmd;
         rank_cmd; select_cmd; prefix_count_cmd; prefix_list_cmd; query_cmd;
         trace_cmd; distinct_cmd; majority_cmd; at_least_cmd; top_k_cmd;
-        quantile_cmd; serve_cmd; loadgen_cmd;
+        quantile_cmd; serve_cmd; loadgen_cmd; top_cmd;
       ]
   in
   match Cmd.eval ~catch:false group with

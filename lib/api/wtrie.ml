@@ -281,6 +281,15 @@ module Space = Wt_obs.Space
 module Histogram = Wt_obs.Histogram
 module Json = Wt_obs.Json
 
+(** The live telemetry plane: {!Export} renders the metric universe as
+    Prometheus exposition text (or JSON) from a lock-free snapshot,
+    safe to call while other domains record; {!Runtime} bridges OCaml's
+    [Runtime_events] ring into [rt_*] GC metrics and [gc.*] trace
+    spans.  See docs/observability.md, "The live telemetry plane". *)
+module Export = Wt_obs.Export
+
+module Runtime = Wt_obs.Runtime
+
 (** Span tracing across the query pipeline ({!Trace}) and the always-on
     bounded ring of recent events ({!Flight}) — see
     docs/observability.md, "Tracing & the flight recorder". *)

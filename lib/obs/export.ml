@@ -1,0 +1,168 @@
+(** Live telemetry export: lock-free snapshots of the whole metric
+    universe, counter/histogram deltas between two snapshots, and a
+    Prometheus-style text exposition — all safe to call concurrently
+    with hot-path recording.
+
+    Every read here is a plain [Atomic.get] walk over {!Probe}'s
+    counters and histogram buckets: no locks are taken and no writer is
+    ever blocked, so a scrape racing a recording domain observes each
+    cell at some instant during the scrape.  Two consequences the
+    consumers rely on:
+
+    - {b monotonicity}: a counter or a histogram's per-bucket count can
+      only grow between two snapshots, so deltas are non-negative and
+      rates derived from them are meaningful;
+    - {b bounded skew}: a snapshot is not one atomic cut across cells —
+      a histogram's [count] may momentarily run ahead of the bucket sum
+      read a microsecond earlier.  The exposition derives cumulative
+      buckets and [_count] from the {e same} bucket walk, so each
+      emitted histogram is internally consistent.
+
+    {b Gauges} are point-in-time values that are not counters (open
+    connections, queue depth, delta size, compaction in progress).
+    Layers register a closure under a stable name
+    ({!register_gauge}); every exposition calls the closures at scrape
+    time.  Registration replaces by name, so re-creating a server or a
+    store keeps the gauge set stable. *)
+
+type snapshot = {
+  at_ns : int;  (** {!Probe.now_ns} at capture *)
+  counters : int array;  (** by {!Metric.index}, length {!Metric.count} *)
+  hists : Histogram.snapshot array;  (** by {!Metric.index} *)
+}
+
+let capture () =
+  {
+    at_ns = Probe.now_ns ();
+    counters = Array.map (fun m -> Probe.counter m) Metric.all;
+    hists = Array.map (fun m -> Probe.histogram m) Metric.all;
+  }
+
+(* [delta a b] (a earlier, b later): counter differences and per-bucket
+   histogram differences, clamped at 0 so a mid-scrape race can never
+   produce a negative rate.  Derived percentile fields of the delta
+   histograms are recomputed from the differenced buckets. *)
+let delta (a : snapshot) (b : snapshot) =
+  let counters = Array.mapi (fun i c -> max 0 (c - a.counters.(i))) b.counters in
+  let hists =
+    Array.mapi
+      (fun i (hb : Histogram.snapshot) ->
+        let ha = a.hists.(i) in
+        let tbl = Hashtbl.create 8 in
+        List.iter (fun (e, c) -> Hashtbl.replace tbl e c) hb.Histogram.buckets;
+        List.iter
+          (fun (e, c) ->
+            let cur = Option.value ~default:0 (Hashtbl.find_opt tbl e) in
+            Hashtbl.replace tbl e (cur - c))
+          ha.Histogram.buckets;
+        let buckets =
+          List.sort compare
+            (Hashtbl.fold (fun e c acc -> if c > 0 then (e, c) :: acc else acc) tbl [])
+        in
+        let count = List.fold_left (fun acc (_, c) -> acc + c) 0 buckets in
+        let sum_b = hb.Histogram.mean_ns *. float_of_int hb.Histogram.count in
+        let sum_a = ha.Histogram.mean_ns *. float_of_int ha.Histogram.count in
+        {
+          Histogram.count;
+          p50_ns = Report.quantile_of_buckets ~count ~max_ns:hb.Histogram.max_ns buckets 0.50;
+          p90_ns = Report.quantile_of_buckets ~count ~max_ns:hb.Histogram.max_ns buckets 0.90;
+          p99_ns = Report.quantile_of_buckets ~count ~max_ns:hb.Histogram.max_ns buckets 0.99;
+          max_ns = hb.Histogram.max_ns;
+          mean_ns = (if count = 0 then 0. else Float.max 0. (sum_b -. sum_a) /. float_of_int count);
+          buckets;
+        })
+      b.hists
+  in
+  { at_ns = b.at_ns; counters; hists }
+
+let elapsed_ns (a : snapshot) (b : snapshot) = max 1 (b.at_ns - a.at_ns)
+
+(* ------------------------------------------------------------------ *)
+(* Gauges *)
+
+let gauge_mu = Mutex.create ()
+let gauge_list : (string * (unit -> float)) list ref = ref []
+
+(* Replaces by name: a restarted server re-registers its gauges without
+   growing the set.  Registration order is preserved for stable output. *)
+let register_gauge name f =
+  Mutex.lock gauge_mu;
+  (if List.mem_assoc name !gauge_list then
+     gauge_list := List.map (fun (n, g) -> if n = name then (n, f) else (n, g)) !gauge_list
+   else gauge_list := !gauge_list @ [ (name, f) ]);
+  Mutex.unlock gauge_mu
+
+let unregister_gauge name =
+  Mutex.lock gauge_mu;
+  gauge_list := List.filter (fun (n, _) -> n <> name) !gauge_list;
+  Mutex.unlock gauge_mu
+
+(* Gauge closures run outside the lock: they may touch other mutexes
+   (e.g. the tiered store's), and a slow gauge must not block
+   registration from another domain. *)
+let gauges () =
+  Mutex.lock gauge_mu;
+  let gs = !gauge_list in
+  Mutex.unlock gauge_mu;
+  List.filter_map
+    (fun (n, f) -> match f () with v -> Some (n, v) | exception _ -> None)
+    gs
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition *)
+
+(* Counters expose as [wtrie_<name>_total]; latency histograms as
+   [wtrie_<name>_ns] with cumulative [_bucket{le="..."}] lines derived
+   from the log-scaled buckets (bucket [b] covers [2^b, 2^(b+1)) ns, so
+   its upper bound is [le="2^(b+1)"]), plus [_sum]/[_count]; gauges as
+   bare [wtrie_<name>].  Zero-valued counters are emitted (the universe
+   is fixed, and a dashboard wants the series to exist before it first
+   fires); empty histograms are skipped to keep the page proportional
+   to what actually ran. *)
+
+let float_str v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let prometheus_of_snapshot ?(gauges = []) (s : snapshot) =
+  let buf = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  Array.iteri
+    (fun i m ->
+      let n = Metric.name m in
+      add "# TYPE wtrie_%s_total counter\n" n;
+      add "wtrie_%s_total %d\n" n s.counters.(i))
+    Metric.all;
+  Array.iteri
+    (fun i m ->
+      let h = s.hists.(i) in
+      if h.Histogram.count > 0 then begin
+        let n = Metric.name m in
+        add "# TYPE wtrie_%s_ns histogram\n" n;
+        let cum = ref 0 in
+        List.iter
+          (fun (e, c) ->
+            cum := !cum + c;
+            (* bucket [e] covers [2^e, 2^(e+1)): upper bound 2^(e+1) *)
+            add "wtrie_%s_ns_bucket{le=\"%d\"} %d\n" n (1 lsl (e + 1)) !cum)
+          h.Histogram.buckets;
+        add "wtrie_%s_ns_bucket{le=\"+Inf\"} %d\n" n !cum;
+        add "wtrie_%s_ns_sum %s\n" n
+          (float_str (h.Histogram.mean_ns *. float_of_int h.Histogram.count));
+        add "wtrie_%s_ns_count %d\n" n !cum
+      end)
+    Metric.all;
+  List.iter
+    (fun (n, v) ->
+      add "# TYPE wtrie_%s gauge\n" n;
+      add "wtrie_%s %s\n" n (float_str v))
+    gauges;
+  Buffer.contents buf
+
+(* [prometheus ()] is the live scrape: capture + registered gauges. *)
+let prometheus () = prometheus_of_snapshot ~gauges:(gauges ()) (capture ())
+
+(* The JSON shape is {!Report}'s, unchanged — one scrape endpoint can
+   serve both representations from the same probe state. *)
+let json () = Report.to_json (Report.capture ())
+let json_string () = Report.to_json_string (Report.capture ())

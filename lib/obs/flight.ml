@@ -30,6 +30,9 @@ type kind =
   | Checkpoint  (** WAL absorbed into a fresh snapshot ([a] = new generation) *)
   | Pool_dispatch  (** a pool task started executing ([a] = domain slot) *)
   | Crash  (** injected crash fired; [note] is the fault message *)
+  | Slow_query
+      (** a served request crossed the slow-query threshold ([a] =
+          queue-wait ns, [b] = batch-execution ns, [note] = op kind) *)
   | Mark  (** free-form marker for tests and applications *)
 
 let kind_name = function
@@ -43,6 +46,7 @@ let kind_name = function
   | Checkpoint -> "checkpoint"
   | Pool_dispatch -> "pool_dispatch"
   | Crash -> "crash"
+  | Slow_query -> "slow_query"
   | Mark -> "mark"
 
 type event = {

@@ -50,7 +50,19 @@
       (admission control) or expired with [Deadline_exceeded], wire
       frames rejected by the bounded decoder, plus two histograms:
       [Serve_queue_depth] (pending-queue depth sampled at each flush)
-      and [Serve_queue_wait] (admit-to-execute wait, ns).
+      and [Serve_queue_wait] (admit-to-execute wait, ns), and
+      [Serve_slow] — requests whose queue-wait + batch-execution time
+      crossed the server's slow-query threshold (each one also leaves
+      an exemplar in the slow-query ring, see [lib/serve/server.ml]);
+    - [Rt_*]: the OCaml 5 runtime, observed through the
+      [Runtime_events] bridge ([lib/obs/runtime.ml]) — minor and major
+      GC pause histograms ([Rt_gc_minor]/[Rt_gc_major], ns per
+      collection phase on whichever domain ran it), [Rt_gc_ns] (total
+      nanoseconds spent in GC phases, summed over domains; the
+      per-domain split is exposed programmatically by
+      [Runtime.per_domain_gc_ns]) and [Rt_events_lost] (ring-buffer
+      events the consumer missed — nonzero means the poll cadence is
+      too slow for the event rate).
 
     Counter metrics count invocations; the same ids key the latency
     histograms recorded by {!Probe.time} at the string-API layer. *)
@@ -122,8 +134,13 @@ type t =
   | Tiered_compact_bytes
   | Tiered_delta_strings
   | Tiered_run_count
+  | Serve_slow
+  | Rt_gc_minor
+  | Rt_gc_major
+  | Rt_gc_ns
+  | Rt_events_lost
 
-let count = 66
+let count = 71
 
 let index = function
   | Rrr_rank -> 0
@@ -192,6 +209,11 @@ let index = function
   | Tiered_compact_bytes -> 63
   | Tiered_delta_strings -> 64
   | Tiered_run_count -> 65
+  | Serve_slow -> 66
+  | Rt_gc_minor -> 67
+  | Rt_gc_major -> 68
+  | Rt_gc_ns -> 69
+  | Rt_events_lost -> 70
 
 let all =
   [|
@@ -209,6 +231,7 @@ let all =
     Serve_queue_depth; Serve_queue_wait; Flat_build; Flat_save; Flat_open_mmap;
     Flat_open_copy; Tiered_ingest; Tiered_ingest_bytes; Tiered_flush;
     Tiered_compact; Tiered_compact_bytes; Tiered_delta_strings; Tiered_run_count;
+    Serve_slow; Rt_gc_minor; Rt_gc_major; Rt_gc_ns; Rt_events_lost;
   |]
 
 let name = function
@@ -278,5 +301,10 @@ let name = function
   | Tiered_compact_bytes -> "tiered_compact_bytes"
   | Tiered_delta_strings -> "tiered_delta_strings"
   | Tiered_run_count -> "tiered_run_count"
+  | Serve_slow -> "serve_slow_query"
+  | Rt_gc_minor -> "rt_gc_minor"
+  | Rt_gc_major -> "rt_gc_major"
+  | Rt_gc_ns -> "rt_gc_ns"
+  | Rt_events_lost -> "rt_events_lost"
 
 let of_name s = Array.find_opt (fun m -> name m = s) all

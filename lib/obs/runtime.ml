@@ -1,0 +1,154 @@
+(** The OCaml 5 runtime telemetry bridge: GC and domain events from
+    [Runtime_events], folded into the [Rt_*] metrics and the tracer.
+
+    The runtime writes begin/end markers for every GC phase into a
+    per-domain ring buffer; {!start} turns that recording on and opens
+    a self-process cursor, and each {!poll} drains whatever accumulated
+    since the last one:
+
+    - an [EV_MINOR] begin/end pair becomes one sample in the
+      [Rt_gc_minor] pause histogram; [EV_MAJOR] likewise in
+      [Rt_gc_major] — both tagged with the domain (ring) that ran the
+      collection;
+    - every pause also adds to [Rt_gc_ns] (total GC nanoseconds, the
+      cross-domain sum) and to a per-ring accumulator readable with
+      {!per_domain_gc_ns} — the "is one domain eating all the GC?"
+      attribution the aggregate hides;
+    - when tracing is enabled, each pause is injected as a [gc.minor] /
+      [gc.major] span on the collecting domain's timeline row, so GC
+      appears inline between query spans in Chrome trace exports;
+    - overwritten (unconsumed) ring events count into
+      [Rt_events_lost]: nonzero means {!poll} is being called too
+      rarely for the event rate.
+
+    Only the top-level [EV_MINOR]/[EV_MAJOR] phases are timed; their
+    nested sub-phases (mark/sweep slices, root scans) are ignored so a
+    pause is counted once, not once per sub-phase.
+
+    Polling is cheap (one C call plus a callback per pending event) and
+    single-consumer by design: the serving loop owns the cadence, and
+    scrape handlers call {!poll} before exporting so the [Rt_*] metrics
+    are fresh at the instant of the scrape.  All state here is owned by
+    whichever domain calls {!poll}; concurrent pollers are serialized
+    by a mutex ({!poll} from two domains is safe, not useful). *)
+
+let max_rings = 256
+(* Ring ids are small consecutive integers (one ring per live domain,
+   ids recycled); 256 is far above [Domain.recommended_domain_count]
+   on any current machine. *)
+
+type state = {
+  cursor : Runtime_events.cursor;
+  callbacks : Runtime_events.Callbacks.t;
+  minor_start : int array;  (** per ring: pending EV_MINOR begin ts, or 0 *)
+  major_start : int array;
+  gc_ns : int array;  (** per ring: accumulated GC ns *)
+}
+
+let st : state option ref = ref None
+let mu = Mutex.create ()
+
+let ts t = Int64.to_int (Runtime_events.Timestamp.to_int64 t)
+
+let make_callbacks minor_start major_start gc_ns =
+  let open Runtime_events in
+  let begin_ ring t phase =
+    if ring < max_rings then
+      match phase with
+      | EV_MINOR -> minor_start.(ring) <- ts t
+      | EV_MAJOR -> major_start.(ring) <- ts t
+      | _ -> ()
+  in
+  let end_ ring t phase =
+    if ring < max_rings then begin
+      let finish starts metric name =
+        let t0 = starts.(ring) in
+        starts.(ring) <- 0;
+        (* a begin lost to ring overwrite leaves t0 = 0: skip rather
+           than record a bogus epoch-length pause *)
+        if t0 > 0 then begin
+          let t1 = ts t in
+          let dt = t1 - t0 in
+          if dt >= 0 then begin
+            Probe.duration metric dt;
+            Probe.record Metric.Rt_gc_ns dt;
+            gc_ns.(ring) <- gc_ns.(ring) + dt;
+            Trace.inject ~dom:ring name ~t0_ns:t0 ~t1_ns:t1
+          end
+        end
+      in
+      match phase with
+      | EV_MINOR -> finish minor_start Metric.Rt_gc_minor "gc.minor"
+      | EV_MAJOR -> finish major_start Metric.Rt_gc_major "gc.major"
+      | _ -> ()
+    end
+  in
+  let lost _ring n = Probe.record Metric.Rt_events_lost n in
+  Callbacks.create ~runtime_begin:begin_ ~runtime_end:end_ ~lost_events:lost ()
+
+(* [start ()] is idempotent; the runtime keeps recording until the
+   process exits (pause/resume is not exposed — the bridge is meant to
+   stay on for the life of a serving process). *)
+let start () =
+  Mutex.lock mu;
+  (match !st with
+  | Some _ -> ()
+  | None ->
+      Runtime_events.start ();
+      let minor_start = Array.make max_rings 0 in
+      let major_start = Array.make max_rings 0 in
+      let gc_ns = Array.make max_rings 0 in
+      st :=
+        Some
+          {
+            cursor = Runtime_events.create_cursor None;
+            callbacks = make_callbacks minor_start major_start gc_ns;
+            minor_start;
+            major_start;
+            gc_ns;
+          });
+  Mutex.unlock mu
+
+let started () =
+  Mutex.lock mu;
+  let r = Option.is_some !st in
+  Mutex.unlock mu;
+  r
+
+(* [poll ()] drains pending runtime events into the metrics; returns
+   the number of events consumed (0 when the bridge was never
+   started).  The mutex makes concurrent pollers safe; it is never
+   held while user code runs — callbacks only touch probe atomics and
+   this module's arrays. *)
+let poll () =
+  Mutex.lock mu;
+  let r =
+    match !st with
+    | None -> 0
+    | Some s -> (
+        match Runtime_events.read_poll s.cursor s.callbacks None with
+        | n -> n
+        | exception _ -> 0)
+  in
+  Mutex.unlock mu;
+  r
+
+(* Per-domain GC attribution: [(ring_id, gc_ns)] for every ring that
+   accumulated any.  Ring ids map to domains one-to-one while domains
+   are alive (the initial domain is ring 0). *)
+let per_domain_gc_ns () =
+  Mutex.lock mu;
+  let r =
+    match !st with
+    | None -> []
+    | Some s ->
+        let acc = ref [] in
+        for i = max_rings - 1 downto 0 do
+          if s.gc_ns.(i) > 0 then acc := (i, s.gc_ns.(i)) :: !acc
+        done;
+        !acc
+  in
+  Mutex.unlock mu;
+  r
+
+let total_gc_ns () = List.fold_left (fun a (_, ns) -> a + ns) 0 (per_domain_gc_ns ())

@@ -184,6 +184,34 @@ let with_span ?(parent = -1) ?(args = []) name f =
     end
   end
 
+(* [inject ?args ?dom name ~t0_ns ~t1_ns] records an already-completed
+   interval as a root span — for events observed from outside the
+   span-stack discipline, e.g. GC pauses read off the [Runtime_events]
+   ring after the fact.  The event lands in the {e calling} domain's
+   buffer (its own mutation, no locks) but carries [?dom] (default: the
+   caller) as the timeline row, so a GC pause on domain 3 renders on
+   domain 3's track even though the poller runs on domain 0. *)
+let inject ?(args = []) ?dom name ~t0_ns ~t1_ns =
+  if Atomic.get on then begin
+    let d = state () in
+    if d.nevs >= max_events_per_domain then d.dropped <- d.dropped + 1
+    else begin
+      let id = Atomic.fetch_and_add next_id 1 in
+      d.evs <-
+        {
+          id;
+          parent = -1;
+          name;
+          args;
+          dom = (match dom with Some x -> x | None -> d.ddom);
+          t0_ns;
+          t1_ns;
+        }
+        :: d.evs;
+      d.nevs <- d.nevs + 1
+    end
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Collection and export *)
 

@@ -95,8 +95,14 @@ let due t ~now_ns =
 (* [flush t ~now_ns ~exec] cuts one batch (up to [batch_max] in arrival
    order) and returns, in that order, [(key, Some result)] for executed
    operations and [(key, None)] for those already past their deadline.
-   [exec] receives only the live operations. *)
-let flush t ~now_ns ~exec =
+   [exec] receives only the live operations.
+
+   [?on_done] is called once per {e executed} operation with its
+   queue-wait (admit to flush) and the batch's execution time — the
+   wait/exec latency split the slow-query log records — plus the
+   [serve.batch] span id active during execution ([-1] when tracing is
+   off).  [None] (the default) costs nothing. *)
+let flush ?on_done t ~now_ns ~exec =
   let n = min t.batch_max (Queue.length t.q) in
   if n = 0 then [||]
   else begin
@@ -113,20 +119,30 @@ let flush t ~now_ns ~exec =
       taken;
     if !expired > 0 then Probe.record Serve_deadline !expired;
     let live = Array.of_seq (Seq.filter (fun p -> p.deadline_ns >= now_ns) (Array.to_seq taken)) in
+    let exec_ns = ref 0 and span = ref (-1) in
     let results =
       Trace.with_span
         ~args:[ ("ops", Array.length live); ("expired", !expired) ]
         "serve.batch"
         (fun () ->
+          span := Trace.current_id ();
           if Array.length live = 0 then [||]
           else begin
             let t0 = Probe.now_ns () in
             let r = exec (Array.map (fun p -> p.op) live) in
             let dt = Probe.now_ns () - t0 in
             t.exec_est_ns <- ((3 * t.exec_est_ns) + dt) / 4;
+            exec_ns := dt;
             r
           end)
     in
+    (match on_done with
+    | None -> ()
+    | Some f ->
+        Array.iter
+          (fun p ->
+            f p.key p.op ~wait_ns:(now_ns - p.admit_ns) ~exec_ns:!exec_ns ~span:!span)
+          live);
     let live_i = ref 0 in
     Array.map
       (fun p ->

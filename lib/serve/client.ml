@@ -88,6 +88,19 @@ let length t =
   | Wire.Ok_value (Is.Int n) -> n
   | _ -> failwith "serve client: unexpected reply to Length"
 
+(* [stats_json t] returns the server's live telemetry page (report +
+   server counters + slow-query exemplars) as a JSON string. *)
+let stats_json t =
+  match call t Wire.Stats with
+  | Wire.Ok_value (Is.Str s) -> s
+  | _ -> failwith "serve client: unexpected reply to Stats"
+
+(* [scrape t] returns the Prometheus exposition text. *)
+let scrape t =
+  match call t Wire.Scrape with
+  | Wire.Ok_value (Is.Str s) -> s
+  | _ -> failwith "serve client: unexpected reply to Scrape"
+
 (* ------------------------------------------------------------------ *)
 (* Closed-loop load generator *)
 

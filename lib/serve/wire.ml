@@ -10,6 +10,8 @@
                  op 4 Select          i64 count | rest = string
                  op 5 Rank_prefix     i64 pos   | rest = prefix
                  op 6 Select_prefix   i64 count | rest = prefix
+                 op 7 Stats           (observability report JSON; inline)
+                 op 8 Scrape          (Prometheus-style exposition; inline)
       reply   := i64 id | u8 status | status-specific
                  0 Ok_int             i64
                  1 Ok_str             rest = bytes
@@ -48,6 +50,12 @@ let header_len = 4
 type body =
   | Ping  (** health check: answered [Pong] inline, even under overload *)
   | Length  (** current sequence length: answered inline *)
+  | Stats
+      (** live observability report as JSON ([Ok_str]): answered inline
+          off the select loop, never queued behind the batcher *)
+  | Scrape
+      (** Prometheus-style text exposition plus slow-query exemplars
+          ([Ok_str]): answered inline like [Stats] *)
   | Query of Is.op  (** admitted, micro-batched, executed on the engine *)
 
 type request = { id : int; timeout_us : int; body : body }
@@ -98,6 +106,8 @@ let op_tag = function
   | Query (Is.Select _) -> '\004'
   | Query (Is.Rank_prefix _) -> '\005'
   | Query (Is.Select_prefix _) -> '\006'
+  | Stats -> '\007'
+  | Scrape -> '\008'
 
 let encode_request { id; timeout_us; body } =
   let buf = Buffer.create 32 in
@@ -105,7 +115,7 @@ let encode_request { id; timeout_us; body } =
   add_i32 buf (max 0 timeout_us);
   Buffer.add_char buf (op_tag body);
   (match body with
-  | Ping | Length -> ()
+  | Ping | Length | Stats | Scrape -> ()
   | Query (Is.Access { pos }) -> add_i64 buf pos
   | Query (Is.Rank { s; pos }) ->
       add_i64 buf pos;
@@ -143,6 +153,8 @@ let decode_request payload =
           match payload.[12] with
           | '\000' -> exact 13 (req Ping)
           | '\001' -> exact 13 (req Length)
+          | '\007' -> exact 13 (req Stats)
+          | '\008' -> exact 13 (req Scrape)
           | '\002' ->
               Result.bind (with_i64 (fun pos rest -> (pos, rest))) (fun (pos, rest) ->
                   if rest <> "" then Error "trailing bytes after request"

@@ -67,6 +67,7 @@ module Pool = Wt_par.Pool
 module Probe = Wt_obs.Probe
 module Trace = Wt_obs.Trace
 module Flight = Wt_obs.Flight
+module Export = Wt_obs.Export
 
 let manifest_tag = "tiered-manifest"
 let wal_tag = "tiered"
@@ -677,6 +678,14 @@ let open_internal ~read_only ~verify ~threshold dir =
       view = Snapshot.create (View.make tiers);
     }
   in
+  (* compaction-progress gauges for the metrics scrape: replaced by
+     name, so the most recently opened store owns them.  Reads are
+     deliberately lock-free — a gauge sampled mid-compaction may be one
+     step stale, which is fine for telemetry. *)
+  Export.register_gauge "tiered_compacting" (fun () -> if t.compacting then 1. else 0.);
+  Export.register_gauge "tiered_delta_strings" (fun () ->
+      float_of_int (Dynamic_wt.length t.delta));
+  Export.register_gauge "tiered_run_count" (fun () -> float_of_int (List.length t.runs));
   let recovery =
     {
       r_generation = generation;

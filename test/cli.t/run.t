@@ -362,23 +362,56 @@ flags exit 64 (EX_USAGE), and a missing input file is I/O, not usage:
   wtrie serve: --batch-ops must be >= 1 (got 0)
   [64]
 
+  $ wtrie serve log.txt --metrics-port 123456
+  wtrie serve: --metrics-port must be in 0..65535 (got 123456)
+  [64]
+
+  $ wtrie serve log.txt --slow-ms=-1
+  wtrie serve: --slow-ms must be >= 0 (got -1)
+  [64]
+
   $ wtrie loadgen nonsense --ops 10
   wtrie loadgen: TARGET must be HOST:PORT (got nonsense)
+  [64]
+
+  $ wtrie top nonsense --once
+  wtrie top: TARGET must be HOST:PORT (got nonsense)
+  [64]
+
+  $ wtrie top 127.0.0.1:4242 --interval 0
+  wtrie top: --interval must be > 0 (got 0)
   [64]
 
   $ wtrie loadgen 127.0.0.1:1 --ops 10 --connect-timeout 0
   wtrie loadgen: cannot reach 127.0.0.1:1: Connection refused
   [74]
 
-End to end: serve the file on an ephemeral port, drive it with the
-load generator, then SIGTERM must drain and exit 0:
+End to end: serve the file on an ephemeral port with the telemetry
+plane on (ephemeral metrics listener, every request leaving a
+slow-query exemplar), drive it with the load generator, render one
+frame of the live view, then SIGTERM must drain and exit 0:
 
-  $ wtrie serve log.txt --port 0 --port-file port.txt >serve.log 2>&1 & echo $! > serve.pid
-  $ for i in $(seq 1 100); do [ -s port.txt ] && break; sleep 0.1; done
+  $ wtrie serve log.txt --port 0 --port-file port.txt --metrics-port 0 --metrics-port-file mport.txt --slow-ms 0 >serve.log 2>&1 & echo $! > serve.pid
+  $ for i in $(seq 1 100); do [ -s port.txt ] && [ -s mport.txt ] && break; sleep 0.1; done
   $ wtrie loadgen 127.0.0.1:$(cat port.txt) --conns 2 --ops 400 --window 4 | grep -c "^throughput"
   1
+  $ wtrie top 127.0.0.1:$(cat port.txt) --once | grep -c "queue-wait"
+  1
+  $ wtrie top 127.0.0.1:$(cat port.txt) --once | grep -c "^wtrie top"
+  1
+
+A second server whose metrics listener lands on a port already bound
+(the first server's query port) must fail the bind and exit 74:
+
+  $ wtrie serve log.txt --port 0 --metrics-port $(cat port.txt) 2>&1 | grep -c "Address already in use"
+  1
+  $ wtrie serve log.txt --port 0 --metrics-port $(cat port.txt) >/dev/null 2>&1
+  [74]
+
   $ kill -TERM $(cat serve.pid) && wait $(cat serve.pid)
   $ grep -c "^listening on 127.0.0.1:" serve.log
+  1
+  $ grep -c "^metrics on 127.0.0.1:" serve.log
   1
   $ grep -c "^drained:" serve.log
   1

@@ -237,6 +237,198 @@ let test_enabled_same_results () =
   let on = probed run in
   Alcotest.(check bool) "probe state does not affect results" true (off = on)
 
+(* ------------------------------------------------------------------ *)
+(* (d) The live telemetry plane: exposition shape, snapshot deltas, the
+   runtime-events bridge, scraping while other domains record, and the
+   docs-sync lint keeping docs/observability.md's metric table honest. *)
+
+module Export = Wt_obs.Export
+module Runtime = Wt_obs.Runtime
+
+let index_of s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1)
+  in
+  go from
+
+let contains s sub = index_of s sub 0 >= 0
+
+(* Every non-comment, non-empty line must be "name[{labels}] value"
+   with a wtrie_ name and a numeric value — the property any Prometheus
+   scraper needs from the page. *)
+let check_exposition_parses page =
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.failf "unparseable exposition line: %s" line
+        | Some i ->
+            let v = String.sub line (i + 1) (String.length line - i - 1) in
+            if float_of_string_opt v = None then
+              Alcotest.failf "non-numeric value in exposition line: %s" line;
+            if not (String.length line > 6 && String.sub line 0 6 = "wtrie_") then
+              Alcotest.failf "exposition series not under wtrie_: %s" line
+      end)
+    (String.split_on_char '\n' page)
+
+(* Value of counter [name] on an exposition page, or -1 if absent. *)
+let exposition_counter page name =
+  let prefix = "wtrie_" ^ name ^ "_total " in
+  let p = String.length prefix in
+  List.fold_left
+    (fun acc l ->
+      if acc >= 0 then acc
+      else if String.length l > p && String.sub l 0 p = prefix then
+        Option.value ~default:(-1) (int_of_string_opt (String.sub l p (String.length l - p)))
+      else acc)
+    (-1)
+    (String.split_on_char '\n' page)
+
+let test_prometheus_exposition () =
+  let ticks = ref 0 in
+  Probe.set_clock (fun () ->
+      ticks := !ticks + 1000;
+      !ticks);
+  Fun.protect ~finally:(fun () -> Probe.set_clock Probe.default_clock) @@ fun () ->
+  probed (fun () ->
+      Probe.hit Metric.Wt_rank;
+      Probe.time Metric.Wt_rank (fun () -> ());
+      Export.register_gauge "test_gauge" (fun () -> 42.);
+      Fun.protect ~finally:(fun () -> Export.unregister_gauge "test_gauge")
+      @@ fun () ->
+      let page = Export.prometheus () in
+      check_exposition_parses page;
+      (* zero-filled: an untouched counter still has a series *)
+      Alcotest.(check bool) "untouched series exists" true
+        (contains page "wtrie_rrr_select_total 0");
+      check_int "hit counter" 1 (exposition_counter page "wt_rank");
+      (* 1000 injected ns land in bucket [512, 1024): upper bound 1024 *)
+      Alcotest.(check bool) "histogram bucket" true
+        (contains page "wtrie_wt_rank_ns_bucket{le=\"1024\"} 1");
+      Alcotest.(check bool) "histogram +Inf" true
+        (contains page "wtrie_wt_rank_ns_bucket{le=\"+Inf\"} 1");
+      Alcotest.(check bool) "histogram sum from mean*count" true
+        (contains page "wtrie_wt_rank_ns_sum 1000");
+      Alcotest.(check bool) "histogram count" true
+        (contains page "wtrie_wt_rank_ns_count 1");
+      Alcotest.(check bool) "gauge sampled" true (contains page "wtrie_test_gauge 42");
+      (* empty histograms stay off the page *)
+      Alcotest.(check bool) "empty histogram skipped" false
+        (contains page "wtrie_rrr_select_ns_"))
+
+let test_export_delta () =
+  probed (fun () ->
+      Probe.hit Metric.Wt_rank;
+      Probe.record Metric.Wt_rank 0 |> ignore;
+      let a = Export.capture () in
+      Probe.hit Metric.Wt_rank;
+      Probe.hit Metric.Wt_rank;
+      Probe.duration Metric.Exec_level 1000;
+      let b = Export.capture () in
+      let d = Export.delta a b in
+      let idx m = Metric.index m in
+      check_int "counter delta" 2 d.Export.counters.(idx Metric.Wt_rank);
+      check_int "untouched delta" 0 d.Export.counters.(idx Metric.Rrr_rank);
+      let h = d.Export.hists.(idx Metric.Exec_level) in
+      check_int "hist delta count" 1 h.Histogram.count;
+      check_int "hist delta p50" 512 h.Histogram.p50_ns)
+
+let test_runtime_bridge () =
+  probed (fun () ->
+      Runtime.start ();
+      Alcotest.(check bool) "bridge started" true (Runtime.started ());
+      (* force collections and drain the ring until the pauses appear *)
+      let tries = ref 0 in
+      (* pauses are histogram samples ([Probe.duration]), not counters *)
+      let moved () =
+        (Probe.histogram Metric.Rt_gc_minor).Histogram.count
+        + (Probe.histogram Metric.Rt_gc_major).Histogram.count
+        > 0
+      in
+      while (not (moved ())) && !tries < 50 do
+        incr tries;
+        ignore (Sys.opaque_identity (Array.init 100_000 (fun i -> string_of_int i)));
+        Gc.minor ();
+        Gc.full_major ();
+        ignore (Runtime.poll ())
+      done;
+      Alcotest.(check bool) "gc pauses observed" true (moved ());
+      Alcotest.(check bool) "gc time accumulated" true
+        (Probe.counter Metric.Rt_gc_ns > 0);
+      Alcotest.(check bool) "per-domain gc time" true (Runtime.total_gc_ns () > 0))
+
+(* Two domains hammer the recorder while the main domain scrapes: every
+   page parses and the scraped counter never goes backwards. *)
+let test_concurrent_scrape () =
+  probed (fun () ->
+      let per_domain = 200_000 in
+      let hammer () =
+        for i = 1 to per_domain do
+          Probe.hit Metric.Wt_rank;
+          Probe.duration Metric.Exec_level (i land 0xfff)
+        done
+      in
+      let d1 = Domain.spawn hammer and d2 = Domain.spawn hammer in
+      let last = ref (-1) in
+      for _ = 1 to 50 do
+        let page = Export.prometheus () in
+        check_exposition_parses page;
+        let c = exposition_counter page "wt_rank" in
+        Alcotest.(check bool) "counter present" true (c >= 0);
+        Alcotest.(check bool)
+          (Printf.sprintf "counter monotone (%d -> %d)" !last c)
+          true (c >= !last);
+        last := c
+      done;
+      Domain.join d1;
+      Domain.join d2;
+      check_int "all hits survived the scrapes" (2 * per_domain)
+        (Probe.counter Metric.Wt_rank);
+      let h = Probe.histogram Metric.Exec_level in
+      check_int "all samples survived the scrapes" (2 * per_domain) h.Histogram.count)
+
+(* The docs table between the metrics:begin/end markers must list
+   exactly the metric universe — missing and stale rows are named. *)
+let test_docs_sync () =
+  (* dune runtest runs in _build/default/test; dune exec may run from
+     the workspace root — accept either *)
+  let path =
+    if Sys.file_exists "../docs/observability.md" then "../docs/observability.md"
+    else "docs/observability.md"
+  in
+  let doc =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+  in
+  let b = index_of doc "<!-- metrics:begin -->" 0 in
+  let e = index_of doc "<!-- metrics:end -->" 0 in
+  if b < 0 || e < 0 || e <= b then
+    Alcotest.fail "docs/observability.md: metrics:begin/end markers missing";
+  let table = String.sub doc b (e - b) in
+  let documented =
+    String.split_on_char '\n' table
+    |> List.filter_map (fun line ->
+           if String.length line > 3 && String.sub line 0 3 = "| `" then begin
+             match String.index_from_opt line 3 '`' with
+             | Some j -> Some (String.sub line 3 (j - 3))
+             | None -> None
+           end
+           else None)
+  in
+  let universe = Array.to_list (Array.map Metric.name Metric.all) in
+  let missing = List.filter (fun n -> not (List.mem n documented)) universe in
+  let stale = List.filter (fun n -> not (List.mem n universe)) documented in
+  if missing <> [] || stale <> [] then
+    Alcotest.failf
+      "docs/observability.md metric table out of sync:%s%s"
+      (if missing = [] then ""
+       else "\n  missing rows (declared but undocumented): " ^ String.concat ", " missing)
+      (if stale = [] then ""
+       else "\n  stale rows (documented but not declared): " ^ String.concat ", " stale);
+  check_int "universe size" Metric.count (List.length documented)
+
 let test_histogram_quantiles () =
   let h = Histogram.create () in
   List.iter (Histogram.record h) [ 1; 2; 3; 1000; 1_000_000 ];
@@ -270,5 +462,23 @@ let () =
             `Quick test_disabled_zero_cost;
           Alcotest.test_case "enabled probes: identical results" `Quick
             test_enabled_same_results;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "prometheus exposition shape" `Quick
+            test_prometheus_exposition;
+          Alcotest.test_case "snapshot deltas" `Quick test_export_delta;
+          Alcotest.test_case "runtime-events bridge sees gc pauses" `Quick
+            test_runtime_bridge;
+        ] );
+      ( "concurrent-scrape",
+        [
+          Alcotest.test_case "scrape under recording load parses, monotone"
+            `Quick test_concurrent_scrape;
+        ] );
+      ( "docs-sync",
+        [
+          Alcotest.test_case "metric table matches the declared universe" `Quick
+            test_docs_sync;
         ] );
     ]

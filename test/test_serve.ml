@@ -455,6 +455,130 @@ let test_drain_answers_admitted () =
       | _ -> Alcotest.fail "expected the queued query's answer at drain")
 
 (* ------------------------------------------------------------------ *)
+(* The live telemetry plane: Stats/Scrape wire ops, slow-query
+   exemplars, and the plain-TCP metrics listener. *)
+
+let index_of s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then -1 else if String.sub s i m = sub then i else go (i + 1)
+  in
+  go 0
+
+let contains s sub = index_of s sub >= 0
+
+(* Run [f] with probes on and a clean slate (the telemetry ops render
+   probe state, so the tests need it recording). *)
+let telemetered f =
+  Wt_obs.Probe.reset ();
+  Wt_obs.Probe.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Wt_obs.Probe.disable ();
+      Wt_obs.Probe.reset ())
+    f
+
+let test_stats_and_scrape_ops () =
+  telemetered @@ fun () ->
+  with_server ~tweak:(fun c -> { c with slow_ms = Some 0 }) (fun _wt srv ->
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let rng = Xoshiro.create 77 in
+      for _ = 1 to 100 do
+        ignore (Client.call c (Wire.Query (gen_op rng)))
+      done;
+      (* Stats: a JSON page with the report, server counters and the
+         slow-query exemplar ring (slow_ms = 0 logs every request) *)
+      (match Wt_obs.Json.of_string (Client.stats_json c) with
+      | Error e -> Alcotest.failf "stats reply is not JSON: %s" e
+      | Ok j ->
+          let member k = Wt_obs.Json.member k j in
+          (match Option.bind (member "server") (Wt_obs.Json.member "requests") with
+          | Some (Wt_obs.Json.Int n) ->
+              Alcotest.(check bool) "requests counted" true (n >= 100)
+          | _ -> Alcotest.fail "stats: server.requests missing");
+          (match Option.bind (member "server") (Wt_obs.Json.member "slow") with
+          | Some (Wt_obs.Json.Int n) ->
+              Alcotest.(check bool) "slow counted at threshold 0" true (n >= 100)
+          | _ -> Alcotest.fail "stats: server.slow missing");
+          (match member "slow_queries" with
+          | Some (Wt_obs.Json.List (x :: _)) ->
+              (* each exemplar carries the wait/exec split and a kind *)
+              List.iter
+                (fun k ->
+                  if Wt_obs.Json.member k x = None then
+                    Alcotest.failf "exemplar missing field %s" k)
+                [ "t_ns"; "kind"; "rid"; "wait_ns"; "exec_ns"; "span" ]
+          | _ -> Alcotest.fail "stats: slow_queries empty");
+          if member "report" = None then Alcotest.fail "stats: report missing");
+      (* Scrape: exposition text with live serve series and exemplars *)
+      let page = Client.scrape c in
+      Alcotest.(check bool) "serve_request series" true
+        (contains page "wtrie_serve_request_total");
+      Alcotest.(check bool) "queue-wait histogram" true
+        (contains page "wtrie_serve_queue_wait_ns_count");
+      Alcotest.(check bool) "open-conns gauge" true
+        (contains page "wtrie_serve_open_conns");
+      Alcotest.(check bool) "exemplar comment lines" true
+        (contains page "# EXEMPLAR wtrie_serve_slow_query");
+      let st = Server.stats srv in
+      Alcotest.(check bool) "server slow stat" true (st.Server.slow >= 100))
+
+(* Above the threshold nothing is logged: the slow path costs nothing
+   for fast queries. *)
+let test_slow_threshold_filters () =
+  telemetered @@ fun () ->
+  with_server ~tweak:(fun c -> { c with slow_ms = Some 10_000 }) (fun _wt srv ->
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      for i = 0 to 49 do
+        ignore (Client.call c (Wire.Query (Is.Access { pos = i })))
+      done;
+      let st = Server.stats srv in
+      Alcotest.(check int) "nothing slower than 10s" 0 st.Server.slow;
+      Alcotest.(check bool) "no exemplars on the page" false
+        (contains (Client.scrape c) "# EXEMPLAR"))
+
+let test_metrics_listener () =
+  telemetered @@ fun () ->
+  with_server ~tweak:(fun c -> { c with metrics_port = Some 0; slow_ms = Some 0 })
+    (fun _wt srv ->
+      let mport =
+        match Server.metrics_port srv with
+        | Some p -> p
+        | None -> Alcotest.fail "metrics listener not bound"
+      in
+      (* drive some traffic so the scraped counters are nonzero *)
+      let c = Client.connect ~host:"127.0.0.1" ~port:(Server.port srv) () in
+      for i = 0 to 19 do
+        ignore (Client.call c (Wire.Query (Is.Access { pos = i })))
+      done;
+      (* a plain HTTP/1.0 client: one request, one response, EOF *)
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, mport));
+      write_raw fd "GET /metrics HTTP/1.0\r\n\r\n";
+      let got, eof = read_until_eof fd in
+      Unix.close fd;
+      Alcotest.(check bool) "server closes after the response" true eof;
+      Alcotest.(check bool) "HTTP 200" true
+        (String.length got > 15 && String.sub got 0 15 = "HTTP/1.0 200 OK");
+      (match index_of got "Content-Length: " with
+      | -1 -> Alcotest.fail "no Content-Length"
+      | _ -> ());
+      let body =
+        match index_of got "\r\n\r\n" with
+        | -1 -> Alcotest.fail "no header/body separator"
+        | i -> String.sub got (i + 4) (String.length got - i - 4)
+      in
+      Alcotest.(check bool) "exposition body" true
+        (contains body "wtrie_serve_request_total");
+      Alcotest.(check bool) "exemplars ride the page" true
+        (contains body "# EXEMPLAR wtrie_serve_slow_query");
+      (* the query plane is unaffected by scrapes *)
+      Alcotest.(check bool) "still serving" true (Client.ping c);
+      Client.close c)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
@@ -491,5 +615,11 @@ let () =
             test_expired_never_executed;
           Alcotest.test_case "contended p99 bounded" `Quick test_contended_latency_bounded;
           Alcotest.test_case "drain answers admitted work" `Quick test_drain_answers_admitted;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "stats and scrape wire ops" `Quick test_stats_and_scrape_ops;
+          Alcotest.test_case "slow threshold filters" `Quick test_slow_threshold_filters;
+          Alcotest.test_case "plain-TCP metrics listener" `Quick test_metrics_listener;
         ] );
     ]
